@@ -1,0 +1,73 @@
+"""Ablation — the dynamic two-kernel deployment (Eq. 4).
+
+Forces each kernel across the whole SNP sweep and quantifies what the
+dynamic dispatch buys over each single-kernel deployment, per SNP count
+and in total — the justification for carrying two kernels at all.
+"""
+
+from repro.analysis.figures import fig12_series
+
+
+def test_dispatch_ablation(benchmark, report, grid_size):
+    series = benchmark.pedantic(
+        fig12_series, kwargs=dict(grid_size=grid_size), rounds=1, iterations=1
+    )
+    lines = [
+        f"{'SNPs':>7s} {'dyn/K1':>8s} {'dyn/K2':>8s}   "
+        "(dynamic deployment gain over forcing one kernel)"
+    ]
+    g1_all, g2_all = [], []
+    for i, s in enumerate(series["snps"]):
+        g1 = series["dynamic"][i] / series["kernel1"][i]
+        g2 = series["dynamic"][i] / series["kernel2"][i]
+        g1_all.append(g1)
+        g2_all.append(g2)
+        lines.append(f"{s:>7d} {g1:>8.2f} {g2:>8.2f}")
+    lines.append(
+        f"paper: dynamic up to 2.59x over kernel I, up to 1.14x over "
+        f"kernel II; never slower than either"
+    )
+    report("ablation: dynamic dispatch vs single kernels", "\n".join(lines))
+    assert min(g1_all) > 0.99 and min(g2_all) > 0.99
+    assert max(g1_all) > 2.0  # K2 regime gain
+    assert max(g2_all) > 1.05  # K1 regime gain
+
+
+def test_threshold_sensitivity(benchmark, report, grid_size):
+    """How sensitive is the dynamic gain to the Eq. 4 threshold? Scale
+    N_thr by 1/4x..4x and recompute the sweep-total throughput."""
+    from repro.accel.gpu.device import TESLA_K80
+    from repro.accel.gpu.dispatch import DynamicDispatcher
+    from repro.analysis.figures import gpu_eval_plans
+
+    def total_rate(threshold_scale: float) -> float:
+        d = DynamicDispatcher(TESLA_K80)
+        thr = TESLA_K80.dispatch_threshold * threshold_scale
+        scores, seconds = 0, 0.0
+        for n_snps in (1000, 2000, 5000, 20000):
+            for plan in gpu_eval_plans(n_snps, grid_size=grid_size // 2):
+                if not plan.valid:
+                    continue
+                n = plan.n_evaluations
+                kern = d.kernel1 if n < thr else d.kernel2
+                t = kern.timing(n, plan.region_width)
+                scores += n
+                seconds += t.exec_seconds
+        return scores / seconds
+
+    scales = (0.25, 0.5, 1.0, 2.0, 4.0)
+    rates = benchmark.pedantic(
+        lambda: [total_rate(s) for s in scales], rounds=1, iterations=1
+    )
+    lines = [
+        f"  N_thr x {s:<5} -> {r / 1e9:6.2f} Gscores/s"
+        for s, r in zip(scales, rates)
+    ]
+    lines.append(
+        "Eq. 4's occupancy-limit threshold sits on a broad plateau — the "
+        "dispatch is robust to its exact value, as expected from two "
+        "curves that cross shallowly."
+    )
+    report("ablation: Eq. 4 threshold sensitivity", "\n".join(lines))
+    base = rates[scales.index(1.0)]
+    assert all(r <= base * 1.1 for r in rates)

@@ -1,0 +1,79 @@
+"""Ablation — window restrictions vs the ω null distribution's tail.
+
+Discovered while reproducing the motivating power comparison: with no
+window restrictions, sub-window combinations whose cross-LD sum is
+numerically ~0 produce epsilon-dominated ω spikes (Eq. 2's denominator
+guard takes over). The spikes are a *tail* phenomenon of the max-ω null
+distribution — most neutral replicates are unaffected, but occasionally
+one scores in the hundreds, and a detection threshold set from such a
+null collapses the power. Real OmegaPlus analyses therefore always set
+``-minwin``; this ablation reproduces the mechanism on the same
+configuration as the method-comparison benchmark (1 Mb, theta 200, 30
+haplotypes, 5 matched replicate pairs).
+"""
+
+import numpy as np
+
+from repro.core.scan import scan
+from repro.simulate import SweepParameters, simulate_neutral, simulate_sweep
+
+REGION = 1e6
+N, THETA, RHO = 30, 200.0, 100.0
+SEEDS = (0, 1, 2, 3, 4)
+
+
+def test_minwin_ablation(benchmark, report):
+    params = SweepParameters.for_footprint(REGION, footprint_fraction=0.15)
+    sweeps = [
+        simulate_sweep(N, theta=THETA, length=REGION, params=params, seed=s)
+        for s in SEEDS
+    ]
+    neutrals = [
+        simulate_neutral(N, theta=THETA, rho=RHO, length=REGION, seed=s)
+        for s in SEEDS
+    ]
+    configs = {
+        "unrestricted": dict(min_window=0.0, min_flank_snps=2),
+        "minwin 2%": dict(min_window=0.02 * REGION, min_flank_snps=5),
+    }
+
+    def run():
+        out = {}
+        for name, extra in configs.items():
+            kw = dict(grid_size=21, max_window=REGION / 2, **extra)
+            out[name] = (
+                [scan(a, **kw).best().omega for a in sweeps],
+                [scan(a, **kw).best().omega for a in neutrals],
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'config':>14s} {'null max':>9s} {'null median':>12s} "
+        f"{'sweep median':>13s} {'power@0FP':>10s}"
+    ]
+    power = {}
+    null_max = {}
+    for name, (s_scores, n_scores) in results.items():
+        thr = max(n_scores)
+        null_max[name] = thr
+        power[name] = float(np.mean([x > thr for x in s_scores]))
+        lines.append(
+            f"{name:>14s} {thr:>9.1f} {np.median(n_scores):>12.1f} "
+            f"{np.median(s_scores):>13.1f} {power[name]:>9.0%}"
+        )
+    lines += [
+        "",
+        "The unrestricted null's MAX is inflated by epsilon-dominated",
+        "spike replicates (heavy tail) even where its median looks sane;",
+        "the zero-false-positive threshold then eats the sweep signal.",
+        "A 2% minimum window trims the tail and restores the power —",
+        "the reason -minwin is always set in real OmegaPlus analyses.",
+    ]
+    report("ablation: window restrictions vs the omega null tail",
+           "\n".join(lines))
+
+    # tail trimmed: restricted null max far below the unrestricted one
+    assert null_max["minwin 2%"] < 0.3 * null_max["unrestricted"]
+    # and power restored
+    assert power["minwin 2%"] > power["unrestricted"]

@@ -1,0 +1,73 @@
+"""Ablation — the FPGA unroll factor (Section V's resizing knob).
+
+Sweeps the unroll factor on both devices and reports modelled throughput
+on a representative workload together with the resource bill, exposing
+both sides of the design trade: wide designs need long inner loops to
+pay off (the software remainder grows with U), and the paper's chosen
+factors (4 / 32) are the bandwidth-feasible maxima, far below the
+area-feasible ones.
+"""
+
+from repro.accel.fpga.device import ALVEO_U200, ZCU102
+from repro.accel.fpga.engine import FPGAOmegaEngine
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.accel.fpga.resources import estimate_resources
+from repro.analysis.workloads import BALANCED, workload_plans
+
+
+def _omega_rate(device, unroll, plans, n_samples):
+    engine = FPGAOmegaEngine(PipelineModel(device, unroll=unroll))
+    record = engine.model_plans(plans, n_samples)
+    t = record.seconds.get("omega_hw", 0.0) + record.seconds.get(
+        "omega_sw", 0.0
+    )
+    n = record.scores.get("omega_hw", 0) + record.scores.get("omega_sw", 0)
+    return n / t, record
+
+
+def test_unroll_sweep_alveo(benchmark, report):
+    plans = workload_plans(BALANCED)
+
+    def sweep():
+        return {
+            u: _omega_rate(ALVEO_U200, u, plans, BALANCED.n_samples)
+            for u in (1, 2, 4, 8, 16, 32)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'unroll':>7s} {'Momega/s':>10s} {'sw share':>9s} {'DSP':>6s} "
+        f"{'LUT':>7s}   (balanced workload, Alveo U200)"
+    ]
+    for u, (rate, record) in results.items():
+        est = estimate_resources(ALVEO_U200, u)
+        sw = record.scores.get("omega_sw", 0)
+        hw = record.scores.get("omega_hw", 0)
+        lines.append(
+            f"{u:>7d} {rate / 1e6:>10.0f} {sw / (sw + hw):>8.1%} "
+            f"{est.dsp:>6d} {est.lut:>7d}"
+        )
+    lines.append(
+        "paper's choice: unroll 32 (bandwidth-limited), using ~3-4% of "
+        "the device's resources"
+    )
+    report("ablation: Alveo U200 unroll factor", "\n".join(lines))
+    rates = [results[u][0] for u in (1, 2, 4, 8, 16, 32)]
+    assert all(b > a for a, b in zip(rates, rates[1:]))
+
+
+def test_unroll_sweep_zcu102(benchmark, report):
+    plans = workload_plans(BALANCED)
+
+    def sweep():
+        return {
+            u: _omega_rate(ZCU102, u, plans, BALANCED.n_samples)
+            for u in (1, 2, 4)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'unroll':>7s} {'Momega/s':>10s}   (ZCU102)"]
+    for u, (rate, _) in results.items():
+        lines.append(f"{u:>7d} {rate / 1e6:>10.0f}")
+    report("ablation: ZCU102 unroll factor", "\n".join(lines))
+    assert results[4][0] > results[1][0]

@@ -1,0 +1,32 @@
+"""E4 — Fig. 10: ZCU102 ω-pipeline throughput vs right-side loop
+iterations (unroll 4 @ 100 MHz; theoretical peak 0.4 Gscores/s, dashed
+line at 90 %).
+
+Paper shape: throughput grows with burst length, poor at small bursts
+(pipeline fill latency dominates), approaching the 90 %-of-peak
+operating region at the largest evaluated burst (4 500 iterations).
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig10_series
+
+
+def test_fig10_series(benchmark, report):
+    series = benchmark(fig10_series)
+    x, y = series["iterations"], series["throughput"]
+    peak = series["peak"][0]
+    lines = [
+        f"theoretical max: {peak / 1e9:.2f} Gscores/s "
+        f"(= unroll 4 x 100 MHz); 90% line: {0.9 * peak / 1e9:.3f}",
+        f"{'iterations':>12s} {'Gscores/s':>10s} {'% of peak':>10s}",
+    ]
+    for n, t in zip(x[:: max(1, len(x) // 12)], y[:: max(1, len(x) // 12)]):
+        lines.append(f"{n:>12d} {t / 1e9:>10.3f} {100 * t / peak:>9.1f}%")
+    lines.append(
+        f"paper operating point (N=4500): "
+        f"{y[-1] / 1e9:.3f} Gscores/s = {100 * y[-1] / peak:.1f}% of peak"
+    )
+    report("E4: Fig. 10 — ZCU102 throughput vs iterations", "\n".join(lines))
+    assert np.all(np.diff(y) > 0)
+    assert 0.75 * peak < y[-1] < 0.92 * peak

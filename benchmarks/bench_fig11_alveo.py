@@ -1,0 +1,48 @@
+"""E5 — Fig. 11: Alveo U200 ω-pipeline throughput vs right-side loop
+iterations (unroll 32 @ 250 MHz; theoretical peak 8 Gscores/s).
+
+Same mechanism as Fig. 10 at datacenter scale: the 8x wider accelerator
+needs proportionally longer bursts to reach the same utilization, which
+is why the paper evaluates it up to 30 500 iterations.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig10_series, fig11_series
+
+
+def test_fig11_series(benchmark, report):
+    series = benchmark(fig11_series)
+    x, y = series["iterations"], series["throughput"]
+    peak = series["peak"][0]
+    lines = [
+        f"theoretical max: {peak / 1e9:.1f} Gscores/s "
+        f"(= unroll 32 x 250 MHz); 90% line: {0.9 * peak / 1e9:.2f}",
+        f"{'iterations':>12s} {'Gscores/s':>10s} {'% of peak':>10s}",
+    ]
+    for n, t in zip(x[:: max(1, len(x) // 12)], y[:: max(1, len(x) // 12)]):
+        lines.append(f"{n:>12d} {t / 1e9:>10.3f} {100 * t / peak:>9.1f}%")
+    lines.append(
+        f"paper operating point (N=30500): "
+        f"{y[-1] / 1e9:.2f} Gscores/s = {100 * y[-1] / peak:.1f}% of peak"
+    )
+    report("E5: Fig. 11 — Alveo U200 throughput vs iterations", "\n".join(lines))
+    assert np.all(np.diff(y) > 0)
+    assert 0.75 * peak < y[-1] < 0.92 * peak
+
+
+def test_fig11_vs_fig10_utilization(benchmark, report):
+    """Cross-check of the width/utilization trade: at equal burst length
+    the narrow ZCU102 design utilizes better."""
+
+    def ratio_at(n):
+        z = fig10_series([n])["throughput"][0] / 0.4e9
+        a = fig11_series([n])["throughput"][0] / 8e9
+        return z, a
+
+    z, a = benchmark(ratio_at, 2000)
+    report(
+        "E5b: utilization at equal burst (2000 iters)",
+        f"ZCU102 {100 * z:.1f}% of peak vs Alveo {100 * a:.1f}% of peak",
+    )
+    assert z > a

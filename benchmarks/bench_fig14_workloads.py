@@ -1,0 +1,78 @@
+"""E8 — Fig. 14: LD/ω execution-time distributions on CPU, GPU and FPGA
+for the balanced, high-ω and high-LD workloads.
+
+Two layers:
+
+* paper-scale: modelled times on the exact workload geometries
+  (13 000x7 000, 15 000x500, 5 000x60 000; 1 000 grid positions);
+* scaled functional: a real scan of each workload shrunk ~40x, measured
+  on this host — confirming the CPU regime split arises from real
+  execution, not only from the model.
+"""
+
+import pytest
+
+from repro.analysis.speedup import table3
+from repro.analysis.workloads import PAPER_WORKLOADS
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+
+
+def test_fig14_modelled_splits(benchmark, report):
+    comparisons = benchmark.pedantic(table3, rounds=1, iterations=1)
+    lines = [
+        f"{'workload':>11s} {'CPU ld/omega':>14s} {'FPGA ld/omega':>15s} "
+        f"{'GPU ld/omega':>14s}   (modelled seconds)"
+    ]
+    for c in comparisons:
+        lines.append(
+            f"{c.workload.name:>11s} "
+            f"{c.cpu.ld_seconds:>6.1f}/{c.cpu.omega_seconds:<7.1f} "
+            f"{c.fpga.ld_seconds:>7.2f}/{c.fpga.omega_seconds:<7.2f} "
+            f"{c.gpu.ld_seconds:>6.1f}/{c.gpu.omega_seconds:<7.1f}"
+        )
+    lines.append("")
+    lines.append("omega share of each platform's total:")
+    for c in comparisons:
+        lines.append(
+            f"{c.workload.name:>11s}  CPU {c.cpu.omega_share:5.0%}  "
+            f"FPGA {c.fpga.omega_share:5.0%}  GPU {c.gpu.omega_share:5.0%}"
+        )
+    report("E8: Fig. 14 — execution time distributions", "\n".join(lines))
+
+    by_name = {c.workload.name: c for c in comparisons}
+    assert by_name["balanced"].cpu.omega_share == pytest.approx(0.5, abs=0.07)
+    assert by_name["high_omega"].cpu.omega_share > 0.85
+    assert by_name["high_ld"].cpu.omega_share < 0.15
+
+
+@pytest.mark.parametrize("spec", PAPER_WORKLOADS, ids=lambda s: s.name)
+def test_fig14_scaled_functional(benchmark, report, spec):
+    """Real execution of the ~40x-scaled workload on this host."""
+    small = spec.scaled(40)
+    alignment = small.realize(seed=13)
+    config = OmegaConfig(grid=small.grid_spec())
+
+    def run():
+        return OmegaPlusScanner(config).scan(alignment)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    frac = result.breakdown.fractions()
+    omega_share_of_core = frac.get("omega", 0.0) / (
+        frac.get("omega", 0.0) + frac.get("ld", 1e-12)
+    )
+    report(
+        f"E8b: Fig. 14 scaled functional ({spec.name})",
+        f"dataset {small.n_samples} samples x {small.n_sites} SNPs, "
+        f"grid {small.grid_size}, window {small.window_snps} SNPs\n"
+        f"measured: ld {frac.get('ld', 0):.0%}, omega "
+        f"{frac.get('omega', 0):.0%} "
+        f"-> omega share of core work {omega_share_of_core:.0%} "
+        f"(regime target {spec.target_omega_share:.0%})",
+    )
+    # The scaled run must stay in its regime's half of the spectrum.
+    if spec.target_omega_share > 0.6:
+        assert omega_share_of_core > 0.6
+    elif spec.target_omega_share < 0.4:
+        assert omega_share_of_core < 0.5
+    else:
+        assert 0.2 < omega_share_of_core < 0.8

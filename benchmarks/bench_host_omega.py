@@ -1,0 +1,60 @@
+"""Host-side ω throughput: what this machine's NumPy scanner actually
+sustains, next to the paper's CPU rates.
+
+The all-splits vectorized evaluation is measured at several window sizes
+— the measured counterpart of the flat per-score cost the CPU model
+assumes (and a check that our vectorization is in a sane relation to the
+paper's single-core C code: one NumPy-driven core on 2020s hardware
+should land within an order of magnitude of 60-100 Mscores/s).
+"""
+
+import numpy as np
+
+from repro.core.dp import SumMatrix
+from repro.core.omega import omega_max_at_split
+from repro.datasets.generators import random_alignment
+from repro.ld.gemm import r_squared_matrix
+
+
+def _setup(n_sites):
+    aln = random_alignment(40, n_sites, seed=51)
+    sums = SumMatrix(r_squared_matrix(aln))
+    c = n_sites // 2
+    li = np.arange(0, c - 1)
+    rj = np.arange(c + 2, n_sites)
+    return sums, li, c, rj
+
+
+def test_omega_small_window(benchmark, report):
+    sums, li, c, rj = _setup(200)
+    n = li.size * rj.size
+    benchmark(lambda: omega_max_at_split(sums, li, c, rj))
+    rate = n / benchmark.stats["mean"]
+    report(
+        "host omega throughput: ~10k evaluations/position",
+        f"{rate / 1e6:.1f} Mscores/s (paper CPU core: 60-100 M/s)",
+    )
+
+
+def test_omega_large_window(benchmark, report):
+    sums, li, c, rj = _setup(1200)
+    n = li.size * rj.size
+    benchmark(lambda: omega_max_at_split(sums, li, c, rj))
+    rate = n / benchmark.stats["mean"]
+    report(
+        "host omega throughput: ~360k evaluations/position",
+        f"{rate / 1e6:.1f} Mscores/s",
+    )
+    assert rate > 1e6  # sanity floor
+
+
+def test_dp_matrix_construction(benchmark, report):
+    aln = random_alignment(40, 1000, seed=52)
+    r2 = r_squared_matrix(aln)
+    benchmark(lambda: SumMatrix(r2))
+    report(
+        "host SumMatrix construction (1000-SNP region)",
+        f"{benchmark.stats['mean'] * 1e3:.2f} ms per region "
+        f"(O(W^2) prefix sums; amortized across all window sums at the "
+        f"position)",
+    )

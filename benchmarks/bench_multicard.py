@@ -1,0 +1,59 @@
+"""Extension — scaling the FPGA system out to multiple cards.
+
+The paper evaluates one accelerator card; this extension models the
+datacenter scale-out (grid positions LPT-scheduled over N cards, one
+host worker per card for the software remainders, LD serial on the
+host). The table exposes the system's Amdahl ceiling: the ω stage
+scales near-linearly while the host LD pass caps the complete-analysis
+speedup — quantifying how far the single-card design carries before the
+LD stage (the part the paper delegates to Bozikas et al.'s accelerator)
+must scale too.
+"""
+
+from repro.accel.fpga.device import ALVEO_U200
+from repro.accel.fpga.multicard import model_multicard
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.analysis.workloads import HIGH_OMEGA, workload_plans
+
+
+def test_multicard_scaling(benchmark, report):
+    plans = workload_plans(HIGH_OMEGA)
+    pipeline = PipelineModel(ALVEO_U200)
+    cards = (1, 2, 4, 8, 16)
+
+    def run():
+        return {
+            c: model_multicard(
+                plans, HIGH_OMEGA.n_samples, n_cards=c, pipeline=pipeline
+            )
+            for c in cards
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    one = results[1]
+    lines = [
+        f"{'cards':>6s} {'omega (s)':>10s} {'total (s)':>10s} "
+        f"{'speedup':>8s} {'balance':>8s}   (high-omega workload)"
+    ]
+    for c, r in results.items():
+        lines.append(
+            f"{c:>6d} {r.omega_seconds:>10.2f} {r.total_seconds:>10.2f} "
+            f"{one.total_seconds / r.total_seconds:>7.1f}x "
+            f"{r.load_balance:>7.0%}"
+        )
+    ceiling = one.total_seconds / one.ld_seconds
+    lines.append(
+        f"Amdahl ceiling (LD serial on host): {ceiling:.1f}x — scaling "
+        f"the omega stage alone saturates here; beyond it the LD "
+        f"accelerator must scale too (Bozikas et al. reach 2.7x with 4 "
+        f"FPGAs, see FPGALDModel.with_fpgas)."
+    )
+    report("extension: multi-card FPGA scale-out", "\n".join(lines))
+
+    speedups = [
+        one.total_seconds / results[c].total_seconds for c in cards
+    ]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] < ceiling
+    # omega stage itself scales near-linearly at low card counts
+    assert one.omega_seconds / results[2].omega_seconds > 1.8

@@ -1,0 +1,95 @@
+"""Non-equilibrium demography — the evaluation setting of Crisci et
+al. (the study behind the paper's choice of OmegaPlus).
+
+Crisci et al. compared detectors "under equilibrium and non-equilibrium
+evolutionary scenarios". This benchmark runs the classic confounder — a
+severe past bottleneck — against sweep and equilibrium-neutral
+replicates, and reproduces the textbook result (Jensen et al. 2005,
+Crisci et al. 2013): a severe bottleneck mimics a sweep in BOTH the SFS
+(negative Tajima's D) and the LD landscape (inflated omega), which is
+precisely why those studies evaluate detectors against
+demography-matched null distributions rather than equilibrium ones. The
+ranking claims of Crisci et al. are about power under such matched
+nulls, not immunity to demography.
+"""
+
+import numpy as np
+
+from repro.analysis.sumstats import tajimas_d
+from repro.core.scan import scan
+from repro.simulate import (
+    SweepParameters,
+    bottleneck,
+    simulate_neutral,
+    simulate_sweep,
+)
+
+REGION = 5e5
+N, THETA, RHO = 25, 120.0, 60.0
+SEEDS = (0, 1, 2)
+
+
+def _omega(aln):
+    return scan(
+        aln, grid_size=15, max_window=REGION / 2,
+        min_window=0.02 * REGION, min_flank_snps=5,
+    ).best().omega
+
+
+def test_nonequilibrium_robustness(benchmark, report):
+    d = bottleneck(start=0.05, duration=0.15, severity=0.08)
+    params = SweepParameters.for_footprint(REGION, footprint_fraction=0.15)
+
+    def run():
+        rows = {"sweep": [], "neutral": [], "bottleneck": []}
+        for s in SEEDS:
+            rows["sweep"].append(
+                simulate_sweep(N, theta=THETA, length=REGION,
+                               params=params, seed=s)
+            )
+            rows["neutral"].append(
+                simulate_neutral(N, theta=THETA, rho=RHO, length=REGION,
+                                 seed=s)
+            )
+            rows["bottleneck"].append(
+                simulate_neutral(N, theta=THETA, rho=RHO, length=REGION,
+                                 seed=s, demography=d)
+            )
+        return {
+            kind: {
+                "omega": [_omega(a) for a in alns],
+                "tajd": [tajimas_d(a) for a in alns],
+            }
+            for kind, alns in rows.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'scenario':>11s} {'max omega (median)':>20s} "
+        f"{'Tajima D (median)':>18s}"
+    ]
+    med = {
+        kind: (
+            float(np.median(v["omega"])),
+            float(np.median(v["tajd"])),
+        )
+        for kind, v in results.items()
+    }
+    for kind, (o, t) in med.items():
+        lines.append(f"{kind:>11s} {o:>20.1f} {t:>18.2f}")
+    lines += [
+        "",
+        "Both statistics are confounded by the severe bottleneck: D goes",
+        "negative (rare-variant excess after the crash) AND omega is",
+        "inflated (few surviving lineages -> long shared haplotype",
+        "blocks). Reproduces the textbook caveat that motivates",
+        "demography-matched null distributions in sweep scans.",
+    ]
+    report("non-equilibrium scenario (Crisci setting)", "\n".join(lines))
+
+    # SFS confounding: bottleneck D well below the equilibrium-neutral D
+    assert med["bottleneck"][1] < med["neutral"][1] - 0.3
+    # LD confounding: bottleneck omega above the equilibrium-neutral one
+    assert med["bottleneck"][0] > med["neutral"][0]
+    # sweeps still beat the *equilibrium* null
+    assert med["sweep"][0] > med["neutral"][0]

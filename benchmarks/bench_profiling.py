@@ -1,0 +1,67 @@
+"""E1 — the Section I profiling claim.
+
+Paper: "computing LD and ω values collectively consume over 98 % of the
+tool's total execution time, with LD computation becoming the execution
+bottleneck when the number of samples increases, and ω computation
+dominating ... when a small number of sequences that contain a large
+number of polymorphic sites is analyzed."
+
+The benchmark times a real scan; the report shows the measured phase
+split on this host and the two monotone trends.
+"""
+
+from repro.analysis.profiling import profile_scan, profile_sweep
+from repro.datasets.generators import random_alignment
+
+
+def test_profile_core_share(benchmark, report):
+    alignment = random_alignment(80, 600, seed=1)
+
+    def run():
+        return profile_scan(alignment, grid_size=20)
+
+    result = benchmark(run)
+    lines = [
+        f"paper claim: LD + omega >= 98% of execution time",
+        f"measured on this host: {result.core_share:.1%} "
+        f"({result.n_samples} samples x {result.n_sites} SNPs)",
+    ]
+    for phase in sorted(result.seconds):
+        lines.append(f"  {phase:8s} {result.share(phase):6.1%}")
+    report("E1: profiling — LD+omega share of runtime", "\n".join(lines))
+    assert result.core_share > 0.95
+
+
+def test_profile_trends(benchmark, report):
+    sweep = benchmark.pedantic(
+        profile_sweep,
+        kwargs=dict(
+            sample_counts=(20, 100, 400),
+            site_counts=(150, 400, 800),
+            base_samples=40,
+            base_sites=250,
+            grid_size=10,
+            seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = ["LD share vs sample count (paper: LD becomes the bottleneck):"]
+    for r in sweep["samples"]:
+        lines.append(f"  {r.n_samples:5d} samples -> LD {r.share('ld'):6.1%}")
+    lines.append(
+        "omega share at few samples, growing SNP count (paper: omega "
+        "dominates when few sequences carry many SNPs):"
+    )
+    for r in sweep["sites"]:
+        lines.append(
+            f"  {r.n_sites:5d} SNPs    -> omega {r.share('omega'):6.1%} "
+            f"vs LD {r.share('ld'):6.1%}"
+        )
+    report("E1: profiling — bottleneck trends", "\n".join(lines))
+    ld_shares = [r.share("ld") for r in sweep["samples"]]
+    assert ld_shares[-1] > ld_shares[0]
+    # omega leads on the site series (few samples); allow one cold-cache
+    # outlier — these are wall-clock measurements.
+    leads = [r.share("omega") > r.share("ld") for r in sweep["sites"]]
+    assert sum(leads) >= len(leads) - 1

@@ -1,0 +1,45 @@
+"""Roofline placement of the ω and LD computations on both GPU platforms
+— the compact explanation behind §VI-D's cross-platform observations.
+"""
+
+from repro.accel.gpu.device import RADEON_HD8750M, TESLA_K80
+from repro.accel.roofline import LD_KERNEL, OMEGA_KERNEL, gpu_analysis
+
+
+def test_roofline_analysis(benchmark, report):
+    results = benchmark(
+        lambda: {d.name: gpu_analysis(d) for d in (TESLA_K80, RADEON_HD8750M)}
+    )
+    lines = [
+        f"arithmetic intensity: omega {OMEGA_KERNEL.arithmetic_intensity:.2f}"
+        f" FLOP/B, LD {LD_KERNEL.arithmetic_intensity:.2f} FLOP/B",
+        "",
+        f"{'device':>22s} {'kernel':>26s} {'attainable':>12s} {'bound by':>9s}",
+    ]
+    for dev_name, kernels in results.items():
+        for kern_name, vals in kernels.items():
+            bound = "memory" if vals["memory_bound"] else "compute"
+            lines.append(
+                f"{dev_name:>22s} {kern_name:>26s} "
+                f"{vals['rate'] / 1e9:>9.1f} G/s {bound:>9s}"
+            )
+    lines += [
+        "",
+        "Both computations sit below both GPUs' machine balance: they are",
+        "memory-bound, so GPU throughput tracks memory bandwidth — the",
+        "K80's 7.5x bandwidth advantage over the laptop part, not its",
+        "6.5x lane advantage, sets the Fig. 12 gap. The FPGA pipeline",
+        "escapes the roofline trade by streaming operands at exactly the",
+        "datapath rate (II=1), which is why its omega stage wins",
+        "end-to-end despite far lower raw arithmetic throughput.",
+    ]
+    report("roofline analysis (GPU platforms)", "\n".join(lines))
+
+    for kernels in results.values():
+        for vals in kernels.values():
+            assert vals["memory_bound"] == 1.0
+    # the attainable-rate ratio between devices ~ bandwidth ratio
+    k80 = results["NVIDIA Tesla K80"][OMEGA_KERNEL.name]["rate"]
+    radeon = results["AMD Radeon HD 8750M"][OMEGA_KERNEL.name]["rate"]
+    expected = TESLA_K80.mem_bandwidth / RADEON_HD8750M.mem_bandwidth
+    assert abs(k80 / radeon - expected) < 1e-9 * expected

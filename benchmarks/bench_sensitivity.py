@@ -1,0 +1,50 @@
+"""Sensitivity analysis — are the reproduced conclusions artifacts of
+the calibration?
+
+Each calibrated constant group is scaled ±30 % (and ±50 % in a stress
+row) and the paper's four qualitative conclusions are re-derived. A
+conclusion that survives every perturbation is structural — it follows
+from the mechanisms, not from the constants' exact values.
+"""
+
+from repro.analysis.sensitivity import check_conclusions, sensitivity_sweep
+from repro.analysis.speedup import table3
+
+
+def test_sensitivity(benchmark, report):
+    def run():
+        return (
+            check_conclusions(table3()),
+            sensitivity_sweep(factors=(0.7, 1.3)),
+            sensitivity_sweep(factors=(0.5, 2.0)),
+        )
+
+    baseline, moderate, stress = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = ["baseline conclusions:"]
+    for name, holds in baseline.items():
+        lines.append(f"  [{'ok' if holds else 'FAIL'}] {name}")
+    for label, sweep in (("±30%", moderate), ("±50%/2x", stress)):
+        lines.append(f"\nperturbation sweep {label}:")
+        for pert, by_factor in sweep.items():
+            fails = sorted(
+                {
+                    c.split()[0]
+                    for concl in by_factor.values()
+                    for c, ok in concl.items()
+                    if not ok
+                }
+            )
+            status = "all conclusions hold" if not fails else (
+                "breaks " + ", ".join(fails)
+            )
+            lines.append(f"  {pert:>26s}: {status}")
+    report("sensitivity of conclusions to calibration", "\n".join(lines))
+
+    assert all(baseline.values())
+    # the moderate band must not break anything — the shipped conclusions
+    # are claims about mechanisms, not about third-digit constants
+    for by_factor in moderate.values():
+        for concl in by_factor.values():
+            assert all(concl.values())

@@ -1,0 +1,25 @@
+"""E3 — Table II: the GPU platform catalogue.
+
+A bookkeeping table: device-model geometry vs the published
+specifications, plus each platform's Eq. 4 dispatch threshold (the
+quantity Table II's numbers feed).
+"""
+
+from repro.accel.gpu.device import RADEON_HD8750M, TESLA_K80
+from repro.analysis.tables import render_table, table2_rows
+
+
+def test_table2_reproduction(benchmark, report):
+    rows = benchmark(table2_rows)
+    extra = "\n".join(
+        f"{d.name}: N_thr = {d.n_cu} CU x {d.warp_size} wave x 32 = "
+        f"{d.dispatch_threshold} omega computations"
+        for d in (RADEON_HD8750M, TESLA_K80)
+    )
+    report(
+        "E3: Table II — GPU platforms + Eq. 4 thresholds",
+        render_table(rows) + "\n" + extra,
+    )
+    for row in rows:
+        assert row["CUs"] == row["CUs_paper"]
+        assert row["SPs"] == row["SPs_paper"]

@@ -1,0 +1,85 @@
+"""E9 — Table III: throughput comparison and speedup evaluation between
+the CPU, FPGA and GPU platforms on the three workload distributions.
+
+Reproduced values are printed next to the published ones. Calibrated
+quantities (CPU rates, both LD laws) agree tightly; emergent quantities
+(accelerator ω rates and the derived speedups) agree in scale and —
+strictly asserted — in every ordering the paper concludes from them.
+"""
+
+from repro.analysis.paper_values import TABLE3
+from repro.analysis.speedup import table3
+from repro.analysis.tables import render_table, table3_rows
+
+
+def test_table3_reproduction(benchmark, report):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    report(
+        "E9: Table III — throughput and speedups (reproduced [paper])",
+        render_table(rows),
+    )
+
+
+def test_table3_relations(benchmark, report):
+    comparisons = benchmark.pedantic(table3, rounds=1, iterations=1)
+    by_name = {c.workload.name: c for c in comparisons}
+    lines = []
+    checks = []
+
+    for name, c in by_name.items():
+        p = TABLE3[name]
+        # calibrated: LD rates within 5%
+        checks.append(
+            (
+                f"{name}: FPGA LD rate within 5% of paper",
+                abs(c.fpga.ld_rate / 1e6 - p["fpga_ld"]) / p["fpga_ld"] < 0.05,
+            )
+        )
+        checks.append(
+            (
+                f"{name}: GPU LD rate within 5% of paper",
+                abs(c.gpu.ld_rate / 1e6 - p["gpu_ld"]) / p["gpu_ld"] < 0.05,
+            )
+        )
+        # emergent: omega speedups within 1.5x band
+        for plat in ("fpga", "gpu"):
+            got = c.speedup(plat, "omega")
+            paper = p[f"{plat}_omega_speedup"]
+            checks.append(
+                (
+                    f"{name}: {plat} omega speedup {got:.1f}x vs paper "
+                    f"{paper}x (band 1.5x)",
+                    paper / 1.5 < got < paper * 1.5,
+                )
+            )
+
+    # orderings the paper concludes
+    checks.append(
+        (
+            "FPGA omega rate ordering high_omega > balanced > high_ld",
+            by_name["high_omega"].fpga.omega_rate
+            > by_name["balanced"].fpga.omega_rate
+            > by_name["high_ld"].fpga.omega_rate,
+        )
+    )
+    checks.append(
+        (
+            "FPGA beats GPU at omega on all workloads",
+            all(
+                c.speedup("fpga", "omega") > c.speedup("gpu", "omega")
+                for c in comparisons
+            ),
+        )
+    )
+    checks.append(
+        (
+            "GPU LD speedup largest on high_ld (38.9x in paper)",
+            by_name["high_ld"].speedup("gpu", "ld")
+            == max(c.speedup("gpu", "ld") for c in comparisons),
+        )
+    )
+
+    for desc, ok in checks:
+        lines.append(f"[{'ok' if ok else 'FAIL'}] {desc}")
+    report("E9b: Table III — relation checks", "\n".join(lines))
+    assert all(ok for _, ok in checks)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A statistically calibrated sweep scan, end to end.
+
+How ω scans are applied in practice (and in the Crisci et al. evaluation
+the paper builds on): detection thresholds come from *simulated null
+replicates matched to the data's demography*, not from eyeballing. The
+workflow:
+
+1. estimate/assume the neutral model for the data (here we know it,
+   since we simulate the "observed" data too);
+2. simulate N null replicates under that model and take the max-ω
+   distribution (:func:`repro.analysis.thresholds.omega_null`);
+3. scan the observed data and call sweeps where ω exceeds the null's
+   95 % quantile, reporting empirical p-values.
+
+Run:
+    python examples/calibrated_scan.py        # ~1 min
+"""
+
+from repro import scan
+from repro.analysis.thresholds import omega_null
+from repro.simulate import SweepParameters, simulate_sweep
+
+REGION = 500_000
+N_SAMPLES = 25
+THETA, RHO = 120.0, 60.0
+
+
+def main() -> None:
+    # --- the "observed" dataset: carries a real sweep -------------------
+    params = SweepParameters.for_footprint(REGION, footprint_fraction=0.15)
+    observed = simulate_sweep(
+        N_SAMPLES, theta=THETA, length=REGION, params=params, seed=105
+    )
+    print(f"observed data: {observed.n_sites} SNPs over "
+          f"{REGION / 1e3:.0f} kb")
+
+    # --- null calibration ------------------------------------------------
+    print("calibrating: 12 neutral replicates under the matched model...")
+    null = omega_null(
+        n_samples=N_SAMPLES, theta=THETA, rho=RHO, length=REGION,
+        n_replicates=12, grid_size=15, seed=0,
+    )
+    thr = null.threshold(fpr=0.05)
+    print(f"null max-omega: median "
+          f"{sorted(null.scores)[len(null.scores) // 2]:.2f}, "
+          f"95% threshold {thr:.2f}")
+
+    # --- the scan, with calls --------------------------------------------
+    result = scan(
+        observed, grid_size=15, max_window=REGION / 2,
+        min_window=0.02 * REGION, min_flank_snps=5,
+    )
+    print(f"\n{'position (kb)':>13s} {'omega':>8s} {'p-value':>8s} {'call':>6s}")
+    for k in range(len(result)):
+        r = result[k]
+        p = null.p_value(r.omega)
+        call = "SWEEP" if r.omega > thr else ""
+        print(f"{r.position / 1e3:>13.0f} {r.omega:>8.2f} {p:>8.3f} "
+              f"{call:>6s}")
+
+    best = result.best()
+    print(f"\nstrongest signal: omega {best.omega:.2f} at "
+          f"{best.position / 1e3:.0f} kb "
+          f"(p = {null.p_value(best.omega):.3f}; sweep simulated at "
+          f"{REGION / 2e3:.0f} kb)")
+    print(f"note: with {null.n} null replicates the smallest achievable "
+          f"p-value is 1/{null.n + 1} = {1 / (null.n + 1):.3f}; real "
+          f"analyses calibrate with hundreds of replicates (just raise "
+          f"n_replicates).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Omega vs CLR vs iHS: the motivating comparison of the paper.
+
+The paper accelerates the ω statistic *because* LD-based detection was
+shown (Crisci et al., §I) to have the best power to reject the neutral
+model — above the SFS-based SweepFinder/SweeD and the haplotype-based
+iHS. This example re-runs that comparison on this package's simulated
+completed sweeps: all three methods are implemented here
+(:mod:`repro.core` for ω, :mod:`repro.baselines` for CLR and iHS).
+
+Run:
+    python examples/method_comparison.py        # ~1 min
+"""
+
+import numpy as np
+
+from repro import scan
+from repro.baselines import clr_scan, ihs_scan
+from repro.simulate import SweepParameters, simulate_neutral, simulate_sweep
+
+REGION_BP = 1_000_000
+N_SAMPLES = 30
+THETA = 200.0
+RHO = 100.0
+N_REPLICATES = 5
+GRID = 21
+
+
+def score_all(alignment):
+    """(omega, CLR, iHS-extreme-fraction) summary statistics.
+
+    The omega scan sets a minimum window (2 % of the region) and a
+    5-SNP flank minimum, as real OmegaPlus analyses do: without them,
+    near-zero cross-window LD sums in tiny windows produce epsilon-
+    dominated score spikes on *neutral* data that wreck the detection
+    threshold.
+    """
+    omega = scan(
+        alignment,
+        grid_size=GRID,
+        max_window=REGION_BP / 2,
+        min_window=0.02 * REGION_BP,
+        min_flank_snps=5,
+    ).best().omega
+    clr = clr_scan(alignment, grid_size=GRID).best()[1]
+    ihs = ihs_scan(alignment, max_sites=200).extreme_fraction()
+    return omega, clr, ihs
+
+
+def power_at_zero_fp(sweep_scores, neutral_scores):
+    """Fraction of sweep replicates above the max neutral score."""
+    threshold = max(neutral_scores)
+    return float(np.mean([s > threshold for s in sweep_scores]))
+
+
+def main() -> None:
+    params = SweepParameters.for_footprint(REGION_BP, footprint_fraction=0.15)
+    stats = {"omega": ([], []), "CLR": ([], []), "iHS": ([], [])}
+
+    print(f"{'rep':>4s} {'omega(sw/nt)':>18s} {'CLR(sw/nt)':>16s} "
+          f"{'iHS frac(sw/nt)':>17s}")
+    for seed in range(N_REPLICATES):
+        sw = simulate_sweep(
+            N_SAMPLES, theta=THETA, length=REGION_BP, params=params,
+            seed=seed,
+        )
+        nt = simulate_neutral(
+            N_SAMPLES, theta=THETA, rho=RHO, length=REGION_BP, seed=seed,
+        )
+        s_sw, s_nt = score_all(sw), score_all(nt)
+        for name, k in (("omega", 0), ("CLR", 1), ("iHS", 2)):
+            stats[name][0].append(s_sw[k])
+            stats[name][1].append(s_nt[k])
+        print(f"{seed:>4d} {s_sw[0]:>8.1f}/{s_nt[0]:<8.1f} "
+              f"{s_sw[1]:>7.1f}/{s_nt[1]:<7.1f} "
+              f"{s_sw[2]:>8.3f}/{s_nt[2]:<8.3f}")
+
+    print(f"\npower at zero false positives (n={N_REPLICATES} "
+          f"completed-sweep replicates):")
+    for name, (sw_scores, nt_scores) in stats.items():
+        p = power_at_zero_fp(sw_scores, nt_scores)
+        print(f"  {name:>6s}: {p:.0%}")
+    print("\nExpected ranking for completed sweeps (Crisci et al.):")
+    print("  omega (LD-based) >= CLR (SFS-based) > iHS (targets ongoing "
+          "sweeps; weak after fixation)")
+
+
+if __name__ == "__main__":
+    main()

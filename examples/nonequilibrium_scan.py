@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Sweep detection under non-equilibrium demography.
+
+The study behind the paper's tool choice (Crisci et al.) evaluated
+detectors under equilibrium *and* non-equilibrium scenarios. This example
+shows why that distinction matters: a severe past bottleneck mimics a
+sweep in both the site-frequency spectrum (negative Tajima's D) and the
+LD landscape (inflated ω) — so detection thresholds must come from a
+demography-matched null, not an equilibrium one.
+
+Run:
+    python examples/nonequilibrium_scan.py        # ~30 s
+"""
+
+import numpy as np
+
+from repro import scan
+from repro.analysis.sumstats import tajimas_d
+from repro.simulate import (
+    SweepParameters,
+    bottleneck,
+    simulate_neutral,
+    simulate_sweep,
+)
+
+REGION = 500_000
+N_SAMPLES = 25
+THETA, RHO = 120.0, 60.0
+N_REPLICATES = 4
+
+
+def max_omega(aln):
+    return scan(
+        aln, grid_size=15, max_window=REGION / 2,
+        min_window=0.02 * REGION, min_flank_snps=5,
+    ).best().omega
+
+
+def main() -> None:
+    demography = bottleneck(start=0.05, duration=0.15, severity=0.08)
+    params = SweepParameters.for_footprint(REGION, footprint_fraction=0.15)
+
+    scores = {"sweep": [], "neutral": [], "bottleneck": []}
+    tajd = {"sweep": [], "neutral": [], "bottleneck": []}
+    sites = {"sweep": [], "neutral": [], "bottleneck": []}
+    for seed in range(N_REPLICATES):
+        reps = {
+            "sweep": simulate_sweep(
+                N_SAMPLES, theta=THETA, length=REGION, params=params,
+                seed=seed,
+            ),
+            "neutral": simulate_neutral(
+                N_SAMPLES, theta=THETA, rho=RHO, length=REGION, seed=seed,
+            ),
+            "bottleneck": simulate_neutral(
+                N_SAMPLES, theta=THETA, rho=RHO, length=REGION, seed=seed,
+                demography=demography,
+            ),
+        }
+        for kind, aln in reps.items():
+            scores[kind].append(max_omega(aln))
+            tajd[kind].append(tajimas_d(aln))
+            sites[kind].append(aln.n_sites)
+
+    print(f"{'scenario':>11s} {'SNPs':>6s} {'max omega':>10s} "
+          f"{'Tajima D':>9s}   (medians over {N_REPLICATES} replicates)")
+    for kind in scores:
+        print(f"{kind:>11s} {np.median(sites[kind]):>6.0f} "
+              f"{np.median(scores[kind]):>10.1f} "
+              f"{np.median(tajd[kind]):>9.2f}")
+
+    print(
+        "\nReading the table:\n"
+        "  - the bottleneck crushes variation genome-wide (few SNPs),\n"
+        "  - drives Tajima's D as negative as a sweep does (SFS "
+        "confounding),\n"
+        "  - and inflates omega too: surviving lineages share long "
+        "haplotype\n"
+        "    blocks, which IS sweep-like LD. Distinguishing the two "
+        "therefore\n"
+        "    requires thresholds calibrated on a demography-matched "
+        "null —\n"
+        "    e.g. simulate the bottleneck null with this package and "
+        "take its\n"
+        "    omega quantiles as the detection threshold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Coalescent-based sweep detection with a power analysis.
+
+This is the workflow the paper's tooling exists for: simulate replicates
+under a neutral model and under a completed selective sweep (our
+Hudson's-ms substitute), scan both with the ω statistic, and show that
+the score separates the two hypotheses — the "power to reject the
+neutral model" that made LD-based detection the method of choice
+(Crisci et al., cited in the paper's introduction).
+
+Run:
+    python examples/sweep_scan.py          # ~30 s
+"""
+
+import numpy as np
+
+from repro import scan
+from repro.simulate import SweepParameters, simulate_neutral, simulate_sweep
+
+REGION_BP = 1_000_000
+N_SAMPLES = 30
+THETA = 250.0
+RHO = 120.0
+N_REPLICATES = 6
+GRID = 25
+
+
+def max_omega(alignment) -> float:
+    result = scan(alignment, grid_size=GRID, max_window=REGION_BP / 2)
+    return result.best().omega
+
+
+def main() -> None:
+    params = SweepParameters.for_footprint(
+        REGION_BP, footprint_fraction=0.15
+    )
+    print(f"sweep model: s = {params.s:.4f}, escape scale = "
+          f"{params.escape_scale_bp / 1e3:.0f} kb, "
+          f"duration = {params.sweep_duration:.3f} (2N gens)")
+
+    sweep_scores, neutral_scores = [], []
+    for seed in range(N_REPLICATES):
+        sw = simulate_sweep(
+            N_SAMPLES, theta=THETA, length=REGION_BP,
+            params=params, seed=seed,
+        )
+        nt = simulate_neutral(
+            N_SAMPLES, theta=THETA, rho=RHO, length=REGION_BP, seed=seed,
+        )
+        s_score, n_score = max_omega(sw), max_omega(nt)
+        sweep_scores.append(s_score)
+        neutral_scores.append(n_score)
+        print(f"  replicate {seed}: sweep {sw.n_sites:4d} SNPs, "
+              f"max omega {s_score:9.1f}   |   neutral {nt.n_sites:4d} "
+              f"SNPs, max omega {n_score:7.1f}")
+
+    sweep_scores = np.array(sweep_scores)
+    neutral_scores = np.array(neutral_scores)
+    # Detection threshold at the highest neutral score -> specificity 1
+    # on this sample; power = sweep replicates exceeding it.
+    threshold = neutral_scores.max()
+    power = float((sweep_scores > threshold).mean())
+    print(f"\nneutral max-omega range: {neutral_scores.min():.1f} - "
+          f"{threshold:.1f}")
+    print(f"sweep   max-omega range: {sweep_scores.min():.1f} - "
+          f"{sweep_scores.max():.1f}")
+    print(f"power at zero false positives (n={N_REPLICATES}): {power:.0%}")
+
+
+if __name__ == "__main__":
+    main()

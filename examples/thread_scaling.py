@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Multiprocess scan + the Table IV thread-scaling law.
+
+Two things side by side:
+
+1. A *real* multiprocess scan via :func:`repro.parallel_scan`, verified
+   to produce the sequential scanner's exact report (on a single-core
+   host the wall-clock gain is nil, but the partitioning logic is real).
+2. The calibrated i7-6700HQ thread-scaling model next to the paper's
+   Table IV measurements.
+
+Run:
+    python examples/thread_scaling.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import OmegaConfig, GridSpec, parallel_scan
+from repro.accel.cpu import INTEL_I7_6700HQ
+from repro.analysis.paper_values import TABLE4_THREAD_THROUGHPUT
+from repro.core.scan import OmegaPlusScanner
+from repro.datasets import haplotype_block_alignment
+
+
+def main() -> None:
+    alignment = haplotype_block_alignment(n_samples=60, n_sites=800, seed=4)
+    config = OmegaConfig(
+        grid=GridSpec(n_positions=24, max_window=alignment.length / 4)
+    )
+
+    t0 = time.perf_counter()
+    sequential = OmegaPlusScanner(config).scan(alignment)
+    t_seq = time.perf_counter() - t0
+
+    print("real multiprocess scan (correctness check):")
+    for workers in (1, 2, 4):
+        t0 = time.perf_counter()
+        result = parallel_scan(alignment, config, n_workers=workers)
+        elapsed = time.perf_counter() - t0
+        identical = np.allclose(result.omegas, sequential.omegas, rtol=1e-12)
+        print(f"  {workers} worker(s): {elapsed:6.2f} s  "
+              f"report identical to sequential: {identical}")
+    print(f"  (sequential baseline: {t_seq:.2f} s)")
+
+    print("\nTable IV reproduction (i7-6700HQ omega throughput model):")
+    print(f"  {'threads':>7s} {'model (M/s)':>12s} {'paper (M/s)':>12s}")
+    for threads, paper in sorted(TABLE4_THREAD_THROUGHPUT.items()):
+        model = INTEL_I7_6700HQ.thread_rate(threads) / 1e6
+        print(f"  {threads:>7d} {model:>12.1f} {paper:>12.1f}")
+    print("\nThe law: near-linear to the 4 physical cores (~0.8 % "
+          "efficiency loss per extra thread), then a saturating "
+          "hyper-threading bonus of at most 22 %.")
+
+
+if __name__ == "__main__":
+    main()

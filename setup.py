@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` can fall back to the legacy (setup.py develop) editable
+install when PEP 660 wheel building is unavailable (offline machines
+without the `wheel` distribution).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — reproduction of *Accelerated LD-based selective sweep detection
+using GPUs and FPGAs* (Corts, Sterenborg & Alachiotis, IPDPSW 2022).
+
+The package implements the complete OmegaPlus-style ω-statistic sweep
+scanner (:mod:`repro.core`), its LD substrates (:mod:`repro.ld`), an
+ms-compatible coalescent/sweep simulator (:mod:`repro.simulate`),
+functional + timing models of the paper's GPU and FPGA accelerators
+(:mod:`repro.accel`), and the analysis harness that regenerates every
+table and figure of the paper's evaluation (:mod:`repro.analysis`).
+
+Quickstart
+----------
+>>> from repro import sweep_signature_alignment, scan
+>>> aln = sweep_signature_alignment(n_samples=40, n_sites=400, seed=7)
+>>> result = scan(aln, grid_size=25, max_window=aln.length / 2)
+>>> result.best().omega > 0
+True
+"""
+
+from repro.core import (
+    OmegaConfig,
+    OmegaPlusScanner,
+    ScanResult,
+    parallel_scan,
+    scan,
+)
+from repro.core.grid import GridSpec
+from repro.datasets import (
+    PackedAlignment,
+    SNPAlignment,
+    haplotype_block_alignment,
+    parse_ms,
+    random_alignment,
+    sweep_signature_alignment,
+    write_ms,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SNPAlignment",
+    "PackedAlignment",
+    "parse_ms",
+    "write_ms",
+    "random_alignment",
+    "haplotype_block_alignment",
+    "sweep_signature_alignment",
+    "GridSpec",
+    "OmegaConfig",
+    "OmegaPlusScanner",
+    "ScanResult",
+    "scan",
+    "parallel_scan",
+]

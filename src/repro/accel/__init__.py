@@ -1,0 +1,22 @@
+"""Accelerator models: functional + timing reproductions of the paper's
+GPU and FPGA ω accelerators, plus the calibrated CPU baselines.
+
+See :mod:`repro.accel.base` for the functional/timing split contract.
+"""
+
+from repro.accel.base import ExecutionRecord, merge_records
+from repro.accel.cpu import (
+    AMD_A10_5757M,
+    CPUModel,
+    INTEL_I7_6700HQ,
+    INTEL_XEON_E5_2699V3,
+)
+
+__all__ = [
+    "ExecutionRecord",
+    "merge_records",
+    "CPUModel",
+    "AMD_A10_5757M",
+    "INTEL_XEON_E5_2699V3",
+    "INTEL_I7_6700HQ",
+]

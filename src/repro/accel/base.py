@@ -1,0 +1,107 @@
+"""Common accelerator-model infrastructure.
+
+Every accelerator in this package is split into two cleanly separated
+concerns:
+
+* **functional model** — computes the exact same ω report as the CPU
+  reference scanner (validated bit-for-bit in tests). The GPU kernels'
+  work-item decomposition and the FPGA engine's unroll/software-remainder
+  split are emulated faithfully, so the *functional* consequences of the
+  paper's design decisions (order switching, padding, remainder handling)
+  are real code, not narration.
+* **timing model** — analytic hardware time derived from the device's
+  parameters (clock, pipeline latency, bandwidth, occupancy) and reported
+  through :class:`ExecutionRecord`. No wall-clock measurement of the host
+  enters these numbers.
+
+The paper's own evaluation mixes the two in the same way: functional
+results from real execution, FPGA timing from post-place-and-route
+cycle-accurate simulation (Section VI-A), and the Bozikas LD numbers from
+the literature. DESIGN.md §2 records this as substitution (1)/(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import AcceleratorError
+
+__all__ = ["ExecutionRecord", "merge_records"]
+
+
+@dataclass
+class ExecutionRecord:
+    """Modelled execution accounting for one accelerated run.
+
+    Attributes
+    ----------
+    device:
+        Name of the modelled device ("Tesla K80", "Alveo U200", ...).
+    seconds:
+        Modelled time per phase, e.g. ``{"kernel": ..., "transfer": ...,
+        "prep": ..., "software": ...}``. All values are *derived from the
+        timing model*, never measured.
+    scores:
+        Work counters, e.g. ``{"omega": ..., "ld": ...,
+        "omega_software": ...}``.
+    bytes_moved:
+        Modelled host<->device traffic per direction
+        (``{"h2d": ..., "d2h": ...}``).
+    kernel_launches:
+        Number of modelled kernel invocations (GPU) / bursts (FPGA).
+    """
+
+    device: str
+    seconds: Dict[str, float] = field(default_factory=dict)
+    scores: Dict[str, int] = field(default_factory=dict)
+    bytes_moved: Dict[str, int] = field(default_factory=dict)
+    kernel_launches: int = 0
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise AcceleratorError(
+                f"negative modelled time {seconds!r} for phase {phase!r}"
+            )
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + seconds
+
+    def add_scores(self, kind: str, count: int) -> None:
+        if count < 0:
+            raise AcceleratorError(f"negative score count for {kind!r}")
+        self.scores[kind] = self.scores.get(kind, 0) + count
+
+    def add_bytes(self, direction: str, count: int) -> None:
+        if count < 0:
+            raise AcceleratorError(f"negative byte count for {direction!r}")
+        self.bytes_moved[direction] = self.bytes_moved.get(direction, 0) + count
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modelled time across phases."""
+        return sum(self.seconds.values())
+
+    def throughput(self, kind: str = "omega") -> float:
+        """Modelled scores/second for one work kind over the total time."""
+        if self.total_seconds <= 0:
+            raise AcceleratorError("no modelled time accumulated")
+        return self.scores.get(kind, 0) / self.total_seconds
+
+
+def merge_records(records: List[ExecutionRecord]) -> ExecutionRecord:
+    """Sum a list of records (e.g. per-grid-position records into a scan
+    total). All records must come from the same device."""
+    if not records:
+        raise AcceleratorError("cannot merge an empty record list")
+    devices = {r.device for r in records}
+    if len(devices) != 1:
+        raise AcceleratorError(f"mixed devices in merge: {sorted(devices)}")
+    out = ExecutionRecord(device=records[0].device)
+    for r in records:
+        for k, v in r.seconds.items():
+            out.seconds[k] = out.seconds.get(k, 0.0) + v
+        for k, c in r.scores.items():
+            out.scores[k] = out.scores.get(k, 0) + c
+        for k, c in r.bytes_moved.items():
+            out.bytes_moved[k] = out.bytes_moved.get(k, 0) + c
+        out.kernel_launches += r.kernel_launches
+    return out

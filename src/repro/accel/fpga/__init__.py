@@ -1,0 +1,39 @@
+"""FPGA accelerator models (Section V of the paper).
+
+* :mod:`repro.accel.fpga.device` — ZCU102 and Alveo U200 platforms.
+* :mod:`repro.accel.fpga.resources` — HLS resource estimation (Table I).
+* :mod:`repro.accel.fpga.pipeline` — the II=1 ω pipeline cycle model
+  (Figs. 6-9) behind the Figs. 10-11 throughput curves.
+* :mod:`repro.accel.fpga.ld_fpga` — Bozikas et al. LD throughput law.
+* :mod:`repro.accel.fpga.engine` — complete engine with the
+  hardware/software remainder partition.
+* :mod:`repro.accel.fpga.multicard` — multi-card scale-out model
+  (LPT-scheduled grid positions, LD Amdahl ceiling).
+"""
+
+from repro.accel.fpga.device import ALVEO_U200, ZCU102, FPGADevice
+from repro.accel.fpga.engine import FPGAOmegaEngine
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
+from repro.accel.fpga.multicard import MultiCardResult, model_multicard
+from repro.accel.fpga.pipeline import BurstTiming, PipelineModel
+from repro.accel.fpga.resources import (
+    ResourceEstimate,
+    estimate_resources,
+    max_fitting_unroll,
+)
+
+__all__ = [
+    "FPGADevice",
+    "ZCU102",
+    "ALVEO_U200",
+    "PipelineModel",
+    "BurstTiming",
+    "ResourceEstimate",
+    "estimate_resources",
+    "max_fitting_unroll",
+    "FPGALDModel",
+    "BOZIKAS_HC2EX_LD",
+    "FPGAOmegaEngine",
+    "model_multicard",
+    "MultiCardResult",
+]

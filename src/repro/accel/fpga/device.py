@@ -1,0 +1,99 @@
+"""FPGA platform models (the Table I targets).
+
+Two boards are modelled, matching the paper's evaluation:
+
+* **Zynq UltraScale+ ZCU102** — an embedded development board; the design
+  closes timing at 100 MHz and the memory interface sustains an unroll
+  factor of 4 (four parallel pipeline instances).
+* **Alveo U200** — a datacenter accelerator card; 250 MHz and unroll 32.
+
+A device carries its raw resource pools (Table I denominators), the clock
+the ω design achieved on it, and the unroll factor "that allows the
+accelerator to utilize the available bandwidth of each target platform"
+(Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelCalibrationError
+from repro.utils.validation import check_positive
+
+__all__ = ["FPGADevice", "ZCU102", "ALVEO_U200"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """One FPGA platform.
+
+    Attributes
+    ----------
+    name:
+        Board name.
+    logic_cells_k:
+        Logic cells in thousands (Table I "Logic Cells (k)" row).
+    bram_blocks:
+        Total BRAM 8K blocks.
+    dsp_slices:
+        Total DSP48E slices.
+    ff_total, lut_total:
+        Flip-flop and LUT pools.
+    clock_hz:
+        Achieved clock frequency of the ω design.
+    max_unroll:
+        Unroll factor sustainable by the board's memory bandwidth.
+    """
+
+    name: str
+    logic_cells_k: int
+    bram_blocks: int
+    dsp_slices: int
+    ff_total: int
+    lut_total: int
+    clock_hz: float
+    max_unroll: int
+
+    def __post_init__(self) -> None:
+        check_positive("clock_hz", self.clock_hz)
+        for field_name in (
+            "logic_cells_k",
+            "bram_blocks",
+            "dsp_slices",
+            "ff_total",
+            "lut_total",
+            "max_unroll",
+        ):
+            if getattr(self, field_name) < 1:
+                raise ModelCalibrationError(f"{field_name} must be >= 1")
+
+    @property
+    def peak_rate(self) -> float:
+        """Theoretical maximum ω throughput: one score per clock per
+        pipeline instance (Section V), scores/second."""
+        return self.max_unroll * self.clock_hz
+
+
+#: Table I System I: Zynq UltraScale+ ZCU102 evaluation board.
+ZCU102 = FPGADevice(
+    name="ZCU102",
+    logic_cells_k=600,
+    bram_blocks=1824,
+    dsp_slices=2520,
+    ff_total=548_160,
+    lut_total=274_080,
+    clock_hz=100e6,
+    max_unroll=4,
+)
+
+#: Table I System II: Alveo U200 Data Center Accelerator Card.
+ALVEO_U200 = FPGADevice(
+    name="Alveo U200",
+    logic_cells_k=892,
+    bram_blocks=4320,
+    dsp_slices=6840,
+    ff_total=2_364_480,
+    lut_total=1_182_240,
+    clock_hz=250e6,
+    max_unroll=32,
+)

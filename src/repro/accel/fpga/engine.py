@@ -1,0 +1,188 @@
+"""The complete FPGA-accelerated sweep-detection engine (Section V).
+
+Host/accelerator split, exactly as the paper describes it:
+
+* the host computes LD and maintains matrix M (charged to the Bozikas LD
+  model, as in the paper's own system estimate);
+* for each grid position the host streams (TS, LS, RS, l, W-l) tuples to
+  the ω pipeline(s); hardware executes ``floor(n_right / U) · U`` scores
+  of every outer iteration, and the host executes the remainder in
+  software at the CPU model's ω rate;
+* the maximum reduction happens in the comparator stage of the pipeline,
+  so only one (score, index) pair returns per position.
+
+Functional output is produced by the same exact arithmetic as the CPU
+scanner, but the hardware/software partition is emulated for real: the
+hardware sub-launch computes scores for the first ``floor(R/U)·U`` right
+borders of each position and the software path scores the rest, the two
+maxima being merged — so the Section V remainder-handling logic is
+exercised, not narrated.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.accel.base import ExecutionRecord
+from repro.accel.cpu import AMD_A10_5757M, CPUModel
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.core.dp import SumMatrix
+from repro.core.grid import build_plans
+from repro.core.omega import omega_max_at_split
+from repro.core.results import ScanResult
+from repro.core.reuse import R2RegionCache
+from repro.core.scan import OmegaConfig
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import AcceleratorError
+from repro.utils.timing import TimeBreakdown
+
+__all__ = ["FPGAOmegaEngine"]
+
+
+class FPGAOmegaEngine:
+    """FPGA-accelerated scan with modelled cycle-accurate timing.
+
+    Parameters
+    ----------
+    pipeline:
+        The synthesized ω pipeline model (device + unroll factor).
+    ld_model:
+        FPGA LD throughput law for the LD phase.
+    host_cpu:
+        CPU model that executes the software remainder iterations.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineModel,
+        *,
+        ld_model: FPGALDModel = BOZIKAS_HC2EX_LD,
+        host_cpu: CPUModel = AMD_A10_5757M,
+    ):
+        self.pipeline = pipeline
+        self.ld_model = ld_model
+        self.host_cpu = host_cpu
+
+    def model_plans(self, plans, n_samples: int) -> ExecutionRecord:
+        """Timing-only model of a scan over precomputed position plans
+        (counterpart of :meth:`GPUOmegaEngine.model_plans`; see there for
+        why this exists). Uses the same
+        :meth:`~repro.accel.fpga.pipeline.PipelineModel.position`
+        arithmetic as the functional path."""
+        from repro.core.reuse import simulate_fresh_entries
+
+        record = ExecutionRecord(device=self.pipeline.device.name)
+        valid = [p for p in plans if p.valid]
+        fresh_counts = simulate_fresh_entries(
+            [(p.region_start, p.region_stop) for p in valid]
+        )
+        clock = self.pipeline.device.clock_hz
+        for plan, fresh in zip(valid, fresh_counts):
+            record.add_time("ld", self.ld_model.seconds(fresh, n_samples))
+            record.add_scores("ld", fresh)
+            timing = self.pipeline.position(
+                plan.left_borders.size, plan.right_borders.size
+            )
+            record.add_time("omega_hw", timing.seconds(clock))
+            record.add_scores("omega_hw", timing.hw_scores)
+            if timing.sw_scores:
+                record.add_time(
+                    "omega_sw", self.host_cpu.omega_seconds(timing.sw_scores)
+                )
+                record.add_scores("omega_sw", timing.sw_scores)
+            record.kernel_launches += 1
+        return record
+
+    def scan(
+        self, alignment: SNPAlignment, config: OmegaConfig
+    ) -> Tuple[ScanResult, ExecutionRecord]:
+        """Scan with FPGA-modelled timing; ω report identical to the CPU
+        reference scanner."""
+        if alignment.n_sites < 2:
+            raise AcceleratorError("scanning requires at least 2 SNPs")
+        plans = build_plans(alignment, config.grid)
+        cache = R2RegionCache(alignment, backend=config.ld_backend)
+        record = ExecutionRecord(device=self.pipeline.device.name)
+
+        n = len(plans)
+        omegas = np.zeros(n)
+        lefts = np.full(n, np.nan)
+        rights = np.full(n, np.nan)
+        evals = np.zeros(n, dtype=np.int64)
+
+        u = self.pipeline.effective_unroll
+        prev_computed = 0
+        for k, plan in enumerate(plans):
+            if not plan.valid:
+                continue
+            r2 = cache.region_matrix(plan.region_start, plan.region_stop)
+            fresh = cache.stats.entries_computed - prev_computed
+            prev_computed = cache.stats.entries_computed
+            record.add_time(
+                "ld", self.ld_model.seconds(fresh, alignment.n_samples)
+            )
+            record.add_scores("ld", fresh)
+
+            sums = SumMatrix(r2, assume_symmetric=True)
+            off = plan.region_start
+            li = plan.left_borders - off
+            c = plan.split_index - off
+            rj = plan.right_borders - off
+
+            # Hardware/software partition of the right borders: each outer
+            # iteration's first floor(R/U)*U inner iterations run on the
+            # pipeline instances, the remainder in host software.
+            n_hw = (rj.size // u) * u
+            hw_best = (
+                omega_max_at_split(sums, li, c, rj[:n_hw], eps=config.eps)
+                if n_hw > 0
+                else None
+            )
+            sw_best = (
+                omega_max_at_split(sums, li, c, rj[n_hw:], eps=config.eps)
+                if n_hw < rj.size
+                else None
+            )
+            candidates = [b for b in (hw_best, sw_best) if b is not None]
+            best = max(candidates, key=lambda b: b.omega)
+            # region-local border index of the software candidates is
+            # already absolute within rj's slice order (omega_max_at_split
+            # receives real border values), so no re-offsetting is needed.
+
+            timing = self.pipeline.position(li.size, rj.size)
+            record.add_time(
+                "omega_hw", timing.seconds(self.pipeline.device.clock_hz)
+            )
+            record.add_scores("omega_hw", timing.hw_scores)
+            if timing.sw_scores:
+                record.add_time(
+                    "omega_sw", self.host_cpu.omega_seconds(timing.sw_scores)
+                )
+                record.add_scores("omega_sw", timing.sw_scores)
+            record.kernel_launches += 1
+
+            omegas[k] = best.omega
+            evals[k] = li.size * rj.size
+            lefts[k] = alignment.positions[best.left_border + off]
+            rights[k] = alignment.positions[best.right_border + off]
+
+        breakdown = TimeBreakdown()
+        breakdown.add("ld", record.seconds.get("ld", 0.0))
+        breakdown.add(
+            "omega",
+            record.seconds.get("omega_hw", 0.0)
+            + record.seconds.get("omega_sw", 0.0),
+        )
+        scan_result = ScanResult(
+            positions=np.array([p.grid_position for p in plans]),
+            omegas=omegas,
+            left_borders_bp=lefts,
+            right_borders_bp=rights,
+            n_evaluations=evals,
+            breakdown=breakdown,
+            reuse=cache.stats,
+        )
+        return scan_result, record

@@ -1,0 +1,124 @@
+"""Scale-out: several FPGA cards working one scan (extension).
+
+The related work the paper builds on (§III) has a host CPU "running an
+iterative algorithm that schedules execution on the accelerator hardware
+based on the available number of accelerator instances". The paper itself
+evaluates one card; this module models the natural scale-out — N
+independent ω accelerator cards, each owning whole grid positions —
+because it exposes the system's Amdahl ceiling: the ω stage parallelizes
+across cards, but the LD stage and matrix M live on the host, so the
+complete-analysis speedup saturates at ``total / ld_time``.
+
+Scheduling: positions are assigned with the Longest-Processing-Time
+heuristic (sort by modelled cycles, give each to the currently least
+loaded card), whose makespan is within 4/3 of optimal — adequate for a
+throughput model. Each card is serviced by its own host worker thread
+that executes that card's software-remainder scores (the
+``n_right mod U`` iterations of Section V), so a position's cost is its
+hardware burst plus its remainder and whole positions scale out cleanly;
+the LD stage stays a single serial host pass (it maintains the one
+matrix M every card reads from).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.accel.cpu import AMD_A10_5757M, CPUModel
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.core.grid import PositionPlan
+from repro.core.reuse import simulate_fresh_entries
+from repro.errors import AcceleratorError
+
+__all__ = ["MultiCardResult", "model_multicard"]
+
+
+@dataclass(frozen=True)
+class MultiCardResult:
+    """Modelled outcome of a multi-card scan."""
+
+    n_cards: int
+    omega_seconds: float  # makespan over cards (+ host software remainder)
+    ld_seconds: float  # host-side, serial
+    card_seconds: List[float]  # per-card busy time
+
+    @property
+    def total_seconds(self) -> float:
+        return self.omega_seconds + self.ld_seconds
+
+    @property
+    def load_balance(self) -> float:
+        """Mean/max card busy time (1.0 = perfectly balanced)."""
+        if not self.card_seconds or max(self.card_seconds) == 0:
+            return 1.0
+        return (
+            sum(self.card_seconds)
+            / len(self.card_seconds)
+            / max(self.card_seconds)
+        )
+
+
+def model_multicard(
+    plans: Sequence[PositionPlan],
+    n_samples: int,
+    *,
+    n_cards: int,
+    pipeline: PipelineModel,
+    ld_model: FPGALDModel = BOZIKAS_HC2EX_LD,
+    host_cpu: CPUModel = AMD_A10_5757M,
+) -> MultiCardResult:
+    """Model a scan with grid positions LPT-scheduled over ``n_cards``
+    identical ω accelerator cards.
+
+    LD stays serial on the host (each card needs its positions' window
+    sums, which are produced by the single M-maintaining host pass); each
+    card's software-remainder scores are executed by that card's host
+    worker and ride inside the position cost.
+    """
+    if n_cards < 1:
+        raise AcceleratorError(f"n_cards must be >= 1, got {n_cards}")
+    valid = [p for p in plans if p.valid]
+    if not valid:
+        raise AcceleratorError("no valid grid positions to schedule")
+
+    clock = pipeline.device.clock_hz
+    fresh = simulate_fresh_entries(
+        [(p.region_start, p.region_stop) for p in valid]
+    )
+    ld_seconds = sum(
+        ld_model.seconds(f, n_samples) for f in fresh
+    )
+
+    timings = [
+        pipeline.position(p.left_borders.size, p.right_borders.size)
+        for p in valid
+    ]
+    # A position's cost on its (card + host-worker) pair: the hardware
+    # burst plus that position's software-remainder scores.
+    per_position = sorted(
+        (
+            t.seconds(clock) + host_cpu.omega_seconds(t.sw_scores)
+            for t in timings
+        ),
+        reverse=True,
+    )
+
+    # LPT: always hand the next-largest position to the least-loaded card.
+    heap = [(0.0, k) for k in range(n_cards)]
+    heapq.heapify(heap)
+    loads = [0.0] * n_cards
+    for seconds in per_position:
+        load, k = heapq.heappop(heap)
+        load += seconds
+        loads[k] = load
+        heapq.heappush(heap, (load, k))
+
+    return MultiCardResult(
+        n_cards=n_cards,
+        omega_seconds=max(loads),
+        ld_seconds=ld_seconds,
+        card_seconds=loads,
+    )

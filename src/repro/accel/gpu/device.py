@@ -1,0 +1,195 @@
+"""GPU device models (Table II platforms) and the Eq. (4) dispatch
+threshold.
+
+The timing constants fall into two groups:
+
+* **datasheet values** — compute units / streaming multiprocessors, warp
+  or wavefront width, clock, device-memory and PCIe bandwidth. Taken
+  straight from vendor documentation for the two parts the paper
+  evaluates (AMD Radeon HD 8750M in a laptop; NVIDIA Tesla K80 in Google
+  Colab).
+* **calibrated kernel constants** — effective bytes touched per ω score
+  by each kernel, kernel-launch overhead, and the host-side buffer
+  packing rate. These are fitted so the mechanisms (memory-bound Kernel I
+  plateau, Kernel II amortization, transfer-dominated complete pipeline)
+  reproduce the *shape and level* of Figs. 12–13; the calibration is
+  documented per constant below and cross-checked by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelCalibrationError
+from repro.utils.validation import check_positive
+
+__all__ = ["GPUDevice", "RADEON_HD8750M", "TESLA_K80", "OCCUPANCY_WAVES"]
+
+#: Upper limit of wavefronts/warps per CU/SM for optimal occupancy, as
+#: specified by both AMD and NVIDIA optimization guides (Eq. 4's factor 32).
+OCCUPANCY_WAVES = 32
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """One GPU platform: datasheet geometry plus calibrated cost constants.
+
+    Attributes
+    ----------
+    name:
+        Device marketing name.
+    n_cu:
+        Compute units (AMD) / streaming multiprocessors (NVIDIA).
+    warp_size:
+        Wavefront (64 on GCN) or warp (32 on NVIDIA) width.
+    lanes:
+        Total scalar lanes (stream processors / CUDA cores).
+    clock_hz:
+        Sustained engine clock.
+    mem_bandwidth:
+        Device-memory bandwidth, bytes/second.
+    pcie_bandwidth:
+        Effective host<->device bandwidth, bytes/second.
+    pcie_latency:
+        Per-transfer fixed latency, seconds.
+    launch_overhead:
+        Per-kernel-launch host+driver overhead, seconds.
+    kernel1_bytes_per_score:
+        Effective device-memory traffic per ω score for Kernel I (one
+        work-item per score: every operand re-fetched, partially
+        coalesced).
+    kernel2_bytes_per_score:
+        Same for Kernel II (operands reused across the WILD scores of a
+        work-item; only TS streams).
+    compute_cycles_per_score:
+        Lane-cycles of arithmetic per ω score (the Eq. 2 pipeline:
+        2 divisions dominate).
+    host_pack_rate:
+        Host-side sequential buffer-packing rate, bytes/second (the
+        padding/copy part of data preparation).
+    gather_base:
+        Seconds per ω combination to *gather* its TS operand out of
+        matrix M while M fits the host's last-level cache. The gather is
+        a random access per score, which is why it is charged per score
+        rather than per byte.
+    gather_miss_per_doubling:
+        Fractional gather slowdown per doubling of M beyond the cache
+        (deepening cache/TLB miss costs). This logarithmic growth is the
+        mechanism behind Fig. 13's throughput decline past ~7 000 SNPs:
+        the kernel keeps getting faster with load, but every score's
+        operand gather keeps getting slower.
+    host_cache_bytes:
+        Host effective last-level cache size for the gather transition.
+    """
+
+    name: str
+    n_cu: int
+    warp_size: int
+    lanes: int
+    clock_hz: float
+    mem_bandwidth: float
+    pcie_bandwidth: float
+    pcie_latency: float
+    launch_overhead: float
+    kernel1_bytes_per_score: float
+    kernel2_bytes_per_score: float
+    compute_cycles_per_score: float
+    host_pack_rate: float
+    gather_base: float
+    gather_miss_per_doubling: float
+    host_cache_bytes: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "clock_hz",
+            "mem_bandwidth",
+            "pcie_bandwidth",
+            "pcie_latency",
+            "launch_overhead",
+            "kernel1_bytes_per_score",
+            "kernel2_bytes_per_score",
+            "compute_cycles_per_score",
+            "host_pack_rate",
+            "gather_base",
+            "host_cache_bytes",
+        ):
+            check_positive(field_name, getattr(self, field_name))
+        if self.gather_miss_per_doubling < 0:
+            raise ModelCalibrationError(
+                "gather_miss_per_doubling must be >= 0"
+            )
+        if self.n_cu < 1 or self.lanes < 1:
+            raise ModelCalibrationError("n_cu and lanes must be >= 1")
+        if self.warp_size not in (32, 64):
+            raise ModelCalibrationError(
+                f"warp_size must be 32 (NVIDIA) or 64 (AMD), got {self.warp_size}"
+            )
+        if self.kernel2_bytes_per_score > self.kernel1_bytes_per_score:
+            raise ModelCalibrationError(
+                "Kernel II must touch fewer bytes per score than Kernel I "
+                "(that is its entire purpose)"
+            )
+
+    @property
+    def dispatch_threshold(self) -> int:
+        """Eq. (4): N_thr = N_CU · W_s · 32, the per-position ω-computation
+        count below which Kernel I is deployed."""
+        return self.n_cu * self.warp_size * OCCUPANCY_WAVES
+
+    @property
+    def compute_peak(self) -> float:
+        """Arithmetic-bound ω throughput ceiling, scores/second."""
+        return self.lanes * self.clock_hz / self.compute_cycles_per_score
+
+    def memory_peak(self, bytes_per_score: float) -> float:
+        """Bandwidth-bound ω throughput ceiling for a given per-score
+        traffic, scores/second."""
+        check_positive("bytes_per_score", bytes_per_score)
+        return self.mem_bandwidth / bytes_per_score
+
+
+#: Table II System I: laptop AMD Radeon HD 8750M (GCN, 6 CUs, 384 SPs,
+#: 620 MHz engine clock, 32 GB/s GDDR5, PCIe 3 x8 laptop link). The
+#: kernel byte constants are calibrated so Kernel I plateaus near 4 Gω/s
+#: and Kernel II near 6 Gω/s on this part (Fig. 12, System I curves).
+RADEON_HD8750M = GPUDevice(
+    name="AMD Radeon HD 8750M",
+    n_cu=6,
+    warp_size=64,
+    lanes=384,
+    clock_hz=620e6,
+    mem_bandwidth=32e9,
+    pcie_bandwidth=4.0e9,
+    pcie_latency=12e-6,
+    launch_overhead=25e-6,
+    kernel1_bytes_per_score=8.0,
+    kernel2_bytes_per_score=4.6,
+    compute_cycles_per_score=38.0,
+    host_pack_rate=1.0e9,
+    gather_base=1.6e-9,
+    gather_miss_per_doubling=0.35,
+    host_cache_bytes=2 * 1024 * 1024,
+)
+
+#: Table II System II: NVIDIA Tesla K80 (one GK210 die as exposed by
+#: Colab: 13 SMX, 2496 CUDA cores, 824 MHz boost, 240 GB/s GDDR5,
+#: datacenter PCIe 3 x16). Calibrated so Kernel I plateaus near 7 Gω/s
+#: and Kernel II reaches ~17.3 Gω/s (Fig. 12, System II curves).
+TESLA_K80 = GPUDevice(
+    name="NVIDIA Tesla K80",
+    n_cu=13,
+    warp_size=32,
+    lanes=2496,
+    clock_hz=824e6,
+    mem_bandwidth=240e9,
+    pcie_bandwidth=10.0e9,
+    pcie_latency=10e-6,
+    launch_overhead=20e-6,
+    kernel1_bytes_per_score=34.0,
+    kernel2_bytes_per_score=11.5,
+    compute_cycles_per_score=110.0,
+    host_pack_rate=1.5e9,
+    gather_base=1.2e-9,
+    gather_miss_per_doubling=0.35,
+    host_cache_bytes=4 * 1024 * 1024,
+)

@@ -1,0 +1,105 @@
+"""Dynamic two-kernel deployment (Section IV-A, Eq. 4).
+
+SNPs are not uniformly distributed along a genome, so the ω workload per
+grid position varies by orders of magnitude. The GPU implementation
+therefore carries two kernels and picks per grid position:
+
+    n_scores  <  N_thr = N_CU · W_s · 32   ->  Kernel I
+    n_scores  >= N_thr                     ->  Kernel II
+
+32 wavefronts/warps per CU/SM is the occupancy ceiling both vendors
+document, so N_thr is exactly the score count at which Kernel I's
+one-score-per-work-item decomposition saturates the device — beyond it,
+extra work-items only queue, while Kernel II's multi-score work-items
+keep amortizing launch and fetch costs.
+
+:class:`DynamicDispatcher` also supports forcing either kernel, which the
+Fig. 12 benchmark uses to draw the two single-kernel curves next to the
+dynamic one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.accel.gpu.device import GPUDevice
+from repro.accel.gpu.kernels import KernelI, KernelII, KernelResult
+from repro.core.dp import SumMatrix
+from repro.core.omega import DENOMINATOR_OFFSET
+from repro.errors import AcceleratorError
+
+__all__ = ["DynamicDispatcher", "KernelChoice"]
+
+KernelChoice = Literal["dynamic", "kernel1", "kernel2"]
+
+
+@dataclass
+class DispatchStats:
+    """How many positions each kernel served (reported by benchmarks)."""
+
+    kernel1_launches: int = 0
+    kernel2_launches: int = 0
+
+
+class DynamicDispatcher:
+    """Per-position kernel selection per Eq. (4)."""
+
+    def __init__(
+        self,
+        device: GPUDevice,
+        *,
+        mode: KernelChoice = "dynamic",
+        g_s: Optional[int] = None,
+    ):
+        if mode not in ("dynamic", "kernel1", "kernel2"):
+            raise AcceleratorError(f"unknown dispatch mode {mode!r}")
+        self.device = device
+        self.mode = mode
+        self.kernel1 = KernelI(device)
+        self.kernel2 = KernelII(device, g_s=g_s)
+        self.stats = DispatchStats()
+
+    def select(self, n_scores: int) -> str:
+        """Name of the kernel that will serve a position of this size."""
+        if n_scores < 1:
+            raise AcceleratorError("n_scores must be >= 1")
+        if self.mode == "kernel1":
+            return "kernel1"
+        if self.mode == "kernel2":
+            return "kernel2"
+        return (
+            "kernel1"
+            if n_scores < self.device.dispatch_threshold
+            else "kernel2"
+        )
+
+    def launch(
+        self,
+        sums: SumMatrix,
+        left_borders: np.ndarray,
+        c: int,
+        right_borders: np.ndarray,
+        *,
+        region_width: int,
+        eps: float = DENOMINATOR_OFFSET,
+    ) -> KernelResult:
+        """Run the selected kernel for one grid position."""
+        n = left_borders.size * right_borders.size
+        which = self.select(n)
+        if which == "kernel1":
+            self.stats.kernel1_launches += 1
+            kern = self.kernel1
+        else:
+            self.stats.kernel2_launches += 1
+            kern = self.kernel2
+        return kern.launch(
+            sums,
+            left_borders,
+            c,
+            right_borders,
+            region_width=region_width,
+            eps=eps,
+        )

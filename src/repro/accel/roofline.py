@@ -1,0 +1,124 @@
+"""Roofline analysis: why each platform wins where it wins.
+
+The paper's §VI-D observation — the GPU kernel is 4.2-7.4x faster than
+the FPGA pipeline at raw ω arithmetic yet the FPGA system wins the ω
+stage end-to-end, while the GPU system wins LD-heavy workloads — has a
+compact explanation in the roofline model: each (kernel, platform) pair
+sits either under the memory roof (bandwidth-bound) or the compute roof
+(arithmetic-bound), and the *system* outcome adds the host-side data
+preparation that the FPGA design avoids by streaming from matrix M
+directly.
+
+This module computes arithmetic intensities of the two computations and
+places them against each platform's rooflines; the companion benchmark
+(``benchmarks/bench_roofline.py``) prints the resulting analysis table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.gpu.device import GPUDevice
+from repro.errors import ModelCalibrationError
+
+__all__ = [
+    "KernelCharacter",
+    "OMEGA_KERNEL",
+    "LD_KERNEL",
+    "roofline_rate",
+    "gpu_analysis",
+]
+
+
+@dataclass(frozen=True)
+class KernelCharacter:
+    """Arithmetic character of one inner computation.
+
+    Attributes
+    ----------
+    name:
+        Human label.
+    flops_per_output:
+        Floating-point operations per produced score.
+    bytes_per_output:
+        Operand bytes that must move from memory per score, assuming the
+        paper's data layout (for ω: TS streams, LS/RS/km reused; for LD:
+        one packed SNP-pair sweep per score).
+    """
+
+    name: str
+    flops_per_output: float
+    bytes_per_output: float
+
+    def __post_init__(self) -> None:
+        if self.flops_per_output <= 0 or self.bytes_per_output <= 0:
+            raise ModelCalibrationError("character values must be positive")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte — the roofline x-axis."""
+        return self.flops_per_output / self.bytes_per_output
+
+
+#: The Eq. 2 evaluation: 2 subtractions, 2 multiplies, 2 divides, 2 adds
+#: and a compare ~= 9 FLOPs (divides counted once each), against one
+#: fresh 4-byte TS operand per score (LS/RS/km reused across the inner
+#: loop) plus amortized index traffic.
+OMEGA_KERNEL = KernelCharacter(
+    name="omega (Eq. 2)",
+    flops_per_output=9.0,
+    bytes_per_output=6.0,
+)
+
+#: One r² on 50 packed samples: AND+popcount over 1 word pair plus the
+#: frequency arithmetic (~12 FLOPs equivalent), against two 8-byte words
+#: + counts.
+LD_KERNEL = KernelCharacter(
+    name="LD r2 (50 samples, packed)",
+    flops_per_output=12.0,
+    bytes_per_output=20.0,
+)
+
+
+def roofline_rate(
+    character: KernelCharacter,
+    *,
+    compute_peak_flops: float,
+    mem_bandwidth: float,
+) -> float:
+    """Attainable outputs/second under the classic roofline:
+    ``min(compute_peak / flops, bandwidth / bytes)``."""
+    if compute_peak_flops <= 0 or mem_bandwidth <= 0:
+        raise ModelCalibrationError("roofs must be positive")
+    return min(
+        compute_peak_flops / character.flops_per_output,
+        mem_bandwidth / character.bytes_per_output,
+    )
+
+
+def gpu_analysis(device: GPUDevice) -> Dict[str, Dict[str, float]]:
+    """Roofline placement of both computations on a GPU device.
+
+    Returns, per kernel: the attainable rate, which roof binds
+    (``"memory"`` or ``"compute"``), and the machine-balance margin
+    (intensity / balance; < 1 means memory-bound).
+    """
+    # crude FLOP peak: one FMA-capable lane per clock
+    compute_peak = device.lanes * device.clock_hz
+    balance = compute_peak / device.mem_bandwidth  # FLOPs per byte
+    out: Dict[str, Dict[str, float]] = {}
+    for character in (OMEGA_KERNEL, LD_KERNEL):
+        rate = roofline_rate(
+            character,
+            compute_peak_flops=compute_peak,
+            mem_bandwidth=device.mem_bandwidth,
+        )
+        intensity = character.arithmetic_intensity
+        out[character.name] = {
+            "rate": rate,
+            "intensity": intensity,
+            "machine_balance": balance,
+            "memory_bound": float(intensity < balance),
+        }
+    return out

@@ -1,0 +1,116 @@
+"""Evaluation-reproduction harness: workloads, profiling, speedups,
+figure series and table formatters for every artefact in the paper's
+Section VI, plus the published reference values they are compared to."""
+
+from repro.analysis.figures import (
+    GPU_EVAL_SNP_COUNTS,
+    fig10_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+    fig14_series,
+    gpu_eval_plans,
+)
+from repro.analysis.paper_values import (
+    FIG12,
+    FIG14_COMPLETE_SPEEDUPS,
+    HEADLINES,
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    TABLE4_THREAD_THROUGHPUT,
+)
+from repro.analysis.calibration import (
+    fit_cpu_ld_law,
+    fit_fpga_ld_constant,
+    fit_gpu_ld_law,
+)
+from repro.analysis.power import PowerResult, PowerStudy, default_scorers
+from repro.analysis.sensitivity import (
+    check_conclusions,
+    sensitivity_sweep,
+)
+from repro.analysis.thresholds import NullDistribution, omega_null
+from repro.analysis.profiling import ProfileReport, profile_scan, profile_sweep
+from repro.analysis.sumstats import (
+    fay_wu_h,
+    nucleotide_diversity,
+    sliding_windows,
+    tajimas_d,
+    watterson_theta,
+)
+from repro.analysis.speedup import (
+    PlatformTimes,
+    WorkloadComparison,
+    compare_workload,
+    table3,
+)
+from repro.analysis.tables import (
+    render_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+from repro.analysis.workloads import (
+    BALANCED,
+    HIGH_LD,
+    HIGH_OMEGA,
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    cpu_time_split,
+    workload_counts,
+    workload_plans,
+)
+
+__all__ = [
+    "fig10_series",
+    "fig11_series",
+    "fig12_series",
+    "fig13_series",
+    "fig14_series",
+    "gpu_eval_plans",
+    "GPU_EVAL_SNP_COUNTS",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4_THREAD_THROUGHPUT",
+    "FIG12",
+    "FIG14_COMPLETE_SPEEDUPS",
+    "HEADLINES",
+    "fit_cpu_ld_law",
+    "fit_gpu_ld_law",
+    "fit_fpga_ld_constant",
+    "PowerResult",
+    "PowerStudy",
+    "default_scorers",
+    "NullDistribution",
+    "omega_null",
+    "check_conclusions",
+    "sensitivity_sweep",
+    "ProfileReport",
+    "profile_scan",
+    "profile_sweep",
+    "PlatformTimes",
+    "WorkloadComparison",
+    "compare_workload",
+    "table3",
+    "watterson_theta",
+    "nucleotide_diversity",
+    "tajimas_d",
+    "fay_wu_h",
+    "sliding_windows",
+    "render_table",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "WorkloadSpec",
+    "BALANCED",
+    "HIGH_OMEGA",
+    "HIGH_LD",
+    "PAPER_WORKLOADS",
+    "workload_counts",
+    "workload_plans",
+    "cpu_time_split",
+]

@@ -1,0 +1,122 @@
+"""Executable record of every model calibration.
+
+The timing models in :mod:`repro.accel` carry constants calibrated from
+the paper's published measurements. This module makes each calibration
+*reproducible code* rather than a claim in a comment: the fit is
+re-derived from the published numbers at call time, so the test suite can
+verify that the shipped constants are exactly what the data implies
+(``tests/test_calibration.py``) and a reader can inspect the residuals.
+
+Three fits live here:
+
+* :func:`fit_cpu_ld_law` — affine per-score cost ``base + slope·samples``
+  from Table III's three CPU LD throughputs;
+* :func:`fit_gpu_ld_law` — three-term cost
+  ``fixed + per_sample·n + amortized/n`` from the GPU LD column;
+* :func:`fit_fpga_ld_constant` — the rate x samples product from the
+  FPGA LD column (constant to ~1 %, the empirical basis of the
+  inverse-in-samples law).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.paper_values import TABLE3
+
+__all__ = [
+    "LawFit",
+    "fit_cpu_ld_law",
+    "fit_gpu_ld_law",
+    "fit_fpga_ld_constant",
+    "ld_observations",
+]
+
+#: The (sample count, workload) pairs behind Table III's LD columns.
+_WORKLOAD_SAMPLES: Dict[str, int] = {
+    "balanced": 7000,
+    "high_omega": 500,
+    "high_ld": 60000,
+}
+
+
+@dataclass(frozen=True)
+class LawFit:
+    """A fitted cost law plus its quality diagnostics."""
+
+    coefficients: Dict[str, float]
+    max_relative_residual: float
+
+    def predict_rate(self, law, n_samples: int) -> float:
+        """Scores/second predicted by the fitted law."""
+        return 1.0 / law(self.coefficients, n_samples)
+
+
+def ld_observations(platform: str) -> Tuple[np.ndarray, np.ndarray]:
+    """(sample counts, LD rates in scores/s) for one platform's Table III
+    column (``"cpu"``, ``"gpu"`` or ``"fpga"``)."""
+    key = {"cpu": "cpu_ld", "gpu": "gpu_ld", "fpga": "fpga_ld"}[platform]
+    n = np.array([_WORKLOAD_SAMPLES[w] for w in TABLE3])
+    rates = np.array([TABLE3[w][key] * 1e6 for w in TABLE3])
+    order = np.argsort(n)
+    return n[order], rates[order]
+
+
+def fit_cpu_ld_law() -> LawFit:
+    """Least-squares affine fit: seconds/score = base + slope·samples.
+
+    Uses the two extreme sample counts for the exact two-point solution
+    (the paper's middle point then validates the law; its residual is
+    the fit quality reported).
+    """
+    n, rates = ld_observations("cpu")
+    t = 1.0 / rates
+    slope = (t[-1] - t[0]) / (n[-1] - n[0])
+    base = t[0] - slope * n[0]
+    law = lambda c, x: c["base"] + c["slope"] * x
+    coeffs = {"base": float(base), "slope": float(slope)}
+    residuals = np.abs(
+        np.array([law(coeffs, x) for x in n]) - t
+    ) / t
+    return LawFit(
+        coefficients=coeffs,
+        max_relative_residual=float(residuals.max()),
+    )
+
+
+def fit_gpu_ld_law() -> LawFit:
+    """Exact three-point solve of t(n) = fixed + per_sample·n +
+    amortized/n against the GPU LD column (three observations, three
+    unknowns; the linear system is well conditioned because the three
+    sample counts span two orders of magnitude)."""
+    n, rates = ld_observations("gpu")
+    t = 1.0 / rates
+    a = np.column_stack([np.ones_like(n, dtype=float), n, 1.0 / n])
+    fixed, per_sample, amortized = np.linalg.solve(a, t)
+    coeffs = {
+        "fixed": float(fixed),
+        "per_sample": float(per_sample),
+        "amortized": float(amortized),
+    }
+    law = lambda c, x: c["fixed"] + c["per_sample"] * x + c["amortized"] / x
+    residuals = np.abs(np.array([law(coeffs, x) for x in n]) - t) / t
+    return LawFit(
+        coefficients=coeffs,
+        max_relative_residual=float(residuals.max()),
+    )
+
+
+def fit_fpga_ld_constant() -> LawFit:
+    """The rate x samples products of the FPGA LD column: the three
+    values agree to ~1 %, justifying the single-constant inverse law."""
+    n, rates = ld_observations("fpga")
+    products = rates * n
+    k = float(products.mean())
+    residuals = np.abs(products - k) / k
+    return LawFit(
+        coefficients={"samples_rate_product": k},
+        max_relative_residual=float(residuals.max()),
+    )

@@ -1,0 +1,162 @@
+"""Published numbers from the paper, collected in one place.
+
+Every benchmark prints its reproduced value next to the corresponding
+constant from this module, and the test suite checks that the *shape*
+relations (who wins, by roughly what factor, where crossovers fall) hold.
+Absolute agreement is expected only where the quantity was calibrated
+(Table I resource counts, Table III/IV CPU rates) — everything downstream
+of the mechanisms (Fig. 13 roll-off, Fig. 14 splits, complete-analysis
+speedups) is emergent and compared at shape level.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4_THREAD_THROUGHPUT",
+    "FIG12",
+    "FIG14_COMPLETE_SPEEDUPS",
+    "HEADLINES",
+]
+
+#: Table I: resource utilization of the FPGA accelerators.
+TABLE1 = MappingProxyType(
+    {
+        "ZCU102": MappingProxyType(
+            {
+                "unroll": 4,
+                "bram": 36,
+                "dsp": 48,
+                "ff": 12003,
+                "lut": 12847,
+                "bram_pct": 1.97,
+                "dsp_pct": 1.90,
+                "ff_pct": 2.19,
+                "lut_pct": 4.69,
+                "frequency_mhz": 100,
+            }
+        ),
+        "Alveo U200": MappingProxyType(
+            {
+                "unroll": 32,
+                "bram": 40,
+                "dsp": 215,
+                "ff": 50841,
+                "lut": 50584,
+                "bram_pct": 0.93,
+                "dsp_pct": 3.14,
+                "ff_pct": 2.15,
+                "lut_pct": 4.28,
+                "frequency_mhz": 250,
+            }
+        ),
+    }
+)
+
+#: Table II: GPU platform specifications.
+TABLE2 = MappingProxyType(
+    {
+        "System I": MappingProxyType(
+            {
+                "description": "off-the-shelf laptop",
+                "cpu": "AMD A10-5757M",
+                "base_freq_ghz": 2.5,
+                "cores": 4,
+                "gpu": "Radeon HD8750M",
+                "compute_units": 6,
+                "stream_processors": 384,
+            }
+        ),
+        "System II": MappingProxyType(
+            {
+                "description": "Google Colab",
+                "cpu": "Intel Xeon E5-2699 v3",
+                "base_freq_ghz": 2.3,
+                "cores": 2,
+                "gpu": "NVIDIA Tesla K80",
+                "compute_units": 13,
+                "stream_processors": 2496,
+            }
+        ),
+    }
+)
+
+#: Table III: throughput (Mscores/s) and speedups over one CPU core, per
+#: workload distribution (50/50 = balanced, 90/10 = high omega, 10/90 =
+#: high LD — ratios are omega/LD execution-time shares on the CPU).
+TABLE3 = MappingProxyType(
+    {
+        "balanced": MappingProxyType(
+            {
+                "cpu_omega": 71.26, "cpu_ld": 2.98,
+                "fpga_omega": 3500.0, "fpga_ld": 38.20,
+                "gpu_omega": 206.72, "gpu_ld": 37.14,
+                "fpga_omega_speedup": 49.1, "fpga_ld_speedup": 12.8,
+                "gpu_omega_speedup": 2.9, "gpu_ld_speedup": 12.5,
+            }
+        ),
+        "high_omega": MappingProxyType(
+            {
+                "cpu_omega": 60.76, "cpu_ld": 13.91,
+                "fpga_omega": 3750.0, "fpga_ld": 535.00,
+                "gpu_omega": 173.26, "gpu_ld": 32.25,
+                "fpga_omega_speedup": 61.7, "fpga_ld_speedup": 38.5,
+                "gpu_omega_speedup": 2.9, "gpu_ld_speedup": 2.3,
+            }
+        ),
+        "high_ld": MappingProxyType(
+            {
+                "cpu_omega": 72.50, "cpu_ld": 0.41,
+                "fpga_omega": 1500.0, "fpga_ld": 4.50,
+                "gpu_omega": 181.10, "gpu_ld": 15.84,
+                "fpga_omega_speedup": 20.7, "fpga_ld_speedup": 11.0,
+                "gpu_omega_speedup": 2.5, "gpu_ld_speedup": 38.9,
+            }
+        ),
+    }
+)
+
+#: Table IV: multithreaded OmegaPlus omega throughput (Mscores/s) on the
+#: 4-core i7-6700HQ.
+TABLE4_THREAD_THROUGHPUT = MappingProxyType(
+    {1: 99.8, 2: 198.1, 3: 300.1, 4: 390.0, 8: 433.1}
+)
+
+#: Fig. 12 anchor points (K80): Kernel I plateau and Kernel II maximum,
+#: in Gomega-scores/s, plus the quoted dynamic-vs-kernel relations.
+FIG12 = MappingProxyType(
+    {
+        "kernel1_plateau_gscores": 7.0,
+        "kernel2_max_gscores": 17.3,
+        "kernel1_advantage_at_1000_snps": 1.10,  # K1 10% faster
+        "dynamic_vs_kernel2_max_gain": 1.14,  # dynamic up to 14% faster
+        "dynamic_vs_kernel1_gain_range": (1.08, 2.59),
+    }
+)
+
+#: Fig. 14 / §VI-D: complete sweep-detection speedups over one CPU core.
+FIG14_COMPLETE_SPEEDUPS = MappingProxyType(
+    {
+        "balanced": MappingProxyType({"fpga": 21.4, "gpu": 4.5}),
+        "high_omega": MappingProxyType({"fpga": 57.1, "gpu": 2.8}),
+        "high_ld": MappingProxyType({"fpga": 11.8, "gpu": 12.9}),
+    }
+)
+
+#: Abstract/headline claims.
+HEADLINES = MappingProxyType(
+    {
+        "fpga_omega_speedup_max": 57.1,
+        "fpga_complete_speedup_max": 61.7,
+        "gpu_omega_speedup_max": 2.9,
+        "gpu_complete_speedup_max": 12.9,
+        "profiling_ld_omega_share_min": 0.98,
+        "gpu_kernel_vs_fpga_pipeline": MappingProxyType(
+            {"balanced": 4.3, "high_omega": 4.2, "high_ld": 7.4}
+        ),
+    }
+)

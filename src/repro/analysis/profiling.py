@@ -1,0 +1,108 @@
+"""Profiling harness: where does the scanner's wall-clock go?
+
+Section I of the paper motivates the whole acceleration effort with a
+profiling observation: *"computing LD and ω values collectively consume
+over 98 % of the tool's total execution time, with LD computation becoming
+the execution bottleneck when the number of samples increases, and ω
+computation dominating ... when a small number of sequences that contain
+a large number of polymorphic sites is analyzed."*
+
+:func:`profile_scan` measures our scanner's real phase split on one
+dataset; :func:`profile_sweep` sweeps dataset dimensions and reports how
+the LD share moves with samples and the ω share with SNPs — the two
+monotone trends behind the quote. ``benchmarks/bench_profiling.py``
+regenerates the claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.grid import GridSpec
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.utils.rng import SeedLike
+
+__all__ = ["ProfileReport", "profile_scan", "profile_sweep"]
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Measured phase split of one scan."""
+
+    n_samples: int
+    n_sites: int
+    seconds: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def share(self, phase: str) -> float:
+        """Fraction of total time spent in one phase."""
+        return self.seconds.get(phase, 0.0) / self.total if self.total else 0.0
+
+    @property
+    def core_share(self) -> float:
+        """Combined LD + ω share — the paper's >= 98 % quantity."""
+        return self.share("ld") + self.share("omega")
+
+
+def profile_scan(
+    alignment: SNPAlignment,
+    *,
+    grid_size: int = 20,
+    window_fraction: float = 0.25,
+) -> ProfileReport:
+    """Run a real scan and report its measured phase split."""
+    config = OmegaConfig(
+        grid=GridSpec(
+            n_positions=grid_size,
+            max_window=window_fraction * alignment.length,
+        )
+    )
+    result = OmegaPlusScanner(config).scan(alignment)
+    return ProfileReport(
+        n_samples=alignment.n_samples,
+        n_sites=alignment.n_sites,
+        seconds=dict(result.breakdown.totals),
+    )
+
+
+def profile_sweep(
+    *,
+    sample_counts: Sequence[int] = (25, 100, 400),
+    site_counts: Sequence[int] = (200, 400, 800),
+    base_samples: int = 50,
+    base_sites: int = 300,
+    grid_size: int = 15,
+    seed: SeedLike = 0,
+) -> Dict[str, List[ProfileReport]]:
+    """Profile along the two axes the paper varies.
+
+    Returns two report series: ``"samples"`` (sample count grows, SNPs
+    fixed — the LD share should grow) and ``"sites"`` (SNP count grows,
+    samples fixed — the ω share should grow).
+    """
+    by_samples = [
+        profile_scan(
+            random_alignment(n, base_sites, seed=seed),
+            grid_size=grid_size,
+        )
+        for n in sample_counts
+    ]
+    # Fixed region length for the sites series: adding SNPs then raises
+    # the *density*, so a fixed-bp window holds quadratically more ω work
+    # (the paper's maxwin is bp-denominated, hence its observation that ω
+    # dominates on SNP-dense data).
+    fixed_length = 100.0 * max(site_counts)
+    by_sites = [
+        profile_scan(
+            random_alignment(base_samples, s, length=fixed_length, seed=seed),
+            grid_size=grid_size,
+        )
+        for s in site_counts
+    ]
+    return {"samples": by_samples, "sites": by_sites}

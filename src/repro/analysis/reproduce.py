@@ -1,0 +1,136 @@
+"""One-command reproduction report.
+
+``python -m repro.analysis.reproduce [out.md]`` regenerates every table
+and figure series of the paper from the models and writes a single
+Markdown report pairing each reproduced value with the published one —
+the quick-look companion to the full benchmark suite (which additionally
+runs the functional scaled workloads and the host measurements).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+from repro.analysis.figures import (
+    fig10_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+)
+from repro.analysis.paper_values import FIG12, FIG14_COMPLETE_SPEEDUPS
+from repro.analysis.speedup import table3
+from repro.analysis.tables import (
+    render_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+
+__all__ = ["build_report", "main"]
+
+
+def _fence(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def build_report(*, grid_size: int = 100) -> str:
+    """Assemble the full reproduction report as Markdown."""
+    parts: List[str] = [
+        "# Reproduction report",
+        "",
+        "Regenerated from the models in `repro.accel` / `repro.analysis`;"
+        " published values in brackets. See EXPERIMENTS.md for the"
+        " artefact-by-artefact discussion and `pytest benchmarks/"
+        " --benchmark-only` for the full suite including functional runs.",
+        "",
+        "## Table I — FPGA resource utilization",
+        _fence(render_table(table1_rows())),
+        "",
+        "## Table II — GPU platforms",
+        _fence(render_table(table2_rows())),
+        "",
+        "## Table III — throughput and speedups",
+        _fence(render_table(table3_rows())),
+        "",
+        "## Table IV — multithreaded omega throughput",
+        _fence(render_table(table4_rows())),
+        "",
+    ]
+
+    # Figures 10/11
+    for title, series in (
+        ("Fig. 10 — ZCU102", fig10_series()),
+        ("Fig. 11 — Alveo U200", fig11_series()),
+    ):
+        x, y, peak = series["iterations"], series["throughput"], series["peak"][0]
+        lines = [f"{'iterations':>12s} {'Gscores/s':>10s} {'% peak':>7s}"]
+        step = max(1, len(x) // 8)
+        for n, t in zip(x[::step], y[::step]):
+            lines.append(f"{n:>12d} {t / 1e9:>10.3f} {100 * t / peak:>6.1f}%")
+        lines.append(
+            f"(peak {peak / 1e9:.2f} G, 90% line "
+            f"{0.9 * peak / 1e9:.2f} G)"
+        )
+        parts += [f"## {title}", _fence("\n".join(lines)), ""]
+
+    # Figure 12
+    f12 = fig12_series(grid_size=grid_size)
+    lines = [f"{'SNPs':>7s} {'Kernel I':>9s} {'Kernel II':>10s} {'Dynamic':>8s}"]
+    for i, s in enumerate(f12["snps"]):
+        lines.append(
+            f"{s:>7d} {f12['kernel1'][i] / 1e9:>9.2f} "
+            f"{f12['kernel2'][i] / 1e9:>10.2f} "
+            f"{f12['dynamic'][i] / 1e9:>8.2f}"
+        )
+    lines.append(
+        f"paper anchors: K1 plateau {FIG12['kernel1_plateau_gscores']} G, "
+        f"K2 max {FIG12['kernel2_max_gscores']} G"
+    )
+    parts += ["## Fig. 12 — GPU kernel throughput (K80, Gω/s)",
+              _fence("\n".join(lines)), ""]
+
+    # Figure 13
+    f13 = fig13_series(grid_size=grid_size)
+    lines = [f"{'SNPs':>7s} {'complete (Mω/s)':>16s}"]
+    for i, s in enumerate(f13["snps"]):
+        lines.append(f"{s:>7d} {f13['complete'][i] / 1e6:>16.1f}")
+    lines.append("paper: rise to a peak near 7000 SNPs, then decline")
+    parts += ["## Fig. 13 — complete GPU ω throughput",
+              _fence("\n".join(lines)), ""]
+
+    # Fig. 14 / headlines
+    comparisons = table3()
+    lines = [
+        f"{'workload':>11s} {'FPGA total':>11s} {'GPU total':>10s}"
+        "   (speedup over one CPU core, reproduced [paper])"
+    ]
+    for c in comparisons:
+        p = FIG14_COMPLETE_SPEEDUPS[c.workload.name]
+        lines.append(
+            f"{c.workload.name:>11s} "
+            f"{c.speedup('fpga', 'total'):>6.1f}x [{p['fpga']}x] "
+            f"{c.speedup('gpu', 'total'):>6.1f}x [{p['gpu']}x]"
+        )
+    parts += ["## Fig. 14 / §VI-D — complete-analysis speedups",
+              _fence("\n".join(lines)), ""]
+
+    return "\n".join(parts)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """Entry point: write the report to the given path (or stdout)."""
+    argv = sys.argv[1:] if argv is None else argv
+    report = build_report()
+    if argv:
+        with open(argv[0], "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {argv[0]}", file=sys.stderr)
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,186 @@
+"""Sensitivity of the reproduced conclusions to the calibrated constants.
+
+A reproduction built on timing models owes the reader an answer to "how
+much do the conclusions depend on the constants you chose?". This module
+perturbs each calibrated model constant by a factor band (default
+±30 %) and recomputes the paper's qualitative conclusions on Table III's
+workloads:
+
+* C1 — the FPGA system beats a CPU core on the complete analysis for
+  every workload;
+* C2 — the GPU system beats a CPU core on the complete analysis for
+  every workload;
+* C3 — the FPGA wins the ω stage over the GPU everywhere;
+* C4 — the FPGA's best workload is high-ω, the GPU's is high-LD.
+
+For each perturbed constant the harness reports whether every conclusion
+survives, so the benchmark table shows at a glance which results are
+structural and which would need tighter calibration to claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.accel.cpu import AMD_A10_5757M, CPUModel
+from repro.accel.fpga.device import ALVEO_U200
+from repro.accel.fpga.engine import FPGAOmegaEngine
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.accel.gpu.device import TESLA_K80
+from repro.accel.gpu.ld_gpu import BINDER_GEMM_LD
+from repro.accel.gpu.omega_gpu import GPUOmegaEngine
+from repro.analysis.speedup import WorkloadComparison, compare_workload
+from repro.analysis.workloads import PAPER_WORKLOADS
+from repro.errors import ScanConfigError
+
+__all__ = ["Perturbation", "PERTURBATIONS", "check_conclusions", "sensitivity_sweep"]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One calibrated constant and how to build engines with it scaled."""
+
+    name: str
+    build: Callable[[float], Dict[str, object]]
+
+
+def _engines(
+    *,
+    cpu: CPUModel = AMD_A10_5757M,
+    fpga_pipeline: PipelineModel | None = None,
+    fpga_ld=BOZIKAS_HC2EX_LD,
+    gpu_device=TESLA_K80,
+    gpu_ld=BINDER_GEMM_LD,
+) -> Dict[str, object]:
+    pipeline = fpga_pipeline or PipelineModel(ALVEO_U200)
+    return {
+        "cpu": cpu,
+        "fpga_engine": FPGAOmegaEngine(
+            pipeline, ld_model=fpga_ld, host_cpu=cpu
+        ),
+        "gpu_engine": GPUOmegaEngine(gpu_device, ld_model=gpu_ld),
+    }
+
+
+def _scale_cpu_omega(f: float) -> Dict[str, object]:
+    return _engines(cpu=replace(AMD_A10_5757M, omega_rate=AMD_A10_5757M.omega_rate * f))
+
+
+def _scale_cpu_ld(f: float) -> Dict[str, object]:
+    return _engines(
+        cpu=replace(
+            AMD_A10_5757M,
+            ld_base=AMD_A10_5757M.ld_base / f,
+            ld_per_sample=AMD_A10_5757M.ld_per_sample / f,
+        )
+    )
+
+
+def _scale_fpga_overhead(f: float) -> Dict[str, object]:
+    base = PipelineModel(ALVEO_U200)
+    return _engines(
+        fpga_pipeline=replace(
+            base,
+            latency=max(1, int(base.latency * f)),
+            issue_overhead=int(base.issue_overhead * f),
+            steady_overhead=base.steady_overhead * f,
+        )
+    )
+
+
+def _scale_fpga_ld(f: float) -> Dict[str, object]:
+    return _engines(
+        fpga_ld=replace(
+            BOZIKAS_HC2EX_LD,
+            samples_rate_product=BOZIKAS_HC2EX_LD.samples_rate_product * f,
+        )
+    )
+
+
+def _scale_gpu_bandwidth(f: float) -> Dict[str, object]:
+    return _engines(
+        gpu_device=replace(TESLA_K80, mem_bandwidth=TESLA_K80.mem_bandwidth * f)
+    )
+
+
+def _scale_gpu_host(f: float) -> Dict[str, object]:
+    return _engines(
+        gpu_device=replace(
+            TESLA_K80,
+            host_pack_rate=TESLA_K80.host_pack_rate * f,
+            gather_base=TESLA_K80.gather_base / f,
+        )
+    )
+
+
+def _scale_gpu_ld(f: float) -> Dict[str, object]:
+    return _engines(
+        gpu_ld=replace(
+            BINDER_GEMM_LD,
+            fixed=BINDER_GEMM_LD.fixed / f,
+            per_sample=BINDER_GEMM_LD.per_sample / f,
+            amortized=BINDER_GEMM_LD.amortized / f,
+        )
+    )
+
+
+#: Every calibrated constant group, with a builder producing engines in
+#: which that group is scaled by the given factor (> 1 = that part of the
+#: system gets faster).
+PERTURBATIONS: Sequence[Perturbation] = (
+    Perturbation("cpu omega rate", _scale_cpu_omega),
+    Perturbation("cpu LD law", _scale_cpu_ld),
+    Perturbation("fpga pipeline overheads", _scale_fpga_overhead),
+    Perturbation("fpga LD law", _scale_fpga_ld),
+    Perturbation("gpu memory bandwidth", _scale_gpu_bandwidth),
+    Perturbation("gpu host prep/gather", _scale_gpu_host),
+    Perturbation("gpu LD law", _scale_gpu_ld),
+)
+
+
+def check_conclusions(
+    comparisons: List[WorkloadComparison],
+) -> Dict[str, bool]:
+    """Evaluate the four qualitative conclusions on a comparison set."""
+    by_name = {c.workload.name: c for c in comparisons}
+    return {
+        "C1 fpga beats cpu (complete, all workloads)": all(
+            c.speedup("fpga", "total") > 1 for c in comparisons
+        ),
+        "C2 gpu beats cpu (complete, all workloads)": all(
+            c.speedup("gpu", "total") > 1 for c in comparisons
+        ),
+        "C3 fpga wins omega stage everywhere": all(
+            c.speedup("fpga", "omega") > c.speedup("gpu", "omega")
+            for c in comparisons
+        ),
+        "C4 fpga best=high_omega, gpu best=high_ld": (
+            max(comparisons, key=lambda c: c.speedup("fpga", "total"))
+            is by_name["high_omega"]
+            and max(comparisons, key=lambda c: c.speedup("gpu", "total"))
+            is by_name["high_ld"]
+        ),
+    }
+
+
+def sensitivity_sweep(
+    factors: Sequence[float] = (0.7, 1.3),
+) -> Dict[str, Dict[float, Dict[str, bool]]]:
+    """Re-derive the conclusions with each constant scaled by each factor.
+
+    Returns ``{perturbation: {factor: {conclusion: holds}}}``.
+    """
+    if any(f <= 0 for f in factors):
+        raise ScanConfigError("factors must be positive")
+    out: Dict[str, Dict[float, Dict[str, bool]]] = {}
+    for pert in PERTURBATIONS:
+        out[pert.name] = {}
+        for f in factors:
+            engines = pert.build(f)
+            comparisons = [
+                compare_workload(spec, **engines) for spec in PAPER_WORKLOADS
+            ]
+            out[pert.name][f] = check_conclusions(comparisons)
+    return out

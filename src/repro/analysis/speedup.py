@@ -1,0 +1,162 @@
+"""Cross-platform throughput and speedup computation (Table III, Fig. 14).
+
+For each of the three workload distributions this module models, on
+identical work counts,
+
+* the single-core CPU time (ω + LD, calibrated AMD A10 model),
+* the FPGA system time (ω pipeline + Bozikas LD law + software
+  remainder),
+* the GPU system time (complete two-kernel ω pipeline incl. data
+  preparation/movement + Binder GEMM LD law),
+
+and derives the per-stage throughputs and speedups the paper reports.
+The headline comparisons reproduced here:
+
+* Table III — per-stage throughput (Mscores/s) and speedup over one CPU
+  core for all three distributions;
+* Fig. 14 — per-platform execution-time split between LD and ω;
+* the §VI-D "complete analysis" speedups (FPGA 21.4x/57.1x/11.8x,
+  GPU 4.5x/2.8x/12.9x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.accel.cpu import AMD_A10_5757M, CPUModel
+from repro.accel.fpga.device import ALVEO_U200
+from repro.accel.fpga.engine import FPGAOmegaEngine
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.accel.gpu.device import TESLA_K80
+from repro.accel.gpu.omega_gpu import GPUOmegaEngine
+from repro.analysis.workloads import (
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    workload_counts,
+    workload_plans,
+)
+
+__all__ = ["PlatformTimes", "WorkloadComparison", "compare_workload", "table3"]
+
+
+@dataclass(frozen=True)
+class PlatformTimes:
+    """Modelled per-stage seconds for one platform on one workload."""
+
+    platform: str
+    omega_seconds: float
+    ld_seconds: float
+    omega_scores: int
+    ld_scores: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.omega_seconds + self.ld_seconds
+
+    @property
+    def omega_rate(self) -> float:
+        """ω scores/second (Table III throughput columns)."""
+        return self.omega_scores / self.omega_seconds
+
+    @property
+    def ld_rate(self) -> float:
+        return self.ld_scores / self.ld_seconds
+
+    @property
+    def omega_share(self) -> float:
+        """Fraction of the platform's time spent in the ω stage (the
+        Fig. 14 bars)."""
+        return self.omega_seconds / self.total_seconds
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """CPU / FPGA / GPU times for one workload distribution."""
+
+    workload: WorkloadSpec
+    cpu: PlatformTimes
+    fpga: PlatformTimes
+    gpu: PlatformTimes
+
+    def speedup(self, platform: str, stage: str) -> float:
+        """Speedup of ``platform`` over the CPU for one stage or for the
+        complete analysis (``stage`` in {"omega", "ld", "total"})."""
+        target = {"fpga": self.fpga, "gpu": self.gpu}[platform]
+        if stage == "omega":
+            return self.cpu.omega_seconds / target.omega_seconds
+        if stage == "ld":
+            return self.cpu.ld_seconds / target.ld_seconds
+        if stage == "total":
+            return self.cpu.total_seconds / target.total_seconds
+        raise ValueError(f"unknown stage {stage!r}")
+
+
+def _fpga_times(
+    spec: WorkloadSpec, engine: FPGAOmegaEngine
+) -> PlatformTimes:
+    record = engine.model_plans(workload_plans(spec), spec.n_samples)
+    return PlatformTimes(
+        platform=engine.pipeline.device.name,
+        omega_seconds=record.seconds.get("omega_hw", 0.0)
+        + record.seconds.get("omega_sw", 0.0),
+        ld_seconds=record.seconds.get("ld", 0.0),
+        omega_scores=record.scores.get("omega_hw", 0)
+        + record.scores.get("omega_sw", 0),
+        ld_scores=record.scores.get("ld", 0),
+    )
+
+
+def _gpu_times(spec: WorkloadSpec, engine: GPUOmegaEngine) -> PlatformTimes:
+    record = engine.model_plans(workload_plans(spec), spec.n_samples)
+    omega_time = sum(
+        record.seconds.get(p, 0.0) for p in ("prep", "h2d", "kernel", "d2h")
+    )
+    return PlatformTimes(
+        platform=engine.device.name,
+        omega_seconds=omega_time,
+        ld_seconds=record.seconds.get("ld", 0.0),
+        omega_scores=record.scores.get("omega", 0),
+        ld_scores=record.scores.get("ld", 0),
+    )
+
+
+def _cpu_times(spec: WorkloadSpec, cpu: CPUModel) -> PlatformTimes:
+    counts = workload_counts(spec)
+    return PlatformTimes(
+        platform=cpu.name,
+        omega_seconds=cpu.omega_seconds(counts["omega"]),
+        ld_seconds=cpu.ld_seconds(counts["ld"], spec.n_samples),
+        omega_scores=counts["omega"],
+        ld_scores=counts["ld"],
+    )
+
+
+def compare_workload(
+    spec: WorkloadSpec,
+    *,
+    cpu: CPUModel = AMD_A10_5757M,
+    fpga_engine: Optional[FPGAOmegaEngine] = None,
+    gpu_engine: Optional[GPUOmegaEngine] = None,
+) -> WorkloadComparison:
+    """Model all three platforms on one workload distribution.
+
+    Defaults follow the paper's best configurations: Alveo U200 at unroll
+    32 for the FPGA, Tesla K80 with dynamic dispatch for the GPU, AMD A10
+    single core for the CPU.
+    """
+    if fpga_engine is None:
+        fpga_engine = FPGAOmegaEngine(PipelineModel(ALVEO_U200), host_cpu=cpu)
+    if gpu_engine is None:
+        gpu_engine = GPUOmegaEngine(TESLA_K80)
+    return WorkloadComparison(
+        workload=spec,
+        cpu=_cpu_times(spec, cpu),
+        fpga=_fpga_times(spec, fpga_engine),
+        gpu=_gpu_times(spec, gpu_engine),
+    )
+
+
+def table3(**kwargs) -> List[WorkloadComparison]:
+    """All three workload comparisons (the rows of Table III)."""
+    return [compare_workload(spec, **kwargs) for spec in PAPER_WORKLOADS]

@@ -1,0 +1,182 @@
+"""Classical population-genetic summary statistics in sliding windows.
+
+Section II lists the three genomic signatures a selective sweep leaves:
+(a) reduced genetic variation, (b) a site-frequency-spectrum shift toward
+low- and high-frequency derived variants, and (c) the LD pattern the ω
+statistic targets. The ω machinery covers (c); this module provides the
+standard statistics for (a) and (b), so the full signature triplet of
+Fig. 1 is observable on any dataset (see ``examples/signatures_tour.py``):
+
+* ``watterson_theta`` — θ_W = S / a_n, the variation level implied by the
+  segregating-site count (signature a);
+* ``nucleotide_diversity`` — π, average pairwise differences (signature a,
+  weighted by frequencies);
+* ``tajimas_d`` — the normalized difference (π - θ_W); sweeps drive it
+  negative through the excess of rare variants (signature b);
+* ``fay_wu_h`` — (π - θ_H); sweeps drive it negative through the excess
+  of *high*-frequency derived variants (the part of signature b Tajima's
+  D cannot see);
+* :func:`sliding_windows` — any of the above along the genome.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import ScanConfigError
+
+__all__ = [
+    "watterson_theta",
+    "nucleotide_diversity",
+    "tajimas_d",
+    "fay_wu_h",
+    "WindowStats",
+    "sliding_windows",
+]
+
+
+def _harmonics(n: int) -> tuple:
+    a1 = sum(1.0 / i for i in range(1, n))
+    a2 = sum(1.0 / (i * i) for i in range(1, n))
+    return a1, a2
+
+
+def watterson_theta(alignment: SNPAlignment) -> float:
+    """θ_W = S / a_{n-1}: Watterson's estimator over the whole alignment."""
+    n = alignment.n_samples
+    if n < 2:
+        raise ScanConfigError("need >= 2 samples")
+    seg = int(alignment.is_polymorphic().sum())
+    a1, _ = _harmonics(n)
+    return seg / a1
+
+
+def nucleotide_diversity(alignment: SNPAlignment) -> float:
+    """π: mean pairwise differences, Σ_s 2 p_s (1-p_s) n/(n-1)."""
+    n = alignment.n_samples
+    if n < 2:
+        raise ScanConfigError("need >= 2 samples")
+    if alignment.n_sites == 0:
+        return 0.0
+    p = alignment.derived_frequencies()
+    return float((2.0 * p * (1.0 - p)).sum() * n / (n - 1))
+
+
+def tajimas_d(alignment: SNPAlignment) -> float:
+    """Tajima's D with the standard variance normalization.
+
+    Returns 0.0 when no site segregates (the statistic is undefined;
+    OmegaPlus-era tools report 0/NA there).
+    """
+    n = alignment.n_samples
+    if n < 4:
+        raise ScanConfigError("need >= 4 samples for Tajima's D")
+    seg = int(alignment.is_polymorphic().sum())
+    if seg == 0:
+        return 0.0
+    a1, a2 = _harmonics(n)
+    b1 = (n + 1) / (3.0 * (n - 1))
+    b2 = 2.0 * (n * n + n + 3) / (9.0 * n * (n - 1))
+    c1 = b1 - 1.0 / a1
+    c2 = b2 - (n + 2) / (a1 * n) + a2 / (a1 * a1)
+    e1 = c1 / a1
+    e2 = c2 / (a1 * a1 + a2)
+    var = e1 * seg + e2 * seg * (seg - 1)
+    if var <= 0:
+        return 0.0
+    pi = nucleotide_diversity(alignment)
+    return float((pi - seg / a1) / math.sqrt(var))
+
+
+def fay_wu_h(alignment: SNPAlignment) -> float:
+    """Fay & Wu's H (unnormalized): π - θ_H.
+
+    θ_H = Σ_s 2 p_s² n/(n-1) weights high-frequency derived variants
+    quadratically, so an excess of them (the hitchhiking signature)
+    drives H negative.
+    """
+    n = alignment.n_samples
+    if n < 2:
+        raise ScanConfigError("need >= 2 samples")
+    if alignment.n_sites == 0:
+        return 0.0
+    p = alignment.derived_frequencies()
+    pi = nucleotide_diversity(alignment)
+    theta_h = float((2.0 * p * p).sum() * n / (n - 1))
+    return pi - theta_h
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Summary statistics of one genomic window."""
+
+    start: float
+    stop: float
+    n_sites: int
+    values: Dict[str, float]
+
+    @property
+    def centre(self) -> float:
+        return 0.5 * (self.start + self.stop)
+
+
+#: Statistics available to :func:`sliding_windows`.
+_STATISTICS: Dict[str, Callable[[SNPAlignment], float]] = {
+    "theta_w": watterson_theta,
+    "pi": nucleotide_diversity,
+    "tajimas_d": tajimas_d,
+    "fay_wu_h": fay_wu_h,
+}
+
+
+def sliding_windows(
+    alignment: SNPAlignment,
+    *,
+    window_bp: float,
+    step_bp: float | None = None,
+    statistics: tuple = ("theta_w", "pi", "tajimas_d"),
+) -> List[WindowStats]:
+    """Evaluate summary statistics in sliding windows along the region.
+
+    Parameters
+    ----------
+    window_bp:
+        Window width in bp.
+    step_bp:
+        Step between window starts; defaults to half the width
+        (50 % overlap).
+    statistics:
+        Names from {"theta_w", "pi", "tajimas_d", "fay_wu_h"}.
+    """
+    if window_bp <= 0:
+        raise ScanConfigError("window_bp must be positive")
+    step = window_bp / 2 if step_bp is None else step_bp
+    if step <= 0:
+        raise ScanConfigError("step_bp must be positive")
+    unknown = set(statistics) - set(_STATISTICS)
+    if unknown:
+        raise ScanConfigError(f"unknown statistics: {sorted(unknown)}")
+
+    out: List[WindowStats] = []
+    start = 0.0
+    while start < alignment.length:
+        stop = min(start + window_bp, alignment.length)
+        sub = alignment.window(start, stop)
+        values = {}
+        for name in statistics:
+            try:
+                values[name] = _STATISTICS[name](sub)
+            except ScanConfigError:
+                values[name] = float("nan")
+        out.append(
+            WindowStats(
+                start=start, stop=stop, n_sites=sub.n_sites, values=values
+            )
+        )
+        if stop >= alignment.length:
+            break
+        start += step
+    return out

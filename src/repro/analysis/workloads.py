@@ -1,0 +1,217 @@
+"""The paper's evaluation workloads (Section VI-D).
+
+Three dataset regimes probe the LD/ω execution-time balance:
+
+=============  =========  ==========  =====================
+distribution   SNPs       sequences   dominant stage (CPU)
+=============  =========  ==========  =====================
+balanced       13 000      7 000      LD ≈ ω  (≈50 %/50 %)
+high ω         15 000        500      ω ≈ 90 %
+high LD         5 000      60 000     LD ≈ 90 %
+=============  =========  ==========  =====================
+
+LD work grows with sample count (each r² sweeps the haplotypes) and is
+nearly independent of SNP count thanks to the data-reuse optimization; ω
+work grows with SNPs per window and is independent of samples — exactly
+the paper's reasoning for choosing these three corners.
+
+A :class:`WorkloadSpec` carries the dataset dimensions and the window
+geometry; :func:`workload_counts` derives the *exact* ω-evaluation and
+fresh-LD-entry counts from the grid plans alone (positions only — no
+genotype matrix is materialized), so paper-scale workloads can be modelled
+in milliseconds. :meth:`WorkloadSpec.scaled` shrinks a workload for
+functional (correctness) runs while preserving its SNPs-per-window and
+thus its LD/ω balance.
+
+The window extents below were tuned once, against the calibrated AMD CPU
+model, so that the modelled CPU time split hits each regime's target
+distribution; ``tests/test_workloads.py`` locks that in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.accel.cpu import AMD_A10_5757M, CPUModel
+from repro.core.grid import GridSpec, PositionPlan, build_plans
+from repro.core.reuse import simulate_fresh_entries
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+
+__all__ = [
+    "WorkloadSpec",
+    "BALANCED",
+    "HIGH_OMEGA",
+    "HIGH_LD",
+    "PAPER_WORKLOADS",
+    "workload_plans",
+    "workload_counts",
+    "cpu_time_split",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Distribution label ("balanced", "high_omega", "high_ld").
+    n_sites, n_samples:
+        Dataset dimensions (paper scale).
+    grid_size:
+        Number of ω positions (the paper evaluates 1 000).
+    window_snps:
+        Maximum window extent *in SNPs on each side* of a grid position;
+        converted to bp via the dataset's mean SNP spacing.
+    target_omega_share:
+        The regime's nominal ω share of CPU time (0.5 / 0.9 / 0.1).
+    """
+
+    name: str
+    n_sites: int
+    n_samples: int
+    grid_size: int
+    window_snps: int
+    target_omega_share: float
+
+    def __post_init__(self) -> None:
+        if min(self.n_sites, self.n_samples, self.grid_size, self.window_snps) < 1:
+            raise ScanConfigError("workload dimensions must be >= 1")
+        if not 0.0 < self.target_omega_share < 1.0:
+            raise ScanConfigError("target_omega_share must be in (0, 1)")
+
+    @property
+    def length(self) -> float:
+        """Region length at the conventional 1 SNP / 100 bp density."""
+        return 100.0 * self.n_sites
+
+    def grid_spec(self) -> GridSpec:
+        """Grid/window geometry with windows converted to bp."""
+        spacing = self.length / self.n_sites
+        return GridSpec(
+            n_positions=self.grid_size,
+            max_window=self.window_snps * spacing,
+        )
+
+    def positions_only_alignment(self) -> SNPAlignment:
+        """A 2-sample dummy alignment carrying only uniformly spaced
+        positions — sufficient for plan building / workload counting,
+        with no genotype cost."""
+        spacing = self.length / self.n_sites
+        positions = (np.arange(self.n_sites) + 0.5) * spacing
+        matrix = np.zeros((2, self.n_sites), dtype=np.uint8)
+        matrix[0, :] = 1  # keep sites polymorphic by construction
+        return SNPAlignment(matrix, positions, self.length)
+
+    def realize(self, *, seed=None) -> SNPAlignment:
+        """Materialize an actual dataset with these dimensions (used by
+        the functional/scaled runs)."""
+        return random_alignment(
+            self.n_samples, self.n_sites, length=self.length, seed=seed
+        )
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """Shrink the dataset by ``factor`` (>= 1) while *preserving the
+        LD/ω time balance*.
+
+        Sites, samples and grid shrink by the factor; the window extent
+        is then re-solved so the CPU-model time split stays at
+        ``target_omega_share``: per position, ω work is ~``w²`` scores
+        while fresh LD work is ~``4·w·Δ`` entries (``w`` = borders per
+        side, ``Δ`` = grid step in SNPs), so the balancing window is
+        ``w = r · 4Δ · t_ld_score / t_ω_score`` with
+        ``r = share / (1 - share)``.
+        """
+        if factor < 1:
+            raise ScanConfigError(f"factor must be >= 1, got {factor}")
+        n_sites = max(64, int(self.n_sites / factor))
+        n_samples = max(8, int(self.n_samples / factor))
+        grid_size = max(4, int(self.grid_size / factor))
+        cpu = AMD_A10_5757M
+        r = self.target_omega_share / (1.0 - self.target_omega_share)
+        delta = max(1.0, n_sites / grid_size)
+        t_ld = cpu.ld_base + cpu.ld_per_sample * n_samples
+        t_omega = 1.0 / cpu.omega_rate
+        w = int(round(r * 4.0 * delta * t_ld / t_omega))
+        w = max(8, min(w, n_sites // 3))
+        return replace(
+            self,
+            n_sites=n_sites,
+            n_samples=n_samples,
+            grid_size=grid_size,
+            window_snps=w,
+        )
+
+
+#: Balanced (~50/50) workload: 13 000 SNPs x 7 000 sequences.
+BALANCED = WorkloadSpec(
+    name="balanced",
+    n_sites=13_000,
+    n_samples=7_000,
+    grid_size=1_000,
+    window_snps=1_100,
+    target_omega_share=0.5,
+)
+
+#: High-ω (~90 % ω) workload: 15 000 SNPs x 500 sequences.
+HIGH_OMEGA = WorkloadSpec(
+    name="high_omega",
+    n_sites=15_000,
+    n_samples=500,
+    grid_size=1_000,
+    window_snps=2_600,
+    target_omega_share=0.9,
+)
+
+#: High-LD (~90 % LD) workload: 5 000 SNPs x 60 000 sequences.
+HIGH_LD = WorkloadSpec(
+    name="high_ld",
+    n_sites=5_000,
+    n_samples=60_000,
+    grid_size=1_000,
+    window_snps=360,
+    target_omega_share=0.1,
+)
+
+PAPER_WORKLOADS: Tuple[WorkloadSpec, ...] = (BALANCED, HIGH_OMEGA, HIGH_LD)
+
+
+def workload_plans(spec: WorkloadSpec) -> List[PositionPlan]:
+    """Grid plans for a workload (positions-only; no genotypes)."""
+    return build_plans(spec.positions_only_alignment(), spec.grid_spec())
+
+
+def workload_counts(spec: WorkloadSpec) -> Dict[str, int]:
+    """Exact work counts: total ω evaluations and fresh LD entries."""
+    plans = workload_plans(spec)
+    valid = [p for p in plans if p.valid]
+    fresh = simulate_fresh_entries(
+        [(p.region_start, p.region_stop) for p in valid]
+    )
+    return {
+        "omega": sum(p.n_evaluations for p in valid),
+        "ld": sum(fresh),
+        "positions": len(valid),
+    }
+
+
+def cpu_time_split(
+    spec: WorkloadSpec, cpu: CPUModel = AMD_A10_5757M
+) -> Dict[str, float]:
+    """Modelled single-core CPU seconds for the workload, split by stage,
+    plus the resulting ω share (the quantity the three regimes target)."""
+    counts = workload_counts(spec)
+    t_omega = cpu.omega_seconds(counts["omega"])
+    t_ld = cpu.ld_seconds(counts["ld"], spec.n_samples)
+    total = t_omega + t_ld
+    return {
+        "omega_seconds": t_omega,
+        "ld_seconds": t_ld,
+        "omega_share": t_omega / total if total else 0.0,
+    }

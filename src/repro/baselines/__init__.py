@@ -1,0 +1,30 @@
+"""Baseline sweep-detection methods the paper's motivation compares
+against.
+
+* :mod:`repro.baselines.sfs` — SweepFinder/SweeD-style CLR test (the
+  SFS-based family the LD-based omega statistic was shown to outperform
+  by Crisci et al., the comparison §I cites as motivation).
+* :mod:`repro.baselines.ihs` — iHS-style haplotype-homozygosity scan
+  (the other LD-based method in that comparison).
+"""
+
+from repro.baselines.sfs import (
+    CLRResult,
+    background_spectrum,
+    clr_scan,
+    sweep_spectrum,
+)
+from repro.baselines.ihs import ehh, ihs_scan, IHSResult
+from repro.baselines.raisd import MuResult, mu_scan
+
+__all__ = [
+    "CLRResult",
+    "background_spectrum",
+    "sweep_spectrum",
+    "clr_scan",
+    "ehh",
+    "ihs_scan",
+    "IHSResult",
+    "mu_scan",
+    "MuResult",
+]

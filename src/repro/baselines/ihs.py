@@ -1,0 +1,209 @@
+"""iHS-style haplotype-homozygosity sweep scan (Voight et al. 2006).
+
+The second tool of the Crisci et al. comparison the paper cites: iHS
+contrasts how slowly haplotype homozygosity decays around a core SNP on
+its *derived* versus *ancestral* background. Near an ongoing/recent
+sweep, derived haplotypes are long (they rode the sweep), so the
+integrated EHH of the derived class exceeds the ancestral one.
+
+Definitions implemented here:
+
+* ``EHH_set(x)`` — probability that two haplotypes drawn from the carrier
+  set are identical at every SNP between the core and ``x``; computed by
+  partition refinement walking outward from the core.
+* ``iHH`` — the area under EHH (trapezoid over bp) out to where EHH drops
+  below a cutoff (0.05 by default, Voight's convention), summed over both
+  directions.
+* ``uniHS = ln(iHH_ancestral / iHH_derived)`` — strongly negative when
+  derived haplotypes are unusually long.
+* ``iHS`` — uniHS standardized within derived-allele-frequency bins (mean
+  0, variance 1 per bin), so scores are comparable across frequencies;
+  candidate regions show an excess of |iHS| > 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import ScanConfigError
+
+__all__ = ["ehh", "ihs_scan", "IHSResult"]
+
+
+def _ehh_walk(
+    matrix: np.ndarray,
+    positions: np.ndarray,
+    carriers: np.ndarray,
+    core: int,
+    step: int,
+    cutoff: float,
+) -> float:
+    """Integrated EHH (iHH) in one direction from the core SNP.
+
+    ``step`` is +1 (rightward) or -1 (leftward). Returns the trapezoid
+    integral of EHH over bp until EHH < cutoff or the region edge.
+    """
+    k = carriers.size
+    if k < 2:
+        return 0.0
+    pair_norm = k * (k - 1) / 2.0
+    group_ids = np.zeros(k, dtype=np.int64)
+    ehh_prev = 1.0
+    ihh = 0.0
+    idx = core
+    n_sites = matrix.shape[1]
+    while True:
+        nxt = idx + step
+        if nxt < 0 or nxt >= n_sites:
+            break
+        # refine the partition by the next column's alleles
+        alleles = matrix[carriers, nxt].astype(np.int64)
+        combined = group_ids * 2 + alleles
+        _, group_ids = np.unique(combined, return_inverse=True)
+        counts = np.bincount(group_ids)
+        ehh = float((counts * (counts - 1)).sum() / 2.0 / pair_norm)
+        gap = abs(float(positions[nxt] - positions[idx]))
+        ihh += 0.5 * (ehh_prev + ehh) * gap
+        if ehh < cutoff:
+            break
+        ehh_prev = ehh
+        idx = nxt
+    return ihh
+
+
+def ehh(
+    alignment: SNPAlignment,
+    core: int,
+    *,
+    derived: bool = True,
+    cutoff: float = 0.05,
+) -> Tuple[float, float]:
+    """(leftward iHH, rightward iHH) for one core SNP's allele class.
+
+    Parameters
+    ----------
+    alignment:
+        Input haplotypes.
+    core:
+        Site index of the core SNP.
+    derived:
+        Walk the derived-carrier set (True) or the ancestral set.
+    cutoff:
+        EHH level at which the walk stops.
+    """
+    if not 0 <= core < alignment.n_sites:
+        raise ScanConfigError(f"core {core} out of range")
+    if not 0.0 < cutoff < 1.0:
+        raise ScanConfigError(f"cutoff must be in (0,1), got {cutoff}")
+    col = alignment.matrix[:, core]
+    carriers = np.nonzero(col == (1 if derived else 0))[0]
+    left = _ehh_walk(
+        alignment.matrix, alignment.positions, carriers, core, -1, cutoff
+    )
+    right = _ehh_walk(
+        alignment.matrix, alignment.positions, carriers, core, +1, cutoff
+    )
+    return left, right
+
+
+@dataclass
+class IHSResult:
+    """Outcome of an iHS scan."""
+
+    site_positions: np.ndarray
+    unstandardized: np.ndarray
+    ihs: np.ndarray
+    derived_freq: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.site_positions.shape[0])
+
+    def extreme_fraction(self, threshold: float = 2.0) -> float:
+        """Share of scored SNPs with |iHS| beyond the threshold — the
+        region-level summary used to call candidate windows."""
+        if len(self) == 0:
+            return 0.0
+        return float((np.abs(self.ihs) > threshold).mean())
+
+    def best(self) -> Tuple[float, float]:
+        """(position, |iHS|) of the most extreme score."""
+        k = int(np.argmax(np.abs(self.ihs)))
+        return float(self.site_positions[k]), float(abs(self.ihs[k]))
+
+
+def ihs_scan(
+    alignment: SNPAlignment,
+    *,
+    maf_min: float = 0.1,
+    cutoff: float = 0.05,
+    n_freq_bins: int = 5,
+    max_sites: Optional[int] = None,
+) -> IHSResult:
+    """iHS for every qualifying SNP of the alignment.
+
+    Parameters
+    ----------
+    maf_min:
+        Minimum minor-allele frequency of scored cores (low-frequency
+        cores have too few carriers for stable EHH; 0.05-0.1 is
+        conventional).
+    cutoff:
+        EHH integration cutoff.
+    n_freq_bins:
+        Number of derived-frequency bins for standardization.
+    max_sites:
+        Optional cap on scored cores (evenly subsampled) to bound cost on
+        large alignments.
+    """
+    n = alignment.n_samples
+    if n < 4:
+        raise ScanConfigError("need at least 4 samples for iHS")
+    freqs = alignment.derived_frequencies()
+    maf = np.minimum(freqs, 1.0 - freqs)
+    cores = np.nonzero(maf >= maf_min)[0]
+    if cores.size == 0:
+        raise ScanConfigError(
+            f"no SNPs pass the MAF >= {maf_min} filter"
+        )
+    if max_sites is not None and cores.size > max_sites:
+        cores = cores[
+            np.linspace(0, cores.size - 1, max_sites).astype(np.intp)
+        ]
+
+    uni = np.full(cores.size, np.nan)
+    for i, core in enumerate(cores):
+        dl, dr = ehh(alignment, int(core), derived=True, cutoff=cutoff)
+        al, ar = ehh(alignment, int(core), derived=False, cutoff=cutoff)
+        ihh_d, ihh_a = dl + dr, al + ar
+        if ihh_d > 0 and ihh_a > 0:
+            uni[i] = np.log(ihh_a / ihh_d)
+    valid = ~np.isnan(uni)
+    cores = cores[valid]
+    uni = uni[valid]
+    if cores.size == 0:
+        raise ScanConfigError("no core SNP yielded finite iHH on both "
+                              "allelic backgrounds")
+
+    # standardize within derived-frequency bins
+    freqs_v = freqs[cores]
+    bins = np.clip(
+        (freqs_v * n_freq_bins).astype(np.intp), 0, n_freq_bins - 1
+    )
+    ihs = np.empty_like(uni)
+    for b in range(n_freq_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        mu = uni[mask].mean()
+        sd = uni[mask].std()
+        ihs[mask] = (uni[mask] - mu) / sd if sd > 0 else 0.0
+    return IHSResult(
+        site_positions=alignment.positions[cores],
+        unstandardized=uni,
+        ihs=ihs,
+        derived_freq=freqs_v,
+    )

@@ -1,0 +1,128 @@
+"""RAiSD-style μ statistic (Alachiotis & Pavlidis 2018).
+
+The OmegaPlus authors' follow-up detector, included here as the natural
+extension of the paper's lineage: instead of one signature, μ multiplies
+per-window factors for *all three* sweep signatures of Fig. 1:
+
+* ``mu_var`` — variation reduction: how small a genomic span the
+  window's fixed number of SNPs occupies (sweeps compress SNP density,
+  so a fixed-SNP window spanning few bp scores high... inverted here:
+  RAiSD uses the window span normalized by the expectation);
+* ``mu_sfs`` — SFS distortion: the window's excess of singletons and of
+  high-frequency derived variants relative to its SNP count;
+* ``mu_ld`` — the LD contrast: mean r² within the window's left and
+  right halves over the mean r² between them (a windowed, O(w²)
+  miniature of the ω idea).
+
+μ = mu_var · mu_sfs · mu_ld, evaluated on a sliding window of ``w`` SNPs
+(RAiSD's default shape). The implementation follows the published
+definitions at the level of detail the evaluation needs; constants of
+proportionality drop out because μ is used as a rank statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+
+__all__ = ["MuResult", "mu_scan"]
+
+
+@dataclass
+class MuResult:
+    """Outcome of a μ-statistic scan."""
+
+    centres: np.ndarray
+    mu: np.ndarray
+    mu_var: np.ndarray
+    mu_sfs: np.ndarray
+    mu_ld: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.centres.shape[0])
+
+    def best(self) -> Tuple[float, float]:
+        """(position, mu) of the strongest candidate."""
+        k = int(np.argmax(self.mu))
+        return float(self.centres[k]), float(self.mu[k])
+
+
+def mu_scan(
+    alignment: SNPAlignment,
+    *,
+    window_snps: int = 50,
+    step_snps: int | None = None,
+) -> MuResult:
+    """Sliding μ statistic over fixed-SNP windows.
+
+    Parameters
+    ----------
+    alignment:
+        Input SNP data.
+    window_snps:
+        SNPs per window (RAiSD's ``-w``; must be even and >= 8).
+    step_snps:
+        Window step in SNPs (default: a quarter window).
+    """
+    w = window_snps
+    if w < 8 or w % 2:
+        raise ScanConfigError("window_snps must be even and >= 8")
+    n_sites = alignment.n_sites
+    if n_sites < w:
+        raise ScanConfigError(
+            f"alignment has {n_sites} SNPs; window needs {w}"
+        )
+    step = max(1, w // 4) if step_snps is None else step_snps
+    if step < 1:
+        raise ScanConfigError("step_snps must be >= 1")
+    n = alignment.n_samples
+    counts = alignment.derived_counts()
+    positions = alignment.positions
+    half = w // 2
+
+    starts = np.arange(0, n_sites - w + 1, step)
+    centres = np.empty(starts.size)
+    mu_var = np.empty(starts.size)
+    mu_sfs = np.empty(starts.size)
+    mu_ld = np.empty(starts.size)
+
+    mean_span = (positions[-1] - positions[0]) * (w / n_sites)
+    for idx, a in enumerate(starts):
+        b = a + w  # exclusive
+        span = positions[b - 1] - positions[a]
+        centres[idx] = 0.5 * (positions[a] + positions[b - 1])
+
+        # (a) variation factor: fixed SNP count over a small span means
+        # locally *dense* SNPs — but a sweep REDUCES variation, so the
+        # sweep window's fixed-SNP span is LARGE. RAiSD's mu_var is the
+        # window span normalized by the region (bigger span = stronger
+        # local variation deficit).
+        mu_var[idx] = span / mean_span
+
+        # (b) SFS factor: share of window SNPs that are singletons or
+        # near-fixed derived (the classes a sweep inflates).
+        c = counts[a:b]
+        extreme = ((c == 1) | (c >= n - 1)).sum()
+        mu_sfs[idx] = extreme / w
+
+        # (c) LD factor: mean r2 within each half over mean r2 across.
+        left = slice(a, a + half)
+        right = slice(a + half, b)
+        r2_ll = r_squared_block(alignment, left, left)
+        r2_rr = r_squared_block(alignment, right, right)
+        r2_lr = r_squared_block(alignment, left, right)
+        tri = np.triu_indices(half, k=1)
+        within = 0.5 * (r2_ll[tri].mean() + r2_rr[tri].mean())
+        between = r2_lr.mean()
+        mu_ld[idx] = within / (between + 1e-9)
+
+    mu = mu_var * mu_sfs * mu_ld
+    return MuResult(
+        centres=centres, mu=mu, mu_var=mu_var, mu_sfs=mu_sfs, mu_ld=mu_ld
+    )

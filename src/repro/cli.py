@@ -1,0 +1,385 @@
+"""Command-line interface (the ``omegascan`` entry point).
+
+Subcommands mirror the OmegaPlus workflow plus this reproduction's extras:
+
+* ``omegascan scan`` — sweep-detection scan of an ms file (CPU reference
+  or multiprocess).
+* ``omegascan simulate`` — generate neutral or sweep replicates in ms
+  format (the Hudson's-ms substitute).
+* ``omegascan accel`` — run a scan through a modelled accelerator and
+  print both the ω report and the modelled execution record.
+* ``omegascan tables`` — print the reproduced Tables I-IV next to the
+  paper's published values.
+
+Examples
+--------
+::
+
+    omegascan simulate sweep --samples 40 --theta 200 --length 1e6 -o sw.ms
+    omegascan scan sw.ms --length 1e6 --grid 50 --maxwin 250000
+    omegascan accel sw.ms --length 1e6 --grid 50 --maxwin 250000 \\
+        --platform fpga-u200
+    omegascan tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accel.fpga.device import ALVEO_U200, ZCU102
+from repro.accel.fpga.engine import FPGAOmegaEngine
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.accel.gpu.device import RADEON_HD8750M, TESLA_K80
+from repro.accel.gpu.omega_gpu import GPUOmegaEngine
+from repro.core.grid import GridSpec
+from repro.core.parallel import parallel_scan
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.msformat import parse_ms, write_ms
+from repro.errors import ReproError
+from repro.simulate.coalescent import simulate_neutral
+from repro.simulate.sweep import SweepParameters, simulate_sweep
+
+__all__ = ["main", "build_parser"]
+
+PLATFORMS = {
+    "gpu-k80": lambda: GPUOmegaEngine(TESLA_K80),
+    "gpu-hd8750m": lambda: GPUOmegaEngine(RADEON_HD8750M),
+    "fpga-zcu102": lambda: FPGAOmegaEngine(PipelineModel(ZCU102)),
+    "fpga-u200": lambda: FPGAOmegaEngine(PipelineModel(ALVEO_U200)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing/docs)."""
+    parser = argparse.ArgumentParser(
+        prog="omegascan",
+        description="LD-based selective sweep detection (OmegaPlus "
+        "reproduction with GPU/FPGA accelerator models).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan_p = sub.add_parser("scan", help="scan an ms file for sweeps")
+    scan_p.add_argument("input", help="input file (ms, FASTA or VCF)")
+    scan_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
+                        default="ms", help="input file format")
+    scan_p.add_argument("--length", type=float, default=1.0,
+                        help="region length in bp (scales ms positions)")
+    scan_p.add_argument("--grid", type=int, default=100,
+                        help="number of omega evaluation positions")
+    scan_p.add_argument("--maxwin", type=float, required=True,
+                        help="maximum window (bp)")
+    scan_p.add_argument("--minwin", type=float, default=0.0,
+                        help="minimum window (bp)")
+    scan_p.add_argument("--backend", choices=("gemm", "packed"),
+                        default="gemm", help="LD computation backend")
+    scan_p.add_argument("--workers", type=int, default=1,
+                        help="worker processes")
+    scan_p.add_argument("--replicate", type=int, default=0,
+                        help="replicate index within the ms file")
+    scan_p.add_argument("--all-replicates", action="store_true",
+                        help="scan every replicate and write an "
+                        "OmegaPlus-format report")
+    scan_p.add_argument("-o", "--out", default=None,
+                        help="write the TSV report here (default stdout)")
+
+    sim_p = sub.add_parser("simulate", help="generate ms-format datasets")
+    sim_p.add_argument("model", choices=("neutral", "sweep"))
+    sim_p.add_argument("--samples", type=int, required=True)
+    sim_p.add_argument("--theta", type=float, required=True,
+                       help="region-wide 4*N*mu")
+    sim_p.add_argument("--rho", type=float, default=0.0,
+                       help="region-wide 4*N*r (neutral model)")
+    sim_p.add_argument("--length", type=float, default=1e6)
+    sim_p.add_argument("--sweep-position", type=float, default=0.5)
+    sim_p.add_argument("--footprint", type=float, default=0.15,
+                       help="sweep footprint as fraction of the region")
+    sim_p.add_argument("--replicates", type=int, default=1)
+    sim_p.add_argument("--seed", type=int, default=None)
+    sim_p.add_argument("-o", "--out", required=True)
+
+    accel_p = sub.add_parser(
+        "accel", help="scan through a modelled accelerator"
+    )
+    accel_p.add_argument("input")
+    accel_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
+                         default="ms", help="input file format")
+    accel_p.add_argument("--platform", choices=sorted(PLATFORMS),
+                         required=True)
+    accel_p.add_argument("--length", type=float, default=1.0)
+    accel_p.add_argument("--grid", type=int, default=100)
+    accel_p.add_argument("--maxwin", type=float, required=True)
+    accel_p.add_argument("--minwin", type=float, default=0.0)
+    accel_p.add_argument("--replicate", type=int, default=0)
+    accel_p.add_argument("--batch", type=int, default=1,
+                         help="grid positions per GPU kernel launch "
+                         "(transfer batching; GPU platforms only)")
+
+    sub.add_parser("tables", help="print reproduced Tables I-IV")
+
+    repro_p = sub.add_parser(
+        "reproduce", help="write the one-page reproduction report"
+    )
+    repro_p.add_argument("-o", "--out", default=None,
+                         help="output Markdown path (default stdout)")
+
+    stats_p = sub.add_parser(
+        "sumstats", help="sliding-window summary statistics"
+    )
+    stats_p.add_argument("input")
+    stats_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
+                         default="ms")
+    stats_p.add_argument("--length", type=float, default=1.0)
+    stats_p.add_argument("--replicate", type=int, default=0)
+    stats_p.add_argument("--window", type=float, required=True,
+                         help="window width (bp)")
+    stats_p.add_argument("--step", type=float, default=None,
+                         help="window step (bp), default half the width")
+
+    fig_p = sub.add_parser(
+        "figures", help="print reproduced figure series (10-13)"
+    )
+    fig_p.add_argument(
+        "--grid", type=int, default=100,
+        help="grid positions per dataset for the GPU sweeps "
+        "(paper uses 1000)",
+    )
+    return parser
+
+
+def _load_alignment(args):
+    fmt = getattr(args, "format", "ms")
+    if fmt == "fasta":
+        from repro.datasets.fasta import parse_fasta
+
+        masked = parse_fasta(args.input)
+        return masked.impute_major().drop_monomorphic()
+    if fmt == "vcf":
+        from repro.datasets.vcf import parse_vcf
+
+        masked = parse_vcf(
+            args.input,
+            length=args.length if args.length > 1.0 else None,
+        )
+        return masked.impute_major().drop_monomorphic()
+    reps = parse_ms(args.input, length=args.length)
+    if not 0 <= args.replicate < len(reps):
+        raise ReproError(
+            f"replicate {args.replicate} out of range "
+            f"(file has {len(reps)})"
+        )
+    return reps[args.replicate].alignment
+
+
+def _config(args) -> OmegaConfig:
+    return OmegaConfig(
+        grid=GridSpec(
+            n_positions=args.grid,
+            max_window=args.maxwin,
+            min_window=args.minwin,
+        ),
+        ld_backend=getattr(args, "backend", "gemm"),
+    )
+
+
+def _cmd_scan(args) -> int:
+    config = _config(args)
+    if getattr(args, "all_replicates", False):
+        from repro.core.report_io import write_report
+
+        if getattr(args, "format", "ms") != "ms":
+            raise ReproError("--all-replicates requires ms input")
+        reps = parse_ms(args.input, length=args.length)
+        results = []
+        for rep in reps:
+            if args.workers > 1:
+                results.append(
+                    parallel_scan(
+                        rep.alignment, config, n_workers=args.workers
+                    )
+                )
+            else:
+                results.append(
+                    OmegaPlusScanner(config).scan(rep.alignment)
+                )
+        if args.out:
+            write_report(results, args.out)
+        else:
+            write_report(results, sys.stdout)
+        print(
+            f"scanned {len(results)} replicate(s)", file=sys.stderr
+        )
+        return 0
+    alignment = _load_alignment(args)
+    if args.workers > 1:
+        result = parallel_scan(alignment, config, n_workers=args.workers)
+    else:
+        result = OmegaPlusScanner(config).scan(alignment)
+    report = result.to_tsv()
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as fh:
+            fh.write(report + "\n")
+    else:
+        print(report)
+    print(result.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    replicates = []
+    for k in range(args.replicates):
+        seed = None if args.seed is None else args.seed + k
+        if args.model == "neutral":
+            aln = simulate_neutral(
+                args.samples, theta=args.theta, rho=args.rho,
+                length=args.length, seed=seed,
+            )
+        else:
+            params = SweepParameters.for_footprint(
+                args.length, footprint_fraction=args.footprint
+            )
+            aln = simulate_sweep(
+                args.samples, theta=args.theta, length=args.length,
+                sweep_position=args.sweep_position, params=params,
+                seed=seed,
+            )
+        replicates.append(aln)
+    write_ms(replicates, args.out)
+    total = sum(a.n_sites for a in replicates)
+    print(
+        f"wrote {len(replicates)} replicate(s), {total} segregating sites "
+        f"-> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_accel(args) -> int:
+    alignment = _load_alignment(args)
+    config = _config(args)
+    if args.batch > 1 and args.platform.startswith("gpu-"):
+        device = {
+            "gpu-k80": TESLA_K80,
+            "gpu-hd8750m": RADEON_HD8750M,
+        }[args.platform]
+        engine = GPUOmegaEngine(device, batch_positions=args.batch)
+    else:
+        engine = PLATFORMS[args.platform]()
+    result, record = engine.scan(alignment, config)
+    print(result.to_tsv())
+    print(f"\n[{record.device}] modelled execution:", file=sys.stderr)
+    for phase, seconds in sorted(record.seconds.items()):
+        print(f"  {phase:10s} {seconds * 1e3:10.3f} ms", file=sys.stderr)
+    for kind, count in sorted(record.scores.items()):
+        print(f"  {kind:10s} {count:>12d} scores", file=sys.stderr)
+    print(
+        f"  modelled omega throughput: "
+        f"{record.throughput('omega' if 'omega' in record.scores else 'omega_hw') / 1e6:.1f} "
+        f"Mscores/s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_tables(_args) -> int:
+    from repro.analysis.tables import (
+        render_table,
+        table1_rows,
+        table2_rows,
+        table3_rows,
+        table4_rows,
+    )
+
+    print("Table I — FPGA resource utilization (reproduced vs [paper])")
+    print(render_table(table1_rows()))
+    print("\nTable II — GPU platforms")
+    print(render_table(table2_rows()))
+    print("\nTable III — throughput and speedups (reproduced [paper])")
+    print(render_table(table3_rows()))
+    print("\nTable IV — multithreaded omega throughput")
+    print(render_table(table4_rows()))
+    return 0
+
+
+def _cmd_sumstats(args) -> int:
+    from repro.analysis.sumstats import sliding_windows
+
+    alignment = _load_alignment(args)
+    windows = sliding_windows(
+        alignment,
+        window_bp=args.window,
+        step_bp=args.step,
+        statistics=("theta_w", "pi", "tajimas_d", "fay_wu_h"),
+    )
+    print("start\tstop\tsites\ttheta_w\tpi\ttajimas_d\tfay_wu_h")
+    for w in windows:
+        print(
+            f"{w.start:.1f}\t{w.stop:.1f}\t{w.n_sites}\t"
+            f"{w.values['theta_w']:.4f}\t{w.values['pi']:.4f}\t"
+            f"{w.values['tajimas_d']:.4f}\t{w.values['fay_wu_h']:.4f}"
+        )
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.analysis.reproduce import main as reproduce_main
+
+    return reproduce_main([args.out] if args.out else [])
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.figures import (
+        fig10_series,
+        fig11_series,
+        fig12_series,
+        fig13_series,
+    )
+
+    for name, series in (
+        ("Fig. 10 — ZCU102", fig10_series()),
+        ("Fig. 11 — Alveo U200", fig11_series()),
+    ):
+        print(f"{name} (throughput vs right-side iterations)")
+        x, y = series["iterations"], series["throughput"]
+        step = max(1, len(x) // 10)
+        for n, t in zip(x[::step], y[::step]):
+            print(f"  {n:>8d} iters  {t / 1e9:7.3f} Gscores/s")
+        print(f"  90% line: {series['ninety_pct_line'][0] / 1e9:.3f} G\n")
+
+    f12 = fig12_series(grid_size=args.grid)
+    print("Fig. 12 — GPU kernel throughput (K80, Gscores/s)")
+    for i, s_ in enumerate(f12["snps"]):
+        print(
+            f"  {s_:>6d} SNPs  K1 {f12['kernel1'][i] / 1e9:6.2f}  "
+            f"K2 {f12['kernel2'][i] / 1e9:6.2f}  "
+            f"dyn {f12['dynamic'][i] / 1e9:6.2f}"
+        )
+    f13 = fig13_series(grid_size=args.grid)
+    print("\nFig. 13 — complete GPU omega throughput (Mscores/s)")
+    for i, s_ in enumerate(f13["snps"]):
+        print(f"  {s_:>6d} SNPs  {f13['complete'][i] / 1e6:7.1f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "scan": _cmd_scan,
+        "simulate": _cmd_simulate,
+        "accel": _cmd_accel,
+        "tables": _cmd_tables,
+        "figures": _cmd_figures,
+        "sumstats": _cmd_sumstats,
+        "reproduce": _cmd_reproduce,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

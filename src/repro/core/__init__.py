@@ -1,0 +1,48 @@
+"""The paper's primary contribution domain: ω-statistic sweep detection.
+
+* :mod:`repro.core.dp` — the OmegaPlus sum matrix M (Eq. 3).
+* :mod:`repro.core.omega` — the ω statistic (Eq. 2) and its all-splits
+  maximization.
+* :mod:`repro.core.grid` — grid positions and window arithmetic (Fig. 2).
+* :mod:`repro.core.reuse` — the overlap data-reuse optimization.
+* :mod:`repro.core.scan` — the complete CPU scanner (Fig. 3 workflow).
+* :mod:`repro.core.parallel` — multiprocess scan (multithreaded baseline).
+"""
+
+from repro.core.dp import SumMatrix, build_m_recurrence
+from repro.core.grid import GridSpec, PositionPlan, build_plans
+from repro.core.omega import (
+    DENOMINATOR_OFFSET,
+    OmegaMaximum,
+    omega_brute_force,
+    omega_from_sums,
+    omega_max_at_split,
+    omega_split_matrix,
+)
+from repro.core.parallel import parallel_scan, split_grid
+from repro.core.results import PositionResult, ScanResult
+from repro.core.reuse import R2RegionCache, ReuseStats
+from repro.core.scan import OmegaConfig, OmegaPlusScanner, scan
+
+__all__ = [
+    "SumMatrix",
+    "build_m_recurrence",
+    "GridSpec",
+    "PositionPlan",
+    "build_plans",
+    "DENOMINATOR_OFFSET",
+    "OmegaMaximum",
+    "omega_from_sums",
+    "omega_brute_force",
+    "omega_split_matrix",
+    "omega_max_at_split",
+    "parallel_scan",
+    "split_grid",
+    "PositionResult",
+    "ScanResult",
+    "R2RegionCache",
+    "ReuseStats",
+    "OmegaConfig",
+    "OmegaPlusScanner",
+    "scan",
+]

@@ -1,0 +1,197 @@
+"""Grid positions and window-boundary arithmetic (Fig. 2).
+
+OmegaPlus evaluates the ω statistic at a user-defined number of equidistant
+positions ω₀ … ω_c along the input region. For each grid position the user
+supplies a *maximum* window (bp) bounding the genomic region considered and
+a *minimum* window (bp) that each sub-window must span. From those, this
+module derives for every grid position:
+
+* the split index ``c`` — the last SNP at or left of the position;
+* the candidate left borders ``i`` — SNPs whose distance from the position
+  lies in ``[min_window, max_window]`` on the left;
+* the candidate right borders ``j`` — symmetric on the right.
+
+Every (i, j) combination is one ω evaluation; the per-position evaluation
+count ``len(i) * len(j)`` is the workload quantity the accelerators are
+dimensioned against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import ScanConfigError
+from repro.utils.validation import as_int, check_positive
+
+__all__ = ["GridSpec", "PositionPlan", "build_plans"]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Scan-grid configuration.
+
+    Attributes
+    ----------
+    n_positions:
+        Number of equidistant ω evaluation positions (OmegaPlus ``-grid``).
+    max_window:
+        Maximum sub-window extent in bp on each side of a grid position
+        (OmegaPlus ``-maxwin``).
+    min_window:
+        Minimum sub-window extent in bp; borders closer than this to the
+        position are not considered (OmegaPlus ``-minwin``). Zero admits
+        every border inside the maximum window.
+    min_flank_snps:
+        Minimum number of SNPs each sub-window must contain. OmegaPlus
+        requires at least 2 so the within-window pair count C(l, 2) is
+        non-zero on at least one side; we apply it to both sides, its
+        default behaviour.
+    """
+
+    n_positions: int
+    max_window: float
+    min_window: float = 0.0
+    min_flank_snps: int = 2
+
+    def __post_init__(self) -> None:
+        as_int("n_positions", self.n_positions)
+        if self.n_positions < 1:
+            raise ScanConfigError(
+                f"n_positions must be >= 1, got {self.n_positions}"
+            )
+        check_positive("max_window", self.max_window)
+        if self.min_window < 0:
+            raise ScanConfigError(
+                f"min_window must be >= 0, got {self.min_window}"
+            )
+        if self.min_window >= self.max_window:
+            raise ScanConfigError(
+                f"min_window ({self.min_window}) must be smaller than "
+                f"max_window ({self.max_window})"
+            )
+        if self.min_flank_snps < 1:
+            raise ScanConfigError(
+                f"min_flank_snps must be >= 1, got {self.min_flank_snps}"
+            )
+
+    def positions(self, alignment: SNPAlignment) -> np.ndarray:
+        """Equidistant grid positions over the SNP-covered interval.
+
+        OmegaPlus spaces the grid between the first and last SNP (omega is
+        undefined where there is no flanking data). A single-position grid
+        sits at the midpoint.
+        """
+        if alignment.n_sites < 2:
+            raise ScanConfigError(
+                "need at least 2 SNPs to place grid positions"
+            )
+        lo = float(alignment.positions[0])
+        hi = float(alignment.positions[-1])
+        if self.n_positions == 1:
+            return np.array([(lo + hi) / 2.0])
+        return np.linspace(lo, hi, self.n_positions)
+
+
+@dataclass(frozen=True)
+class PositionPlan:
+    """Everything needed to evaluate ω at one grid position.
+
+    All site indices are *global* (into the full alignment). The scanner
+    converts them to region-local indices after extracting the r² block
+    for ``[region_start .. region_stop]``.
+
+    Attributes
+    ----------
+    grid_position:
+        Genomic coordinate of the ω location.
+    split_index:
+        Global index of the last SNP at or left of the position (the
+        region-local split ``c`` after offsetting).
+    region_start, region_stop:
+        Inclusive global index range of SNPs inside the maximum window.
+    left_borders, right_borders:
+        Global candidate border indices (may be empty => position skipped,
+        ω = 0, matching OmegaPlus's behaviour in SNP deserts).
+    """
+
+    grid_position: float
+    split_index: int
+    region_start: int
+    region_stop: int
+    left_borders: np.ndarray
+    right_borders: np.ndarray
+
+    @property
+    def n_evaluations(self) -> int:
+        """Number of ω computations this position requires."""
+        return int(self.left_borders.size * self.right_borders.size)
+
+    @property
+    def region_width(self) -> int:
+        """Number of SNPs in the bounded region (W in the paper)."""
+        return self.region_stop - self.region_start + 1
+
+    @property
+    def valid(self) -> bool:
+        """True when at least one (i, j) combination exists."""
+        return self.n_evaluations > 0
+
+
+def build_plans(alignment: SNPAlignment, spec: GridSpec) -> List[PositionPlan]:
+    """Compute the evaluation plan for every grid position.
+
+    Runs entirely on the position array with searchsorted; cost is
+    O(grid size * log sites).
+    """
+    pos = alignment.positions
+    plans: List[PositionPlan] = []
+    for centre in spec.positions(alignment):
+        # Split: last SNP at or left of the grid position. Positions at or
+        # beyond the last SNP clamp so a right window can still exist.
+        c = int(np.searchsorted(pos, centre, side="right")) - 1
+        c = max(0, min(c, alignment.n_sites - 2))
+
+        lo = int(np.searchsorted(pos, centre - spec.max_window, side="left"))
+        hi = int(np.searchsorted(pos, centre + spec.max_window, side="right")) - 1
+
+        if spec.min_window > 0.0:
+            left_max = (
+                int(np.searchsorted(pos, centre - spec.min_window, side="right"))
+                - 1
+            )
+            right_min = int(
+                np.searchsorted(pos, centre + spec.min_window, side="left")
+            )
+        else:
+            left_max, right_min = c, c + 1
+
+        # Each flank must hold at least min_flank_snps SNPs: border i gives
+        # a left window of (c - i + 1) SNPs; border j gives (j - c).
+        left_max = min(left_max, c - (spec.min_flank_snps - 1))
+        right_min = max(right_min, c + spec.min_flank_snps)
+
+        left_borders = (
+            np.arange(lo, left_max + 1, dtype=np.intp)
+            if left_max >= lo
+            else np.zeros(0, dtype=np.intp)
+        )
+        right_borders = (
+            np.arange(right_min, hi + 1, dtype=np.intp)
+            if hi >= right_min
+            else np.zeros(0, dtype=np.intp)
+        )
+        plans.append(
+            PositionPlan(
+                grid_position=float(centre),
+                split_index=c,
+                region_start=lo,
+                region_stop=hi,
+                left_borders=left_borders,
+                right_borders=right_borders,
+            )
+        )
+    return plans

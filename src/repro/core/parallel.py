@@ -1,0 +1,163 @@
+"""Multiprocess genome scan (the "generic multithreaded OmegaPlus").
+
+The paper's multicore baseline (Table IV) is OmegaPlus-generic [31], which
+partitions grid positions across threads. We do the same across processes:
+the grid is cut into ``n_workers`` contiguous chunks (contiguity preserves
+the data-reuse optimization within each chunk; only one region overlap per
+boundary is lost), each worker runs the sequential scanner on its chunk,
+and the per-position records are concatenated.
+
+Python threads cannot parallelize this CPU-bound NumPy-plus-control-flow
+loop under the GIL, so processes stand in for OmegaPlus's pthreads. The
+returned breakdown sums *CPU seconds across workers*; wall-clock speedup
+is measured by the caller (see ``benchmarks/bench_table4_threads.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.grid import GridSpec
+from repro.core.results import ScanResult
+from repro.core.reuse import ReuseStats
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import ScanConfigError
+from repro.utils.timing import TimeBreakdown
+
+__all__ = ["parallel_scan", "split_grid"]
+
+
+def split_grid(n_positions: int, n_workers: int) -> List[Tuple[int, int]]:
+    """Split ``n_positions`` into ``n_workers`` contiguous [start, stop)
+    chunks whose sizes differ by at most one. Empty chunks are dropped."""
+    if n_positions < 1:
+        raise ScanConfigError(f"n_positions must be >= 1, got {n_positions}")
+    if n_workers < 1:
+        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+    base, extra = divmod(n_positions, n_workers)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for w in range(n_workers):
+        size = base + (1 if w < extra else 0)
+        if size == 0:
+            continue
+        chunks.append((start, start + size))
+        start += size
+    return chunks
+
+
+@dataclass
+class _WorkerTask:
+    """Picklable task description shipped to a worker process."""
+
+    matrix: np.ndarray
+    positions: np.ndarray
+    length: float
+    config: OmegaConfig
+    grid_positions: np.ndarray
+
+
+def _run_chunk(task: _WorkerTask) -> ScanResult:
+    """Worker body: scan a fixed set of grid positions sequentially."""
+    alignment = SNPAlignment(
+        matrix=task.matrix, positions=task.positions, length=task.length
+    )
+    scanner = _FixedGridScanner(task.config, task.grid_positions)
+    return scanner.scan(alignment)
+
+
+class _FixedGridScanner(OmegaPlusScanner):
+    """Scanner whose grid positions are supplied explicitly rather than
+    derived from the grid spec (used to hand each worker its chunk)."""
+
+    def __init__(self, config: OmegaConfig, grid_positions: np.ndarray):
+        super().__init__(config)
+        self._grid_positions = grid_positions
+
+    def scan(self, alignment: SNPAlignment) -> ScanResult:
+        spec = self.config.grid
+        # Monkey-patch the positions source for this scan only: reuse the
+        # sequential implementation verbatim with a fixed-position grid.
+        fixed = self._grid_positions
+
+        class _Spec(GridSpec):
+            def positions(self, _aln: SNPAlignment) -> np.ndarray:  # type: ignore[override]
+                return fixed
+
+        patched = _Spec(
+            n_positions=max(1, fixed.size),
+            max_window=spec.max_window,
+            min_window=spec.min_window,
+            min_flank_snps=spec.min_flank_snps,
+        )
+        cfg = OmegaConfig(
+            grid=patched,
+            eps=self.config.eps,
+            ld_backend=self.config.ld_backend,
+            reuse=self.config.reuse,
+        )
+        return OmegaPlusScanner(cfg).scan(alignment)
+
+
+def parallel_scan(
+    alignment: SNPAlignment,
+    config: OmegaConfig,
+    *,
+    n_workers: int,
+    mp_context: Optional[str] = None,
+) -> ScanResult:
+    """Scan with ``n_workers`` processes; results match a sequential scan.
+
+    Parameters
+    ----------
+    alignment, config:
+        Same inputs as :class:`~repro.core.scan.OmegaPlusScanner`.
+    n_workers:
+        Number of worker processes. ``1`` short-circuits to the sequential
+        scanner (no process overhead).
+    mp_context:
+        Multiprocessing start method (default: platform default, ``fork``
+        on Linux, which shares the alignment pages copy-on-write).
+    """
+    if n_workers < 1:
+        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return OmegaPlusScanner(config).scan(alignment)
+
+    grid_positions = config.grid.positions(alignment)
+    chunks = split_grid(grid_positions.size, n_workers)
+    tasks = [
+        _WorkerTask(
+            matrix=alignment.matrix,
+            positions=alignment.positions,
+            length=alignment.length,
+            config=config,
+            grid_positions=grid_positions[a:b],
+        )
+        for a, b in chunks
+    ]
+    ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+    with ctx.Pool(processes=len(tasks)) as pool:
+        parts = pool.map(_run_chunk, tasks)
+
+    breakdown = TimeBreakdown()
+    reuse = ReuseStats()
+    for part in parts:
+        breakdown = breakdown.merged(part.breakdown)
+        reuse.entries_computed += part.reuse.entries_computed
+        reuse.entries_reused += part.reuse.entries_reused
+        reuse.regions_served += part.reuse.regions_served
+    return ScanResult(
+        positions=np.concatenate([p.positions for p in parts]),
+        omegas=np.concatenate([p.omegas for p in parts]),
+        left_borders_bp=np.concatenate([p.left_borders_bp for p in parts]),
+        right_borders_bp=np.concatenate([p.right_borders_bp for p in parts]),
+        n_evaluations=np.concatenate([p.n_evaluations for p in parts]),
+        breakdown=breakdown,
+        reuse=reuse,
+    )

@@ -1,0 +1,114 @@
+"""OmegaPlus-compatible report files.
+
+OmegaPlus writes its results as ``OmegaPlus_Report.<runname>`` files: a
+comment preamble, then one ``//<replicate-index>`` block per replicate
+with tab-separated ``position  omega`` lines. Interop matters both ways —
+downstream tooling built around OmegaPlus parses these files, and this
+package should be able to read reports produced by the original C tool
+for cross-validation.
+
+:func:`write_report` / :func:`parse_report` implement the format;
+:func:`report_path` builds the conventional filename.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.results import ScanResult
+from repro.errors import DataFormatError
+
+__all__ = ["write_report", "parse_report", "report_path"]
+
+
+def report_path(directory: str, run_name: str) -> str:
+    """The conventional OmegaPlus report filename."""
+    if not run_name or any(c in run_name for c in "/\\"):
+        raise DataFormatError(f"invalid run name {run_name!r}")
+    return os.path.join(directory, f"OmegaPlus_Report.{run_name}")
+
+
+def write_report(
+    results: Sequence[ScanResult],
+    path_or_stream: Union[str, io.TextIOBase],
+    *,
+    run_name: str = "repro",
+) -> None:
+    """Write scan results in OmegaPlus report format (one ``//k`` block
+    per replicate)."""
+    if not results:
+        raise DataFormatError("need at least one scan result")
+
+    def _write(fh) -> None:
+        fh.write(f"// OmegaPlus report (repro reproduction), run "
+                 f"{run_name}\n")
+        for k, result in enumerate(results):
+            fh.write(f"//{k}\n")
+            for i in range(len(result)):
+                fh.write(
+                    f"{result.positions[i]:.4f}\t{result.omegas[i]:.6f}\n"
+                )
+
+    if isinstance(path_or_stream, str):
+        with open(path_or_stream, "w", encoding="ascii") as fh:
+            _write(fh)
+    else:
+        _write(path_or_stream)
+
+
+def parse_report(
+    source: Union[str, io.TextIOBase],
+) -> List[Dict[str, np.ndarray]]:
+    """Parse an OmegaPlus report into per-replicate position/omega arrays.
+
+    Returns a list of ``{"positions": ..., "omegas": ...}`` dicts, one per
+    ``//`` block, matching what the original tool emits.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return parse_report(fh)
+
+    replicates: List[Dict[str, List[float]]] = []
+    current: Dict[str, List[float]] | None = None
+    for raw in source:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            marker = line[2:].strip()
+            if marker.isdigit() or marker == "":
+                current = {"positions": [], "omegas": []}
+                replicates.append(current)
+            # non-numeric // lines are comments (the preamble)
+            continue
+        if current is None:
+            # preamble lines before the first block
+            if line.startswith("#"):
+                continue
+            raise DataFormatError(
+                f"data line before the first replicate block: {line[:40]!r}"
+            )
+        fields = line.split()
+        if len(fields) != 2:
+            raise DataFormatError(
+                f"expected 'position omega', got {line[:40]!r}"
+            )
+        try:
+            current["positions"].append(float(fields[0]))
+            current["omegas"].append(float(fields[1]))
+        except ValueError as exc:
+            raise DataFormatError(f"non-numeric report line {line!r}") from exc
+
+    if not replicates:
+        raise DataFormatError("no replicate blocks found in report")
+    return [
+        {
+            "positions": np.array(r["positions"]),
+            "omegas": np.array(r["omegas"]),
+        }
+        for r in replicates
+    ]

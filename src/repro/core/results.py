@@ -1,0 +1,116 @@
+"""Scan result containers and reporting.
+
+A scan produces one record per grid position: the position, the maximum ω
+over all window combinations, the maximizing borders (as genomic
+coordinates) and the per-position evaluation count. :class:`ScanResult`
+bundles those with the wall-clock phase breakdown (LD vs ω vs rest — the
+quantity profiled in Section I and Fig. 14) and the data-reuse counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.reuse import ReuseStats
+from repro.utils.timing import TimeBreakdown
+
+__all__ = ["PositionResult", "ScanResult"]
+
+
+@dataclass(frozen=True)
+class PositionResult:
+    """ω outcome at one grid position."""
+
+    position: float
+    omega: float
+    left_border_bp: float
+    right_border_bp: float
+    n_evaluations: int
+
+
+@dataclass
+class ScanResult:
+    """Full outcome of a genome scan.
+
+    Array attributes are aligned by grid-position index. Positions with no
+    valid window (SNP deserts) carry ω = 0 and NaN borders, matching
+    OmegaPlus's report lines for unevaluated positions.
+    """
+
+    positions: np.ndarray
+    omegas: np.ndarray
+    left_borders_bp: np.ndarray
+    right_borders_bp: np.ndarray
+    n_evaluations: np.ndarray
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    reuse: ReuseStats = field(default_factory=ReuseStats)
+
+    def __post_init__(self) -> None:
+        n = self.positions.shape[0]
+        for name in ("omegas", "left_borders_bp", "right_borders_bp", "n_evaluations"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise ValueError(
+                    f"{name} has length {arr.shape[0]}, expected {n}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    def __getitem__(self, k: int) -> PositionResult:
+        return PositionResult(
+            position=float(self.positions[k]),
+            omega=float(self.omegas[k]),
+            left_border_bp=float(self.left_borders_bp[k]),
+            right_border_bp=float(self.right_borders_bp[k]),
+            n_evaluations=int(self.n_evaluations[k]),
+        )
+
+    def best(self) -> PositionResult:
+        """The grid position with the highest ω — the sweep candidate."""
+        if len(self) == 0:
+            raise ValueError("empty scan result")
+        return self[int(np.argmax(self.omegas))]
+
+    @property
+    def total_evaluations(self) -> int:
+        """Total ω computations across the scan (the throughput numerator
+        in every performance figure of the paper)."""
+        return int(self.n_evaluations.sum())
+
+    def omega_throughput(self) -> float:
+        """Measured host ω throughput in scores/second, using the scan's
+        own 'omega' phase time. Returns 0.0 when that phase was not timed."""
+        t = self.breakdown.totals.get("omega", 0.0)
+        return self.total_evaluations / t if t > 0 else 0.0
+
+    def to_tsv(self) -> str:
+        """OmegaPlus-style report: one line per grid position."""
+        lines = ["position\tomega\tleft_border\tright_border\tevaluations"]
+        for k in range(len(self)):
+            r = self[k]
+            lines.append(
+                f"{r.position:.2f}\t{r.omega:.6f}\t{r.left_border_bp:.2f}\t"
+                f"{r.right_border_bp:.2f}\t{r.n_evaluations}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Human-readable digest used by the CLI and examples."""
+        if len(self) == 0:
+            return "empty scan"
+        best = self.best()
+        frac = self.breakdown.fractions()
+        phases = ", ".join(
+            f"{name} {share:.1%}" for name, share in sorted(frac.items())
+        )
+        return (
+            f"{len(self)} grid positions, {self.total_evaluations} omega "
+            f"evaluations\n"
+            f"max omega = {best.omega:.4f} at position {best.position:.1f} "
+            f"(window [{best.left_border_bp:.1f}, {best.right_border_bp:.1f}])\n"
+            f"time: {self.breakdown.total:.3f}s ({phases})\n"
+            f"LD reuse: {self.reuse.reuse_fraction:.1%} of entries served "
+            f"from cache"
+        )

@@ -1,0 +1,201 @@
+"""Data-reuse of r² values across overlapping grid regions.
+
+Consecutive grid positions bound regions that largely overlap (Fig. 2), and
+r² between two given SNPs does not depend on which region asks for it.
+OmegaPlus exploits this by relocating already-computed values of matrix M
+when it advances to the next grid position and computing only the values
+involving newly entered SNPs (Fig. 3, "data-reuse optimization"). Because
+our production M is rebuilt from the region's r² matrix in O(W²) cheap
+prefix-sum passes, we host the reuse one level down — on the r² matrix
+itself, where the expensive O(W² · samples) work lives. The effect is the
+same: entries for the overlapping SNP block are copied, only the new rows
+and columns are computed.
+
+:class:`R2RegionCache` also keeps reuse statistics so the benefit is
+measurable (``tests/test_reuse.py`` asserts the saving; the profiling
+benchmark reports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.packed import PackedAlignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+from repro.ld.packed_kernels import r_squared_block_packed
+
+__all__ = ["R2RegionCache", "ReuseStats", "simulate_fresh_entries"]
+
+
+def simulate_fresh_entries(regions) -> list:
+    """Per-region count of r² entries that would be *computed* (not
+    reused) by :class:`R2RegionCache` serving the given sequence of
+    inclusive ``(start, stop)`` regions.
+
+    Pure arithmetic mirror of the cache's accounting — used by the
+    paper-scale workload models, where the r² matrices themselves are
+    never materialized. Kept next to the cache so the two stay in sync
+    (``tests/test_reuse.py`` cross-checks them).
+    """
+    out = []
+    prev: Optional[tuple] = None
+    for start, stop in regions:
+        if stop < start:
+            raise ScanConfigError(f"bad region ({start}, {stop})")
+        width = stop - start + 1
+        if prev is None or max(start, prev[0]) > min(stop, prev[1]):
+            out.append(width * width)
+        else:
+            o_lo, o_hi = max(start, prev[0]), min(stop, prev[1])
+            fresh = 0
+            segments = []
+            if start < o_lo:
+                segments.append(o_lo - start)
+            if stop > o_hi:
+                segments.append(stop - o_hi)
+            for seg in segments:
+                fresh += 2 * seg * width - seg * seg
+            out.append(fresh)
+        prev = (start, stop)
+    return out
+
+
+@dataclass
+class ReuseStats:
+    """Counters for the data-reuse optimization."""
+
+    entries_computed: int = 0
+    entries_reused: int = 0
+    regions_served: int = 0
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Share of served r² entries that were copies, not computations."""
+        total = self.entries_computed + self.entries_reused
+        return self.entries_reused / total if total else 0.0
+
+
+class R2RegionCache:
+    """Serve per-region r² matrices, reusing the overlap with the previous
+    region.
+
+    Parameters
+    ----------
+    alignment:
+        The full alignment being scanned.
+    backend:
+        ``"gemm"`` (default) computes fresh blocks with the GEMM
+        formulation; ``"packed"`` uses popcounts on a bit-packed copy —
+        functionally identical, validated against each other in tests.
+    """
+
+    #: Default cap on one region's r² matrix (512 MB of float64): wide
+    #: enough for several-thousand-SNP windows, small enough to fail
+    #: with a clear message instead of an opaque MemoryError when a
+    #: misconfigured max_window asks for a chromosome-sized region.
+    DEFAULT_MAX_REGION_BYTES = 512 * 1024 * 1024
+
+    def __init__(
+        self,
+        alignment: SNPAlignment,
+        *,
+        backend: str = "gemm",
+        max_region_bytes: Optional[int] = None,
+    ):
+        self._alignment = alignment
+        self._max_region_bytes = (
+            self.DEFAULT_MAX_REGION_BYTES
+            if max_region_bytes is None
+            else max_region_bytes
+        )
+        if self._max_region_bytes < 8:
+            raise ScanConfigError("max_region_bytes too small")
+        if backend == "gemm":
+            self._block: Callable[[slice, slice], np.ndarray] = (
+                lambda r, c: r_squared_block(alignment, r, c)
+            )
+        elif backend == "packed":
+            packed = PackedAlignment.from_alignment(alignment)
+            self._block = lambda r, c: r_squared_block_packed(packed, r, c)
+        else:
+            raise ScanConfigError(
+                f"unknown LD backend {backend!r}; use 'gemm' or 'packed'"
+            )
+        self._prev_start: Optional[int] = None
+        self._prev_stop: Optional[int] = None
+        self._prev_matrix: Optional[np.ndarray] = None
+        self.stats = ReuseStats()
+
+    def region_matrix(self, start: int, stop: int) -> np.ndarray:
+        """r² matrix for global sites ``[start .. stop]`` (inclusive).
+
+        When the request overlaps the previously served region, the
+        overlapping sub-block is copied from the cached matrix and only the
+        rows/columns of newly entered SNPs are computed.
+        """
+        n = self._alignment.n_sites
+        if not (0 <= start <= stop < n):
+            raise ScanConfigError(
+                f"region [{start}, {stop}] out of bounds for {n} sites"
+            )
+        width = stop - start + 1
+        needed = 8 * width * width
+        if needed > self._max_region_bytes:
+            raise ScanConfigError(
+                f"region of {width} SNPs needs a {needed / 1e6:.0f} MB r2 "
+                f"matrix (cap {self._max_region_bytes / 1e6:.0f} MB); "
+                f"reduce max_window or raise max_region_bytes"
+            )
+        out = np.empty((width, width))
+
+        prev_ok = (
+            self._prev_matrix is not None
+            and self._prev_start is not None
+            and self._prev_stop is not None
+            and max(start, self._prev_start) <= min(stop, self._prev_stop)
+        )
+        if not prev_ok:
+            out[:] = self._block(slice(start, stop + 1), slice(start, stop + 1))
+            self.stats.entries_computed += width * width
+        else:
+            o_lo = max(start, self._prev_start)  # type: ignore[arg-type]
+            o_hi = min(stop, self._prev_stop)  # type: ignore[arg-type]
+            # Local coordinates of the overlap in old and new matrices.
+            new_a, new_b = o_lo - start, o_hi - start
+            old_a, old_b = o_lo - self._prev_start, o_hi - self._prev_start  # type: ignore[operator]
+            out[new_a : new_b + 1, new_a : new_b + 1] = self._prev_matrix[  # type: ignore[index]
+                old_a : old_b + 1, old_a : old_b + 1
+            ]
+            reused = (new_b - new_a + 1) ** 2
+            self.stats.entries_reused += reused
+
+            # New sites enter on either side of the overlap; a forward scan
+            # only adds on the right, but both are handled for generality.
+            fresh_segments = []
+            if new_a > 0:
+                fresh_segments.append((0, new_a - 1))
+            if new_b < width - 1:
+                fresh_segments.append((new_b + 1, width - 1))
+            for seg_lo, seg_hi in fresh_segments:
+                g = slice(start + seg_lo, start + seg_hi + 1)
+                full = slice(start, stop + 1)
+                rows = self._block(g, full)  # (seg, width)
+                out[seg_lo : seg_hi + 1, :] = rows
+                out[:, seg_lo : seg_hi + 1] = rows.T
+                self.stats.entries_computed += rows.size * 2 - (
+                    rows.shape[0] ** 2
+                )
+        self.stats.regions_served += 1
+        self._prev_start, self._prev_stop = start, stop
+        self._prev_matrix = out
+        return out
+
+    def reset(self) -> None:
+        """Drop the cached region (e.g. when jumping to a new chromosome)."""
+        self._prev_start = self._prev_stop = None
+        self._prev_matrix = None

@@ -1,0 +1,167 @@
+"""Binary SNP alignment container.
+
+The unit of data in this library is a :class:`SNPAlignment`: a matrix of
+derived-allele indicators with shape ``(n_samples, n_sites)`` plus one
+genomic coordinate per site. This matches the data OmegaPlus ingests after
+reading an ms file (each segregating site is biallelic; 1 marks the derived
+allele) and is the substrate for every LD and omega computation.
+
+Sites are ordered by strictly increasing position. Monomorphic columns are
+allowed in the container (r-squared handling masks them downstream), but the
+provided constructors never produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AlignmentError
+
+__all__ = ["SNPAlignment"]
+
+
+@dataclass(frozen=True)
+class SNPAlignment:
+    """An immutable biallelic SNP alignment.
+
+    Attributes
+    ----------
+    matrix:
+        ``uint8`` array of shape ``(n_samples, n_sites)`` with entries in
+        ``{0, 1}``; 1 encodes the derived allele.
+    positions:
+        ``float64`` array of length ``n_sites``; strictly increasing genomic
+        coordinates (base pairs, may be fractional for ms-style relative
+        positions scaled to a region length).
+    length:
+        Total length of the genomic region the alignment spans. Positions
+        must lie in ``[0, length]``.
+    """
+
+    matrix: np.ndarray
+    positions: np.ndarray
+    length: float
+
+    def __post_init__(self) -> None:
+        matrix = np.ascontiguousarray(self.matrix, dtype=np.uint8)
+        positions = np.ascontiguousarray(self.positions, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise AlignmentError(
+                f"matrix must be 2-D (samples x sites), got shape {matrix.shape}"
+            )
+        if positions.ndim != 1:
+            raise AlignmentError(
+                f"positions must be 1-D, got shape {positions.shape}"
+            )
+        if matrix.shape[1] != positions.shape[0]:
+            raise AlignmentError(
+                f"matrix has {matrix.shape[1]} sites but positions has "
+                f"{positions.shape[0]} entries"
+            )
+        if matrix.size and matrix.max(initial=0) > 1:
+            raise AlignmentError("matrix entries must be 0 or 1")
+        if positions.size:
+            if not np.all(np.diff(positions) > 0):
+                raise AlignmentError("positions must be strictly increasing")
+            if positions[0] < 0 or positions[-1] > self.length:
+                raise AlignmentError(
+                    f"positions must lie in [0, {self.length}], got range "
+                    f"[{positions[0]}, {positions[-1]}]"
+                )
+        if self.length <= 0:
+            raise AlignmentError(f"length must be positive, got {self.length}")
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "positions", positions)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sequences (rows)."""
+        return self.matrix.shape[0]
+
+    @property
+    def n_sites(self) -> int:
+        """Number of segregating sites (columns)."""
+        return self.matrix.shape[1]
+
+    def derived_counts(self) -> np.ndarray:
+        """Derived-allele count per site (length ``n_sites``, int64)."""
+        return self.matrix.sum(axis=0, dtype=np.int64)
+
+    def derived_frequencies(self) -> np.ndarray:
+        """Derived-allele frequency per site (float64 in [0, 1])."""
+        if self.n_samples == 0:
+            raise AlignmentError("cannot compute frequencies with 0 samples")
+        return self.derived_counts() / float(self.n_samples)
+
+    def is_polymorphic(self) -> np.ndarray:
+        """Boolean mask of sites that segregate in this sample."""
+        counts = self.derived_counts()
+        return (counts > 0) & (counts < self.n_samples)
+
+    # ------------------------------------------------------------------ #
+    # slicing / composition
+    # ------------------------------------------------------------------ #
+
+    def site_slice(self, start: int, stop: int) -> "SNPAlignment":
+        """Return the sub-alignment of sites ``[start, stop)``.
+
+        Positions are kept in the original coordinate system so window
+        arithmetic stays valid across slices.
+        """
+        if not (0 <= start <= stop <= self.n_sites):
+            raise AlignmentError(
+                f"site_slice({start}, {stop}) out of bounds for {self.n_sites} sites"
+            )
+        return SNPAlignment(
+            self.matrix[:, start:stop], self.positions[start:stop], self.length
+        )
+
+    def window(self, left_bp: float, right_bp: float) -> "SNPAlignment":
+        """Return the sub-alignment of sites with position in
+        ``[left_bp, right_bp]`` (inclusive on both ends)."""
+        if left_bp > right_bp:
+            raise AlignmentError(f"empty window: [{left_bp}, {right_bp}]")
+        lo = int(np.searchsorted(self.positions, left_bp, side="left"))
+        hi = int(np.searchsorted(self.positions, right_bp, side="right"))
+        return self.site_slice(lo, hi)
+
+    def drop_monomorphic(self) -> "SNPAlignment":
+        """Return a copy without sites that do not segregate."""
+        mask = self.is_polymorphic()
+        return SNPAlignment(
+            self.matrix[:, mask], self.positions[mask], self.length
+        )
+
+    def sample_subset(self, indices: Sequence[int]) -> "SNPAlignment":
+        """Return the alignment restricted to the given sample rows."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_samples):
+            raise AlignmentError("sample index out of range")
+        return SNPAlignment(self.matrix[idx, :], self.positions, self.length)
+
+    # ------------------------------------------------------------------ #
+    # equality helpers (numpy fields defeat dataclass __eq__)
+    # ------------------------------------------------------------------ #
+
+    def equals(self, other: "SNPAlignment") -> bool:
+        """Structural equality: same matrix, positions and length."""
+        return (
+            isinstance(other, SNPAlignment)
+            and self.length == other.length
+            and self.matrix.shape == other.matrix.shape
+            and bool(np.array_equal(self.matrix, other.matrix))
+            and bool(np.allclose(self.positions, other.positions))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SNPAlignment(n_samples={self.n_samples}, n_sites={self.n_sites}, "
+            f"length={self.length})"
+        )

@@ -1,0 +1,150 @@
+"""FASTA alignment input (OmegaPlus's second input format).
+
+OmegaPlus reads multiple-sequence DNA alignments in FASTA and extracts
+the biallelic segregating sites itself; this module does the same:
+
+* sequences must be equal length (it is an *alignment*);
+* per column, valid calls are A/C/G/T (case-insensitive); anything else
+  (N, IUPAC ambiguity codes, gaps) is treated as missing;
+* columns with exactly two distinct valid alleles and at least
+  ``min_calls`` valid calls become SNPs; all other columns are dropped
+  (monomorphic, triallelic, or too sparse);
+* the *minor* allele is encoded as 1. Without an outgroup the
+  ancestral/derived orientation is unknowable from the alignment alone;
+  r² and ω are invariant under per-site relabelling (see
+  ``tests/test_invariances.py``), so the choice does not affect sweep
+  detection. Frequency-spectrum statistics should fold or use a
+  polarized source instead.
+
+The result is a :class:`~repro.datasets.missing.MaskedAlignment`
+(missing-aware); call :meth:`impute_major` or
+:meth:`drop_sparse_sites` + :meth:`impute_major` to get the dense
+:class:`~repro.datasets.alignment.SNPAlignment` the scanner consumes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.missing import MISSING, MaskedAlignment
+from repro.errors import DataFormatError
+
+__all__ = ["parse_fasta", "parse_fasta_text", "fasta_text"]
+
+_VALID = {"A": 0, "C": 1, "G": 2, "T": 3}
+
+
+def _read_records(stream) -> List[Tuple[str, str]]:
+    records: List[Tuple[str, str]] = []
+    name = None
+    chunks: List[str] = []
+    for raw in stream:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append((name, "".join(chunks)))
+            name = line[1:].strip() or f"seq{len(records)}"
+            chunks = []
+        else:
+            if name is None:
+                raise DataFormatError(
+                    "sequence data before the first '>' header"
+                )
+            chunks.append(line)
+    if name is not None:
+        records.append((name, "".join(chunks)))
+    if not records:
+        raise DataFormatError("no FASTA records found")
+    return records
+
+
+def parse_fasta(
+    source: Union[str, io.TextIOBase],
+    *,
+    min_calls: int = 2,
+    bp_per_column: float = 1.0,
+) -> MaskedAlignment:
+    """Parse a FASTA alignment into a masked SNP alignment.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    min_calls:
+        Minimum number of valid (ACGT) calls for a column to be usable.
+    bp_per_column:
+        Genomic coordinate step per alignment column (1.0 maps SNP
+        positions to alignment columns).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return parse_fasta(
+                fh, min_calls=min_calls, bp_per_column=bp_per_column
+            )
+    records = _read_records(source)
+    lengths = {len(seq) for _, seq in records}
+    if len(lengths) != 1:
+        raise DataFormatError(
+            f"sequences have differing lengths: {sorted(lengths)}"
+        )
+    (length,) = lengths
+    if length == 0:
+        raise DataFormatError("empty sequences")
+    if len(records) < 2:
+        raise DataFormatError("need at least 2 sequences")
+
+    # bytes view: (n_samples, n_columns) of uppercase characters
+    raw = np.frombuffer(
+        "".join(seq.upper() for _, seq in records).encode("ascii"),
+        dtype="S1",
+    ).reshape(len(records), length)
+
+    snp_cols: List[int] = []
+    columns: List[np.ndarray] = []
+    for col in range(length):
+        chars = raw[:, col]
+        valid_mask = np.isin(chars, [b"A", b"C", b"G", b"T"])
+        calls = chars[valid_mask]
+        if calls.size < min_calls:
+            continue
+        alleles, counts = np.unique(calls, return_counts=True)
+        if alleles.size != 2:
+            continue
+        minor = alleles[int(np.argmin(counts))]
+        encoded = np.full(len(records), MISSING, dtype=np.uint8)
+        encoded[valid_mask] = (chars[valid_mask] == minor).astype(np.uint8)
+        snp_cols.append(col)
+        columns.append(encoded)
+
+    if not snp_cols:
+        raise DataFormatError("no biallelic segregating columns found")
+    matrix = np.column_stack(columns)
+    positions = (np.array(snp_cols, dtype=np.float64) + 0.5) * bp_per_column
+    return MaskedAlignment(
+        matrix=matrix,
+        positions=positions,
+        length=length * bp_per_column,
+    )
+
+
+def parse_fasta_text(text: str, **kwargs) -> MaskedAlignment:
+    """Parse FASTA content held in a string."""
+    return parse_fasta(io.StringIO(text), **kwargs)
+
+
+def fasta_text(
+    names: List[str], sequences: List[str]
+) -> str:
+    """Serialize sequences to FASTA (testing/interop helper)."""
+    if len(names) != len(sequences):
+        raise DataFormatError("names/sequences length mismatch")
+    out = []
+    for name, seq in zip(names, sequences):
+        out.append(f">{name}")
+        out.append(seq)
+    return "\n".join(out) + "\n"

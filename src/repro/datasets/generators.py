@@ -1,0 +1,278 @@
+"""Synthetic SNP-dataset generators.
+
+The evaluation in the paper uses Hudson's ``ms`` for data, but most of its
+experiments measure *throughput*, for which only the workload dimensions
+matter (number of SNPs, number of samples, SNP density per grid position).
+These generators produce alignments with controlled dimensions and LD
+structure far faster than a coalescent run:
+
+* :func:`random_alignment` — independent sites (no LD); throughput workloads.
+* :func:`haplotype_block_alignment` — block-copying model producing strong
+  within-block LD; exercises data-reuse and windowing logic.
+* :func:`sweep_signature_alignment` — plants the Kim-Nielsen LD signature
+  (high LD within each flank of a focal point, low LD across it) so scanner
+  correctness ("does omega peak at the sweep?") is testable without running
+  the full coalescent sweep simulator.
+* :func:`clustered_positions` — non-uniform SNP placement used to exercise
+  the GPU dynamic two-kernel dispatch, which exists precisely because SNP
+  density varies along real genomes (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import as_int, check_positive
+
+__all__ = [
+    "random_alignment",
+    "haplotype_block_alignment",
+    "sweep_signature_alignment",
+    "clustered_positions",
+]
+
+
+def _uniform_positions(
+    rng: np.random.Generator, n_sites: int, length: float
+) -> np.ndarray:
+    """Draw sorted, strictly increasing positions uniform on (0, length)."""
+    pos = np.sort(rng.uniform(0.0, length, size=n_sites))
+    for k in range(1, n_sites):
+        if pos[k] <= pos[k - 1]:
+            pos[k] = np.nextafter(pos[k - 1], np.inf)
+    return pos
+
+
+def _ensure_polymorphic(
+    rng: np.random.Generator, matrix: np.ndarray
+) -> np.ndarray:
+    """Flip one allele in any monomorphic column so every site segregates."""
+    n_samples = matrix.shape[0]
+    counts = matrix.sum(axis=0)
+    for s in np.nonzero(counts == 0)[0]:
+        matrix[rng.integers(n_samples), s] = 1
+    for s in np.nonzero(counts == n_samples)[0]:
+        matrix[rng.integers(n_samples), s] = 0
+    return matrix
+
+
+def random_alignment(
+    n_samples: int,
+    n_sites: int,
+    *,
+    length: Optional[float] = None,
+    maf_min: float = 0.05,
+    positions: Optional[np.ndarray] = None,
+    seed: SeedLike = None,
+) -> SNPAlignment:
+    """Independent-sites alignment with per-site frequency drawn uniformly
+    in ``[maf_min, 1 - maf_min]``.
+
+    Parameters
+    ----------
+    n_samples, n_sites:
+        Alignment dimensions.
+    length:
+        Region length in bp; defaults to ``100 * n_sites`` (a realistic
+        ~1 SNP / 100 bp density).
+    maf_min:
+        Lower bound on the drawn allele frequency, keeping sites usefully
+        polymorphic.
+    positions:
+        Explicit positions (overrides the uniform draw); must be strictly
+        increasing and within the region.
+    seed:
+        Anything accepted by :func:`repro.utils.rng.resolve_rng`.
+    """
+    n_samples = as_int("n_samples", n_samples)
+    n_sites = as_int("n_sites", n_sites)
+    if n_samples < 2:
+        raise ValueError(f"need at least 2 samples, got {n_samples}")
+    if n_sites < 1:
+        raise ValueError(f"need at least 1 site, got {n_sites}")
+    rng = resolve_rng(seed)
+    if length is None:
+        length = 100.0 * n_sites
+    check_positive("length", length)
+    freqs = rng.uniform(maf_min, 1.0 - maf_min, size=n_sites)
+    matrix = (rng.random((n_samples, n_sites)) < freqs).astype(np.uint8)
+    matrix = _ensure_polymorphic(rng, matrix)
+    if positions is None:
+        positions = _uniform_positions(rng, n_sites, length)
+    return SNPAlignment(matrix=matrix, positions=positions, length=length)
+
+
+def haplotype_block_alignment(
+    n_samples: int,
+    n_sites: int,
+    *,
+    n_founders: int = 6,
+    block_size: int = 50,
+    switch_prob: float = 0.02,
+    mutation_prob: float = 0.01,
+    length: Optional[float] = None,
+    seed: SeedLike = None,
+) -> SNPAlignment:
+    """Alignment with realistic LD blocks.
+
+    Each sample is a mosaic of ``n_founders`` founder haplotypes: walking
+    along sites, a sample keeps copying its current founder and switches to
+    a random founder with probability ``switch_prob`` per site (plus a
+    forced switch at block boundaries every ``block_size`` sites). Sparse
+    random mutations decorrelate sites slightly. Within a block LD is high;
+    across distant blocks it decays — the structure OmegaPlus's data-reuse
+    optimization and window logic are designed around.
+    """
+    n_samples = as_int("n_samples", n_samples)
+    n_sites = as_int("n_sites", n_sites)
+    if n_samples < 2 or n_sites < 1:
+        raise ValueError("need n_samples >= 2 and n_sites >= 1")
+    if n_founders < 2:
+        raise ValueError(f"need at least 2 founders, got {n_founders}")
+    rng = resolve_rng(seed)
+    if length is None:
+        length = 100.0 * n_sites
+    founders = (rng.random((n_founders, n_sites)) < 0.5).astype(np.uint8)
+
+    # Vectorized mosaic: per (sample, site) switch events define segments;
+    # each segment copies one founder row.
+    switches = rng.random((n_samples, n_sites)) < switch_prob
+    if block_size > 0:
+        switches[:, ::block_size] = True
+    switches[:, 0] = True
+    segment_id = np.cumsum(switches, axis=1) - 1
+    max_segments = int(segment_id.max()) + 1
+    founder_choice = rng.integers(0, n_founders, size=(n_samples, max_segments))
+    chosen = founder_choice[np.arange(n_samples)[:, None], segment_id]
+    matrix = founders[chosen, np.arange(n_sites)[None, :]]
+
+    mutations = rng.random((n_samples, n_sites)) < mutation_prob
+    matrix = np.where(mutations, 1 - matrix, matrix).astype(np.uint8)
+    matrix = _ensure_polymorphic(rng, matrix)
+    positions = _uniform_positions(rng, n_sites, length)
+    return SNPAlignment(matrix=matrix, positions=positions, length=length)
+
+
+def sweep_signature_alignment(
+    n_samples: int,
+    n_sites: int,
+    *,
+    sweep_position: float = 0.5,
+    flank_fraction: float = 0.25,
+    sweep_ld: float = 0.9,
+    background_ld: float = 0.05,
+    length: Optional[float] = None,
+    seed: SeedLike = None,
+) -> SNPAlignment:
+    """Plant the canonical selective-sweep LD signature.
+
+    Sites within ``flank_fraction`` of the region on the *left* of
+    ``sweep_position`` copy a shared left haplotype with probability
+    ``sweep_ld`` (likewise on the right, with an *independent* right
+    haplotype); all other sites are independent. The result: elevated
+    r-squared within each flank and low r-squared across the focal point —
+    exactly the pattern the omega statistic rewards (Section II-B), so the
+    scanner should place its maximum omega near ``sweep_position``.
+
+    Parameters
+    ----------
+    sweep_position:
+        Focal point as a fraction of the region length, in (0, 1).
+    flank_fraction:
+        Half-width of the affected region as a fraction of the length.
+    sweep_ld:
+        Probability a flank site copies its flank haplotype (LD strength).
+    background_ld:
+        Residual correlation of non-flank sites (kept tiny).
+    """
+    n_samples = as_int("n_samples", n_samples)
+    n_sites = as_int("n_sites", n_sites)
+    if not 0.0 < sweep_position < 1.0:
+        raise ValueError(f"sweep_position must be in (0,1), got {sweep_position}")
+    if not 0.0 < flank_fraction <= 0.5:
+        raise ValueError(f"flank_fraction must be in (0, 0.5], got {flank_fraction}")
+    if not 0.0 <= background_ld < sweep_ld <= 1.0:
+        raise ValueError("require 0 <= background_ld < sweep_ld <= 1")
+    rng = resolve_rng(seed)
+    if length is None:
+        length = 100.0 * n_sites
+    positions = _uniform_positions(rng, n_sites, length)
+    centre = sweep_position * length
+    half = flank_fraction * length
+
+    left_mask = (positions >= centre - half) & (positions < centre)
+    right_mask = (positions >= centre) & (positions <= centre + half)
+
+    base = (rng.random((n_samples, n_sites)) < 0.5).astype(np.uint8)
+    left_hap = (rng.random(n_samples) < 0.5).astype(np.uint8)
+    right_hap = (rng.random(n_samples) < 0.5).astype(np.uint8)
+
+    copy_left = rng.random((n_samples, n_sites)) < sweep_ld
+    copy_right = rng.random((n_samples, n_sites)) < sweep_ld
+    matrix = base.copy()
+    matrix[:, left_mask] = np.where(
+        copy_left[:, left_mask], left_hap[:, None], base[:, left_mask]
+    )
+    matrix[:, right_mask] = np.where(
+        copy_right[:, right_mask], right_hap[:, None], base[:, right_mask]
+    )
+
+    if background_ld > 0.0:
+        shared = (rng.random(n_samples) < 0.5).astype(np.uint8)
+        copy_bg = rng.random((n_samples, n_sites)) < background_ld
+        bg_mask = ~(left_mask | right_mask)
+        matrix[:, bg_mask] = np.where(
+            copy_bg[:, bg_mask], shared[:, None], matrix[:, bg_mask]
+        )
+
+    matrix = _ensure_polymorphic(rng, matrix)
+    return SNPAlignment(matrix=matrix, positions=positions, length=length)
+
+
+def clustered_positions(
+    n_sites: int,
+    length: float,
+    *,
+    n_clusters: int = 10,
+    cluster_width_fraction: float = 0.02,
+    background_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Non-uniform SNP positions: dense clusters over a sparse background.
+
+    A ``background_fraction`` of sites is uniform over the region; the rest
+    concentrate in ``n_clusters`` narrow Gaussian clumps. Grid positions
+    falling inside a clump see a large per-position workload while the rest
+    see a small one — the regime that motivates the dynamic two-kernel GPU
+    deployment (Eq. 4).
+    """
+    n_sites = as_int("n_sites", n_sites)
+    check_positive("length", length)
+    if n_clusters < 1:
+        raise ValueError(f"need at least 1 cluster, got {n_clusters}")
+    rng = resolve_rng(seed)
+    n_bg = int(round(n_sites * background_fraction))
+    n_cl = n_sites - n_bg
+    centres = rng.uniform(0.1 * length, 0.9 * length, size=n_clusters)
+    width = cluster_width_fraction * length
+    assignments = rng.integers(0, n_clusters, size=n_cl)
+    clustered = rng.normal(centres[assignments], width)
+    background = rng.uniform(0.0, length, size=n_bg)
+    pos = np.concatenate([clustered, background])
+    pos = np.clip(pos, 0.0, length)
+    pos.sort()
+    for k in range(1, n_sites):
+        if pos[k] <= pos[k - 1]:
+            pos[k] = np.nextafter(pos[k - 1], np.inf)
+    if pos.size and pos[-1] > length:
+        # nextafter chains can run past the region end; fold them back just
+        # inside while keeping strict order.
+        overflow = pos > length
+        n_over = int(overflow.sum())
+        pos[overflow] = length - np.arange(n_over, 0, -1) * 1e-9
+        pos.sort()
+    return pos

@@ -1,0 +1,247 @@
+"""Reader/writer for Hudson's ``ms`` output format.
+
+The paper generates all evaluation datasets with Hudson's ``ms`` [30]; our
+coalescent simulator emits the same text format and this module parses it,
+so datasets can round-trip through files exactly as they would with the
+original tool chain.
+
+Format summary (one replicate)::
+
+    ms 4 1 -t 5.0            <- command line echo (first line of file)
+    27473 31728 43326        <- RNG seeds (second line)
+
+    //                       <- replicate separator
+    segsites: 3
+    positions: 0.1717 0.2230 0.8750
+    001
+    010
+    110
+    010
+
+Positions are fractions of the simulated region; :func:`parse_ms` scales
+them by a caller-supplied region length (default 1.0 keeps them relative).
+Ties in the position list (ms prints 4-5 decimals) are broken by nudging
+subsequent equal positions up by the smallest representable step so that
+:class:`~repro.datasets.alignment.SNPAlignment`'s strict ordering holds.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import DataFormatError
+
+__all__ = ["MsReplicate", "parse_ms", "write_ms", "parse_ms_text", "ms_text"]
+
+
+@dataclass
+class MsReplicate:
+    """One ``//`` block of an ms file, already converted to an alignment."""
+
+    alignment: SNPAlignment
+    index: int = 0
+
+
+def _make_strictly_increasing(positions: np.ndarray) -> np.ndarray:
+    """Nudge duplicate positions upward so the sequence is strictly
+    increasing, preserving order. ms output rounds to few decimals and can
+    emit ties; OmegaPlus does the same de-duplication on load."""
+    out = positions.copy()
+    for k in range(1, out.size):
+        if out[k] <= out[k - 1]:
+            out[k] = np.nextafter(out[k - 1], np.inf)
+    return out
+
+
+def parse_ms(
+    source: Union[str, TextIO],
+    *,
+    length: float = 1.0,
+) -> List[MsReplicate]:
+    """Parse an ms-format file or file object into replicates.
+
+    Parameters
+    ----------
+    source:
+        Path to an ms file, or an open text stream.
+    length:
+        Region length in base pairs; ms's fractional positions are scaled
+        by this value.
+
+    Returns
+    -------
+    list of MsReplicate
+
+    Raises
+    ------
+    DataFormatError
+        On structural problems: missing ``segsites``/``positions`` lines,
+        haplotype rows of the wrong width, or non-binary characters.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return parse_ms(fh, length=length)
+    lines = [ln.rstrip("\n") for ln in source]
+    return _parse_lines(lines, length=length)
+
+
+def parse_ms_text(text: str, *, length: float = 1.0) -> List[MsReplicate]:
+    """Parse ms-format content held in a string (convenience wrapper)."""
+    return parse_ms(io.StringIO(text), length=length)
+
+
+def _parse_lines(lines: Sequence[str], *, length: float) -> List[MsReplicate]:
+    replicates: List[MsReplicate] = []
+    i = 0
+    n = len(lines)
+    rep_index = 0
+    while i < n:
+        if lines[i].strip() != "//":
+            i += 1
+            continue
+        i += 1
+        # segsites line
+        while i < n and not lines[i].strip():
+            i += 1
+        if i >= n or not lines[i].startswith("segsites:"):
+            raise DataFormatError(
+                f"replicate {rep_index}: expected 'segsites:' after '//', "
+                f"got {lines[i]!r}" if i < n else
+                f"replicate {rep_index}: file ends after '//'"
+            )
+        try:
+            segsites = int(lines[i].split(":", 1)[1].strip())
+        except ValueError as exc:
+            raise DataFormatError(
+                f"replicate {rep_index}: malformed segsites line {lines[i]!r}"
+            ) from exc
+        if segsites < 0:
+            raise DataFormatError(
+                f"replicate {rep_index}: negative segsites {segsites}"
+            )
+        i += 1
+
+        if segsites == 0:
+            # Zero-variation replicate: no positions line, no haplotypes.
+            alignment = SNPAlignment(
+                matrix=np.zeros((0, 0), dtype=np.uint8),
+                positions=np.zeros(0),
+                length=length,
+            )
+            replicates.append(MsReplicate(alignment=alignment, index=rep_index))
+            rep_index += 1
+            continue
+
+        while i < n and not lines[i].strip():
+            i += 1
+        if i >= n or not lines[i].startswith("positions:"):
+            raise DataFormatError(
+                f"replicate {rep_index}: expected 'positions:' line"
+            )
+        pos_tokens = lines[i].split(":", 1)[1].split()
+        if len(pos_tokens) != segsites:
+            raise DataFormatError(
+                f"replicate {rep_index}: {segsites} segsites but "
+                f"{len(pos_tokens)} positions"
+            )
+        try:
+            rel_positions = np.array([float(t) for t in pos_tokens])
+        except ValueError as exc:
+            raise DataFormatError(
+                f"replicate {rep_index}: non-numeric position"
+            ) from exc
+        if rel_positions.size and (
+            rel_positions.min() < 0.0 or rel_positions.max() > 1.0
+        ):
+            raise DataFormatError(
+                f"replicate {rep_index}: positions must lie in [0, 1]"
+            )
+        if np.any(np.diff(rel_positions) < 0):
+            raise DataFormatError(
+                f"replicate {rep_index}: positions must be sorted"
+            )
+        i += 1
+
+        haplotypes: List[np.ndarray] = []
+        while i < n and lines[i].strip() and lines[i].strip() != "//":
+            row = lines[i].strip()
+            if len(row) != segsites:
+                raise DataFormatError(
+                    f"replicate {rep_index}: haplotype of length {len(row)}, "
+                    f"expected {segsites}"
+                )
+            if set(row) - {"0", "1"}:
+                raise DataFormatError(
+                    f"replicate {rep_index}: haplotype contains characters "
+                    f"other than 0/1: {row[:20]!r}..."
+                )
+            haplotypes.append(np.frombuffer(row.encode("ascii"), dtype=np.uint8) - ord("0"))
+            i += 1
+        if not haplotypes:
+            raise DataFormatError(
+                f"replicate {rep_index}: no haplotype rows"
+            )
+        matrix = np.vstack(haplotypes)
+        positions = _make_strictly_increasing(rel_positions * length)
+        alignment = SNPAlignment(matrix=matrix, positions=positions, length=length)
+        replicates.append(MsReplicate(alignment=alignment, index=rep_index))
+        rep_index += 1
+    if not replicates:
+        raise DataFormatError("no '//' replicate blocks found in ms input")
+    return replicates
+
+
+def ms_text(
+    replicates: Iterable[SNPAlignment],
+    *,
+    command: Optional[str] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    decimals: int = 6,
+) -> str:
+    """Serialize alignments to ms format, returning the text.
+
+    ``positions`` are written as fractions of each alignment's ``length``
+    with ``decimals`` digits. The command echo defaults to an ms-style
+    line reconstructed from the first replicate's dimensions.
+    """
+    reps = list(replicates)
+    if not reps:
+        raise ValueError("need at least one replicate to write")
+    first = reps[0]
+    cmd = command or f"ms {first.n_samples} {len(reps)} -t 5.0"
+    out: List[str] = [cmd, " ".join(str(s) for s in seeds), ""]
+    for aln in reps:
+        out.append("//")
+        out.append(f"segsites: {aln.n_sites}")
+        if aln.n_sites:
+            rel = aln.positions / aln.length
+            out.append(
+                "positions: "
+                + " ".join(f"{p:.{decimals}f}" for p in rel)
+            )
+            for row in aln.matrix:
+                out.append("".join("1" if v else "0" for v in row))
+        out.append("")
+    return "\n".join(out)
+
+
+def write_ms(
+    replicates: Iterable[SNPAlignment],
+    path_or_stream: Union[str, TextIO],
+    *,
+    command: Optional[str] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    decimals: int = 6,
+) -> None:
+    """Write alignments to an ms-format file or stream."""
+    text = ms_text(replicates, command=command, seeds=seeds, decimals=decimals)
+    if isinstance(path_or_stream, str):
+        with open(path_or_stream, "w", encoding="ascii") as fh:
+            fh.write(text)
+    else:
+        path_or_stream.write(text)

@@ -1,0 +1,193 @@
+"""Minimal VCF input (the third common input route to sweep scanners).
+
+Supports the subset of VCF 4.x that genotype-level sweep analyses need:
+
+* one chromosome per parse (matching OmegaPlus's per-region analysis;
+  pass ``chromosome=`` to select when a file carries several);
+* biallelic SNP records only (multi-allelic sites and indels are
+  skipped, as OmegaPlus does);
+* ``GT`` as the first FORMAT field; haploid (``0``/``1``) and diploid
+  (``0/1``, ``0|1``) calls accepted — diploid genotypes are split into
+  two haplotypes per sample, so ``n_haplotypes = 2 x n_samples``;
+* missing calls (``.``) map to the missing marker.
+
+The REF allele encodes as 0 and ALT as 1 (VCF's own polarity — with an
+ancestral-allele INFO tag absent, this is reference-polarized, which the
+LD/ω machinery is invariant to).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.datasets.missing import MISSING, MaskedAlignment
+from repro.errors import DataFormatError
+
+__all__ = ["parse_vcf", "parse_vcf_text", "vcf_text"]
+
+_SNP_ALLELES = {"A", "C", "G", "T"}
+
+
+def parse_vcf(
+    source: Union[str, io.TextIOBase],
+    *,
+    chromosome: Optional[str] = None,
+    length: Optional[float] = None,
+) -> MaskedAlignment:
+    """Parse a VCF into a masked haplotype alignment.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    chromosome:
+        CHROM value to keep; default: the first one encountered (a
+        mixed-chromosome file without this argument is an error).
+    length:
+        Region length in bp; defaults to the last position + 1.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return parse_vcf(fh, chromosome=chromosome, length=length)
+
+    sample_names: Optional[List[str]] = None
+    columns: List[np.ndarray] = []
+    positions: List[float] = []
+    seen_chrom: Optional[str] = None
+
+    for raw in source:
+        line = raw.rstrip("\n")
+        if not line or line.startswith("##"):
+            continue
+        if line.startswith("#CHROM"):
+            fields = line.split("\t")
+            if len(fields) < 10:
+                raise DataFormatError(
+                    "VCF header has no sample columns"
+                )
+            sample_names = fields[9:]
+            continue
+        if sample_names is None:
+            raise DataFormatError("data line before #CHROM header")
+        fields = line.split("\t")
+        if len(fields) != 9 + len(sample_names):
+            raise DataFormatError(
+                f"record has {len(fields)} fields, expected "
+                f"{9 + len(sample_names)}"
+            )
+        chrom, pos_s, _id, ref, alt, _qual, _filter, _info, fmt = fields[:9]
+        if chromosome is not None:
+            if chrom != chromosome:
+                continue
+        else:
+            if seen_chrom is None:
+                seen_chrom = chrom
+            elif chrom != seen_chrom:
+                raise DataFormatError(
+                    f"multiple chromosomes ({seen_chrom}, {chrom}); pass "
+                    f"chromosome= to select one"
+                )
+        # biallelic SNPs only
+        if ref.upper() not in _SNP_ALLELES or alt.upper() not in _SNP_ALLELES:
+            continue
+        if "," in alt:
+            continue
+        if not fmt.split(":")[0] == "GT":
+            raise DataFormatError(
+                f"FORMAT must lead with GT, got {fmt!r}"
+            )
+        try:
+            pos = float(int(pos_s))
+        except ValueError as exc:
+            raise DataFormatError(f"bad POS {pos_s!r}") from exc
+
+        calls: List[int] = []
+        for entry in fields[9:]:
+            gt = entry.split(":", 1)[0]
+            alleles = gt.replace("|", "/").split("/")
+            for a in alleles:
+                if a == ".":
+                    calls.append(int(MISSING))
+                elif a in ("0", "1"):
+                    calls.append(int(a))
+                else:
+                    raise DataFormatError(
+                        f"unsupported allele index {a!r} in biallelic "
+                        f"record at pos {pos_s}"
+                    )
+        column = np.array(calls, dtype=np.uint8)
+        if columns and column.size != columns[0].size:
+            raise DataFormatError(
+                f"inconsistent ploidy at pos {pos_s}"
+            )
+        columns.append(column)
+        positions.append(pos)
+
+    if not columns:
+        raise DataFormatError("no usable biallelic SNP records found")
+    matrix = np.column_stack(columns)
+    pos_arr = np.array(positions)
+    order = np.argsort(pos_arr, kind="stable")
+    pos_arr = pos_arr[order]
+    matrix = matrix[:, order]
+    for k in range(1, pos_arr.size):
+        if pos_arr[k] <= pos_arr[k - 1]:
+            pos_arr[k] = np.nextafter(pos_arr[k - 1], np.inf)
+    region_length = float(length) if length else float(pos_arr[-1] + 1.0)
+    return MaskedAlignment(
+        matrix=matrix, positions=pos_arr, length=region_length
+    )
+
+
+def parse_vcf_text(text: str, **kwargs) -> MaskedAlignment:
+    """Parse VCF content held in a string."""
+    return parse_vcf(io.StringIO(text), **kwargs)
+
+
+def vcf_text(
+    masked: MaskedAlignment,
+    *,
+    chromosome: str = "1",
+    diploid: bool = False,
+) -> str:
+    """Serialize a masked alignment to minimal VCF (round-trip helper).
+
+    With ``diploid=True`` consecutive haplotype pairs are written as
+    phased diploid genotypes; the haplotype count must then be even.
+    """
+    n = masked.n_samples
+    if diploid and n % 2:
+        raise DataFormatError("diploid output needs an even haplotype count")
+    lines = [
+        "##fileformat=VCFv4.2",
+        f"##contig=<ID={chromosome},length={int(masked.length)}>",
+    ]
+    if diploid:
+        names = [f"s{k}" for k in range(n // 2)]
+    else:
+        names = [f"h{k}" for k in range(n)]
+    lines.append(
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t"
+        + "\t".join(names)
+    )
+
+    def fmt_call(v: int) -> str:
+        return "." if v == int(MISSING) else str(v)
+
+    for s in range(masked.n_sites):
+        col = masked.matrix[:, s]
+        if diploid:
+            gts = [
+                f"{fmt_call(int(col[2 * k]))}|{fmt_call(int(col[2 * k + 1]))}"
+                for k in range(n // 2)
+            ]
+        else:
+            gts = [fmt_call(int(v)) for v in col]
+        lines.append(
+            f"{chromosome}\t{int(round(masked.positions[s]))}\t.\tA\tG\t.\t"
+            f"PASS\t.\tGT\t" + "\t".join(gts)
+        )
+    return "\n".join(lines) + "\n"

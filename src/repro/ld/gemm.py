@@ -1,0 +1,86 @@
+"""All-pairs LD as dense linear algebra (the GEMM formulation).
+
+Alachiotis, Popovici & Low [24] showed that the co-occurrence counts that
+feed r² can be produced for *all* site pairs at once by one general matrix
+multiplication: with A the (samples x sites) 0/1 matrix,
+
+    N11 = Aᵀ A        (N11[i, j] = number of samples derived at i and j)
+
+after which r² is an element-wise map over N11 and the per-site counts.
+Binder et al. [17] mapped exactly this onto GPUs via the BLIS framework,
+and the paper's GPU-accelerated OmegaPlus reuses that kernel for its LD
+stage. In NumPy the analogue of the vendor GEMM is ``A.T @ A`` dispatched
+to BLAS — this module is therefore both the fastest host implementation
+and the functional model of the GPU LD path.
+
+Memory note: the full matrix is O(sites²) float64. For the window sizes
+OmegaPlus feeds it (a few thousand SNPs per region) that is tens of MB;
+whole-chromosome all-pairs use :mod:`repro.ld.tiled` instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import LDError
+from repro.ld.correlation import r_squared_from_counts
+
+__all__ = ["cooccurrence_gemm", "r_squared_matrix", "r_squared_block"]
+
+
+def cooccurrence_gemm(alignment: SNPAlignment) -> np.ndarray:
+    """Return the (sites x sites) co-occurrence count matrix AᵀA.
+
+    Uses a float64 GEMM (BLAS) and rounds back to integers: counts are
+    bounded by n_samples, far below 2⁵³, so the round-trip is exact.
+    """
+    a = alignment.matrix.astype(np.float64)
+    return np.rint(a.T @ a).astype(np.int64)
+
+
+def r_squared_matrix(
+    alignment: SNPAlignment, *, strict: bool = False
+) -> np.ndarray:
+    """Full symmetric r² matrix for all site pairs.
+
+    The diagonal is 1 for polymorphic sites (a site is perfectly correlated
+    with itself) and 0 for monomorphic ones, consistent with the
+    monomorphic-pair convention in :mod:`repro.ld.correlation`.
+    """
+    n11 = cooccurrence_gemm(alignment)
+    counts = alignment.derived_counts()
+    c_i = np.broadcast_to(counts[:, None], n11.shape)
+    c_j = np.broadcast_to(counts[None, :], n11.shape)
+    return r_squared_from_counts(
+        n11, c_i, c_j, alignment.n_samples, strict=strict
+    )
+
+
+def r_squared_block(
+    alignment: SNPAlignment,
+    rows: slice,
+    cols: slice,
+    *,
+    strict: bool = False,
+) -> np.ndarray:
+    """r² for the rectangular block ``rows x cols`` of the pair matrix.
+
+    This is the primitive the tiled large-dataset driver composes; it is
+    also how the GEMM engine serves OmegaPlus, which only ever needs the
+    pairs inside the current grid-position window rather than the whole
+    matrix.
+    """
+    n_sites = alignment.n_sites
+    r0, r1, rstep = rows.indices(n_sites)
+    c0, c1, cstep = cols.indices(n_sites)
+    if rstep != 1 or cstep != 1:
+        raise LDError("r_squared_block requires contiguous (step-1) slices")
+    a = alignment.matrix.astype(np.float64)
+    n11 = a[:, r0:r1].T @ a[:, c0:c1]
+    counts = alignment.derived_counts()
+    c_i = np.broadcast_to(counts[r0:r1, None], n11.shape)
+    c_j = np.broadcast_to(counts[None, c0:c1], n11.shape)
+    return r_squared_from_counts(
+        n11, c_i, c_j, alignment.n_samples, strict=strict
+    )

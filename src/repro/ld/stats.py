@@ -1,0 +1,105 @@
+"""Extended LD statistics beyond r² (the quickLD feature set).
+
+quickLD (Theodoris et al. [18]), whose processing machinery the paper
+adapts for OmegaPlus's LD stage, computes "various LD statistics"; the
+standard set is implemented here on the same sufficient statistics
+(co-occurrence counts) as the r² kernels:
+
+* ``D`` — the raw coalition coefficient ``p_ij - p_i p_j``;
+* ``D'`` — Lewontin's normalized D: ``D / D_max`` where ``D_max`` is the
+  tightest bound allowed by the marginal frequencies (|D'| = 1 means at
+  most three of the four haplotypes are present);
+* ``r`` — the signed Pearson correlation (``r² = r·r`` links back to the
+  omega machinery).
+
+All functions broadcast over pair arrays and share the monomorphic-site
+convention of :mod:`repro.ld.correlation` (undefined values map to 0).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import LDError
+from repro.ld.gemm import cooccurrence_gemm
+
+__all__ = ["d_from_counts", "d_prime_from_counts", "r_from_counts", "ld_stats_matrix"]
+
+
+def _frequencies(
+    n11: np.ndarray, c_i: np.ndarray, c_j: np.ndarray, n_samples: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if n_samples <= 0:
+        raise LDError(f"n_samples must be positive, got {n_samples}")
+    n = float(n_samples)
+    return (
+        np.asarray(n11, dtype=np.float64) / n,
+        np.asarray(c_i, dtype=np.float64) / n,
+        np.asarray(c_j, dtype=np.float64) / n,
+    )
+
+
+def d_from_counts(n11, c_i, c_j, n_samples: int) -> np.ndarray:
+    """Raw LD coefficient D = p_ij - p_i p_j (vectorized)."""
+    p_ij, p_i, p_j = _frequencies(n11, c_i, c_j, n_samples)
+    return p_ij - p_i * p_j
+
+
+def d_prime_from_counts(n11, c_i, c_j, n_samples: int) -> np.ndarray:
+    """Lewontin's D': D normalized by its frequency-constrained maximum.
+
+    For D > 0, ``D_max = min(p_i (1-p_j), (1-p_i) p_j)``; for D < 0,
+    ``D_max = min(p_i p_j, (1-p_i)(1-p_j))``. Monomorphic pairs yield 0.
+    """
+    p_ij, p_i, p_j = _frequencies(n11, c_i, c_j, n_samples)
+    d = p_ij - p_i * p_j
+    pos_max = np.minimum(p_i * (1.0 - p_j), (1.0 - p_i) * p_j)
+    neg_max = np.minimum(p_i * p_j, (1.0 - p_i) * (1.0 - p_j))
+    d_max = np.where(d >= 0, pos_max, neg_max)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(d_max > 0, d / np.where(d_max > 0, d_max, 1.0), 0.0)
+    return np.clip(out, -1.0, 1.0)
+
+
+def r_from_counts(n11, c_i, c_j, n_samples: int) -> np.ndarray:
+    """Signed Pearson correlation r (its square is Eq. 1's r²)."""
+    p_ij, p_i, p_j = _frequencies(n11, c_i, c_j, n_samples)
+    d = p_ij - p_i * p_j
+    denom = p_i * (1.0 - p_i) * p_j * (1.0 - p_j)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = np.where(denom > 0, d / np.sqrt(np.where(denom > 0, denom, 1.0)), 0.0)
+    return np.clip(out, -1.0, 1.0)
+
+
+def ld_stats_matrix(
+    alignment: SNPAlignment, statistic: str = "r2"
+) -> np.ndarray:
+    """Full pairwise matrix of any supported LD statistic.
+
+    Parameters
+    ----------
+    alignment:
+        Input SNP data.
+    statistic:
+        One of ``"r2"``, ``"r"``, ``"D"``, ``"Dprime"``.
+    """
+    n11 = cooccurrence_gemm(alignment)
+    counts = alignment.derived_counts()
+    c_i = np.broadcast_to(counts[:, None], n11.shape)
+    c_j = np.broadcast_to(counts[None, :], n11.shape)
+    n = alignment.n_samples
+    if statistic == "r2":
+        r = r_from_counts(n11, c_i, c_j, n)
+        return r * r
+    if statistic == "r":
+        return r_from_counts(n11, c_i, c_j, n)
+    if statistic == "D":
+        return d_from_counts(n11, c_i, c_j, n)
+    if statistic == "Dprime":
+        return d_prime_from_counts(n11, c_i, c_j, n)
+    raise LDError(
+        f"unknown statistic {statistic!r}; use 'r2', 'r', 'D' or 'Dprime'"
+    )

@@ -1,0 +1,48 @@
+"""Coalescent and selective-sweep simulation (the Hudson's-ms substitute).
+
+* :func:`~repro.simulate.coalescent.simulate_neutral` — neutral replicates
+  with recombination (SMC' local-tree walk).
+* :func:`~repro.simulate.sweep.simulate_sweep` — replicates carrying a
+  completed sweep (escape-distance hitchhiking approximation).
+* :mod:`repro.simulate.trees` — the genealogy structure both build on.
+
+Output alignments serialize to ms format via
+:func:`repro.datasets.write_ms`, closing the loop with the paper's data
+pipeline.
+"""
+
+from repro.simulate.coalescent import (
+    SequenceWalker,
+    TreeInterval,
+    kingman_tree,
+    simulate_neutral,
+)
+from repro.simulate.demography import (
+    CONSTANT,
+    Demography,
+    bottleneck,
+    expansion,
+    kingman_tree_demography,
+    simulate_neutral_demography,
+)
+from repro.simulate.genome import simulate_genome
+from repro.simulate.sweep import SweepParameters, simulate_sweep
+from repro.simulate.trees import Branch, Genealogy
+
+__all__ = [
+    "Genealogy",
+    "Branch",
+    "kingman_tree",
+    "SequenceWalker",
+    "TreeInterval",
+    "simulate_neutral",
+    "Demography",
+    "CONSTANT",
+    "bottleneck",
+    "expansion",
+    "kingman_tree_demography",
+    "simulate_neutral_demography",
+    "SweepParameters",
+    "simulate_sweep",
+    "simulate_genome",
+]

@@ -1,0 +1,207 @@
+"""Non-equilibrium demography: piecewise-constant population size.
+
+The Crisci et al. study the paper's motivation rests on evaluated sweep
+detectors under *equilibrium and non-equilibrium* scenarios (bottlenecks
+are the classic confounder: they mimic sweeps genome-wide and erode every
+detector's power). To let this reproduction run those scenarios, the
+coalescent machinery accepts a :class:`Demography`: a piecewise-constant
+population-size history N(t)/N(0) looking backward in time.
+
+The implementation uses the standard time-rescaling construction: with
+relative size ``lambda(t)``, coalescence intensity at time ``t`` scales
+as ``1 / lambda(t)``, so a standard-coalescent waiting time ``w`` maps to
+real time through the inverse of the cumulative intensity
+``L(t) = integral_0^t dt' / lambda(t')``. :meth:`Demography.rescale`
+computes that inverse exactly for piecewise-constant histories, and
+:func:`kingman_tree_demography` draws genealogies under it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import SimulationError
+from repro.simulate.trees import Genealogy
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "Demography",
+    "CONSTANT",
+    "bottleneck",
+    "expansion",
+    "kingman_tree_demography",
+    "simulate_neutral_demography",
+]
+
+
+@dataclass(frozen=True)
+class Demography:
+    """Piecewise-constant relative population size, backward in time.
+
+    Attributes
+    ----------
+    times:
+        Epoch start times in coalescent units (2N₀ generations),
+        strictly increasing, starting at 0.0.
+    sizes:
+        Relative size ``lambda`` of each epoch (N(t) / N₀); the present
+        epoch has size ``sizes[0]`` (conventionally 1.0).
+    """
+
+    times: Tuple[float, ...]
+    sizes: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times)
+        sizes = tuple(float(s) for s in self.sizes)
+        if len(times) != len(sizes):
+            raise SimulationError("times and sizes must have equal length")
+        if not times or times[0] != 0.0:
+            raise SimulationError("the first epoch must start at time 0.0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise SimulationError("epoch times must be strictly increasing")
+        if any(s <= 0 for s in sizes):
+            raise SimulationError("relative sizes must be positive")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "sizes", sizes)
+
+    # ------------------------------------------------------------------ #
+
+    def size_at(self, t: float) -> float:
+        """Relative population size at backward time ``t``."""
+        if t < 0:
+            raise SimulationError(f"time must be >= 0, got {t}")
+        return self.sizes[bisect_right(self.times, t) - 1]
+
+    def intensity(self, t: float) -> float:
+        """Cumulative coalescent intensity L(t) = ∫₀ᵗ dt'/lambda(t')."""
+        if t < 0:
+            raise SimulationError(f"time must be >= 0, got {t}")
+        total = 0.0
+        for k, (start, lam) in enumerate(zip(self.times, self.sizes)):
+            end = self.times[k + 1] if k + 1 < len(self.times) else np.inf
+            if t <= start:
+                break
+            total += (min(t, end) - start) / lam
+        return total
+
+    def rescale(self, t_now: float, wait_std: float) -> float:
+        """Map a standard-coalescent waiting time to real time.
+
+        Given the current backward time ``t_now`` and a waiting time
+        ``wait_std`` drawn under the constant-size model, returns the
+        real time of the event: the ``t`` with
+        ``L(t) - L(t_now) = wait_std``.
+        """
+        if wait_std < 0:
+            raise SimulationError("waiting time must be >= 0")
+        remaining = wait_std
+        t = t_now
+        idx = bisect_right(self.times, t) - 1
+        while True:
+            lam = self.sizes[idx]
+            end = self.times[idx + 1] if idx + 1 < len(self.times) else np.inf
+            capacity = (end - t) / lam  # standard time this epoch can absorb
+            if remaining <= capacity:
+                return t + remaining * lam
+            remaining -= capacity
+            t = end
+            idx += 1
+
+
+#: Equilibrium (constant-size) history.
+CONSTANT = Demography(times=(0.0,), sizes=(1.0,))
+
+
+def bottleneck(
+    *,
+    start: float = 0.05,
+    duration: float = 0.1,
+    severity: float = 0.1,
+) -> Demography:
+    """A past bottleneck: size drops to ``severity`` between ``start``
+    and ``start + duration`` (backward time, 2N₀ units), recovering to
+    1.0 further in the past."""
+    check_positive("duration", duration)
+    check_positive("severity", severity)
+    if start <= 0:
+        raise SimulationError("bottleneck start must be > 0")
+    return Demography(
+        times=(0.0, start, start + duration),
+        sizes=(1.0, severity, 1.0),
+    )
+
+
+def expansion(*, start: float = 0.1, factor: float = 10.0) -> Demography:
+    """Recent population expansion: present size is ``factor`` x the
+    ancestral size (backward in time the population *shrinks* at
+    ``start``)."""
+    check_positive("factor", factor)
+    if start <= 0:
+        raise SimulationError("expansion start must be > 0")
+    return Demography(times=(0.0, start), sizes=(1.0, 1.0 / factor))
+
+
+def kingman_tree_demography(
+    n: int, demography: Demography, rng: np.random.Generator
+) -> Genealogy:
+    """Sample a genealogy under a piecewise-constant size history."""
+    if n < 2:
+        raise SimulationError(f"need >= 2 lineages, got {n}")
+    g = Genealogy(n)
+    active = list(range(n))
+    t = 0.0
+    while len(active) > 1:
+        k = len(active)
+        wait_std = rng.exponential(2.0 / (k * (k - 1)))
+        t = demography.rescale(t, wait_std)
+        i, j = rng.choice(k, size=2, replace=False)
+        a, b = active[int(i)], active[int(j)]
+        v = g.new_node(t)
+        g.attach(a, v)
+        g.attach(b, v)
+        active = [x for x in active if x not in (a, b)] + [v]
+    g.set_root(active[0])
+    return g
+
+
+def simulate_neutral_demography(
+    n_samples: int,
+    *,
+    theta: float,
+    demography: Demography,
+    length: float = 1.0,
+    seed: SeedLike = None,
+) -> SNPAlignment:
+    """Neutral replicate under a size history (single locus: genealogy
+    drawn once, mutations Poisson on its branches — the ms ``-eN``
+    model without recombination)."""
+    check_positive("theta", theta)
+    check_positive("length", length)
+    rng = resolve_rng(seed)
+    tree = kingman_tree_demography(n_samples, demography, rng)
+    t_total = tree.total_length()
+    k = int(rng.poisson(0.5 * theta * t_total))
+    sites = []
+    for _ in range(k):
+        pos = float(rng.uniform(0.0, 1.0))
+        branch, _t = tree.pick_uniform_point(rng)
+        carriers = tree.leaves_under(branch.child)
+        if 0 < carriers.size < n_samples:
+            sites.append((pos, carriers))
+    sites.sort(key=lambda s: s[0])
+    matrix = np.zeros((n_samples, len(sites)), dtype=np.uint8)
+    positions = np.empty(len(sites))
+    for idx, (pos, carriers) in enumerate(sites):
+        matrix[carriers, idx] = 1
+        positions[idx] = pos * length
+    for idx in range(1, len(sites)):
+        if positions[idx] <= positions[idx - 1]:
+            positions[idx] = np.nextafter(positions[idx - 1], np.inf)
+    return SNPAlignment(matrix=matrix, positions=positions, length=length)

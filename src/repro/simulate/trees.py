@@ -1,0 +1,288 @@
+"""Genealogy (coalescent tree) data structure.
+
+A :class:`Genealogy` stores a rooted binary tree over ``n`` sampled
+lineages: node ``k < n`` is leaf ``k`` at time 0; internal nodes carry
+coalescence times. The structure supports the operations the simulator
+needs — branch enumeration, leaf sets, total branch length, uniform point
+picking, and the detach/re-coalesce edit that implements the SMC'
+recombination step.
+
+Times are in coalescent units (2N generations), matching Hudson's ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Genealogy", "Branch"]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """One tree branch: ``child`` connected upward to ``parent``.
+
+    ``lower``/``upper`` are the child's and parent's node times; the branch
+    spans ``[lower, upper)`` and has length ``upper - lower``.
+    """
+
+    child: int
+    parent: int
+    lower: float
+    upper: float
+
+    @property
+    def length(self) -> float:
+        return self.upper - self.lower
+
+
+class Genealogy:
+    """Mutable rooted binary genealogy over ``n_leaves`` samples.
+
+    Nodes are integer ids. Leaves are ``0 .. n_leaves-1`` (time 0);
+    internal node ids are arbitrary non-negative integers (ids from removed
+    nodes are recycled). ``parent[v]`` is -1 for the root.
+    """
+
+    def __init__(self, n_leaves: int):
+        if n_leaves < 2:
+            raise SimulationError(f"need >= 2 leaves, got {n_leaves}")
+        self.n_leaves = n_leaves
+        cap = 2 * n_leaves  # enough for any binary tree plus one spare
+        self._parent = np.full(cap, -2, dtype=np.int64)  # -2 = unused slot
+        self._time = np.zeros(cap)
+        self._parent[:n_leaves] = -1
+        self._root: int = -1
+        self._free: List[int] = list(range(n_leaves, cap))
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def new_node(self, time: float) -> int:
+        """Allocate an internal node at the given time."""
+        if not self._free:
+            raise SimulationError("node capacity exhausted")
+        v = self._free.pop(0)  # lowest id first: fresh ids are sequential
+        self._parent[v] = -1
+        self._time[v] = time
+        return v
+
+    def attach(self, child: int, parent: int) -> None:
+        """Make ``parent`` the parent of ``child``."""
+        if self._parent[child] == -2 or self._parent[parent] == -2:
+            raise SimulationError("attach on unused node")
+        if self._time[parent] < self._time[child]:
+            raise SimulationError(
+                f"parent time {self._time[parent]} below child {self._time[child]}"
+            )
+        self._parent[child] = parent
+
+    def set_root(self, v: int) -> None:
+        self._root = v
+        self._parent[v] = -1
+
+    @classmethod
+    def from_merges(
+        cls, n_leaves: int, merges: Sequence[Tuple[int, int, float]]
+    ) -> "Genealogy":
+        """Build from a list of (node_a, node_b, time) coalescences.
+
+        Nodes are referred to by the ids returned along the way: leaves are
+        0..n-1, and the k-th merge creates node with the id returned by
+        ``new_node``. Merges must be time-ordered.
+        """
+        g = cls(n_leaves)
+        ids = list(range(n_leaves))
+        last_t = 0.0
+        new_id = -1
+        for a, b, t in merges:
+            if t < last_t:
+                raise SimulationError("merges must be time-ordered")
+            last_t = t
+            new_id = g.new_node(t)
+            g.attach(a, new_id)
+            g.attach(b, new_id)
+        if new_id >= 0:
+            g.set_root(new_id)
+        return g
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root(self) -> int:
+        if self._root < 0:
+            raise SimulationError("tree has no root (incomplete construction)")
+        return self._root
+
+    def parent(self, v: int) -> int:
+        return int(self._parent[v])
+
+    def time(self, v: int) -> float:
+        return float(self._time[v])
+
+    def nodes(self) -> List[int]:
+        """All live node ids (leaves + internals)."""
+        return [int(v) for v in np.nonzero(self._parent != -2)[0]]
+
+    def children(self, v: int) -> List[int]:
+        return [
+            int(u)
+            for u in np.nonzero(self._parent == v)[0]
+        ]
+
+    def branches(self) -> List[Branch]:
+        """Every branch (child, parent) with its time span."""
+        out: List[Branch] = []
+        for v in self.nodes():
+            p = self.parent(v)
+            if p >= 0:
+                out.append(Branch(v, p, self.time(v), self.time(p)))
+        return out
+
+    def total_length(self) -> float:
+        """Sum of all branch lengths (T_total; E[T_total] = 2·a_{n-1})."""
+        return sum(b.length for b in self.branches())
+
+    def tmrca(self) -> float:
+        """Time to the most recent common ancestor (root time)."""
+        return self.time(self.root)
+
+    def leaves_under(self, v: int) -> np.ndarray:
+        """Sorted array of leaf ids in the clade rooted at ``v``."""
+        stack = [v]
+        found: List[int] = []
+        while stack:
+            u = stack.pop()
+            if u < self.n_leaves:
+                found.append(u)
+            else:
+                stack.extend(self.children(u))
+        return np.array(sorted(found), dtype=np.int64)
+
+    def pick_uniform_point(
+        self, rng: np.random.Generator
+    ) -> Tuple[Branch, float]:
+        """Uniformly random point on the tree: a branch and a time on it.
+
+        Used both for mutation placement and for choosing SMC'
+        recombination points.
+        """
+        branches = self.branches()
+        lengths = np.array([b.length for b in branches])
+        total = lengths.sum()
+        if total <= 0:
+            raise SimulationError("tree has zero total length")
+        idx = int(rng.choice(len(branches), p=lengths / total))
+        b = branches[idx]
+        t = float(rng.uniform(b.lower, b.upper))
+        return b, t
+
+    def lineage_count(self, t: float) -> int:
+        """Number of lineages extant at time ``t`` (branches crossing t,
+        plus the root lineage above the TMRCA counts as 1)."""
+        if t >= self.tmrca():
+            return 1
+        return sum(1 for b in self.branches() if b.lower <= t < b.upper)
+
+    # ------------------------------------------------------------------ #
+    # SMC' edit: detach a lineage and re-coalesce it
+    # ------------------------------------------------------------------ #
+
+    def detach(self, branch_child: int, cut_time: float) -> None:
+        """Remove the branch segment above ``branch_child`` from
+        ``cut_time`` upward, contracting the old parent node.
+
+        After this call the tree is *open*: ``branch_child``'s clade floats
+        (parent -1 but not the root) until :meth:`reattach` closes it.
+        """
+        p = self.parent(branch_child)
+        if p < 0:
+            raise SimulationError("cannot detach the root lineage")
+        if not (self.time(branch_child) <= cut_time <= self.time(p)):
+            raise SimulationError("cut_time outside the branch span")
+        sibs = [u for u in self.children(p) if u != branch_child]
+        if len(sibs) != 1:
+            raise SimulationError("detach requires a binary node")
+        sib = sibs[0]
+        gp = self.parent(p)
+        # contract p: sibling inherits p's parent
+        self._parent[branch_child] = -1
+        if gp >= 0:
+            self._parent[sib] = gp
+        else:
+            # p was the root; sibling's lineage becomes the (temporary) root
+            self._parent[sib] = -1
+            self._root = sib
+        self._parent[p] = -2  # free the contracted node
+        self._free.append(p)
+
+    def reattach(
+        self, floating: int, target_child: int, time: float
+    ) -> None:
+        """Coalesce the floating lineage onto the branch above
+        ``target_child`` at the given time (or above the root, if
+        ``target_child`` is the current root and ``time`` exceeds its
+        time)."""
+        if floating == self._root:
+            raise SimulationError("floating lineage is the root")
+        if self.parent(floating) != -1:
+            raise SimulationError("floating lineage already has a parent")
+        tp = self.parent(target_child)
+        if tp >= 0 and not (
+            self.time(target_child) <= time <= self.time(tp)
+        ):
+            raise SimulationError("reattach time outside target branch")
+        if tp < 0 and time < self.time(target_child):
+            raise SimulationError("reattach above root needs later time")
+        v = self.new_node(time)
+        if tp >= 0:
+            self._parent[v] = tp
+        else:
+            self._root = v
+        self._parent[target_child] = v
+        self._parent[floating] = v
+
+    def copy(self) -> "Genealogy":
+        """Deep copy (trees are edited in place along the sequence walk)."""
+        g = Genealogy.__new__(Genealogy)
+        g.n_leaves = self.n_leaves
+        g._parent = self._parent.copy()
+        g._time = self._time.copy()
+        g._root = self._root
+        g._free = list(self._free)
+        return g
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and after edits)."""
+        root = self.root
+        seen = 0
+        for v in self.nodes():
+            p = self.parent(v)
+            if v == root:
+                if p != -1:
+                    raise SimulationError("root has a parent")
+            else:
+                if p < 0:
+                    raise SimulationError(f"non-root node {v} is parentless")
+                if self._time[p] < self._time[v]:
+                    raise SimulationError("time decreases toward the root")
+            if v >= self.n_leaves:
+                deg = len(self.children(v))
+                if deg != 2:
+                    raise SimulationError(
+                        f"internal node {v} has degree {deg}, expected 2"
+                    )
+            seen += 1
+        if seen != 2 * self.n_leaves - 1:
+            raise SimulationError(
+                f"expected {2 * self.n_leaves - 1} nodes, found {seen}"
+            )
+        if self.leaves_under(root).size != self.n_leaves:
+            raise SimulationError("root does not cover all leaves")

@@ -1,0 +1,32 @@
+"""Shared low-level utilities: argument validation, timers, bit operations
+and deterministic RNG helpers.
+
+These helpers are deliberately free of any domain knowledge so they can be
+used from every subsystem without import cycles.
+"""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_fraction,
+    as_int,
+)
+from repro.utils.timing import Timer, TimeBreakdown
+from repro.utils.bitops import popcount64, pack_bits, unpack_bits
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_fraction",
+    "as_int",
+    "Timer",
+    "TimeBreakdown",
+    "popcount64",
+    "pack_bits",
+    "unpack_bits",
+    "resolve_rng",
+    "spawn_rngs",
+]

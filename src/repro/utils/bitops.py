@@ -1,0 +1,107 @@
+"""Vectorized bit-level operations on NumPy arrays.
+
+OmegaPlus packs binary SNP data into machine words and computes allele
+counts with population counts (popcount). NumPy (before 2.0's
+``bitwise_count``) has no vectorized popcount, so we provide one built from
+the classic SWAR (SIMD-within-a-register) reduction, plus helpers to pack a
+``{0,1}`` sample axis into ``uint64`` words and back.
+
+All functions are pure and allocate only O(input) temporaries; the SWAR
+popcount works in-place on a copy to keep peak memory at 2x the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["popcount64", "pack_bits", "unpack_bits"]
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def popcount64(words: np.ndarray) -> np.ndarray:
+    """Per-element population count of a ``uint64`` array.
+
+    Uses the SWAR algorithm: three masked shift-adds fold each word's bit
+    count into its bytes, and a multiply by 0x0101...01 sums the bytes into
+    the top byte. Runs fully vectorized.
+
+    Parameters
+    ----------
+    words:
+        Array of dtype ``uint64`` (any shape).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array of the same shape with values in [0, 64].
+    """
+    if words.dtype != np.uint64:
+        raise TypeError(f"popcount64 expects uint64 input, got {words.dtype}")
+    x = words.copy()
+    x -= (x >> np.uint64(1)) & _M1
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    x *= _H01
+    return (x >> np.uint64(56)).astype(np.int64)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack the **last axis** of a ``{0,1}`` array into ``uint64`` words.
+
+    The last axis (length ``n``) becomes ``ceil(n / 64)`` words; bit ``k`` of
+    the axis maps to bit ``63 - (k % 64)`` of word ``k // 64`` (big-endian
+    within a word, so lexicographic bit order matches sample order). Tail
+    bits of the final word are zero.
+
+    Parameters
+    ----------
+    bits:
+        Integer or boolean array whose values are 0 or 1.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint64`` array with the last axis replaced by the word axis.
+    """
+    arr = np.asarray(bits)
+    if arr.ndim == 0:
+        raise ValueError("pack_bits requires at least a 1-D array")
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError("pack_bits input must contain only 0 and 1")
+    n = arr.shape[-1]
+    n_words = (n + 63) // 64 if n else 0
+    packed_u8 = np.packbits(arr.astype(np.uint8), axis=-1)
+    # Pad byte axis to a multiple of 8 so it can be viewed as uint64.
+    pad = n_words * 8 - packed_u8.shape[-1]
+    if pad:
+        pad_width = [(0, 0)] * (packed_u8.ndim - 1) + [(0, pad)]
+        packed_u8 = np.pad(packed_u8, pad_width)
+    # Big-endian byte order inside each word preserves bit significance.
+    shape = arr.shape[:-1] + (n_words,)
+    return (
+        packed_u8.reshape(shape + (8,))
+        .astype(np.uint64)
+        .dot(np.uint64(1) << (np.arange(7, -1, -1, dtype=np.uint64) * np.uint64(8)))
+        .reshape(shape)
+    )
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand the last axis back to ``n_bits``
+    columns of ``uint8`` zeros/ones."""
+    if words.dtype != np.uint64:
+        raise TypeError(f"unpack_bits expects uint64 input, got {words.dtype}")
+    if n_bits < 0:
+        raise ValueError("n_bits must be non-negative")
+    if n_bits > words.shape[-1] * 64:
+        raise ValueError(
+            f"n_bits={n_bits} exceeds capacity of {words.shape[-1]} words"
+        )
+    shifts = (np.arange(7, -1, -1, dtype=np.uint64) * np.uint64(8))
+    by = (words[..., None] >> shifts).astype(np.uint8)
+    bits = np.unpackbits(by.reshape(words.shape[:-1] + (-1,)), axis=-1)
+    return bits[..., :n_bits]

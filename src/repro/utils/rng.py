@@ -1,0 +1,47 @@
+"""Deterministic random-number-generator plumbing.
+
+Everything stochastic in the library (dataset generators, coalescent
+simulator, benchmark workloads) accepts a ``seed`` argument that may be an
+``int``, an existing :class:`numpy.random.Generator`, or ``None``; these
+helpers normalize that into a Generator and derive independent child streams
+for parallel work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng", "spawn_rngs", "SeedLike"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Passing an existing Generator returns it unchanged (shared state), an
+    int gives a fresh seeded PCG64 stream, and ``None`` gives OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators.
+
+    Uses the SeedSequence spawning protocol, so children never overlap
+    regardless of how much each stream is consumed. Used by the
+    multiprocess scanner to give each worker its own stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = resolve_rng(seed)
+    children = root.bit_generator.seed_seq.spawn(n)  # type: ignore[union-attr]
+    return [np.random.Generator(np.random.PCG64(c)) for c in children]

@@ -1,0 +1,94 @@
+"""Wall-clock timing helpers.
+
+Two tools live here:
+
+* :class:`Timer` — a context manager around :func:`time.perf_counter` used by
+  the profiling harness and the real (NumPy) execution paths.
+* :class:`TimeBreakdown` — an accumulator that attributes elapsed time to
+  named phases (``"ld"``, ``"omega"``, ``"io"`` ...), mirroring the paper's
+  profiling of OmegaPlus where LD + omega account for >= 98 % of runtime.
+
+The accelerator *models* never use these (their time is analytic); only the
+host-side reference implementation is actually timed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "TimeBreakdown"]
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimeBreakdown:
+    """Accumulate wall-clock time per named phase.
+
+    Use :meth:`phase` as a context manager; times for the same phase add up
+    across entries. :meth:`fractions` normalizes to the total, which is how
+    the paper reports the LD/omega execution-time distribution (Fig. 14).
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Attribute ``seconds`` to ``name`` directly (for modelled time)."""
+        if seconds < 0:
+            raise ValueError(f"cannot add negative time {seconds!r} to {name!r}")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-phase share of the total. Empty breakdown -> empty dict."""
+        tot = self.total
+        if tot == 0.0:
+            return {name: 0.0 for name in self.totals}
+        return {name: t / tot for name, t in self.totals.items()}
+
+    def merged(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        """Return a new breakdown with phase totals from both operands."""
+        out = TimeBreakdown(dict(self.totals))
+        for name, t in other.totals.items():
+            out.totals[name] = out.totals.get(name, 0.0) + t
+        return out

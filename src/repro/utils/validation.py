@@ -1,0 +1,79 @@
+"""Small argument-validation helpers used across the library.
+
+They raise :class:`ValueError`/:class:`TypeError` with uniform messages so
+call sites stay one-liners and tests can assert on the message prefix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_fraction",
+    "as_int",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If the value is not strictly positive or is not finite.
+    """
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it unchanged."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Require ``low <= value <= high`` (or strict bounds); return it."""
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require a probability-like value in [0, 1]; return it."""
+    return check_in_range(name, value, 0.0, 1.0)
+
+
+def as_int(name: str, value: Any) -> int:
+    """Coerce an integral value (including numpy integers) to a Python int.
+
+    Raises
+    ------
+    TypeError
+        If the value is not integral (``2.5`` fails, ``2.0`` floats fail too:
+        silent float truncation hides bugs in window arithmetic).
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, int):
+        return value
+    # numpy integer scalars expose __index__
+    try:
+        return int(value.__index__())
+    except AttributeError:
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Derandomize hypothesis so the suite is reproducible run to run; the
+# property tests still explore the strategy space deterministically.
+hypothesis_settings.register_profile("deterministic", derandomize=True)
+hypothesis_settings.load_profile("deterministic")
+
+from repro.datasets import (
+    haplotype_block_alignment,
+    random_alignment,
+    sweep_signature_alignment,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_alignment():
+    """30 samples x 60 sites, independent sites."""
+    return random_alignment(30, 60, seed=101)
+
+
+@pytest.fixture
+def block_alignment():
+    """Alignment with LD-block structure."""
+    return haplotype_block_alignment(40, 120, seed=202)
+
+
+@pytest.fixture
+def sweep_alignment():
+    """Alignment carrying a planted sweep signature at the centre."""
+    return sweep_signature_alignment(40, 300, seed=303)
+
+
+@pytest.fixture
+def tiny_alignment():
+    """Minimal alignment exercising edge cases (few sites)."""
+    return random_alignment(10, 6, seed=404)

@@ -1,0 +1,81 @@
+"""Tests for the accelerator-model base infrastructure."""
+
+import pytest
+
+from repro.accel.base import ExecutionRecord, merge_records
+from repro.errors import AcceleratorError
+
+
+class TestExecutionRecord:
+    def test_time_accumulates(self):
+        r = ExecutionRecord(device="d")
+        r.add_time("kernel", 1.0)
+        r.add_time("kernel", 0.5)
+        r.add_time("ld", 2.0)
+        assert r.seconds["kernel"] == 1.5
+        assert r.total_seconds == pytest.approx(3.5)
+
+    def test_scores_and_bytes(self):
+        r = ExecutionRecord(device="d")
+        r.add_scores("omega", 100)
+        r.add_scores("omega", 50)
+        r.add_bytes("h2d", 4096)
+        assert r.scores["omega"] == 150
+        assert r.bytes_moved["h2d"] == 4096
+
+    def test_throughput(self):
+        r = ExecutionRecord(device="d")
+        r.add_time("kernel", 2.0)
+        r.add_scores("omega", 100)
+        assert r.throughput("omega") == pytest.approx(50.0)
+
+    def test_throughput_without_time_rejected(self):
+        r = ExecutionRecord(device="d")
+        with pytest.raises(AcceleratorError):
+            r.throughput("omega")
+
+    def test_negative_values_rejected(self):
+        r = ExecutionRecord(device="d")
+        with pytest.raises(AcceleratorError):
+            r.add_time("x", -1.0)
+        with pytest.raises(AcceleratorError):
+            r.add_scores("x", -1)
+        with pytest.raises(AcceleratorError):
+            r.add_bytes("x", -1)
+
+
+class TestMergeRecords:
+    def make(self, kernel=1.0, omega=10, launches=1):
+        r = ExecutionRecord(device="d")
+        r.add_time("kernel", kernel)
+        r.add_scores("omega", omega)
+        r.add_bytes("h2d", 100)
+        r.kernel_launches = launches
+        return r
+
+    def test_merge_sums_everything(self):
+        merged = merge_records([self.make(), self.make(kernel=2.0, omega=5)])
+        assert merged.seconds["kernel"] == pytest.approx(3.0)
+        assert merged.scores["omega"] == 15
+        assert merged.bytes_moved["h2d"] == 200
+        assert merged.kernel_launches == 2
+
+    def test_merge_single(self):
+        merged = merge_records([self.make()])
+        assert merged.total_seconds == pytest.approx(1.0)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(AcceleratorError):
+            merge_records([])
+
+    def test_merge_mixed_devices_rejected(self):
+        a = ExecutionRecord(device="a")
+        b = ExecutionRecord(device="b")
+        with pytest.raises(AcceleratorError, match="mixed devices"):
+            merge_records([a, b])
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = self.make(), self.make()
+        merge_records([a, b])
+        assert a.seconds["kernel"] == 1.0
+        assert a.kernel_launches == 1

@@ -1,0 +1,141 @@
+"""Unit tests for repro.datasets.alignment."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.alignment import SNPAlignment
+from repro.errors import AlignmentError
+
+
+def make(matrix, positions=None, length=None):
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if positions is None:
+        positions = np.arange(matrix.shape[1], dtype=float) * 10.0 + 5.0
+    if length is None:
+        length = float(matrix.shape[1]) * 10.0 + 10.0
+    return SNPAlignment(matrix=matrix, positions=positions, length=length)
+
+
+class TestConstruction:
+    def test_basic(self):
+        aln = make([[0, 1, 0], [1, 0, 1]])
+        assert aln.n_samples == 2
+        assert aln.n_sites == 3
+
+    def test_rejects_3d(self):
+        with pytest.raises(AlignmentError, match="2-D"):
+            SNPAlignment(np.zeros((2, 2, 2)), np.arange(2.0), 10.0)
+
+    def test_rejects_value_two(self):
+        with pytest.raises(AlignmentError, match="0 or 1"):
+            make([[0, 2], [1, 0]])
+
+    def test_rejects_mismatched_positions(self):
+        with pytest.raises(AlignmentError, match="sites but positions"):
+            SNPAlignment(np.zeros((2, 3), dtype=np.uint8), np.arange(2.0), 10.0)
+
+    def test_rejects_unsorted_positions(self):
+        with pytest.raises(AlignmentError, match="strictly increasing"):
+            make([[0, 1], [1, 0]], positions=np.array([5.0, 3.0]))
+
+    def test_rejects_duplicate_positions(self):
+        with pytest.raises(AlignmentError, match="strictly increasing"):
+            make([[0, 1], [1, 0]], positions=np.array([5.0, 5.0]))
+
+    def test_rejects_positions_beyond_length(self):
+        with pytest.raises(AlignmentError, match="lie in"):
+            make([[0, 1], [1, 0]], positions=np.array([5.0, 15.0]), length=10.0)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(AlignmentError, match="positive"):
+            SNPAlignment(np.zeros((2, 0), dtype=np.uint8), np.zeros(0), -1.0)
+
+    def test_empty_sites_allowed(self):
+        aln = SNPAlignment(np.zeros((3, 0), dtype=np.uint8), np.zeros(0), 100.0)
+        assert aln.n_sites == 0
+
+    def test_coerces_dtype(self):
+        aln = SNPAlignment(
+            np.array([[0, 1], [1, 1]], dtype=np.int64),
+            np.array([1.0, 2.0]),
+            10.0,
+        )
+        assert aln.matrix.dtype == np.uint8
+
+
+class TestDerivedStatistics:
+    def test_counts(self):
+        aln = make([[0, 1, 1], [1, 1, 0], [0, 1, 0]])
+        np.testing.assert_array_equal(aln.derived_counts(), [1, 3, 1])
+
+    def test_frequencies(self):
+        aln = make([[0, 1], [1, 1]])
+        np.testing.assert_allclose(aln.derived_frequencies(), [0.5, 1.0])
+
+    def test_is_polymorphic(self):
+        aln = make([[0, 1, 1, 0], [1, 1, 0, 0]])
+        np.testing.assert_array_equal(
+            aln.is_polymorphic(), [True, False, True, False]
+        )
+
+    def test_drop_monomorphic(self):
+        aln = make([[0, 1, 1, 0], [1, 1, 0, 0]])
+        kept = aln.drop_monomorphic()
+        assert kept.n_sites == 2
+        np.testing.assert_array_equal(kept.positions, aln.positions[[0, 2]])
+
+
+class TestSlicing:
+    def test_site_slice(self):
+        aln = make([[0, 1, 0, 1], [1, 0, 1, 0]])
+        sub = aln.site_slice(1, 3)
+        assert sub.n_sites == 2
+        np.testing.assert_array_equal(sub.matrix, aln.matrix[:, 1:3])
+        np.testing.assert_array_equal(sub.positions, aln.positions[1:3])
+
+    def test_site_slice_bounds(self):
+        aln = make([[0, 1], [1, 0]])
+        with pytest.raises(AlignmentError):
+            aln.site_slice(0, 3)
+        with pytest.raises(AlignmentError):
+            aln.site_slice(-1, 1)
+
+    def test_window_inclusive(self):
+        aln = make([[0, 1, 0], [1, 0, 1]], positions=np.array([10.0, 20.0, 30.0]),
+                   length=40.0)
+        sub = aln.window(10.0, 20.0)
+        assert sub.n_sites == 2
+
+    def test_window_empty_range_rejected(self):
+        aln = make([[0, 1], [1, 0]])
+        with pytest.raises(AlignmentError, match="empty window"):
+            aln.window(20.0, 10.0)
+
+    def test_window_no_sites(self):
+        aln = make([[0, 1], [1, 0]], positions=np.array([10.0, 20.0]), length=100.0)
+        assert aln.window(50.0, 60.0).n_sites == 0
+
+    def test_sample_subset(self):
+        aln = make([[0, 1], [1, 0], [1, 1]])
+        sub = aln.sample_subset([0, 2])
+        assert sub.n_samples == 2
+        np.testing.assert_array_equal(sub.matrix, aln.matrix[[0, 2]])
+
+    def test_sample_subset_out_of_range(self):
+        aln = make([[0, 1], [1, 0]])
+        with pytest.raises(AlignmentError):
+            aln.sample_subset([5])
+
+
+class TestEquality:
+    def test_equals_self(self):
+        aln = make([[0, 1], [1, 0]])
+        assert aln.equals(aln)
+
+    def test_not_equals_different_matrix(self):
+        a = make([[0, 1], [1, 0]])
+        b = make([[1, 1], [1, 0]])
+        assert not a.equals(b)
+
+    def test_not_equals_other_type(self):
+        assert not make([[0, 1], [1, 0]]).equals("nope")

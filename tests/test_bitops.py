@@ -1,0 +1,119 @@
+"""Unit + property tests for repro.utils.bitops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.bitops import pack_bits, popcount64, unpack_bits
+
+
+class TestPopcount64:
+    def test_known_values(self):
+        words = np.array(
+            [0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000000, 0x5555555555555555],
+            dtype=np.uint64,
+        )
+        expected = np.array([0, 1, 64, 1, 32])
+        np.testing.assert_array_equal(popcount64(words), expected)
+
+    def test_matches_python_bitcount(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**64, size=200, dtype=np.uint64)
+        expected = np.array([int(w).bit_count() for w in words])
+        np.testing.assert_array_equal(popcount64(words), expected)
+
+    def test_preserves_shape(self):
+        words = np.zeros((3, 4), dtype=np.uint64)
+        assert popcount64(words).shape == (3, 4)
+
+    def test_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError, match="uint64"):
+            popcount64(np.zeros(4, dtype=np.int64))
+
+    def test_does_not_mutate_input(self):
+        words = np.array([7, 8], dtype=np.uint64)
+        popcount64(words)
+        np.testing.assert_array_equal(words, np.array([7, 8], dtype=np.uint64))
+
+    @given(
+        arrays(
+            np.uint64,
+            st.integers(0, 50),
+            elements=st.integers(0, 2**64 - 1),
+        )
+    )
+    def test_property_matches_bit_count(self, words):
+        expected = np.array([int(w).bit_count() for w in words], dtype=np.int64)
+        np.testing.assert_array_equal(popcount64(words), expected)
+
+
+class TestPackUnpackRoundTrip:
+    @pytest.mark.parametrize("n_bits", [1, 7, 63, 64, 65, 100, 128, 200])
+    def test_roundtrip(self, n_bits):
+        rng = np.random.default_rng(n_bits)
+        bits = rng.integers(0, 2, size=(5, n_bits)).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, (n_bits + 63) // 64)
+        np.testing.assert_array_equal(unpack_bits(packed, n_bits), bits)
+
+    def test_popcount_equals_sum(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=(8, 150)).astype(np.uint8)
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(
+            popcount64(packed).sum(axis=1), bits.sum(axis=1)
+        )
+
+    def test_and_popcount_equals_joint_count(self):
+        """The core LD primitive: popcount(a AND b) == sum(a * b)."""
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 2, size=130).astype(np.uint8)
+        b = rng.integers(0, 2, size=130).astype(np.uint8)
+        pa, pb = pack_bits(a), pack_bits(b)
+        assert popcount64(pa & pb).sum() == int((a & b).sum())
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0 and 1"):
+            pack_bits(np.array([0, 1, 2]))
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array(1))
+
+    def test_unpack_rejects_overflow(self):
+        packed = pack_bits(np.ones(10, dtype=np.uint8))
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            unpack_bits(packed, 65)
+
+    def test_unpack_rejects_negative(self):
+        packed = pack_bits(np.ones(10, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            unpack_bits(packed, -1)
+
+    def test_unpack_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            unpack_bits(np.zeros(2, dtype=np.int64), 10)
+
+    @given(
+        st.integers(2, 4).flatmap(
+            lambda rows: st.integers(1, 130).flatmap(
+                lambda n: arrays(
+                    np.uint8, (rows, n), elements=st.integers(0, 1)
+                )
+            )
+        )
+    )
+    @settings(max_examples=30)
+    def test_property_roundtrip(self, bits):
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(unpack_bits(packed, bits.shape[1]), bits)
+
+    def test_tail_bits_zero(self):
+        """Bits past n_samples in the last word must be zero (they feed
+        popcounts directly)."""
+        bits = np.ones(65, dtype=np.uint8)
+        packed = pack_bits(bits)
+        assert popcount64(packed).sum() == 65

@@ -1,0 +1,81 @@
+"""The shipped model constants must be exactly what the published data
+implies — calibration as verifiable code."""
+
+import pytest
+
+from repro.accel.cpu import AMD_A10_5757M
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD
+from repro.accel.gpu.ld_gpu import BINDER_GEMM_LD
+from repro.analysis.calibration import (
+    fit_cpu_ld_law,
+    fit_fpga_ld_constant,
+    fit_gpu_ld_law,
+    ld_observations,
+)
+
+
+class TestObservations:
+    def test_sorted_by_samples(self):
+        n, rates = ld_observations("cpu")
+        assert list(n) == [500, 7000, 60000]
+        assert rates.shape == (3,)
+
+    @pytest.mark.parametrize("platform", ["cpu", "gpu", "fpga"])
+    def test_positive_rates(self, platform):
+        _, rates = ld_observations(platform)
+        assert (rates > 0).all()
+
+
+class TestCPUFit:
+    def test_fit_matches_shipped_constants(self):
+        fit = fit_cpu_ld_law()
+        assert fit.coefficients["base"] == pytest.approx(
+            AMD_A10_5757M.ld_base, rel=0.05
+        )
+        assert fit.coefficients["slope"] == pytest.approx(
+            AMD_A10_5757M.ld_per_sample, rel=0.05
+        )
+
+    def test_validation_point_residual_small(self):
+        """The middle observation (7000 samples) was not used by the
+        two-point fit; its residual validates the affine law."""
+        fit = fit_cpu_ld_law()
+        assert fit.max_relative_residual < 0.10
+
+
+class TestGPUFit:
+    def test_fit_matches_shipped_constants(self):
+        fit = fit_gpu_ld_law()
+        assert fit.coefficients["fixed"] == pytest.approx(
+            BINDER_GEMM_LD.fixed, rel=0.10
+        )
+        assert fit.coefficients["per_sample"] == pytest.approx(
+            BINDER_GEMM_LD.per_sample, rel=0.10
+        )
+        assert fit.coefficients["amortized"] == pytest.approx(
+            BINDER_GEMM_LD.amortized, rel=0.10
+        )
+
+    def test_exact_solve_zero_residual(self):
+        """Three points, three unknowns: the solve is exact."""
+        assert fit_gpu_ld_law().max_relative_residual < 1e-9
+
+    def test_all_terms_physical(self):
+        """Every fitted coefficient is positive — the three-term cost
+        decomposition is physically consistent, not a curve-fitting
+        artifact with negative 'costs'."""
+        c = fit_gpu_ld_law().coefficients
+        assert all(v > 0 for v in c.values())
+
+
+class TestFPGAFit:
+    def test_fit_matches_shipped_constant(self):
+        fit = fit_fpga_ld_constant()
+        assert fit.coefficients["samples_rate_product"] == pytest.approx(
+            BOZIKAS_HC2EX_LD.samples_rate_product, rel=0.02
+        )
+
+    def test_inverse_law_holds_to_one_percent(self):
+        """The empirical basis of the inverse-in-samples law: the three
+        published rate x samples products agree to ~1 %."""
+        assert fit_fpga_ld_constant().max_relative_residual < 0.015

@@ -1,0 +1,230 @@
+"""Statistical and structural tests for the neutral coalescent simulator.
+
+Statistical checks compare Monte-Carlo averages against closed-form
+coalescent theory with generous tolerances (seeded, so deterministic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.coalescent import (
+    SequenceWalker,
+    kingman_tree,
+    simulate_neutral,
+)
+
+
+def harmonic(n: int) -> float:
+    return sum(1.0 / i for i in range(1, n))
+
+
+class TestKingmanTree:
+    def test_structure_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            kingman_tree(8, rng).validate()
+
+    def test_expected_total_length(self):
+        """E[T_total] = 2 * sum_{i=1}^{n-1} 1/i."""
+        rng = np.random.default_rng(1)
+        n = 12
+        sims = [kingman_tree(n, rng).total_length() for _ in range(400)]
+        assert np.mean(sims) == pytest.approx(2 * harmonic(n), rel=0.1)
+
+    def test_expected_tmrca(self):
+        """E[TMRCA] = 2 * (1 - 1/n)."""
+        rng = np.random.default_rng(2)
+        n = 10
+        sims = [kingman_tree(n, rng).tmrca() for _ in range(400)]
+        assert np.mean(sims) == pytest.approx(2 * (1 - 1 / n), rel=0.1)
+
+    def test_rejects_one_lineage(self):
+        with pytest.raises(SimulationError):
+            kingman_tree(1, np.random.default_rng(0))
+
+
+class TestSequenceWalker:
+    def test_no_recombination_single_interval(self):
+        walker = SequenceWalker(6, rho=0.0, seed=3)
+        intervals = list(walker.intervals())
+        assert len(intervals) == 1
+        assert intervals[0].start == 0.0 and intervals[0].stop == 1.0
+
+    def test_intervals_partition_unit(self):
+        walker = SequenceWalker(6, rho=20.0, seed=4)
+        intervals = list(walker.intervals())
+        assert intervals[0].start == 0.0
+        assert intervals[-1].stop == 1.0
+        for a, b in zip(intervals, intervals[1:]):
+            assert b.start == pytest.approx(a.stop)
+
+    def test_all_local_trees_valid(self):
+        walker = SequenceWalker(8, rho=30.0, seed=5)
+        for iv in walker.intervals():
+            iv.tree.validate()
+            assert iv.tree.n_leaves == 8
+
+    def test_recombination_count_scales_with_rho(self):
+        n_low = len(list(SequenceWalker(6, rho=5.0, seed=6).intervals()))
+        n_high = len(list(SequenceWalker(6, rho=80.0, seed=6).intervals()))
+        assert n_high > n_low
+
+    def test_adjacent_trees_differ_sometimes(self):
+        """SMC' keeps some invisible events, but across many events at
+        least some local trees must change topology/times."""
+        walker = SequenceWalker(6, rho=50.0, seed=7)
+        intervals = list(walker.intervals())
+        assert len(intervals) > 3
+        tmrcas = {round(iv.tree.tmrca(), 10) for iv in intervals}
+        assert len(tmrcas) > 1
+
+    def test_tmrca_correlation_decays_along_sequence(self):
+        """The SMC' signature: local-tree TMRCAs are highly correlated
+        between adjacent intervals and decorrelate with distance — the
+        property that makes LD decay with distance. Measured across many
+        replicate walks at three genomic separations."""
+        near, mid, far = [], [], []
+        for seed in range(200):
+            walker = SequenceWalker(8, rho=5.0, seed=seed)
+            grid = {0.1: None, 0.12: None, 0.5: None, 0.9: None}
+            for iv in walker.intervals():
+                for x in grid:
+                    if iv.start <= x < iv.stop:
+                        grid[x] = iv.tree.tmrca()
+            near.append((grid[0.1], grid[0.12]))
+            mid.append((grid[0.1], grid[0.5]))
+            far.append((grid[0.1], grid[0.9]))
+
+        def corr(pairs):
+            a = np.array(pairs)
+            return float(np.corrcoef(a[:, 0], a[:, 1])[0, 1])
+
+        c_near, c_mid, c_far = corr(near), corr(mid), corr(far)
+        # expected decay at rho = 5: ~0.96 (d=0.02), ~0.3 (d=0.4),
+        # ~0 (d=0.8)
+        assert c_near > 0.8
+        assert 0.05 < c_mid < 0.7
+        assert c_far < 0.2
+        assert c_near > c_mid > c_far
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            SequenceWalker(5, rho=-1.0)
+
+    def test_rejects_one_sample(self):
+        with pytest.raises(SimulationError):
+            SequenceWalker(1, rho=0.0)
+
+
+class TestSimulateNeutral:
+    def test_expected_segregating_sites(self):
+        """Watterson: E[S] = theta * a_n."""
+        n, theta = 10, 8.0
+        counts = [
+            simulate_neutral(n, theta=theta, seed=s).n_sites
+            for s in range(60)
+        ]
+        assert np.mean(counts) == pytest.approx(
+            theta * harmonic(n), rel=0.15
+        )
+
+    def test_alignment_well_formed(self):
+        aln = simulate_neutral(12, theta=15.0, rho=10.0, length=5e4, seed=9)
+        assert aln.n_samples == 12
+        assert aln.is_polymorphic().all()
+        assert np.all(np.diff(aln.positions) > 0)
+        assert aln.positions.max() <= 5e4
+
+    def test_deterministic(self):
+        a = simulate_neutral(8, theta=5.0, rho=3.0, seed=11)
+        b = simulate_neutral(8, theta=5.0, rho=3.0, seed=11)
+        assert a.equals(b)
+
+    def test_sfs_shape(self):
+        """Neutral SFS: E[count at frequency i] proportional to 1/i — the
+        singleton class must dominate."""
+        counts = np.zeros(9)
+        for s in range(40):
+            aln = simulate_neutral(10, theta=10.0, seed=100 + s)
+            dc = aln.derived_counts()
+            for i in range(1, 10):
+                counts[i - 1] += (dc == i).sum()
+        assert counts[0] == counts.max()
+        assert counts[0] > 2.5 * counts[4]
+
+    def test_ld_decays_with_recombination(self):
+        """Mean r2 between site pairs must decrease with distance when
+        recombination is active — the LD-decay property SMC' must
+        reproduce for the paper's statistic to be meaningful."""
+        from repro.ld.gemm import r_squared_matrix
+
+        near, far = [], []
+        for s in range(25):
+            aln = simulate_neutral(20, theta=20.0, rho=50.0, seed=500 + s)
+            if aln.n_sites < 10:
+                continue
+            r2 = r_squared_matrix(aln)
+            pos = aln.positions
+            for i in range(aln.n_sites):
+                for j in range(i + 1, aln.n_sites):
+                    d = pos[j] - pos[i]
+                    if d < 0.05:
+                        near.append(r2[j, i])
+                    elif d > 0.5:
+                        far.append(r2[j, i])
+        assert np.mean(near) > np.mean(far) + 0.05
+
+    def test_ld_decay_matches_ohta_kimura_shape(self):
+        """Quantitative simulator validation: E[r²] at scaled
+        recombination distance C follows the Ohta-Kimura/Hill form
+        sigma_d^2 = (10 + C) / (22 + 13C + C²) (an upper-bound proxy for
+        E[r²] that captures the decay shape). We bin pairwise r² by C =
+        rho * distance and check the simulated means track the curve
+        within a factor band — shape validation, not exact agreement
+        (E[r²] differs from sigma_d² by sampling terms of order 1/n)."""
+        from repro.ld.gemm import r_squared_matrix
+
+        rho = 40.0
+        bins = [(0.5, 2.0), (4.0, 8.0), (15.0, 30.0)]
+        sums = [0.0] * len(bins)
+        counts = [0] * len(bins)
+        for seed in range(30):
+            aln = simulate_neutral(
+                30, theta=25.0, rho=rho, seed=900 + seed
+            )
+            if aln.n_sites < 8:
+                continue
+            # keep common variants: rare alleles depress r² estimates
+            freqs = aln.derived_frequencies()
+            keep = np.nonzero((freqs > 0.2) & (freqs < 0.8))[0]
+            if keep.size < 4:
+                continue
+            r2 = r_squared_matrix(aln)
+            pos = aln.positions
+            for a_i in range(keep.size):
+                for b_i in range(a_i + 1, keep.size):
+                    i, j = keep[a_i], keep[b_i]
+                    c_dist = rho * (pos[j] - pos[i])
+                    for k, (lo, hi) in enumerate(bins):
+                        if lo <= c_dist <= hi:
+                            sums[k] += r2[j, i]
+                            counts[k] += 1
+        means = [s / c for s, c in zip(sums, counts)]
+
+        def ohta_kimura(c):
+            return (10 + c) / (22 + 13 * c + c * c)
+
+        expected = [ohta_kimura(0.5 * (lo + hi)) for lo, hi in bins]
+        # decay shape: strictly decreasing, and within a 2.5x band of OK
+        assert means[0] > means[1] > means[2]
+        for m, e in zip(means, expected):
+            assert e / 2.5 < m < e * 2.5
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            simulate_neutral(5, theta=0.0)
+
+    def test_zero_sites_possible_with_tiny_theta(self):
+        aln = simulate_neutral(5, theta=1e-6, seed=1)
+        assert aln.n_sites == 0

@@ -1,0 +1,95 @@
+"""Tests for the calibrated CPU cost models, including reproduction of the
+paper's Table III CPU columns and Table IV thread scaling."""
+
+import pytest
+
+from repro.accel.cpu import (
+    AMD_A10_5757M,
+    CPUModel,
+    INTEL_I7_6700HQ,
+)
+from repro.errors import ModelCalibrationError
+
+
+class TestCostLaws:
+    def test_omega_seconds_linear(self):
+        m = AMD_A10_5757M
+        assert m.omega_seconds(2_000_000) == pytest.approx(
+            2 * m.omega_seconds(1_000_000)
+        )
+
+    def test_ld_seconds_grow_with_samples(self):
+        m = AMD_A10_5757M
+        assert m.ld_seconds(1000, 60000) > m.ld_seconds(1000, 500)
+
+    def test_zero_scores_zero_time(self):
+        assert AMD_A10_5757M.omega_seconds(0) == 0.0
+        assert AMD_A10_5757M.ld_seconds(0, 100) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelCalibrationError):
+            AMD_A10_5757M.omega_seconds(-1)
+        with pytest.raises(ModelCalibrationError):
+            AMD_A10_5757M.ld_seconds(-1, 10)
+
+
+class TestTableIIICalibration:
+    """Paper Table III, CPU columns (AMD A10-5757M, one core)."""
+
+    @pytest.mark.parametrize(
+        "n_samples,paper_mscores",
+        [(7000, 2.98), (500, 13.91), (60000, 0.41)],
+    )
+    def test_ld_rates_within_10pct(self, n_samples, paper_mscores):
+        got = AMD_A10_5757M.ld_rate(n_samples) / 1e6
+        assert got == pytest.approx(paper_mscores, rel=0.10)
+
+    @pytest.mark.parametrize("paper_mscores", [71.26, 60.76, 72.50])
+    def test_omega_rate_within_15pct(self, paper_mscores):
+        got = AMD_A10_5757M.omega_rate / 1e6
+        assert got == pytest.approx(paper_mscores, rel=0.15)
+
+
+class TestTableIVThreadScaling:
+    """Paper Table IV: i7-6700HQ omega throughput, 1-8 threads."""
+
+    PAPER = {1: 99.8, 2: 198.1, 3: 300.1, 4: 390.0, 8: 433.1}
+
+    @pytest.mark.parametrize("threads,paper", sorted(PAPER.items()))
+    def test_rates_within_3pct(self, threads, paper):
+        got = INTEL_I7_6700HQ.thread_rate(threads) / 1e6
+        assert got == pytest.approx(paper, rel=0.03)
+
+    def test_monotone_in_threads(self):
+        rates = [INTEL_I7_6700HQ.thread_rate(t) for t in range(1, 9)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_smt_gain_bounded(self):
+        m = INTEL_I7_6700HQ
+        assert m.thread_rate(64) < m.thread_rate(4) * (1 + m.smt_speedup)
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ModelCalibrationError):
+            INTEL_I7_6700HQ.thread_rate(0)
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ModelCalibrationError):
+            CPUModel(
+                name="x", clock_hz=1e9, cores=0, omega_rate=1e6,
+                ld_base=1e-8, ld_per_sample=1e-11,
+            )
+
+    def test_rejects_silly_efficiency_loss(self):
+        with pytest.raises(ModelCalibrationError):
+            CPUModel(
+                name="x", clock_hz=1e9, cores=2, omega_rate=1e6,
+                ld_base=1e-8, ld_per_sample=1e-11,
+                thread_efficiency_loss=0.5,
+            )
+
+    def test_with_cores(self):
+        m = AMD_A10_5757M.with_cores(2)
+        assert m.cores == 2
+        assert m.omega_rate == AMD_A10_5757M.omega_rate

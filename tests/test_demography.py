@@ -1,0 +1,234 @@
+"""Tests for non-equilibrium demography, including coalescent-theory
+checks of the time rescaling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.demography import (
+    CONSTANT,
+    Demography,
+    bottleneck,
+    expansion,
+    kingman_tree_demography,
+    simulate_neutral_demography,
+)
+from repro.simulate.coalescent import kingman_tree
+
+
+class TestDemographyStructure:
+    def test_constant(self):
+        assert CONSTANT.size_at(0.0) == 1.0
+        assert CONSTANT.size_at(100.0) == 1.0
+
+    def test_size_at_epochs(self):
+        d = Demography(times=(0.0, 1.0, 2.0), sizes=(1.0, 0.2, 3.0))
+        assert d.size_at(0.5) == 1.0
+        assert d.size_at(1.0) == 0.2
+        assert d.size_at(1.9) == 0.2
+        assert d.size_at(5.0) == 3.0
+
+    def test_intensity_piecewise(self):
+        d = Demography(times=(0.0, 1.0), sizes=(1.0, 0.5))
+        assert d.intensity(1.0) == pytest.approx(1.0)
+        # past 1.0 the small population doubles the intensity rate
+        assert d.intensity(2.0) == pytest.approx(1.0 + 1.0 / 0.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"times": (0.5,), "sizes": (1.0,)},           # must start at 0
+        {"times": (0.0, 0.0), "sizes": (1.0, 2.0)},   # not increasing
+        {"times": (0.0,), "sizes": (0.0,)},           # size zero
+        {"times": (0.0, 1.0), "sizes": (1.0,)},       # length mismatch
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(SimulationError):
+            Demography(**kwargs)
+
+
+class TestRescale:
+    def test_identity_under_constant(self):
+        for t0, w in [(0.0, 0.7), (2.0, 1.3)]:
+            assert CONSTANT.rescale(t0, w) == pytest.approx(t0 + w)
+
+    def test_small_population_compresses_time(self):
+        """In a 10x smaller population, coalescent waiting shrinks 10x."""
+        d = Demography(times=(0.0,), sizes=(0.1,))
+        assert d.rescale(0.0, 1.0) == pytest.approx(0.1)
+
+    def test_crosses_epoch_boundary(self):
+        d = Demography(times=(0.0, 1.0), sizes=(1.0, 0.5))
+        # 1.0 standard units exhaust epoch 0 exactly; 0.5 more standard
+        # units need 0.25 real units in the half-size epoch
+        assert d.rescale(0.0, 1.5) == pytest.approx(1.25)
+
+    def test_inverse_of_intensity(self):
+        d = bottleneck(start=0.2, duration=0.3, severity=0.1)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            t0 = float(rng.uniform(0, 1))
+            w = float(rng.exponential(0.5))
+            t1 = d.rescale(t0, w)
+            assert d.intensity(t1) - d.intensity(t0) == pytest.approx(
+                w, rel=1e-9
+            )
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(SimulationError):
+            CONSTANT.rescale(0.0, -1.0)
+
+
+class TestPresets:
+    def test_bottleneck_shape(self):
+        d = bottleneck(start=0.05, duration=0.1, severity=0.1)
+        assert d.size_at(0.0) == 1.0
+        assert d.size_at(0.1) == 0.1
+        assert d.size_at(1.0) == 1.0
+
+    def test_expansion_shape(self):
+        d = expansion(start=0.1, factor=10.0)
+        assert d.size_at(0.0) == 1.0
+        assert d.size_at(0.2) == pytest.approx(0.1)
+
+    def test_invalid_presets(self):
+        with pytest.raises(SimulationError):
+            bottleneck(start=0.0)
+        with pytest.raises(SimulationError):
+            expansion(start=-1.0)
+
+
+class TestGenealogies:
+    def test_constant_matches_standard_kingman(self):
+        """Under CONSTANT demography the rescaled process is the plain
+        Kingman coalescent: mean TMRCA must agree."""
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        n = 10
+        t_std = [kingman_tree(n, rng1).tmrca() for _ in range(300)]
+        t_dem = [
+            kingman_tree_demography(n, CONSTANT, rng2).tmrca()
+            for _ in range(300)
+        ]
+        assert np.mean(t_dem) == pytest.approx(np.mean(t_std), rel=0.1)
+
+    def test_bottleneck_shortens_trees(self):
+        """A severe bottleneck forces most coalescences inside it; mean
+        TMRCA drops well below the equilibrium 2(1-1/n)."""
+        rng = np.random.default_rng(2)
+        d = bottleneck(start=0.05, duration=0.2, severity=0.02)
+        tmrcas = [
+            kingman_tree_demography(10, d, rng).tmrca() for _ in range(200)
+        ]
+        assert np.mean(tmrcas) < 0.5 * 2 * (1 - 0.1)
+
+    def test_expansion_star_like(self):
+        """Backward shrinkage at `start` makes coalescence nearly
+        instantaneous there: genealogies become star-like, external
+        branches dominating total length."""
+        rng = np.random.default_rng(3)
+        # crunch early enough that most lineages survive to it
+        d = expansion(start=0.1, factor=100.0)
+        frac_external = []
+        for _ in range(100):
+            g = kingman_tree_demography(12, d, rng)
+            ext = sum(
+                b.length for b in g.branches() if b.child < g.n_leaves
+            )
+            frac_external.append(ext / g.total_length())
+        assert np.mean(frac_external) > 0.6
+
+    def test_trees_valid(self):
+        rng = np.random.default_rng(4)
+        d = bottleneck()
+        for _ in range(10):
+            kingman_tree_demography(8, d, rng).validate()
+
+
+class TestRecombiningDemography:
+    """Demography wired through the SMC' sequence walker."""
+
+    def test_bottleneck_reduces_variation_with_recombination(self):
+        from repro.simulate.coalescent import simulate_neutral
+
+        d = bottleneck(start=0.05, duration=0.2, severity=0.05)
+        s_eq = np.mean([
+            simulate_neutral(12, theta=20.0, rho=10.0, seed=s).n_sites
+            for s in range(20)
+        ])
+        s_bn = np.mean([
+            simulate_neutral(
+                12, theta=20.0, rho=10.0, seed=s, demography=d
+            ).n_sites
+            for s in range(20)
+        ])
+        assert s_bn < 0.5 * s_eq
+
+    def test_local_trees_valid_under_demography(self):
+        from repro.simulate.coalescent import SequenceWalker
+
+        walker = SequenceWalker(
+            8, rho=30.0, seed=7,
+            demography=bottleneck(start=0.05, duration=0.1, severity=0.1),
+        )
+        count = 0
+        for iv in walker.intervals():
+            iv.tree.validate()
+            count += 1
+        assert count > 1
+
+    def test_constant_demography_equivalent_to_none(self):
+        """CONSTANT must be statistically indistinguishable from the
+        equilibrium path (same model, different code route)."""
+        from repro.simulate.coalescent import simulate_neutral
+
+        s_none = np.mean([
+            simulate_neutral(10, theta=15.0, rho=5.0, seed=s).n_sites
+            for s in range(30)
+        ])
+        s_const = np.mean([
+            simulate_neutral(
+                10, theta=15.0, rho=5.0, seed=1000 + s, demography=CONSTANT
+            ).n_sites
+            for s in range(30)
+        ])
+        assert s_const == pytest.approx(s_none, rel=0.25)
+
+
+class TestSimulateNeutralDemography:
+    def test_well_formed(self):
+        aln = simulate_neutral_demography(
+            12, theta=20.0, demography=bottleneck(), length=1e5, seed=5
+        )
+        assert aln.n_samples == 12
+        assert aln.is_polymorphic().all()
+
+    def test_bottleneck_reduces_variation(self):
+        """Fewer segregating sites than equilibrium at equal theta."""
+        d = bottleneck(start=0.05, duration=0.2, severity=0.02)
+        s_eq = np.mean([
+            simulate_neutral_demography(
+                12, theta=20.0, demography=CONSTANT, seed=s
+            ).n_sites
+            for s in range(40)
+        ])
+        s_bn = np.mean([
+            simulate_neutral_demography(
+                12, theta=20.0, demography=d, seed=s
+            ).n_sites
+            for s in range(40)
+        ])
+        assert s_bn < 0.7 * s_eq
+
+    def test_expansion_skews_sfs_to_singletons(self):
+        """Star-like genealogies -> singleton excess (negative Tajima's
+        D), the classic sweep confounder."""
+        from repro.analysis.sumstats import tajimas_d
+
+        d = expansion(start=0.2, factor=50.0)
+        values = [
+            tajimas_d(
+                simulate_neutral_demography(
+                    15, theta=25.0, demography=d, seed=s
+                )
+            )
+            for s in range(30)
+        ]
+        assert np.mean(values) < -0.5

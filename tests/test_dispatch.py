@@ -1,0 +1,71 @@
+"""Tests for the dynamic two-kernel dispatcher (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.gpu.device import TESLA_K80
+from repro.accel.gpu.dispatch import DynamicDispatcher
+from repro.core.dp import SumMatrix
+from repro.core.omega import omega_max_at_split
+from repro.errors import AcceleratorError
+from repro.ld.gemm import r_squared_matrix
+
+
+class TestSelect:
+    def test_below_threshold_kernel1(self):
+        d = DynamicDispatcher(TESLA_K80)
+        assert d.select(TESLA_K80.dispatch_threshold - 1) == "kernel1"
+
+    def test_at_threshold_kernel2(self):
+        d = DynamicDispatcher(TESLA_K80)
+        assert d.select(TESLA_K80.dispatch_threshold) == "kernel2"
+
+    def test_forced_modes(self):
+        k1 = DynamicDispatcher(TESLA_K80, mode="kernel1")
+        k2 = DynamicDispatcher(TESLA_K80, mode="kernel2")
+        big = TESLA_K80.dispatch_threshold * 10
+        assert k1.select(big) == "kernel1"
+        assert k2.select(1) == "kernel2"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AcceleratorError):
+            DynamicDispatcher(TESLA_K80, mode="auto")
+
+    def test_rejects_zero_scores(self):
+        with pytest.raises(AcceleratorError):
+            DynamicDispatcher(TESLA_K80).select(0)
+
+
+class TestLaunch:
+    def test_stats_track_kernel_choice(self, block_alignment):
+        sums = SumMatrix(r_squared_matrix(block_alignment))
+        d = DynamicDispatcher(TESLA_K80)
+        c = 60
+        # small launch -> kernel 1
+        d.launch(
+            sums, np.array([50]), c, np.array([70]),
+            region_width=block_alignment.n_sites,
+        )
+        assert d.stats.kernel1_launches == 1
+        assert d.stats.kernel2_launches == 0
+
+    def test_launch_matches_reference(self, block_alignment):
+        sums = SumMatrix(r_squared_matrix(block_alignment))
+        d = DynamicDispatcher(TESLA_K80)
+        li = np.arange(0, 55)
+        rj = np.arange(65, 119)
+        res = d.launch(sums, li, 60, rj, region_width=block_alignment.n_sites)
+        ref = omega_max_at_split(sums, li, 60, rj)
+        assert res.omega == pytest.approx(ref.omega, rel=1e-12)
+
+    def test_dynamic_at_least_as_fast_as_worse_kernel(self, block_alignment):
+        """For any launch size the dynamic choice's modelled rate must be
+        >= the slower single kernel's rate — the point of Fig. 12's D
+        curve."""
+        d = DynamicDispatcher(TESLA_K80)
+        for n in [100, 5000, 13312, 50000, 10**6]:
+            chosen = d.select(n)
+            r1 = d.kernel1.sustained_rate(n)
+            r2 = d.kernel2.sustained_rate(n)
+            chosen_rate = r1 if chosen == "kernel1" else r2
+            assert chosen_rate >= min(r1, r2)

@@ -1,0 +1,161 @@
+"""Unit + property tests for the OmegaPlus sum matrix M (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import SumMatrix, build_m_recurrence
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_matrix
+
+
+def brute_pair_sum(r2: np.ndarray, a: int, b: int) -> float:
+    """Oracle: sum r2 over unordered pairs within [a, b]."""
+    total = 0.0
+    for i in range(a, b + 1):
+        for j in range(a, i):
+            total += r2[i, j]
+    return total
+
+
+@pytest.fixture
+def r2(small_alignment):
+    return r_squared_matrix(small_alignment)
+
+
+class TestRecurrence:
+    def test_base_cases(self, r2):
+        m = build_m_recurrence(r2)
+        w = r2.shape[0]
+        for i in range(w):
+            assert m[i, i] == 0.0
+        for i in range(1, w):
+            assert m[i, i - 1] == pytest.approx(r2[i, i - 1])
+
+    def test_matches_brute_force(self, r2):
+        m = build_m_recurrence(r2)
+        for a, b in [(0, 5), (3, 10), (0, 20), (15, 25)]:
+            assert m[b, a] == pytest.approx(brute_pair_sum(r2, a, b), rel=1e-10)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ScanConfigError, match="square"):
+            build_m_recurrence(np.zeros((3, 4)))
+
+    def test_monotone_in_window_growth(self, r2):
+        """Enlarging a window can only add non-negative r2 terms."""
+        m = build_m_recurrence(r2)
+        w = r2.shape[0]
+        for b in range(2, w):
+            assert m[b, 0] >= m[b - 1, 0] - 1e-12
+            assert m[b, 1] <= m[b, 0] + 1e-12
+
+
+class TestSumMatrix:
+    def test_symmetric_fast_path_identical(self, r2):
+        """The assume_symmetric construction (used by the scanner on the
+        symmetric matrices the LD backends produce) must be numerically
+        identical to the general path."""
+        a = SumMatrix(r2)
+        b = SumMatrix(r2, assume_symmetric=True)
+        np.testing.assert_allclose(a._prefix, b._prefix, atol=1e-12)
+
+    def test_pair_sum_matches_recurrence(self, r2):
+        sm = SumMatrix(r2)
+        m = build_m_recurrence(r2)
+        for a, b in [(0, 0), (0, 1), (2, 7), (0, 59), (30, 59)]:
+            assert sm.pair_sum(a, b) == pytest.approx(m[b, a], abs=1e-9)
+
+    def test_as_matrix_matches_recurrence(self, r2):
+        sm = SumMatrix(r2[:20, :20])
+        m = build_m_recurrence(r2[:20, :20])
+        np.testing.assert_allclose(sm.as_matrix(), np.tril(m), atol=1e-9)
+
+    def test_single_site_window_is_zero(self, r2):
+        sm = SumMatrix(r2)
+        assert sm.pair_sum(7, 7) == 0.0
+
+    def test_cross_sum_additivity(self, r2):
+        """M[b][a] = sum_L + sum_R + sum_LR for every split — the identity
+        OmegaPlus's O(1) lookups rely on."""
+        sm = SumMatrix(r2)
+        a, b = 3, 40
+        for c in range(a, b):
+            total = sm.pair_sum(a, b)
+            parts = (
+                sm.pair_sum(a, c)
+                + (sm.pair_sum(c + 1, b) if c + 1 <= b else 0.0)
+                + sm.cross_sum(a, c, b)
+            )
+            assert parts == pytest.approx(total, rel=1e-10)
+
+    def test_cross_sum_brute(self, r2):
+        sm = SumMatrix(r2)
+        a, c, b = 2, 10, 25
+        expected = sum(
+            r2[i, j] for i in range(c + 1, b + 1) for j in range(a, c + 1)
+        )
+        assert sm.cross_sum(a, c, b) == pytest.approx(expected, rel=1e-10)
+
+    def test_bounds_checking(self, r2):
+        sm = SumMatrix(r2)
+        with pytest.raises(ScanConfigError):
+            sm.pair_sum(-1, 5)
+        with pytest.raises(ScanConfigError):
+            sm.pair_sum(0, 60)
+        with pytest.raises(ScanConfigError):
+            sm.cross_sum(5, 4, 10)
+        with pytest.raises(ScanConfigError):
+            sm.cross_sum(0, 10, 10)
+
+    def test_left_sums_vectorized(self, r2):
+        sm = SumMatrix(r2)
+        c = 30
+        borders = np.array([0, 5, 12, 30])
+        got = sm.left_sums(borders, c)
+        for k, i in enumerate(borders):
+            assert got[k] == pytest.approx(sm.pair_sum(int(i), c), abs=1e-9)
+
+    def test_right_sums_vectorized(self, r2):
+        sm = SumMatrix(r2)
+        c = 20
+        borders = np.array([21, 25, 40, 59])
+        got = sm.right_sums(c, borders)
+        for k, j in enumerate(borders):
+            assert got[k] == pytest.approx(sm.pair_sum(c + 1, int(j)), abs=1e-9)
+
+    def test_cross_sums_grid(self, r2):
+        sm = SumMatrix(r2)
+        c = 25
+        li = np.array([3, 10, 25])
+        rj = np.array([26, 33, 50])
+        grid = sm.cross_sums_grid(li, c, rj)
+        assert grid.shape == (3, 3)
+        for jj, j in enumerate(rj):
+            for ii, i in enumerate(li):
+                assert grid[jj, ii] == pytest.approx(
+                    sm.cross_sum(int(i), c, int(j)), abs=1e-9
+                )
+
+    def test_empty_borders(self, r2):
+        sm = SumMatrix(r2)
+        assert sm.left_sums(np.array([], dtype=int), 5).size == 0
+        assert sm.right_sums(5, np.array([], dtype=int)).size == 0
+        assert sm.cross_sums_grid(np.array([1]), 5, np.array([], dtype=int)).shape == (0, 1)
+
+    @given(
+        n_sites=st.integers(3, 25),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_prefix_equals_recurrence(self, n_sites, seed):
+        aln = random_alignment(12, n_sites, seed=seed)
+        r2 = r_squared_matrix(aln)
+        sm = SumMatrix(r2)
+        m = build_m_recurrence(r2)
+        rng = np.random.default_rng(seed)
+        for _ in range(5):
+            a = int(rng.integers(0, n_sites))
+            b = int(rng.integers(a, n_sites))
+            assert sm.pair_sum(a, b) == pytest.approx(m[b, a], abs=1e-9)

@@ -1,0 +1,50 @@
+"""Smoke tests: the fast example scripts must run cleanly end to end.
+
+Only the quick examples are exercised here (a few seconds each); the
+longer studies (`sweep_scan.py`, `method_comparison.py`,
+`whole_genome_scan.py`, `calibrated_scan.py`, `nonequilibrium_scan.py`)
+are validated manually and share all their machinery with tested code
+paths.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 180) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "omega peaks at" in out
+        assert "top five grid positions" in out
+
+    def test_accelerator_comparison(self):
+        out = run_example("accelerator_comparison.py")
+        # every platform row reports an identical functional result
+        assert out.count("True") >= 4
+        assert "FPGA Alveo U200" in out
+
+    def test_thread_scaling(self):
+        out = run_example("thread_scaling.py")
+        assert "report identical to sequential: True" in out
+        assert "99.8" in out  # Table IV single-thread anchor
+
+    def test_signatures_tour(self):
+        out = run_example("signatures_tour.py")
+        for token in ("signature (a)", "signature (b)", "signature (c)"):
+            assert token in out

@@ -1,0 +1,131 @@
+"""Tests for FASTA alignment input."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.fasta import fasta_text, parse_fasta, parse_fasta_text
+from repro.datasets.missing import MISSING
+from repro.errors import DataFormatError
+
+SIMPLE = """>s1
+ACGTAC
+>s2
+ACGTAC
+>s3
+ATGTCC
+>s4
+ATGACC
+"""
+
+
+class TestParse:
+    def test_extracts_biallelic_columns(self):
+        masked = parse_fasta_text(SIMPLE)
+        # col1: C/T biallelic; col3: T/A biallelic; col4: A/C biallelic
+        assert masked.n_samples == 4
+        assert masked.n_sites == 3
+        np.testing.assert_allclose(masked.positions, [1.5, 3.5, 4.5])
+
+    def test_minor_allele_is_one(self):
+        masked = parse_fasta_text(SIMPLE)
+        # column 3 (pos 3.5): T,T,T,A -> A minor -> s4 carries 1
+        col = masked.matrix[:, 1]
+        np.testing.assert_array_equal(col, [0, 0, 0, 1])
+
+    def test_monomorphic_and_triallelic_dropped(self):
+        text = ">a\nAAC\n>b\nACG\n>c\nACT\n"
+        # col0 monomorphic A... col1 A/C biallelic, col2 C/G/T triallelic
+        masked = parse_fasta_text(text)
+        assert masked.n_sites == 1
+
+    def test_ambiguous_chars_are_missing(self):
+        text = ">a\nAN\n>b\nCN\n>c\nC-\n>d\nCA\n"
+        masked = parse_fasta_text(text)
+        assert masked.n_sites >= 1
+        col0 = masked.matrix[:, 0]
+        assert (col0 != MISSING).all()
+        if masked.n_sites == 2:
+            col1 = masked.matrix[:, 1]
+            assert (col1 == MISSING).sum() == 2
+
+    def test_min_calls_filters_sparse_columns(self):
+        text = ">a\nAN\n>b\nCN\n>c\nCA\n>d\nCG\n"
+        # col1 has calls A, G only from 2 samples
+        loose = parse_fasta_text(text, min_calls=2)
+        strict = parse_fasta_text(text, min_calls=3)
+        assert loose.n_sites > strict.n_sites
+
+    def test_case_insensitive(self):
+        masked = parse_fasta_text(">a\nac\n>b\nAC\n>c\ngc\n>d\nGc\n")
+        assert masked.n_sites == 1
+
+    def test_multiline_sequences(self):
+        text = ">a\nACG\nTAC\n>b\nACG\nTAC\n>c\nATG\nTCC\n>d\nATG\nACC\n"
+        masked = parse_fasta_text(text)
+        assert masked.n_sites == 3
+
+    def test_bp_per_column_scales(self):
+        masked = parse_fasta_text(SIMPLE, bp_per_column=100.0)
+        np.testing.assert_allclose(masked.positions, [150.0, 350.0, 450.0])
+        assert masked.length == 600.0
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "aln.fa")
+        with open(path, "w") as fh:
+            fh.write(SIMPLE)
+        masked = parse_fasta(path)
+        assert masked.n_sites == 3
+
+    def test_scan_integration(self):
+        """FASTA -> impute -> scan end to end."""
+        rng = np.random.default_rng(0)
+        bases = np.array(list("ACGT"))
+        n, L = 12, 400
+        # two haplotype groups -> real LD structure
+        hapA = bases[rng.integers(0, 4, L)]
+        hapB = hapA.copy()
+        flip = rng.random(L) < 0.3
+        hapB[flip] = bases[(rng.integers(1, 4, flip.sum()) +
+                            np.searchsorted(bases, hapB[flip])) % 4]
+        seqs = []
+        for k in range(n):
+            src = hapA if k < n // 2 else hapB
+            noisy = src.copy()
+            m = rng.random(L) < 0.01
+            noisy[m] = bases[rng.integers(0, 4, m.sum())]
+            seqs.append("".join(noisy))
+        masked = parse_fasta_text(
+            fasta_text([f"s{k}" for k in range(n)], seqs),
+            bp_per_column=10.0,
+        )
+        aln = masked.impute_major().drop_monomorphic()
+        from repro.core.scan import scan
+
+        result = scan(aln, grid_size=5, max_window=aln.length / 3)
+        assert len(result) == 5
+
+
+class TestErrors:
+    def test_no_records(self):
+        with pytest.raises(DataFormatError, match="no FASTA"):
+            parse_fasta_text("")
+
+    def test_data_before_header(self):
+        with pytest.raises(DataFormatError, match="before the first"):
+            parse_fasta_text("ACGT\n>a\nACGT\n")
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataFormatError, match="differing lengths"):
+            parse_fasta_text(">a\nACGT\n>b\nAC\n")
+
+    def test_single_sequence(self):
+        with pytest.raises(DataFormatError, match="at least 2"):
+            parse_fasta_text(">a\nACGT\n")
+
+    def test_no_variation(self):
+        with pytest.raises(DataFormatError, match="no biallelic"):
+            parse_fasta_text(">a\nAAAA\n>b\nAAAA\n")
+
+    def test_fasta_text_mismatch(self):
+        with pytest.raises(DataFormatError):
+            fasta_text(["a"], ["AC", "GT"])

@@ -1,0 +1,144 @@
+"""Shape tests for every figure series of the evaluation section."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    GPU_EVAL_SNP_COUNTS,
+    fig10_series,
+    fig11_series,
+    fig12_series,
+    fig13_series,
+    fig14_series,
+    gpu_eval_plans,
+)
+from repro.analysis.paper_values import FIG12
+
+
+class TestFig10:
+    def test_monotone_rise_to_90pct(self):
+        s = fig10_series()
+        y = s["throughput"]
+        assert np.all(np.diff(y) > 0)
+        # the curve approaches but does not exceed the peak
+        assert y[-1] <= s["peak"][0]
+        assert y[-1] > 0.75 * s["peak"][0]
+
+    def test_90pct_line_value(self):
+        s = fig10_series()
+        assert s["ninety_pct_line"][0] == pytest.approx(0.9 * 0.4e9)
+
+    def test_custom_iterations(self):
+        s = fig10_series([100, 200])
+        assert list(s["iterations"]) == [100, 200]
+
+
+class TestFig11:
+    def test_alveo_peak_8g(self):
+        s = fig11_series()
+        assert s["peak"][0] == pytest.approx(8e9)
+
+    def test_alveo_needs_more_iterations_than_zcu102(self):
+        """Same utilization requires ~8x the iterations on the 8x wider
+        accelerator."""
+        z = fig10_series([1000])["throughput"][0] / 0.4e9
+        a = fig11_series([1000])["throughput"][0] / 8e9
+        assert z > a
+
+
+class TestGpuEvalPlans:
+    def test_loads_span_dispatch_boundary(self):
+        """The sparsest dataset's positions must sit below the Eq. 4
+        threshold and the densest far above — the Fig. 12 design."""
+        from repro.accel.gpu.device import TESLA_K80
+
+        sparse = [p.n_evaluations for p in gpu_eval_plans(1000, grid_size=50) if p.valid]
+        dense = [p.n_evaluations for p in gpu_eval_plans(20000, grid_size=50) if p.valid]
+        assert np.median(sparse) < TESLA_K80.dispatch_threshold
+        assert np.median(dense) > 10 * TESLA_K80.dispatch_threshold
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig12_series(grid_size=100)
+
+    def test_kernel1_plateau(self, series):
+        assert series["kernel1"][-1] == pytest.approx(
+            FIG12["kernel1_plateau_gscores"] * 1e9, rel=0.15
+        )
+
+    def test_kernel2_max(self, series):
+        assert series["kernel2"][-1] == pytest.approx(
+            FIG12["kernel2_max_gscores"] * 1e9, rel=0.15
+        )
+
+    def test_kernel1_faster_at_1000_snps(self, series):
+        """Paper: with 1,000 SNPs kernel I is ~10 % faster than kernel II."""
+        ratio = series["kernel1"][0] / series["kernel2"][0]
+        assert 1.02 < ratio < 1.35
+
+    def test_kernel2_wins_at_high_load(self, series):
+        assert series["kernel2"][-1] > 2 * series["kernel1"][-1]
+
+    def test_dynamic_tracks_best_kernel(self, series):
+        for k1, k2, d in zip(
+            series["kernel1"], series["kernel2"], series["dynamic"]
+        ):
+            assert d >= min(k1, k2) * 0.99
+            assert d <= max(k1, k2) * 1.01
+
+    def test_dynamic_vs_kernel1_gain_range(self, series):
+        """Paper: dynamic is 1.08x-2.59x faster than kernel I alone from
+        2,000 to 20,000 SNPs."""
+        lo, hi = FIG12["dynamic_vs_kernel1_gain_range"]
+        gains = [
+            d / k1
+            for s, k1, d in zip(
+                series["snps"], series["kernel1"], series["dynamic"]
+            )
+            if s >= 2000
+        ]
+        assert min(gains) > 1.0
+        assert max(gains) == pytest.approx(hi, rel=0.25)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return fig13_series(grid_size=100)
+
+    def test_rises_then_falls(self, series):
+        """The paper's roll-off: throughput increases up to ~7,000 SNPs
+        and decreases beyond."""
+        y = series["complete"]
+        snps = series["snps"]
+        peak_idx = int(np.argmax(y))
+        assert 3000 <= snps[peak_idx] <= 10000
+        assert y[0] < y[peak_idx]
+        assert y[-1] < y[peak_idx]
+
+    def test_complete_far_below_kernel_only(self, series):
+        """Mscores/s scale vs Gscores/s: data prep and movement dominate
+        (the Fig. 12 vs Fig. 13 unit difference)."""
+        assert max(series["complete"]) < 0.5e9
+
+    def test_peak_magnitude(self, series):
+        """Peak sits at the ~200 Mscores/s scale of Table III."""
+        assert max(series["complete"]) == pytest.approx(207e6, rel=0.3)
+
+
+class TestFig14:
+    def test_three_workloads(self):
+        comps = fig14_series()
+        assert [c.workload.name for c in comps] == [
+            "balanced",
+            "high_omega",
+            "high_ld",
+        ]
+
+    def test_cpu_shares_match_regimes(self):
+        comps = {c.workload.name: c for c in fig14_series()}
+        assert comps["balanced"].cpu.omega_share == pytest.approx(0.5, abs=0.07)
+        assert comps["high_omega"].cpu.omega_share > 0.85
+        assert comps["high_ld"].cpu.omega_share < 0.15

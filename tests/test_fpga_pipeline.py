@@ -1,0 +1,107 @@
+"""Tests for the FPGA pipeline cycle model (Figs. 7-11 behaviour)."""
+
+import pytest
+
+from repro.accel.fpga.device import ALVEO_U200, ZCU102
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.errors import AcceleratorError, ModelCalibrationError
+
+
+class TestPeaks:
+    def test_zcu102_peak(self):
+        # unroll 4 x 100 MHz = 0.4 Gscores/s
+        assert PipelineModel(ZCU102).peak_rate == pytest.approx(0.4e9)
+
+    def test_alveo_peak(self):
+        # unroll 32 x 250 MHz = 8 Gscores/s
+        assert PipelineModel(ALVEO_U200).peak_rate == pytest.approx(8e9)
+
+    def test_sustained_near_90pct(self):
+        p = PipelineModel(ZCU102)
+        assert p.sustained_rate / p.peak_rate == pytest.approx(0.9, abs=0.01)
+
+
+class TestBurst:
+    def test_throughput_monotone(self):
+        p = PipelineModel(ZCU102)
+        rates = [p.burst_throughput(n) for n in (10, 100, 1000, 4500)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_approaches_sustained_rate(self):
+        """Figs. 10-11: with enough iterations the throughput closes on
+        the 90 % dashed line."""
+        p = PipelineModel(ALVEO_U200)
+        big = p.burst_throughput(500_000)
+        assert big > 0.95 * p.sustained_rate
+        assert big <= p.peak_rate
+
+    def test_small_bursts_latency_dominated(self):
+        p = PipelineModel(ZCU102)
+        assert p.burst_throughput(8) < 0.2 * p.peak_rate
+
+    def test_paper_operating_points(self):
+        """At the paper's largest evaluated burst sizes the model should
+        sit in the high-utilization region below the 90 % line."""
+        z = PipelineModel(ZCU102).burst_throughput(4500)
+        a = PipelineModel(ALVEO_U200).burst_throughput(30500)
+        assert 0.75 * 0.4e9 < z < 0.92 * 0.4e9
+        assert 0.75 * 8e9 < a < 0.92 * 8e9
+
+    def test_software_remainder(self):
+        p = PipelineModel(ZCU102)  # unroll 4
+        t = p.burst(10)
+        assert t.hw_scores == 8
+        assert t.sw_scores == 2
+
+    def test_exact_multiple_no_remainder(self):
+        t = PipelineModel(ZCU102).burst(12)
+        assert t.sw_scores == 0
+
+    def test_rejects_empty_burst(self):
+        with pytest.raises(AcceleratorError):
+            PipelineModel(ZCU102).burst(0)
+
+
+class TestPosition:
+    def test_scores_partition(self):
+        p = PipelineModel(ZCU102)
+        t = p.position(n_left_borders=7, n_right_borders=10)
+        assert t.hw_scores == 7 * 8
+        assert t.sw_scores == 7 * 2
+        assert t.hw_scores + t.sw_scores == 70
+
+    def test_prefetch_charged_once_per_position(self):
+        """RS reuse (Fig. 9): doubling the left borders must NOT double
+        the non-compute cycles — prefetch is per-position."""
+        p = PipelineModel(ALVEO_U200)
+        one = p.position(1, 3200)
+        two = p.position(2, 3200)
+        per_outer = two.cycles - one.cycles
+        fixed = one.cycles - per_outer
+        assert fixed >= p.prefetch_latency + p.latency - 1
+
+    def test_more_unroll_fewer_cycles(self):
+        few = PipelineModel(ALVEO_U200, unroll=4).position(10, 3200)
+        many = PipelineModel(ALVEO_U200, unroll=32).position(10, 3200)
+        assert many.cycles < few.cycles
+
+    def test_rejects_empty(self):
+        with pytest.raises(AcceleratorError):
+            PipelineModel(ZCU102).position(0, 5)
+
+
+class TestValidation:
+    def test_unroll_capped_by_device(self):
+        with pytest.raises(ModelCalibrationError, match="exceeds"):
+            PipelineModel(ZCU102, unroll=8)
+
+    def test_explicit_unroll_within_cap(self):
+        assert PipelineModel(ZCU102, unroll=2).effective_unroll == 2
+
+    def test_rejects_zero_unroll(self):
+        with pytest.raises(ModelCalibrationError):
+            PipelineModel(ZCU102, unroll=0)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ModelCalibrationError):
+            PipelineModel(ZCU102, latency=0)

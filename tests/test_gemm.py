@@ -1,0 +1,77 @@
+"""Unit tests for repro.ld.gemm (the GEMM/BLIS LD formulation)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_alignment
+from repro.errors import LDError
+from repro.ld.correlation import r_squared_pair
+from repro.ld.gemm import cooccurrence_gemm, r_squared_block, r_squared_matrix
+
+
+class TestCooccurrence:
+    def test_matches_direct_count(self, small_alignment):
+        n11 = cooccurrence_gemm(small_alignment)
+        m = small_alignment.matrix.astype(np.int64)
+        expected = m.T @ m
+        np.testing.assert_array_equal(n11, expected)
+
+    def test_diagonal_is_counts(self, small_alignment):
+        n11 = cooccurrence_gemm(small_alignment)
+        np.testing.assert_array_equal(
+            np.diag(n11), small_alignment.derived_counts()
+        )
+
+    def test_integer_dtype(self, small_alignment):
+        assert cooccurrence_gemm(small_alignment).dtype == np.int64
+
+
+class TestRSquaredMatrix:
+    def test_symmetric(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        np.testing.assert_allclose(r2, r2.T, atol=1e-12)
+
+    def test_diagonal_one_for_polymorphic(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        np.testing.assert_allclose(np.diag(r2), 1.0)
+
+    def test_values_in_unit_interval(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        assert (r2 >= 0).all() and (r2 <= 1).all()
+
+    def test_matches_pairwise(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        for i, j in [(0, 1), (5, 30), (59, 2)]:
+            assert r2[i, j] == pytest.approx(
+                r_squared_pair(small_alignment, i, j), abs=1e-12
+            )
+
+
+class TestRSquaredBlock:
+    def test_matches_full_matrix(self, small_alignment):
+        full = r_squared_matrix(small_alignment)
+        block = r_squared_block(small_alignment, slice(10, 25), slice(30, 50))
+        np.testing.assert_allclose(block, full[10:25, 30:50], atol=1e-12)
+
+    def test_full_range_equals_matrix(self, small_alignment):
+        n = small_alignment.n_sites
+        block = r_squared_block(small_alignment, slice(0, n), slice(0, n))
+        np.testing.assert_allclose(
+            block, r_squared_matrix(small_alignment), atol=1e-12
+        )
+
+    def test_rejects_strided_slice(self, small_alignment):
+        with pytest.raises(LDError, match="contiguous"):
+            r_squared_block(small_alignment, slice(0, 10, 2), slice(0, 10))
+
+    def test_negative_slices_normalized(self, small_alignment):
+        n = small_alignment.n_sites
+        full = r_squared_matrix(small_alignment)
+        block = r_squared_block(small_alignment, slice(-10, None), slice(0, 5))
+        np.testing.assert_allclose(block, full[n - 10 :, 0:5], atol=1e-12)
+
+    def test_large_sample_count(self):
+        aln = random_alignment(500, 20, seed=11)
+        r2 = r_squared_matrix(aln)
+        assert r2[3, 3] == pytest.approx(1.0)
+        assert (r2 <= 1.0).all()

@@ -1,0 +1,146 @@
+"""Unit tests for repro.datasets.generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    clustered_positions,
+    haplotype_block_alignment,
+    random_alignment,
+    sweep_signature_alignment,
+)
+from repro.ld.gemm import r_squared_block
+
+
+class TestRandomAlignment:
+    def test_dimensions(self):
+        aln = random_alignment(20, 50, seed=0)
+        assert aln.n_samples == 20
+        assert aln.n_sites == 50
+
+    def test_deterministic(self):
+        a = random_alignment(10, 20, seed=7)
+        b = random_alignment(10, 20, seed=7)
+        assert a.equals(b)
+
+    def test_all_polymorphic(self):
+        aln = random_alignment(12, 80, seed=1, maf_min=0.01)
+        assert aln.is_polymorphic().all()
+
+    def test_custom_length(self):
+        aln = random_alignment(5, 10, length=5000.0, seed=2)
+        assert aln.length == 5000.0
+        assert aln.positions.max() <= 5000.0
+
+    def test_default_length_scales_with_sites(self):
+        aln = random_alignment(5, 10, seed=2)
+        assert aln.length == 1000.0
+
+    def test_explicit_positions(self):
+        pos = np.arange(10.0) * 7.0 + 1.0
+        aln = random_alignment(5, 10, positions=pos, length=100.0, seed=3)
+        np.testing.assert_array_equal(aln.positions, pos)
+
+    def test_rejects_one_sample(self):
+        with pytest.raises(ValueError, match="at least 2 samples"):
+            random_alignment(1, 10)
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ValueError, match="at least 1 site"):
+            random_alignment(5, 0)
+
+
+class TestHaplotypeBlockAlignment:
+    def test_dimensions(self):
+        aln = haplotype_block_alignment(30, 100, seed=0)
+        assert aln.n_samples == 30
+        assert aln.n_sites == 100
+
+    def test_has_elevated_ld_within_blocks(self):
+        """Adjacent sites inside a block must be far more correlated than
+        distant sites on average."""
+        aln = haplotype_block_alignment(
+            60, 200, block_size=50, switch_prob=0.0, mutation_prob=0.005, seed=4
+        )
+        r2 = r_squared_block(aln, slice(0, 200), slice(0, 200))
+        near = np.array([r2[i, i + 1] for i in range(0, 45)])
+        far = np.array([r2[i, i + 150] for i in range(0, 45)])
+        assert near.mean() > far.mean() + 0.2
+
+    def test_rejects_single_founder(self):
+        with pytest.raises(ValueError, match="founders"):
+            haplotype_block_alignment(10, 20, n_founders=1)
+
+    def test_deterministic(self):
+        a = haplotype_block_alignment(10, 30, seed=5)
+        b = haplotype_block_alignment(10, 30, seed=5)
+        assert a.equals(b)
+
+
+class TestSweepSignatureAlignment:
+    def test_dimensions(self):
+        aln = sweep_signature_alignment(20, 100, seed=0)
+        assert (aln.n_samples, aln.n_sites) == (20, 100)
+
+    def test_ld_pattern(self):
+        """Within-flank LD must exceed cross-flank LD — the omega
+        signature this generator exists to plant."""
+        aln = sweep_signature_alignment(
+            80, 400, sweep_ld=0.95, background_ld=0.0, seed=1
+        )
+        centre = 0.5 * aln.length
+        half = 0.25 * aln.length
+        left = np.nonzero(
+            (aln.positions >= centre - half) & (aln.positions < centre)
+        )[0]
+        right = np.nonzero(
+            (aln.positions >= centre) & (aln.positions <= centre + half)
+        )[0]
+        l0, l1 = left[0], left[-1] + 1
+        r0, r1 = right[0], right[-1] + 1
+        within_left = r_squared_block(aln, slice(l0, l1), slice(l0, l1))
+        cross = r_squared_block(aln, slice(l0, l1), slice(r0, r1))
+        n = within_left.shape[0]
+        off_diag = within_left[~np.eye(n, dtype=bool)]
+        assert off_diag.mean() > cross.mean() + 0.3
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"sweep_position": 0.0},
+        {"sweep_position": 1.0},
+        {"flank_fraction": 0.0},
+        {"flank_fraction": 0.6},
+        {"sweep_ld": 0.1, "background_ld": 0.5},
+    ])
+    def test_rejects_bad_params(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            sweep_signature_alignment(10, 50, **bad_kwargs)
+
+
+class TestClusteredPositions:
+    def test_sorted_strict(self):
+        pos = clustered_positions(500, 1e6, seed=0)
+        assert pos.size == 500
+        assert np.all(np.diff(pos) > 0)
+        assert pos.min() >= 0 and pos.max() <= 1e6
+
+    def test_clustering_increases_density_variance(self):
+        """Clustered positions must have a far more variable local density
+        than uniform ones — the property that triggers the GPU dynamic
+        kernel dispatch."""
+        uniform = np.sort(np.random.default_rng(1).uniform(0, 1e6, 2000))
+        clustered = clustered_positions(
+            2000, 1e6, n_clusters=8, cluster_width_fraction=0.005, seed=1
+        )
+        bins = np.linspace(0, 1e6, 50)
+        u_counts, _ = np.histogram(uniform, bins)
+        c_counts, _ = np.histogram(clustered, bins)
+        assert c_counts.std() > 2 * u_counts.std()
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_positions(100, 1e5, n_clusters=0)
+
+    def test_deterministic(self):
+        a = clustered_positions(100, 1e5, seed=3)
+        b = clustered_positions(100, 1e5, seed=3)
+        np.testing.assert_array_equal(a, b)

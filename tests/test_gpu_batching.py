@@ -1,0 +1,111 @@
+"""Tests for the transfer-batching extension (the paper's future work:
+'explore algorithmic solutions in OmegaPlus to minimize these data
+transfers and further boost GPU performance')."""
+
+import numpy as np
+import pytest
+
+from repro.accel.gpu import GPUOmegaEngine, TESLA_K80
+from repro.analysis.figures import gpu_eval_plans
+from repro.core.grid import GridSpec
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.errors import AcceleratorError
+
+
+@pytest.fixture
+def config(block_alignment):
+    return OmegaConfig(
+        grid=GridSpec(n_positions=12, max_window=block_alignment.length / 3)
+    )
+
+
+class TestFunctionalInvariance:
+    def test_batching_does_not_change_results(self, block_alignment, config):
+        base, _ = GPUOmegaEngine(TESLA_K80).scan(block_alignment, config)
+        batched, _ = GPUOmegaEngine(TESLA_K80, batch_positions=4).scan(
+            block_alignment, config
+        )
+        np.testing.assert_allclose(batched.omegas, base.omegas, rtol=1e-12)
+
+    def test_score_and_byte_accounting_unchanged(self, block_alignment, config):
+        _, base = GPUOmegaEngine(TESLA_K80).scan(block_alignment, config)
+        _, batched = GPUOmegaEngine(TESLA_K80, batch_positions=4).scan(
+            block_alignment, config
+        )
+        assert batched.scores == base.scores
+        assert batched.bytes_moved == base.bytes_moved
+
+
+class TestTimingEffect:
+    def test_batching_reduces_launches(self, block_alignment, config):
+        _, base = GPUOmegaEngine(TESLA_K80).scan(block_alignment, config)
+        _, batched = GPUOmegaEngine(TESLA_K80, batch_positions=4).scan(
+            block_alignment, config
+        )
+        assert batched.kernel_launches < base.kernel_launches
+        assert batched.kernel_launches == -(-base.kernel_launches // 4)
+
+    def test_batching_reduces_modelled_time(self, block_alignment, config):
+        _, base = GPUOmegaEngine(TESLA_K80).scan(block_alignment, config)
+        _, batched = GPUOmegaEngine(TESLA_K80, batch_positions=8).scan(
+            block_alignment, config
+        )
+        omega_time = lambda r: sum(
+            r.seconds.get(p, 0.0) for p in ("prep", "h2d", "kernel", "d2h")
+        )
+        assert omega_time(batched) < omega_time(base)
+
+    def test_batch_one_is_identity(self, block_alignment, config):
+        _, a = GPUOmegaEngine(TESLA_K80).scan(block_alignment, config)
+        _, b = GPUOmegaEngine(TESLA_K80, batch_positions=1).scan(
+            block_alignment, config
+        )
+        for phase in a.seconds:
+            assert a.seconds[phase] == pytest.approx(b.seconds[phase])
+
+    def test_gain_largest_on_small_positions(self):
+        """Fixed per-launch costs dominate small workloads, so batching
+        helps the sparse-dataset regime the most — exactly where the
+        paper observed 'a large fraction of total execution time spent
+        on data transfers'."""
+        engine_1 = GPUOmegaEngine(TESLA_K80)
+        engine_8 = GPUOmegaEngine(TESLA_K80, batch_positions=8)
+
+        def omega_seconds(engine, n_snps):
+            plans = gpu_eval_plans(n_snps, grid_size=60)
+            rec = engine.model_plans(plans, n_samples=50)
+            return sum(
+                rec.seconds.get(p, 0.0)
+                for p in ("prep", "h2d", "kernel", "d2h")
+            )
+
+        gain_small = omega_seconds(engine_1, 1000) / omega_seconds(
+            engine_8, 1000
+        )
+        gain_large = omega_seconds(engine_1, 20000) / omega_seconds(
+            engine_8, 20000
+        )
+        assert gain_small > gain_large
+        assert gain_small > 1.1
+
+    def test_model_plans_consistent_with_scan(self, block_alignment, config):
+        """The timing-only path must charge batching identically."""
+        from repro.core.grid import build_plans
+
+        engine = GPUOmegaEngine(TESLA_K80, batch_positions=4)
+        _, rec_scan = engine.scan(block_alignment, config)
+        rec_model = engine.model_plans(
+            build_plans(block_alignment, config.grid),
+            block_alignment.n_samples,
+        )
+        assert rec_model.kernel_launches == rec_scan.kernel_launches
+        for phase in ("prep", "h2d", "kernel", "d2h"):
+            assert rec_model.seconds[phase] == pytest.approx(
+                rec_scan.seconds[phase], rel=1e-9
+            )
+
+
+class TestValidation:
+    def test_rejects_zero_batch(self):
+        with pytest.raises(AcceleratorError):
+            GPUOmegaEngine(TESLA_K80, batch_positions=0)

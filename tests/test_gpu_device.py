@@ -1,0 +1,93 @@
+"""Tests for GPU device models and the Eq. (4) dispatch threshold."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel.gpu.device import (
+    OCCUPANCY_WAVES,
+    GPUDevice,
+    RADEON_HD8750M,
+    TESLA_K80,
+)
+from repro.errors import ModelCalibrationError
+
+
+class TestDispatchThreshold:
+    def test_eq4_k80(self):
+        # N_thr = N_CU * W_s * 32 = 13 * 32 * 32
+        assert TESLA_K80.dispatch_threshold == 13 * 32 * 32
+
+    def test_eq4_radeon(self):
+        assert RADEON_HD8750M.dispatch_threshold == 6 * 64 * 32
+
+    def test_occupancy_constant(self):
+        assert OCCUPANCY_WAVES == 32
+
+
+class TestDatasheetGeometry:
+    def test_k80_table2(self):
+        assert TESLA_K80.n_cu == 13
+        assert TESLA_K80.lanes == 2496
+        assert TESLA_K80.warp_size == 32
+
+    def test_radeon_table2(self):
+        assert RADEON_HD8750M.n_cu == 6
+        assert RADEON_HD8750M.lanes == 384
+        assert RADEON_HD8750M.warp_size == 64
+
+
+class TestPeaks:
+    def test_memory_peak_scales_inverse(self):
+        assert TESLA_K80.memory_peak(8.0) == pytest.approx(
+            2 * TESLA_K80.memory_peak(16.0)
+        )
+
+    def test_kernel1_plateau_near_7g(self):
+        """The calibrated Kernel I bandwidth ceiling must sit near the
+        7 Gomega/s plateau of Fig. 12 (K80)."""
+        peak = TESLA_K80.memory_peak(TESLA_K80.kernel1_bytes_per_score)
+        assert peak == pytest.approx(7e9, rel=0.1)
+
+    def test_kernel2_ceiling_above_17g(self):
+        peak = min(
+            TESLA_K80.compute_peak,
+            TESLA_K80.memory_peak(TESLA_K80.kernel2_bytes_per_score),
+        )
+        assert peak > 17e9
+
+    def test_datacenter_beats_laptop(self):
+        assert TESLA_K80.compute_peak > RADEON_HD8750M.compute_peak
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            name="t", n_cu=2, warp_size=32, lanes=64, clock_hz=1e9,
+            mem_bandwidth=1e11, pcie_bandwidth=1e10, pcie_latency=1e-5,
+            launch_overhead=1e-5, kernel1_bytes_per_score=8.0,
+            kernel2_bytes_per_score=4.0, compute_cycles_per_score=40.0,
+            host_pack_rate=1e9, gather_base=1e-9,
+            gather_miss_per_doubling=0.3, host_cache_bytes=1e6,
+        )
+
+    def test_valid(self):
+        GPUDevice(**self.base_kwargs())
+
+    def test_rejects_weird_warp(self):
+        kw = self.base_kwargs()
+        kw["warp_size"] = 48
+        with pytest.raises(ModelCalibrationError):
+            GPUDevice(**kw)
+
+    def test_rejects_kernel2_heavier_than_kernel1(self):
+        kw = self.base_kwargs()
+        kw["kernel2_bytes_per_score"] = 100.0
+        with pytest.raises(ModelCalibrationError, match="fewer bytes"):
+            GPUDevice(**kw)
+
+    def test_rejects_zero_clock(self):
+        kw = self.base_kwargs()
+        kw["clock_hz"] = 0.0
+        with pytest.raises(ValueError):
+            GPUDevice(**kw)

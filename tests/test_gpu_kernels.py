@@ -1,0 +1,179 @@
+"""Functional + timing tests for the two GPU omega kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.gpu.device import RADEON_HD8750M, TESLA_K80
+from repro.accel.gpu.kernels import (
+    WORK_GROUP_SIZE,
+    KernelI,
+    KernelII,
+    decode_work_items,
+)
+from repro.core.dp import SumMatrix
+from repro.core.omega import omega_max_at_split, omega_split_matrix
+from repro.datasets.generators import random_alignment
+from repro.errors import AcceleratorError
+from repro.ld.gemm import r_squared_matrix
+
+
+@pytest.fixture
+def sums(block_alignment):
+    return SumMatrix(r_squared_matrix(block_alignment))
+
+
+@pytest.fixture
+def borders(block_alignment):
+    c = block_alignment.n_sites // 2
+    li = np.arange(5, c - 1)
+    rj = np.arange(c + 2, block_alignment.n_sites - 5)
+    return li, c, rj
+
+
+class TestDecodeWorkItems:
+    def test_covers_all_pairs(self):
+        li = np.array([0, 1, 2])
+        rj = np.array([10, 11, 12, 13])
+        pl, pr, right_inner = decode_work_items(li, rj)
+        assert right_inner  # right side larger
+        pairs = set(zip(pl.tolist(), pr.tolist()))
+        assert pairs == {(l, r) for l in li for r in rj}
+        assert pl.size == 12
+
+    def test_order_switch_left_inner(self):
+        li = np.arange(10)
+        rj = np.array([20, 21])
+        pl, pr, right_inner = decode_work_items(li, rj)
+        assert not right_inner
+        # inner (fastest varying) index walks the LEFT borders
+        np.testing.assert_array_equal(pl[:10], li)
+        assert (pr[:10] == 20).all()
+
+    def test_right_inner_coalesced(self):
+        li = np.array([3, 4])
+        rj = np.arange(30, 50)
+        pl, pr, right_inner = decode_work_items(li, rj)
+        assert right_inner
+        np.testing.assert_array_equal(pr[:20], rj)
+        assert (pl[:20] == 3).all()
+
+    def test_rejects_empty(self):
+        with pytest.raises(AcceleratorError):
+            decode_work_items(np.array([], dtype=int), np.array([1]))
+
+
+class TestKernelFunctional:
+    @pytest.mark.parametrize("kernel_cls", [KernelI, KernelII])
+    def test_matches_cpu_max(self, sums, borders, kernel_cls):
+        li, c, rj = borders
+        kern = kernel_cls(TESLA_K80)
+        res = kern.launch(sums, li, c, rj, region_width=sums.n_sites)
+        ref = omega_max_at_split(sums, li, c, rj)
+        assert res.omega == pytest.approx(ref.omega, rel=1e-12)
+        assert res.left_border == ref.left_border
+        assert res.right_border == ref.right_border
+        assert res.n_scores == ref.n_evaluations
+
+    @pytest.mark.parametrize("kernel_cls", [KernelI, KernelII])
+    def test_single_pair(self, sums, kernel_cls):
+        kern = kernel_cls(TESLA_K80)
+        res = kern.launch(
+            sums, np.array([10]), 30, np.array([50]), region_width=60
+        )
+        scores = omega_split_matrix(sums, np.array([10]), 30, np.array([50]))
+        assert res.omega == pytest.approx(float(scores[0, 0]))
+
+    def test_kernels_agree_with_each_other(self, sums, borders):
+        li, c, rj = borders
+        r1 = KernelI(TESLA_K80).launch(sums, li, c, rj, region_width=120)
+        r2 = KernelII(TESLA_K80).launch(sums, li, c, rj, region_width=120)
+        assert r1.omega == pytest.approx(r2.omega, rel=1e-12)
+        assert (r1.left_border, r1.right_border) == (
+            r2.left_border,
+            r2.right_border,
+        )
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_property_kernels_equal_reference(self, seed):
+        aln = random_alignment(12, 30, seed=seed)
+        sums = SumMatrix(r_squared_matrix(aln))
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(3, 26))
+        li = np.arange(0, c - 1)
+        rj = np.arange(c + 2, 30)
+        if li.size == 0 or rj.size == 0:
+            return
+        ref = omega_max_at_split(sums, li, c, rj)
+        for cls in (KernelI, KernelII):
+            res = cls(RADEON_HD8750M).launch(sums, li, c, rj, region_width=30)
+            assert res.omega == pytest.approx(ref.omega, rel=1e-12)
+
+
+class TestPaddingAccounting:
+    def test_padded_to_work_group_multiple(self, sums, borders):
+        li, c, rj = borders
+        res = KernelI(TESLA_K80).launch(sums, li, c, rj, region_width=120)
+        assert res.padded_items % WORK_GROUP_SIZE == 0
+        assert res.padded_items >= res.n_scores
+
+    def test_kernel2_readback_smaller_at_high_load(self):
+        """Kernel II returns one (max, index) pair per work-item; Kernel I
+        ships the whole omega buffer back. The saving only materializes
+        once WILD > 2 — i.e. in Kernel II's intended high-load regime."""
+        aln = random_alignment(15, 500, seed=77)
+        sums = SumMatrix(r_squared_matrix(aln))
+        c = 250
+        li = np.arange(0, 248)
+        rj = np.arange(253, 500)  # ~61k scores >> G_s
+        r1 = KernelI(TESLA_K80).launch(sums, li, c, rj, region_width=500)
+        r2 = KernelII(TESLA_K80).launch(sums, li, c, rj, region_width=500)
+        assert r2.bytes_d2h < r1.bytes_d2h
+
+
+class TestTimingModel:
+    def test_rates_monotone_in_n(self):
+        k1, k2 = KernelI(TESLA_K80), KernelII(TESLA_K80)
+        ns = [100, 1000, 10_000, 100_000, 1_000_000]
+        for k in (k1, k2):
+            rates = [k.sustained_rate(n) for n in ns]
+            assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_kernel1_plateau(self):
+        k1 = KernelI(TESLA_K80)
+        assert k1.sustained_rate(10**8) == pytest.approx(7e9, rel=0.12)
+
+    def test_kernel2_reaches_17g(self):
+        k2 = KernelII(TESLA_K80)
+        assert k2.sustained_rate(10**8) > 17e9
+
+    def test_crossover_small_loads_favor_kernel1(self):
+        """Below the Eq. 4 threshold Kernel I must be at least as fast;
+        far above it Kernel II must win (the premise of the dynamic
+        dispatch)."""
+        k1, k2 = KernelI(TESLA_K80), KernelII(TESLA_K80)
+        small = TESLA_K80.dispatch_threshold // 20
+        large = TESLA_K80.dispatch_threshold * 50
+        assert k1.sustained_rate(small) > k2.sustained_rate(small)
+        assert k2.sustained_rate(large) > k1.sustained_rate(large)
+
+    def test_seconds_include_launch_overhead(self, sums):
+        res = KernelI(TESLA_K80).launch(
+            sums, np.array([5]), 30, np.array([50]), region_width=60
+        )
+        assert res.seconds > TESLA_K80.launch_overhead
+
+    def test_wild_scales_with_load(self):
+        k2 = KernelII(TESLA_K80)
+        assert k2.wild(k2.g_s * 10) == 10
+        assert k2.wild(5) == 1
+
+    def test_rejects_bad_inputs(self):
+        k1 = KernelI(TESLA_K80)
+        with pytest.raises(AcceleratorError):
+            k1.sustained_rate(0)
+        k2 = KernelII(TESLA_K80)
+        with pytest.raises(AcceleratorError):
+            k2.wild(0)

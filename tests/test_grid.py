@@ -1,0 +1,145 @@
+"""Unit tests for grid positions and window planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import GridSpec, build_plans
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+
+
+def uniform_alignment(n_sites=50, spacing=10.0):
+    """Sites at 5, 15, 25, ... for predictable window arithmetic."""
+    positions = np.arange(n_sites) * spacing + spacing / 2
+    rng = np.random.default_rng(0)
+    matrix = rng.integers(0, 2, size=(10, n_sites)).astype(np.uint8)
+    return SNPAlignment(matrix, positions, n_sites * spacing)
+
+
+class TestGridSpec:
+    def test_valid(self):
+        GridSpec(n_positions=10, max_window=100.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_positions": 0, "max_window": 10.0},
+            {"n_positions": 5, "max_window": 0.0},
+            {"n_positions": 5, "max_window": 10.0, "min_window": -1.0},
+            {"n_positions": 5, "max_window": 10.0, "min_window": 10.0},
+            {"n_positions": 5, "max_window": 10.0, "min_flank_snps": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises((ScanConfigError, ValueError)):
+            GridSpec(**kwargs)
+
+    def test_positions_span_snp_range(self):
+        aln = uniform_alignment(50)
+        spec = GridSpec(n_positions=5, max_window=100.0)
+        pos = spec.positions(aln)
+        assert pos[0] == pytest.approx(aln.positions[0])
+        assert pos[-1] == pytest.approx(aln.positions[-1])
+        assert np.all(np.diff(pos) > 0)
+
+    def test_single_position_at_midpoint(self):
+        aln = uniform_alignment(50)
+        spec = GridSpec(n_positions=1, max_window=100.0)
+        pos = spec.positions(aln)
+        mid = (aln.positions[0] + aln.positions[-1]) / 2
+        assert pos[0] == pytest.approx(mid)
+
+    def test_needs_two_snps(self):
+        aln = SNPAlignment(
+            np.array([[1], [0]], dtype=np.uint8), np.array([5.0]), 10.0
+        )
+        with pytest.raises(ScanConfigError, match="at least 2"):
+            GridSpec(n_positions=2, max_window=5.0).positions(aln)
+
+
+class TestBuildPlans:
+    def test_plan_count_matches_grid(self):
+        aln = uniform_alignment(50)
+        spec = GridSpec(n_positions=7, max_window=100.0)
+        assert len(build_plans(aln, spec)) == 7
+
+    def test_region_respects_max_window(self):
+        aln = uniform_alignment(100, spacing=10.0)
+        spec = GridSpec(n_positions=5, max_window=55.0)
+        for plan in build_plans(aln, spec):
+            if not plan.valid:
+                continue
+            left_pos = aln.positions[plan.region_start]
+            right_pos = aln.positions[plan.region_stop]
+            assert plan.grid_position - left_pos <= 55.0 + 1e-9
+            assert right_pos - plan.grid_position <= 55.0 + 1e-9
+
+    def test_split_is_left_of_position(self):
+        aln = uniform_alignment(60)
+        spec = GridSpec(n_positions=9, max_window=80.0)
+        for plan in build_plans(aln, spec):
+            # split SNP at or left of the position (except the boundary
+            # clamp at the extreme right)
+            if plan.split_index < aln.n_sites - 2:
+                assert aln.positions[plan.split_index] <= plan.grid_position + 1e-9
+
+    def test_min_window_excludes_near_borders(self):
+        aln = uniform_alignment(100, spacing=10.0)
+        near = GridSpec(n_positions=3, max_window=200.0, min_window=0.0)
+        far = GridSpec(n_positions=3, max_window=200.0, min_window=50.0)
+        plans_near = build_plans(aln, near)
+        plans_far = build_plans(aln, far)
+        for pn, pf in zip(plans_near, plans_far):
+            if pf.valid:
+                assert pf.n_evaluations < pn.n_evaluations
+                # all far left borders at least 50 bp away
+                d = pf.grid_position - aln.positions[pf.left_borders]
+                assert (d >= 50.0 - 1e-9).all()
+
+    def test_min_flank_snps(self):
+        aln = uniform_alignment(60)
+        spec = GridSpec(n_positions=5, max_window=100.0, min_flank_snps=3)
+        for plan in build_plans(aln, spec):
+            if not plan.valid:
+                continue
+            # left window from border i to split has >= 3 SNPs
+            assert (plan.split_index - plan.left_borders + 1 >= 3).all()
+            assert (plan.right_borders - plan.split_index >= 3).all()
+
+    def test_snp_desert_positions_invalid(self):
+        """A grid position with no SNPs in window range must yield an
+        invalid (skipped) plan, not an error."""
+        positions = np.concatenate(
+            [np.linspace(5, 100, 20), np.linspace(900, 995, 20)]
+        )
+        rng = np.random.default_rng(1)
+        matrix = rng.integers(0, 2, size=(8, 40)).astype(np.uint8)
+        aln = SNPAlignment(matrix, positions, 1000.0)
+        spec = GridSpec(n_positions=11, max_window=50.0)
+        plans = build_plans(aln, spec)
+        mid_plans = [p for p in plans if 200 < p.grid_position < 800]
+        assert mid_plans and all(not p.valid for p in mid_plans)
+
+    def test_n_evaluations_product(self):
+        aln = uniform_alignment(40)
+        spec = GridSpec(n_positions=3, max_window=150.0)
+        for plan in build_plans(aln, spec):
+            assert plan.n_evaluations == plan.left_borders.size * plan.right_borders.size
+
+    def test_region_width(self):
+        aln = uniform_alignment(40)
+        spec = GridSpec(n_positions=3, max_window=150.0)
+        for plan in build_plans(aln, spec):
+            assert plan.region_width == plan.region_stop - plan.region_start + 1
+
+    def test_borders_inside_region(self):
+        aln = random_alignment(10, 80, seed=5)
+        spec = GridSpec(n_positions=13, max_window=aln.length / 4)
+        for plan in build_plans(aln, spec):
+            if not plan.valid:
+                continue
+            assert plan.left_borders.min() >= plan.region_start
+            assert plan.right_borders.max() <= plan.region_stop
+            assert (plan.left_borders <= plan.split_index).all()
+            assert (plan.right_borders > plan.split_index).all()

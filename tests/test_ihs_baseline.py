@@ -1,0 +1,127 @@
+"""Tests for the iHS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ihs import ehh, ihs_scan
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import (
+    random_alignment,
+    sweep_signature_alignment,
+)
+from repro.errors import ScanConfigError
+
+
+def alignment_from(matrix, spacing=100.0):
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    pos = (np.arange(matrix.shape[1]) + 0.5) * spacing
+    return SNPAlignment(matrix, pos, matrix.shape[1] * spacing)
+
+
+class TestEHH:
+    def test_identical_haplotypes_full_homozygosity(self):
+        """All carriers identical -> EHH stays 1, iHH = full span."""
+        m = np.zeros((6, 11), dtype=np.uint8)
+        m[:3, 5] = 1  # derived carriers, all identical elsewhere
+        aln = alignment_from(m)
+        left, right = ehh(aln, 5, derived=True)
+        # span from core to each edge, 5 sites of 100 bp each
+        assert left == pytest.approx(500.0)
+        assert right == pytest.approx(500.0)
+
+    def test_distinct_haplotypes_decay_immediately(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(10, 21)).astype(np.uint8)
+        m[:, 10] = 0
+        m[:5, 10] = 1
+        aln = alignment_from(m)
+        left, right = ehh(aln, 10, derived=True)
+        # random alleles shatter the partition within a site or two
+        assert left < 250.0 and right < 250.0
+
+    def test_single_carrier_zero(self):
+        m = np.zeros((5, 7), dtype=np.uint8)
+        m[0, 3] = 1
+        aln = alignment_from(m)
+        assert ehh(aln, 3, derived=True) == (0.0, 0.0)
+
+    def test_bad_core_rejected(self, small_alignment):
+        with pytest.raises(ScanConfigError):
+            ehh(small_alignment, 999)
+        with pytest.raises(ScanConfigError):
+            ehh(small_alignment, 0, cutoff=1.5)
+
+
+class TestIHSScan:
+    def test_scores_standardized(self):
+        aln = random_alignment(30, 300, seed=5)
+        res = ihs_scan(aln, maf_min=0.1)
+        # standardized scores: overall spread near unit scale
+        assert 0.5 < np.abs(res.ihs).mean() < 1.5 or res.ihs.std() < 2.0
+
+    def test_extreme_fraction_bounds(self):
+        aln = random_alignment(30, 200, seed=6)
+        res = ihs_scan(aln)
+        assert 0.0 <= res.extreme_fraction() <= 1.0
+        assert res.extreme_fraction(0.0) == 1.0
+
+    def test_partial_sweep_is_the_ihs_signal(self):
+        """iHS targets *ongoing* sweeps: a derived core allele at
+        intermediate frequency whose carriers share one long haplotype.
+        Plant exactly that and the core must be the top |iHS| hit."""
+        rng = np.random.default_rng(8)
+        n, sites, core = 40, 301, 150
+        m = rng.integers(0, 2, size=(n, sites)).astype(np.uint8)
+        carriers = np.arange(24)  # derived frequency 0.6
+        m[:, core] = 0
+        m[carriers, core] = 1
+        # carriers share one haplotype across a wide span around the core
+        span = slice(core - 60, core + 61)
+        shared = rng.integers(0, 2, size=121).astype(np.uint8)
+        m[np.ix_(carriers, np.arange(core - 60, core + 61))] = shared
+        m[carriers, core] = 1
+        aln = alignment_from(m)
+
+        res = ihs_scan(aln, maf_min=0.1)
+        core_pos = aln.positions[core]
+        # the core itself scores negative (long derived haplotypes ->
+        # iHH_D >> iHH_A -> uniHS strongly negative)
+        k = int(np.argmin(np.abs(res.site_positions - core_pos)))
+        assert res.unstandardized[k] < -2.0
+        assert res.ihs[k] < -1.0
+        # and the core sits in the extreme-negative tail of the scan
+        assert res.ihs[k] <= np.quantile(res.ihs, 0.10)
+
+    def test_completed_sweep_weak_signal(self):
+        """Known result the reproduction preserves: iHS has little power
+        for *completed* sweeps (Crisci et al. rank OmegaPlus above iHS) —
+        extremes on completed-sweep replicates stay near the neutral
+        level, unlike omega/CLR."""
+        from repro.simulate import SweepParameters, simulate_sweep
+
+        params = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        sw = simulate_sweep(30, theta=200.0, length=1e6, params=params, seed=0)
+        frac = ihs_scan(sw, max_sites=200).extreme_fraction()
+        assert frac < 0.2
+
+    def test_max_sites_cap(self):
+        aln = random_alignment(20, 300, seed=7)
+        res = ihs_scan(aln, max_sites=50)
+        assert len(res) <= 50
+
+    def test_best_returns_position(self):
+        aln = random_alignment(20, 200, seed=9)
+        pos, score = ihs_scan(aln).best()
+        assert 0 <= pos <= aln.length
+        assert score >= 0
+
+    def test_rejects_tiny_sample(self):
+        aln = random_alignment(2, 50, seed=1)
+        with pytest.raises(ScanConfigError):
+            ihs_scan(aln)
+
+    def test_maf_filter(self):
+        aln = random_alignment(30, 200, maf_min=0.02, seed=10)
+        res_strict = ihs_scan(aln, maf_min=0.3)
+        res_loose = ihs_scan(aln, maf_min=0.05)
+        assert len(res_strict) < len(res_loose)

@@ -1,0 +1,137 @@
+"""Grand integration: the whole stack on one realistic workflow.
+
+One test class walks the complete user journey — simulate a sweep under
+non-equilibrium demography, serialize to ms, reload, scan on the CPU,
+re-scan through every accelerator model (bit-identical reports), write
+an OmegaPlus-format report, and sanity-check the detection against a
+null threshold — so a regression anywhere in the stack surfaces here
+even if its unit tests were too narrow.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import OmegaConfig, GridSpec, OmegaPlusScanner, parse_ms, write_ms
+from repro.accel.fpga import ALVEO_U200, ZCU102, FPGAOmegaEngine, PipelineModel
+from repro.accel.gpu import GPUOmegaEngine, RADEON_HD8750M, TESLA_K80
+from repro.analysis.thresholds import NullDistribution
+from repro.core.report_io import parse_report, write_report
+from repro.simulate import SweepParameters, bottleneck, simulate_sweep
+
+REGION = 300_000
+N_SAMPLES = 20
+
+
+@pytest.fixture(scope="module")
+def observed():
+    params = SweepParameters.for_footprint(REGION, footprint_fraction=0.2)
+    demography = bottleneck(start=0.3, duration=0.2, severity=0.5)
+    return simulate_sweep(
+        N_SAMPLES, theta=90.0, length=REGION, params=params,
+        seed=17, demography=demography,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return OmegaConfig(
+        grid=GridSpec(
+            n_positions=12,
+            max_window=REGION / 2,
+            min_window=0.02 * REGION,
+            min_flank_snps=4,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def cpu_result(observed, config):
+    return OmegaPlusScanner(config).scan(observed)
+
+
+class TestEndToEnd:
+    def test_ms_roundtrip_preserves_scan(self, observed, config, cpu_result):
+        buf = io.StringIO()
+        write_ms([observed], buf)
+        reloaded = parse_ms(
+            io.StringIO(buf.getvalue()), length=REGION
+        )[0].alignment
+        result = OmegaPlusScanner(config).scan(reloaded)
+        # ms rounds positions to 6 decimals of the unit interval -> sub-bp
+        # jitter; scores must survive it
+        np.testing.assert_allclose(
+            result.omegas, cpu_result.omegas, rtol=1e-3
+        )
+
+    @pytest.mark.parametrize(
+        "engine_factory",
+        [
+            lambda: GPUOmegaEngine(TESLA_K80),
+            lambda: GPUOmegaEngine(RADEON_HD8750M, mode="kernel1"),
+            lambda: GPUOmegaEngine(TESLA_K80, batch_positions=4),
+            lambda: FPGAOmegaEngine(PipelineModel(ZCU102)),
+            lambda: FPGAOmegaEngine(PipelineModel(ALVEO_U200, unroll=8)),
+        ],
+        ids=["k80", "radeon-k1", "k80-batched", "zcu102", "u200-u8"],
+    )
+    def test_every_accelerator_bit_identical(
+        self, observed, config, cpu_result, engine_factory
+    ):
+        result, record = engine_factory().scan(observed, config)
+        np.testing.assert_allclose(
+            result.omegas, cpu_result.omegas, rtol=1e-10
+        )
+        assert record.total_seconds > 0
+
+    def test_report_roundtrip(self, cpu_result, tmp_path):
+        path = str(tmp_path / "OmegaPlus_Report.e2e")
+        write_report([cpu_result], path, run_name="e2e")
+        parsed = parse_report(path)[0]
+        np.testing.assert_allclose(
+            parsed["omegas"], cpu_result.omegas, atol=1e-5
+        )
+
+    def test_sweep_beats_matched_null(self):
+        """End-to-end detection at a validated operating point: a strong
+        equilibrium sweep replicate against a matched neutral null (the
+        configuration of examples/calibrated_scan.py; the bottleneck
+        fixture above exercises the machinery, not detection power —
+        weak sweeps under demography are expected to be hard)."""
+        from repro.core.scan import scan
+        from repro.simulate import simulate_neutral
+
+        region, n = 500_000, 25
+        params = SweepParameters.for_footprint(
+            region, footprint_fraction=0.15
+        )
+        kw = dict(
+            grid_size=15, max_window=region / 2,
+            min_window=0.02 * region, min_flank_snps=5,
+        )
+        sweep_score = scan(
+            simulate_sweep(
+                n, theta=120.0, length=region, params=params, seed=105
+            ),
+            **kw,
+        ).best().omega
+        null_scores = [
+            scan(
+                simulate_neutral(
+                    n, theta=120.0, rho=60.0, length=region, seed=s
+                ),
+                **kw,
+            ).best().omega
+            for s in range(4)
+        ]
+        null = NullDistribution(scores=np.array(null_scores))
+        assert sweep_score > null.threshold(fpr=0.25)
+        assert null.p_value(sweep_score) == pytest.approx(
+            1 / (null.n + 1)
+        )
+
+    def test_summary_and_tsv_well_formed(self, cpu_result):
+        assert "max omega" in cpu_result.summary()
+        lines = cpu_result.to_tsv().splitlines()
+        assert len(lines) == len(cpu_result) + 1

@@ -1,0 +1,132 @@
+"""Cross-cutting invariance properties of the whole pipeline.
+
+These are the symmetries the mathematics guarantees; violating any of
+them would be a silent correctness bug that example-based tests can miss:
+
+* r² is invariant under allele relabelling (0 <-> 1) at any site;
+* r² and ω are invariant under sample permutation;
+* the scanner is equivariant under affine genomic rescaling (positions
+  and windows scaled together -> identical scores);
+* ω is invariant under mirror reflection of the alignment (left/right
+  windows swap roles).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import SumMatrix
+from repro.core.omega import omega_max_at_split
+from repro.core.scan import scan
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.ld.gemm import r_squared_matrix
+
+
+class TestAlleleRelabelling:
+    @given(seed=st.integers(0, 500), site=st.integers(0, 19))
+    @settings(max_examples=20, deadline=None)
+    def test_r2_invariant_under_flip(self, seed, site):
+        aln = random_alignment(15, 20, seed=seed)
+        flipped_matrix = aln.matrix.copy()
+        flipped_matrix[:, site] = 1 - flipped_matrix[:, site]
+        flipped = SNPAlignment(flipped_matrix, aln.positions, aln.length)
+        np.testing.assert_allclose(
+            r_squared_matrix(aln), r_squared_matrix(flipped), atol=1e-12
+        )
+
+    def test_omega_invariant_under_global_flip(self):
+        aln = random_alignment(20, 40, seed=1)
+        flipped = SNPAlignment(
+            (1 - aln.matrix).astype(np.uint8), aln.positions, aln.length
+        )
+        a = scan(aln, grid_size=7, max_window=aln.length / 3)
+        b = scan(flipped, grid_size=7, max_window=aln.length / 3)
+        np.testing.assert_allclose(a.omegas, b.omegas, rtol=1e-10)
+
+
+class TestSamplePermutation:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_r2_invariant(self, seed):
+        aln = random_alignment(12, 15, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        perm = rng.permutation(aln.n_samples)
+        shuffled = SNPAlignment(
+            aln.matrix[perm, :], aln.positions, aln.length
+        )
+        np.testing.assert_allclose(
+            r_squared_matrix(aln), r_squared_matrix(shuffled), atol=1e-12
+        )
+
+    def test_scan_invariant(self):
+        aln = random_alignment(25, 60, seed=3)
+        perm = np.random.default_rng(4).permutation(25)
+        shuffled = SNPAlignment(aln.matrix[perm, :], aln.positions, aln.length)
+        a = scan(aln, grid_size=6, max_window=aln.length / 3)
+        b = scan(shuffled, grid_size=6, max_window=aln.length / 3)
+        np.testing.assert_allclose(a.omegas, b.omegas, rtol=1e-10)
+
+
+class TestCoordinateRescaling:
+    @pytest.mark.parametrize("factor", [0.001, 7.0, 1e4])
+    def test_scan_equivariant(self, factor):
+        """Scaling every coordinate and window by the same factor must
+        leave all scores unchanged and scale reported positions."""
+        aln = random_alignment(20, 50, seed=5)
+        scaled = SNPAlignment(
+            aln.matrix, aln.positions * factor, aln.length * factor
+        )
+        a = scan(aln, grid_size=8, max_window=aln.length / 3)
+        b = scan(scaled, grid_size=8, max_window=aln.length * factor / 3)
+        np.testing.assert_allclose(a.omegas, b.omegas, rtol=1e-10)
+        np.testing.assert_allclose(
+            b.positions, a.positions * factor, rtol=1e-10
+        )
+
+
+class TestMirrorSymmetry:
+    def test_omega_mirror(self):
+        """Reflecting the alignment swaps L and R windows; omega of the
+        mirrored split must equal the original (Eq. 2 is symmetric in
+        its two windows)."""
+        aln = random_alignment(15, 30, seed=7)
+        r2 = r_squared_matrix(aln)
+        sums = SumMatrix(r2)
+        w = aln.n_sites
+
+        mirrored = SNPAlignment(
+            aln.matrix[:, ::-1].copy(),
+            (aln.length - aln.positions)[::-1].copy(),
+            aln.length,
+        )
+        r2_m = r_squared_matrix(mirrored)
+        sums_m = SumMatrix(r2_m)
+
+        # window [a..c | c+1..b] maps to [w-1-b .. w-2-c | w-1-c .. w-1-a]
+        for a, c, b in [(0, 10, 25), (3, 15, 29), (5, 6, 9)]:
+            orig = omega_max_at_split(
+                sums, np.array([a]), c, np.array([b])
+            ).omega
+            am, cm, bm = w - 1 - b, w - 2 - c, w - 1 - a
+            mirr = omega_max_at_split(
+                sums_m, np.array([am]), cm, np.array([bm])
+            ).omega
+            assert orig == pytest.approx(mirr, rel=1e-10)
+
+
+class TestMonomorphicPadding:
+    def test_adding_monomorphic_sites_changes_nothing_after_filter(self):
+        """drop_monomorphic must make scans insensitive to monomorphic
+        padding columns (the standard preprocessing contract)."""
+        aln = random_alignment(15, 40, seed=9)
+        # splice monomorphic columns in
+        m = np.insert(aln.matrix, [10, 20], 0, axis=1)
+        pos = np.insert(aln.positions, [10, 20],
+                        [aln.positions[10] - 0.5, aln.positions[20] - 0.5])
+        padded = SNPAlignment(m, pos, aln.length).drop_monomorphic()
+        assert padded.n_sites == aln.n_sites
+        a = scan(aln, grid_size=5, max_window=aln.length / 3)
+        b = scan(padded, grid_size=5, max_window=aln.length / 3)
+        np.testing.assert_allclose(a.omegas, b.omegas, rtol=1e-10)

@@ -1,0 +1,109 @@
+"""Tests for the GPU (Binder) and FPGA (Bozikas) LD cost models — the
+Table III LD columns."""
+
+import pytest
+
+from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
+from repro.accel.gpu.ld_gpu import BINDER_GEMM_LD, GPULDModel
+from repro.errors import ModelCalibrationError
+
+
+class TestGPULDCalibration:
+    """Paper Table III GPU LD column: 37.14 / 32.25 / 15.84 Mscores/s at
+    7000 / 500 / 60000 samples."""
+
+    @pytest.mark.parametrize(
+        "n_samples,paper_mscores",
+        [(7000, 37.14), (500, 32.25), (60000, 15.84)],
+    )
+    def test_rates_within_5pct(self, n_samples, paper_mscores):
+        got = BINDER_GEMM_LD.rate(n_samples) / 1e6
+        assert got == pytest.approx(paper_mscores, rel=0.05)
+
+    def test_amortization_hump(self):
+        """The rate must peak at intermediate sample counts: launch costs
+        dominate small n, bandwidth dominates large n."""
+        mid = BINDER_GEMM_LD.rate(5000)
+        assert mid > BINDER_GEMM_LD.rate(200)
+        assert mid > BINDER_GEMM_LD.rate(60000)
+
+    def test_seconds_linear_in_scores(self):
+        assert BINDER_GEMM_LD.seconds(200, 1000) == pytest.approx(
+            2 * BINDER_GEMM_LD.seconds(100, 1000)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelCalibrationError):
+            BINDER_GEMM_LD.rate(0)
+        with pytest.raises(ModelCalibrationError):
+            BINDER_GEMM_LD.seconds(-1, 10)
+        with pytest.raises(ValueError):
+            GPULDModel(name="x", fixed=0.0, per_sample=1e-12, amortized=1e-6)
+
+
+class TestFPGALDCalibration:
+    """Paper Table III FPGA LD column: 535 / 38.2 / 4.5 Mscores/s at
+    500 / 7000 / 60000 samples — inverse in sample count."""
+
+    @pytest.mark.parametrize(
+        "n_samples,paper_mscores",
+        [(500, 535.0), (7000, 38.2), (60000, 4.5)],
+    )
+    def test_rates_within_2pct(self, n_samples, paper_mscores):
+        got = BOZIKAS_HC2EX_LD.rate(n_samples) / 1e6
+        assert got == pytest.approx(paper_mscores, rel=0.02)
+
+    def test_exactly_inverse_in_samples(self):
+        assert BOZIKAS_HC2EX_LD.rate(1000) == pytest.approx(
+            2 * BOZIKAS_HC2EX_LD.rate(2000)
+        )
+
+    def test_seconds(self):
+        t = BOZIKAS_HC2EX_LD.seconds(1_000_000, 7000)
+        assert t == pytest.approx(1_000_000 / (2.675e11 / 7000))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ModelCalibrationError):
+            BOZIKAS_HC2EX_LD.rate(0)
+        with pytest.raises(ModelCalibrationError):
+            BOZIKAS_HC2EX_LD.seconds(-5, 100)
+        with pytest.raises(ValueError):
+            FPGALDModel(name="x", samples_rate_product=0.0)
+
+
+class TestMultiFPGAScaling:
+    """Bozikas et al.'s published multi-FPGA numbers: 1 FPGA = 4.7x a
+    12-thread CPU, 4 FPGAs = 12.7x."""
+
+    def test_four_fpgas_reproduce_published_ratio(self):
+        four = BOZIKAS_HC2EX_LD.with_fpgas(4)
+        ratio = four.rate(1000) / BOZIKAS_HC2EX_LD.rate(1000)
+        assert ratio == pytest.approx(12.7 / 4.7, rel=1e-9)
+
+    def test_one_fpga_identity(self):
+        one = BOZIKAS_HC2EX_LD.with_fpgas(1)
+        assert one.rate(500) == pytest.approx(BOZIKAS_HC2EX_LD.rate(500))
+
+    def test_sublinear(self):
+        four = BOZIKAS_HC2EX_LD.with_fpgas(4)
+        assert four.rate(1000) < 4 * BOZIKAS_HC2EX_LD.rate(1000)
+        assert four.rate(1000) > 2 * BOZIKAS_HC2EX_LD.rate(1000)
+
+    def test_rescaling_scaled_model_rejected(self):
+        four = BOZIKAS_HC2EX_LD.with_fpgas(4)
+        with pytest.raises(ModelCalibrationError, match="single-FPGA"):
+            four.with_fpgas(2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ModelCalibrationError):
+            BOZIKAS_HC2EX_LD.with_fpgas(0)
+
+
+class TestCrossPlatformRelations:
+    def test_fpga_wins_small_samples(self):
+        """Table III: at 500 samples the FPGA LD is ~17x the GPU's."""
+        assert BOZIKAS_HC2EX_LD.rate(500) > 10 * BINDER_GEMM_LD.rate(500)
+
+    def test_gpu_wins_large_samples(self):
+        """At 60000 samples the GPU GEMM overtakes (15.8 vs 4.5 M/s)."""
+        assert BINDER_GEMM_LD.rate(60000) > 3 * BOZIKAS_HC2EX_LD.rate(60000)

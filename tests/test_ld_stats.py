@@ -1,0 +1,119 @@
+"""Tests for the extended LD statistics (D, D', r)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.errors import LDError
+from repro.ld.gemm import r_squared_matrix
+from repro.ld.stats import (
+    d_from_counts,
+    d_prime_from_counts,
+    ld_stats_matrix,
+    r_from_counts,
+)
+
+
+def two_column_alignment(col_a, col_b):
+    m = np.column_stack([col_a, col_b]).astype(np.uint8)
+    return SNPAlignment(m, np.array([10.0, 20.0]), 30.0)
+
+
+class TestDCoefficient:
+    def test_identical_columns_positive(self):
+        col = np.array([1, 1, 0, 0, 1, 0])
+        aln = two_column_alignment(col, col)
+        d = ld_stats_matrix(aln, "D")
+        assert d[0, 1] == pytest.approx(0.5 - 0.25)
+
+    def test_complementary_columns_negative(self):
+        col = np.array([1, 1, 0, 0])
+        aln = two_column_alignment(col, 1 - col)
+        d = ld_stats_matrix(aln, "D")
+        assert d[0, 1] == pytest.approx(-0.25)
+
+    def test_independent_zero(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([1, 0, 1, 0])
+        aln = two_column_alignment(a, b)
+        assert ld_stats_matrix(aln, "D")[0, 1] == pytest.approx(0.0)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(LDError):
+            d_from_counts(np.array([1]), np.array([1]), np.array([1]), 0)
+
+
+class TestDPrime:
+    def test_perfect_association_is_one(self):
+        col = np.array([1, 1, 0, 0, 1])
+        aln = two_column_alignment(col, col)
+        assert ld_stats_matrix(aln, "Dprime")[0, 1] == pytest.approx(1.0)
+
+    def test_complete_repulsion_is_minus_one(self):
+        col = np.array([1, 1, 0, 0])
+        aln = two_column_alignment(col, 1 - col)
+        assert ld_stats_matrix(aln, "Dprime")[0, 1] == pytest.approx(-1.0)
+
+    def test_three_haplotypes_saturates(self):
+        """|D'| = 1 whenever at most 3 of 4 haplotype classes occur,
+        even when r2 < 1 — the classic D'-vs-r2 distinction."""
+        a = np.array([1, 1, 1, 0, 0, 0])
+        b = np.array([1, 1, 0, 0, 0, 0])  # haplotype (0,1) absent
+        aln = two_column_alignment(a, b)
+        dprime = ld_stats_matrix(aln, "Dprime")[0, 1]
+        r2 = r_squared_matrix(aln)[0, 1]
+        assert dprime == pytest.approx(1.0)
+        assert r2 < 1.0
+
+    def test_bounded(self, small_alignment):
+        dp = ld_stats_matrix(small_alignment, "Dprime")
+        assert (np.abs(dp) <= 1.0 + 1e-12).all()
+
+
+class TestSignedR:
+    def test_square_matches_r2(self, small_alignment):
+        r = ld_stats_matrix(small_alignment, "r")
+        r2 = r_squared_matrix(small_alignment)
+        np.testing.assert_allclose(r * r, r2, atol=1e-12)
+
+    def test_sign_matches_d(self, small_alignment):
+        r = ld_stats_matrix(small_alignment, "r")
+        d = ld_stats_matrix(small_alignment, "D")
+        off = ~np.eye(small_alignment.n_sites, dtype=bool)
+        assert (np.sign(r[off]) == np.sign(d[off])).all() or (
+            np.abs(d[off][np.sign(r[off]) != np.sign(d[off])]) < 1e-12
+        ).all()
+
+    def test_matches_corrcoef(self, small_alignment):
+        r = ld_stats_matrix(small_alignment, "r")
+        m = small_alignment.matrix
+        for i, j in [(0, 5), (10, 40)]:
+            expected = np.corrcoef(m[:, i], m[:, j])[0, 1]
+            assert r[i, j] == pytest.approx(expected, abs=1e-12)
+
+
+class TestDispatch:
+    def test_r2_route_matches_gemm(self, small_alignment):
+        np.testing.assert_allclose(
+            ld_stats_matrix(small_alignment, "r2"),
+            r_squared_matrix(small_alignment),
+            atol=1e-12,
+        )
+
+    def test_unknown_statistic(self, small_alignment):
+        with pytest.raises(LDError, match="unknown statistic"):
+            ld_stats_matrix(small_alignment, "chi2")
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_property_relations(self, seed):
+        """Structural invariants across statistics: |r| <= |D'| (r is the
+        stricter statistic), and all bounded by 1."""
+        aln = random_alignment(20, 15, seed=seed)
+        r = ld_stats_matrix(aln, "r")
+        dp = ld_stats_matrix(aln, "Dprime")
+        assert (np.abs(r) <= np.abs(dp) + 1e-9).all()
+        assert (np.abs(dp) <= 1 + 1e-12).all()

@@ -1,0 +1,164 @@
+"""Tests for missing-data handling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_alignment
+from repro.datasets.missing import (
+    MISSING,
+    MaskedAlignment,
+    r_squared_pairwise_complete,
+)
+from repro.errors import AlignmentError, LDError
+from repro.ld.correlation import r_squared_pairs
+
+
+@pytest.fixture
+def masked(small_alignment):
+    """small_alignment with ~10% of calls knocked out."""
+    rng = np.random.default_rng(0)
+    mask = rng.random(small_alignment.matrix.shape) < 0.1
+    return MaskedAlignment.from_alignment(small_alignment, mask)
+
+
+class TestConstruction:
+    def test_from_alignment(self, small_alignment, masked):
+        assert masked.n_samples == small_alignment.n_samples
+        assert masked.n_sites == small_alignment.n_sites
+        assert (masked.matrix == MISSING).any()
+
+    def test_missing_fraction(self, masked):
+        frac = masked.missing_fraction()
+        assert frac.shape == (masked.n_sites,)
+        assert 0.02 < frac.mean() < 0.2
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(AlignmentError, match="0, 1 or MISSING"):
+            MaskedAlignment(
+                np.full((2, 2), 7, dtype=np.uint8),
+                np.array([1.0, 2.0]),
+                10.0,
+            )
+
+    def test_rejects_wrong_mask_shape(self, small_alignment):
+        with pytest.raises(AlignmentError, match="mask shape"):
+            MaskedAlignment.from_alignment(
+                small_alignment, np.zeros((2, 2), dtype=bool)
+            )
+
+    def test_no_mask_is_lossless(self, small_alignment):
+        m = MaskedAlignment.from_alignment(
+            small_alignment,
+            np.zeros(small_alignment.matrix.shape, dtype=bool),
+        )
+        assert not (m.matrix == MISSING).any()
+
+
+class TestConversions:
+    def test_impute_major_fills_all(self, masked):
+        filled = masked.impute_major()
+        assert filled.matrix.max() <= 1
+
+    def test_impute_preserves_observed(self, small_alignment, masked):
+        filled = masked.impute_major()
+        obs = masked.observed
+        np.testing.assert_array_equal(
+            filled.matrix[obs], small_alignment.matrix[obs]
+        )
+
+    def test_impute_uses_major_allele(self):
+        m = np.array(
+            [[1, 0], [1, 0], [1, 1], [MISSING, MISSING]], dtype=np.uint8
+        )
+        masked = MaskedAlignment(m, np.array([1.0, 2.0]), 10.0)
+        filled = masked.impute_major()
+        assert filled.matrix[3, 0] == 1  # site 0 majority derived
+        assert filled.matrix[3, 1] == 0  # site 1 majority ancestral
+
+    def test_drop_sparse_sites(self, masked):
+        strict = masked.drop_sparse_sites(max_missing=0.05)
+        loose = masked.drop_sparse_sites(max_missing=0.5)
+        assert strict.n_sites <= loose.n_sites
+        assert (strict.missing_fraction() <= 0.05).all()
+
+    def test_drop_rejects_bad_threshold(self, masked):
+        with pytest.raises(AlignmentError):
+            masked.drop_sparse_sites(max_missing=2.0)
+
+    def test_complete_case(self):
+        m = np.array([[1, 0], [MISSING, 1], [0, 1]], dtype=np.uint8)
+        masked = MaskedAlignment(m, np.array([1.0, 2.0]), 10.0)
+        cc = masked.complete_case()
+        assert cc.n_samples == 2
+
+    def test_complete_case_empty_rejected(self):
+        m = np.full((2, 2), MISSING, dtype=np.uint8)
+        masked = MaskedAlignment(m, np.array([1.0, 2.0]), 10.0)
+        with pytest.raises(AlignmentError, match="no complete samples"):
+            masked.complete_case()
+
+
+class TestPairwiseCompleteR2:
+    def test_no_missing_matches_standard(self, small_alignment):
+        masked = MaskedAlignment.from_alignment(
+            small_alignment,
+            np.zeros(small_alignment.matrix.shape, dtype=bool),
+        )
+        i = np.array([0, 5, 12])
+        j = np.array([3, 40, 59])
+        got = r_squared_pairwise_complete(masked, i, j)
+        expected = r_squared_pairs(small_alignment, i, j)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_matches_manual_subset(self, small_alignment):
+        """Knock out specific samples at one site: the pairwise-complete
+        r2 must equal the standard r2 on the remaining samples."""
+        mask = np.zeros(small_alignment.matrix.shape, dtype=bool)
+        mask[[0, 3, 7], 10] = True
+        masked = MaskedAlignment.from_alignment(small_alignment, mask)
+        got = r_squared_pairwise_complete(
+            masked, np.array([10]), np.array([20])
+        )[0]
+        keep = np.setdiff1d(np.arange(small_alignment.n_samples), [0, 3, 7])
+        sub = small_alignment.sample_subset(keep)
+        expected = r_squared_pairs(sub, np.array([10]), np.array([20]))[0]
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_light_missingness_close_to_truth(self, small_alignment, masked):
+        rng = np.random.default_rng(1)
+        i = rng.integers(0, 60, size=30)
+        j = rng.integers(0, 60, size=30)
+        got = r_squared_pairwise_complete(masked, i, j)
+        truth = r_squared_pairs(small_alignment, i, j)
+        # 10% missingness: estimates correlate strongly with the truth
+        assert np.corrcoef(got, truth)[0, 1] > 0.9
+
+    def test_insufficient_observations_zero(self):
+        m = np.full((6, 2), MISSING, dtype=np.uint8)
+        m[:2, 0] = 1
+        m[:2, 1] = 0
+        masked = MaskedAlignment(m, np.array([1.0, 2.0]), 10.0)
+        got = r_squared_pairwise_complete(
+            masked, np.array([0]), np.array([1]), min_observations=4
+        )
+        assert got[0] == 0.0
+
+    def test_validation(self, masked):
+        with pytest.raises(LDError):
+            r_squared_pairwise_complete(
+                masked, np.array([0]), np.array([0, 1])
+            )
+        with pytest.raises(LDError):
+            r_squared_pairwise_complete(
+                masked, np.array([0]), np.array([999])
+            )
+        with pytest.raises(LDError):
+            r_squared_pairwise_complete(
+                masked, np.array([0]), np.array([1]), min_observations=1
+            )
+
+    def test_empty(self, masked):
+        out = r_squared_pairwise_complete(
+            masked, np.array([], dtype=int), np.array([], dtype=int)
+        )
+        assert out.size == 0

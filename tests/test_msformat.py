@@ -1,0 +1,143 @@
+"""Unit tests for repro.datasets.msformat."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import random_alignment
+from repro.datasets.msformat import ms_text, parse_ms, parse_ms_text, write_ms
+from repro.errors import DataFormatError
+
+SIMPLE = """ms 4 1 -t 5.0
+27473 31728 43326
+
+//
+segsites: 3
+positions: 0.1717 0.2230 0.8750
+001
+010
+110
+010
+"""
+
+
+class TestParse:
+    def test_simple(self):
+        reps = parse_ms_text(SIMPLE)
+        assert len(reps) == 1
+        aln = reps[0].alignment
+        assert aln.n_samples == 4
+        assert aln.n_sites == 3
+        np.testing.assert_array_equal(aln.matrix[2], [1, 1, 0])
+        np.testing.assert_allclose(aln.positions, [0.1717, 0.2230, 0.8750])
+
+    def test_length_scaling(self):
+        reps = parse_ms_text(SIMPLE, length=10000.0)
+        np.testing.assert_allclose(
+            reps[0].alignment.positions, [1717.0, 2230.0, 8750.0]
+        )
+        assert reps[0].alignment.length == 10000.0
+
+    def test_multiple_replicates(self):
+        text = SIMPLE + "\n//\nsegsites: 1\npositions: 0.5\n1\n0\n1\n0\n"
+        reps = parse_ms_text(text)
+        assert len(reps) == 2
+        assert reps[1].alignment.n_sites == 1
+        assert reps[1].index == 1
+
+    def test_zero_segsites(self):
+        text = "ms 2 1\n1 2 3\n\n//\nsegsites: 0\n"
+        reps = parse_ms_text(text)
+        assert reps[0].alignment.n_sites == 0
+
+    def test_duplicate_positions_nudged(self):
+        text = "ms 2 1\n1 2 3\n\n//\nsegsites: 2\npositions: 0.5 0.5\n01\n10\n"
+        reps = parse_ms_text(text)
+        pos = reps[0].alignment.positions
+        assert pos[1] > pos[0]
+
+    def test_file_roundtrip(self, tmp_path):
+        aln = random_alignment(6, 12, seed=5)
+        path = str(tmp_path / "out.ms")
+        write_ms([aln], path)
+        back = parse_ms(path, length=aln.length)[0].alignment
+        np.testing.assert_array_equal(back.matrix, aln.matrix)
+        np.testing.assert_allclose(back.positions, aln.positions, atol=aln.length * 1e-5)
+
+    def test_stream_roundtrip(self):
+        aln = random_alignment(5, 8, seed=6)
+        buf = io.StringIO()
+        write_ms([aln], buf)
+        back = parse_ms(io.StringIO(buf.getvalue()), length=aln.length)
+        assert back[0].alignment.n_sites == 8
+
+
+class TestParseErrors:
+    def test_no_replicates(self):
+        with pytest.raises(DataFormatError, match="no '//'"):
+            parse_ms_text("ms 2 1\n1 2 3\n")
+
+    def test_missing_segsites(self):
+        with pytest.raises(DataFormatError, match="segsites"):
+            parse_ms_text("//\npositions: 0.5\n0\n1\n")
+
+    def test_malformed_segsites(self):
+        with pytest.raises(DataFormatError, match="malformed segsites"):
+            parse_ms_text("//\nsegsites: abc\n")
+
+    def test_negative_segsites(self):
+        with pytest.raises(DataFormatError, match="negative"):
+            parse_ms_text("//\nsegsites: -1\n")
+
+    def test_position_count_mismatch(self):
+        with pytest.raises(DataFormatError, match="positions"):
+            parse_ms_text("//\nsegsites: 2\npositions: 0.5\n01\n10\n")
+
+    def test_positions_out_of_unit_interval(self):
+        with pytest.raises(DataFormatError, match=r"\[0, 1\]"):
+            parse_ms_text("//\nsegsites: 1\npositions: 1.5\n1\n0\n")
+
+    def test_unsorted_positions(self):
+        with pytest.raises(DataFormatError, match="sorted"):
+            parse_ms_text("//\nsegsites: 2\npositions: 0.9 0.1\n01\n10\n")
+
+    def test_haplotype_wrong_width(self):
+        with pytest.raises(DataFormatError, match="length"):
+            parse_ms_text("//\nsegsites: 2\npositions: 0.1 0.9\n011\n10\n")
+
+    def test_haplotype_bad_chars(self):
+        with pytest.raises(DataFormatError, match="other than 0/1"):
+            parse_ms_text("//\nsegsites: 2\npositions: 0.1 0.9\n0x\n10\n")
+
+    def test_no_haplotypes(self):
+        with pytest.raises(DataFormatError, match="no haplotype"):
+            parse_ms_text("//\nsegsites: 1\npositions: 0.5\n")
+
+    def test_ends_after_separator(self):
+        with pytest.raises(DataFormatError):
+            parse_ms_text("//\n")
+
+
+class TestWrite:
+    def test_header_echo(self):
+        aln = random_alignment(4, 5, seed=1)
+        text = ms_text([aln], command="ms 4 1 -t 2.0", seeds=(9, 8, 7))
+        lines = text.splitlines()
+        assert lines[0] == "ms 4 1 -t 2.0"
+        assert lines[1] == "9 8 7"
+
+    def test_default_command(self):
+        aln = random_alignment(4, 5, seed=1)
+        assert ms_text([aln]).startswith("ms 4 1")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ms_text([])
+
+    def test_multi_replicate_blocks(self):
+        a = random_alignment(4, 5, seed=1)
+        b = random_alignment(4, 7, seed=2)
+        text = ms_text([a, b])
+        assert text.count("//") == 2
+        assert "segsites: 5" in text and "segsites: 7" in text

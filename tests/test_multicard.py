@@ -1,0 +1,79 @@
+"""Tests for the multi-card FPGA scale-out model."""
+
+import pytest
+
+from repro.accel.fpga.device import ALVEO_U200
+from repro.accel.fpga.multicard import model_multicard
+from repro.accel.fpga.pipeline import PipelineModel
+from repro.analysis.workloads import BALANCED, HIGH_OMEGA, workload_plans
+from repro.errors import AcceleratorError
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return workload_plans(BALANCED.scaled(4))
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return PipelineModel(ALVEO_U200)
+
+
+class TestModelMulticard:
+    def test_single_card_matches_engine_shape(self, plans, pipeline):
+        res = model_multicard(
+            plans, BALANCED.scaled(4).n_samples, n_cards=1,
+            pipeline=pipeline,
+        )
+        assert res.n_cards == 1
+        assert len(res.card_seconds) == 1
+        assert res.omega_seconds > 0 and res.ld_seconds > 0
+
+    def test_omega_scales_down_with_cards(self, plans, pipeline):
+        n = BALANCED.scaled(4).n_samples
+        times = [
+            model_multicard(
+                plans, n, n_cards=c, pipeline=pipeline
+            ).omega_seconds
+            for c in (1, 2, 4, 8)
+        ]
+        assert all(b < a for a, b in zip(times, times[1:]))
+        # near-linear at small card counts (many positions to balance)
+        assert times[0] / times[1] > 1.7
+
+    def test_ld_does_not_scale(self, plans, pipeline):
+        n = BALANCED.scaled(4).n_samples
+        one = model_multicard(plans, n, n_cards=1, pipeline=pipeline)
+        eight = model_multicard(plans, n, n_cards=8, pipeline=pipeline)
+        assert one.ld_seconds == pytest.approx(eight.ld_seconds)
+
+    def test_amdahl_ceiling(self, plans, pipeline):
+        """Total speedup saturates at total/ld as cards grow."""
+        n = BALANCED.scaled(4).n_samples
+        one = model_multicard(plans, n, n_cards=1, pipeline=pipeline)
+        many = model_multicard(plans, n, n_cards=256, pipeline=pipeline)
+        ceiling = one.total_seconds / one.ld_seconds
+        speedup = one.total_seconds / many.total_seconds
+        assert speedup < ceiling
+        assert speedup > 0.3 * ceiling  # but it approaches it
+
+    def test_load_balance_reasonable(self, plans, pipeline):
+        n = BALANCED.scaled(4).n_samples
+        res = model_multicard(plans, n, n_cards=4, pipeline=pipeline)
+        assert 0.7 < res.load_balance <= 1.0
+
+    def test_conservation(self, plans, pipeline):
+        """Total busy time across cards is card-count invariant (the work
+        is just redistributed)."""
+        n = BALANCED.scaled(4).n_samples
+        one = model_multicard(plans, n, n_cards=1, pipeline=pipeline)
+        four = model_multicard(plans, n, n_cards=4, pipeline=pipeline)
+        assert sum(four.card_seconds) == pytest.approx(
+            sum(one.card_seconds), rel=1e-12
+        )
+
+    def test_rejects_bad_inputs(self, plans, pipeline):
+        with pytest.raises(AcceleratorError):
+            model_multicard(plans, 100, n_cards=0, pipeline=pipeline)
+        with pytest.raises(AcceleratorError):
+            model_multicard([], 100, n_cards=2, pipeline=pipeline)

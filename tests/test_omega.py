@@ -1,0 +1,156 @@
+"""Unit + property tests for the omega statistic (Eq. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import SumMatrix
+from repro.core.omega import (
+    DENOMINATOR_OFFSET,
+    omega_brute_force,
+    omega_from_sums,
+    omega_max_at_split,
+    omega_split_matrix,
+)
+from repro.datasets.generators import random_alignment, sweep_signature_alignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_matrix
+
+
+class TestOmegaFromSums:
+    def test_hand_computed(self):
+        # l = 3, r = 2: C(3,2)+C(2,2) = 4 within pairs, 6 cross pairs
+        omega = omega_from_sums(2.0, 1.0, 0.6, 3, 2, eps=0.0)
+        expected = ((2.0 + 1.0) / 4.0) / (0.6 / 6.0)
+        assert omega == pytest.approx(expected)
+
+    def test_eps_guards_zero_cross(self):
+        omega = omega_from_sums(1.0, 1.0, 0.0, 3, 3)
+        assert np.isfinite(omega)
+        assert omega == pytest.approx((2.0 / 6.0) / DENOMINATOR_OFFSET)
+
+    def test_both_singleton_windows_zero(self):
+        assert omega_from_sums(0.0, 0.0, 0.5, 1, 1) == 0.0
+
+    def test_one_singleton_window(self):
+        # l = 1 contributes no within pairs but normalization uses C(r,2)
+        omega = omega_from_sums(0.0, 3.0, 1.2, 1, 4, eps=0.0)
+        expected = (3.0 / 6.0) / (1.2 / 4.0)
+        assert omega == pytest.approx(expected)
+
+    def test_vectorized_broadcast(self):
+        out = omega_from_sums(
+            np.array([1.0, 2.0]), 1.0, np.array([0.5, 0.5]), 3, 3
+        )
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ScanConfigError):
+            omega_from_sums(1.0, 1.0, 1.0, 0, 3)
+
+    def test_higher_cross_ld_lowers_omega(self):
+        low = omega_from_sums(2.0, 2.0, 0.1, 4, 4)
+        high = omega_from_sums(2.0, 2.0, 3.0, 4, 4)
+        assert low > high
+
+
+class TestBruteForceOracle:
+    def test_matches_vectorized_single(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        sm = SumMatrix(r2)
+        for a, c, b in [(0, 10, 30), (5, 20, 40), (2, 3, 6)]:
+            bf = omega_brute_force(r2, a, c, b)
+            res = omega_max_at_split(sm, np.array([a]), c, np.array([b]))
+            assert res.omega == pytest.approx(bf, rel=1e-9)
+
+    def test_rejects_bad_geometry(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        with pytest.raises(ScanConfigError):
+            omega_brute_force(r2, 5, 4, 10)
+        with pytest.raises(ScanConfigError):
+            omega_brute_force(r2, 0, 10, 10)
+        with pytest.raises(ScanConfigError):
+            omega_brute_force(r2, 0, 10, 999)
+
+
+class TestSplitMatrix:
+    def test_shape_and_orientation(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        sm = SumMatrix(r2)
+        li = np.array([0, 5, 10])
+        rj = np.array([30, 40])
+        scores = omega_split_matrix(sm, li, 20, rj)
+        assert scores.shape == (2, 3)
+        for jj, j in enumerate(rj):
+            for ii, i in enumerate(li):
+                bf = omega_brute_force(r2, int(i), 20, int(j))
+                assert scores[jj, ii] == pytest.approx(bf, rel=1e-9)
+
+    def test_empty_gives_empty(self, small_alignment):
+        sm = SumMatrix(r_squared_matrix(small_alignment))
+        out = omega_split_matrix(sm, np.array([], dtype=int), 10, np.array([20]))
+        assert out.shape == (1, 0)
+
+    def test_scores_non_negative(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        sm = SumMatrix(r2)
+        li = np.arange(0, 21)
+        rj = np.arange(21, 60)
+        scores = omega_split_matrix(sm, li, 20, rj)
+        assert (scores >= 0).all()
+
+
+class TestOmegaMax:
+    def test_max_is_argmax(self, small_alignment):
+        r2 = r_squared_matrix(small_alignment)
+        sm = SumMatrix(r2)
+        li = np.arange(0, 15)
+        rj = np.arange(16, 50)
+        res = omega_max_at_split(sm, li, 15, rj)
+        scores = omega_split_matrix(sm, li, 15, rj)
+        assert res.omega == pytest.approx(scores.max())
+        assert res.n_evaluations == scores.size
+        bf = omega_brute_force(r2, res.left_border, 15, res.right_border)
+        assert res.omega == pytest.approx(bf, rel=1e-9)
+
+    def test_empty_candidates(self, small_alignment):
+        sm = SumMatrix(r_squared_matrix(small_alignment))
+        res = omega_max_at_split(sm, np.array([], dtype=int), 5, np.array([10]))
+        assert res.omega == 0.0
+        assert res.left_border == -1
+        assert res.n_evaluations == 0
+
+    def test_sweep_signal_beats_random(self):
+        """omega at the centre of a planted sweep must dominate omega on
+        an LD-free alignment of the same shape — the statistic's purpose."""
+        sweep = sweep_signature_alignment(60, 200, seed=5)
+        neutral = random_alignment(60, 200, length=sweep.length, seed=5)
+
+        def centre_omega(aln):
+            r2 = r_squared_matrix(aln)
+            sm = SumMatrix(r2)
+            c = aln.n_sites // 2
+            li = np.arange(0, c - 1)
+            rj = np.arange(c + 2, aln.n_sites)
+            return omega_max_at_split(sm, li, c, rj).omega
+
+        assert centre_omega(sweep) > 5 * centre_omega(neutral)
+
+    @given(
+        n_sites=st.integers(6, 20),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_vectorized_equals_brute(self, n_sites, seed):
+        aln = random_alignment(10, n_sites, seed=seed)
+        r2 = r_squared_matrix(aln)
+        sm = SumMatrix(r2)
+        rng = np.random.default_rng(seed)
+        c = int(rng.integers(1, n_sites - 2))
+        a = int(rng.integers(0, c + 1))
+        b = int(rng.integers(c + 1, n_sites))
+        bf = omega_brute_force(r2, a, c, b)
+        res = omega_max_at_split(sm, np.array([a]), c, np.array([b]))
+        assert res.omega == pytest.approx(bf, rel=1e-9, abs=1e-12)

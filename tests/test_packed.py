@@ -1,0 +1,72 @@
+"""Unit + property tests for repro.datasets.packed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.datasets.packed import PackedAlignment
+from repro.errors import AlignmentError
+
+
+class TestPackedAlignment:
+    def test_roundtrip(self, small_alignment):
+        packed = PackedAlignment.from_alignment(small_alignment)
+        assert packed.unpack().equals(small_alignment)
+
+    def test_shape(self, small_alignment):
+        packed = PackedAlignment.from_alignment(small_alignment)
+        assert packed.n_sites == small_alignment.n_sites
+        assert packed.n_words == (small_alignment.n_samples + 63) // 64
+
+    def test_derived_counts_match(self, small_alignment):
+        packed = PackedAlignment.from_alignment(small_alignment)
+        np.testing.assert_array_equal(
+            packed.derived_counts(), small_alignment.derived_counts()
+        )
+
+    def test_pair_counts_match_dense(self, small_alignment):
+        packed = PackedAlignment.from_alignment(small_alignment)
+        m = small_alignment.matrix.astype(np.int64)
+        i = np.array([0, 5, 10])
+        j = np.array([3, 7, 59])
+        expected = np.array([(m[:, a] * m[:, b]).sum() for a, b in zip(i, j)])
+        np.testing.assert_array_equal(packed.pair_counts(i, j), expected)
+
+    def test_many_samples_multi_word(self):
+        aln = random_alignment(200, 20, seed=9)
+        packed = PackedAlignment.from_alignment(aln)
+        assert packed.n_words == 4
+        assert packed.unpack().equals(aln)
+
+    def test_empty_sites(self):
+        aln = SNPAlignment(np.zeros((5, 0), dtype=np.uint8), np.zeros(0), 10.0)
+        packed = PackedAlignment.from_alignment(aln)
+        assert packed.n_sites == 0
+        assert packed.derived_counts().size == 0
+
+    def test_rejects_wrong_word_count(self):
+        with pytest.raises(AlignmentError, match="words per site"):
+            PackedAlignment(
+                words=np.zeros((3, 1), dtype=np.uint64),
+                n_samples=65,
+                positions=np.arange(3.0),
+                length=10.0,
+            )
+
+    def test_nbytes(self, small_alignment):
+        packed = PackedAlignment.from_alignment(small_alignment)
+        assert packed.nbytes() == packed.words.nbytes
+
+    @given(
+        n_samples=st.integers(2, 130),
+        n_sites=st.integers(1, 40),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_roundtrip(self, n_samples, n_sites, seed):
+        aln = random_alignment(n_samples, n_sites, seed=seed)
+        packed = PackedAlignment.from_alignment(aln)
+        assert packed.unpack().equals(aln)

@@ -1,0 +1,85 @@
+"""Cross-validation of the popcount LD kernels against the GEMM path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generators import random_alignment
+from repro.datasets.packed import PackedAlignment
+from repro.errors import LDError
+from repro.ld.gemm import r_squared_block, r_squared_matrix
+from repro.ld.packed_kernels import (
+    r_squared_block_packed,
+    r_squared_matrix_packed,
+    r_squared_pairs_packed,
+)
+
+
+@pytest.fixture
+def packed(small_alignment):
+    return PackedAlignment.from_alignment(small_alignment)
+
+
+class TestPairsPacked:
+    def test_matches_gemm(self, small_alignment, packed):
+        i = np.array([0, 5, 12, 40])
+        j = np.array([3, 5, 59, 41])
+        got = r_squared_pairs_packed(packed, i, j)
+        full = r_squared_matrix(small_alignment)
+        np.testing.assert_allclose(got, full[i, j], atol=1e-12)
+
+    def test_empty(self, packed):
+        assert r_squared_pairs_packed(packed, np.array([]), np.array([])).size == 0
+
+    def test_shape_mismatch(self, packed):
+        with pytest.raises(LDError):
+            r_squared_pairs_packed(packed, np.array([0]), np.array([0, 1]))
+
+    def test_out_of_range(self, packed):
+        with pytest.raises(LDError):
+            r_squared_pairs_packed(packed, np.array([0]), np.array([999]))
+
+
+class TestBlockPacked:
+    def test_matches_gemm_block(self, small_alignment, packed):
+        got = r_squared_block_packed(packed, slice(5, 20), slice(30, 45))
+        expected = r_squared_block(small_alignment, slice(5, 20), slice(30, 45))
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_rejects_strided(self, packed):
+        with pytest.raises(LDError, match="contiguous"):
+            r_squared_block_packed(packed, slice(0, 10, 3), slice(0, 10))
+
+
+class TestMatrixPacked:
+    def test_matches_gemm_matrix(self, small_alignment, packed):
+        got = r_squared_matrix_packed(packed, block=16)
+        expected = r_squared_matrix(small_alignment)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+    def test_block_size_irrelevant(self, packed):
+        a = r_squared_matrix_packed(packed, block=7)
+        b = r_squared_matrix_packed(packed, block=64)
+        np.testing.assert_allclose(a, b, atol=1e-15)
+
+    def test_rejects_zero_block(self, packed):
+        with pytest.raises(LDError):
+            r_squared_matrix_packed(packed, block=0)
+
+    @given(
+        n_samples=st.integers(2, 140),
+        n_sites=st.integers(2, 25),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_gemm_equivalence(self, n_samples, n_sites, seed):
+        """The packed popcount path and the GEMM path must agree for any
+        alignment — this is the FPGA-vs-GPU LD functional equivalence."""
+        aln = random_alignment(n_samples, n_sites, seed=seed)
+        pk = PackedAlignment.from_alignment(aln)
+        np.testing.assert_allclose(
+            r_squared_matrix_packed(pk, block=8),
+            r_squared_matrix(aln),
+            atol=1e-12,
+        )

@@ -1,0 +1,77 @@
+"""Tests for the multiprocess scanner."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import GridSpec
+from repro.core.parallel import parallel_scan, split_grid
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.errors import ScanConfigError
+
+
+class TestSplitGrid:
+    def test_even_split(self):
+        assert split_grid(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split(self):
+        chunks = split_grid(10, 3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_workers_than_positions(self):
+        chunks = split_grid(2, 5)
+        assert chunks == [(0, 1), (1, 2)]
+
+    def test_single_worker(self):
+        assert split_grid(7, 1) == [(0, 7)]
+
+    def test_covers_everything_no_overlap(self):
+        for n, w in [(17, 4), (100, 7), (3, 3)]:
+            chunks = split_grid(n, w)
+            flat = [k for a, b in chunks for k in range(a, b)]
+            assert flat == list(range(n))
+
+    def test_invalid(self):
+        with pytest.raises(ScanConfigError):
+            split_grid(0, 2)
+        with pytest.raises(ScanConfigError):
+            split_grid(5, 0)
+
+
+class TestParallelScan:
+    @pytest.fixture
+    def config(self, block_alignment):
+        return OmegaConfig(
+            grid=GridSpec(n_positions=12, max_window=block_alignment.length / 3)
+        )
+
+    def test_single_worker_short_circuit(self, block_alignment, config):
+        seq = OmegaPlusScanner(config).scan(block_alignment)
+        par = parallel_scan(block_alignment, config, n_workers=1)
+        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-12)
+
+    def test_matches_sequential(self, block_alignment, config):
+        seq = OmegaPlusScanner(config).scan(block_alignment)
+        par = parallel_scan(block_alignment, config, n_workers=3)
+        np.testing.assert_allclose(par.positions, seq.positions, rtol=1e-12)
+        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-12)
+        np.testing.assert_array_equal(par.n_evaluations, seq.n_evaluations)
+
+    def test_worker_count_invariance(self, block_alignment, config):
+        two = parallel_scan(block_alignment, config, n_workers=2)
+        four = parallel_scan(block_alignment, config, n_workers=4)
+        np.testing.assert_allclose(two.omegas, four.omegas, rtol=1e-12)
+
+    def test_more_workers_than_positions(self, block_alignment):
+        config = OmegaConfig(
+            grid=GridSpec(n_positions=3, max_window=block_alignment.length / 3)
+        )
+        par = parallel_scan(block_alignment, config, n_workers=8)
+        assert len(par) == 3
+
+    def test_rejects_zero_workers(self, block_alignment, config):
+        with pytest.raises(ScanConfigError):
+            parallel_scan(block_alignment, config, n_workers=0)
+
+    def test_breakdown_aggregated(self, block_alignment, config):
+        par = parallel_scan(block_alignment, config, n_workers=2)
+        assert par.breakdown.totals.get("omega", 0.0) > 0

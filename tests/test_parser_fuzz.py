@@ -1,0 +1,98 @@
+"""Fuzz tests: the parsers must never crash with anything other than
+DataFormatError on arbitrary text input."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.fasta import parse_fasta_text
+from repro.datasets.msformat import parse_ms_text
+from repro.datasets.vcf import parse_vcf_text
+from repro.errors import DataFormatError
+
+# Token soup containing the structural markers the parsers key on, so
+# the fuzz reaches deep code paths instead of failing at the first line.
+_TOKENS = (
+    list("01acgtACGTN.>#/\t\n |,:;-")
+    + ["segsites:", "positions:", "//", "0.5", "#CHROM", "GT", "PASS", "\n"]
+)
+structured_text = st.lists(
+    st.sampled_from(_TOKENS), max_size=120
+).map("".join)
+
+
+class TestMsFuzz:
+    @given(structured_text)
+    @settings(max_examples=150, deadline=None)
+    def test_only_dataformat_errors(self, text):
+        try:
+            reps = parse_ms_text(text)
+        except DataFormatError:
+            return
+        # if it parsed, the result must be structurally sound
+        for rep in reps:
+            aln = rep.alignment
+            assert aln.matrix.shape[1] == aln.positions.shape[0]
+
+    @given(st.integers(0, 50), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_segsites_lying_header(self, claimed, rows):
+        """A segsites count that disagrees with the data must raise, not
+        mis-index."""
+        text = (
+            f"//\nsegsites: {claimed}\npositions: 0.5\n"
+            + "\n".join("0" for _ in range(rows))
+            + "\n"
+        )
+        if claimed == 0:
+            # zero-variation replicate: no positions/haplotypes expected,
+            # trailing lines are inter-block junk (ms tools tolerate it)
+            reps = parse_ms_text(text)
+            assert reps[0].alignment.n_sites == 0
+        elif claimed == 1 and rows >= 1:
+            parse_ms_text(text)  # actually consistent
+        else:
+            with pytest.raises(DataFormatError):
+                parse_ms_text(text)
+
+
+class TestFastaFuzz:
+    @given(structured_text)
+    @settings(max_examples=150, deadline=None)
+    def test_only_dataformat_errors(self, text):
+        try:
+            masked = parse_fasta_text(text)
+        except DataFormatError:
+            return
+        assert masked.n_sites >= 1
+        assert masked.matrix.shape == (masked.n_samples, masked.n_sites)
+
+
+class TestVcfFuzz:
+    @given(structured_text)
+    @settings(max_examples=150, deadline=None)
+    def test_only_dataformat_errors(self, text):
+        try:
+            masked = parse_vcf_text(text)
+        except DataFormatError:
+            return
+        assert masked.n_sites >= 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 10**7), st.sampled_from("01.")),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_generated_records_always_parse(self, records):
+        header = (
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n"
+        )
+        body = "".join(
+            f"1\t{pos}\t.\tA\tG\t.\tPASS\t.\tGT\t{gt}\n"
+            for pos, gt in records
+        )
+        masked = parse_vcf_text(header + body)
+        assert masked.n_sites == len(records)

@@ -1,0 +1,108 @@
+"""Tests for the power-study harness."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import PowerResult, PowerStudy, default_scorers
+from repro.errors import ScanConfigError
+
+
+class TestPowerResult:
+    def make(self, sweep, neutral, loc=None):
+        n = len(sweep)
+        return PowerResult(
+            method="x",
+            sweep_scores=np.array(sweep, dtype=float),
+            neutral_scores=np.array(neutral, dtype=float),
+            localization_errors_bp=np.array(
+                loc if loc is not None else [0.0] * n
+            ),
+        )
+
+    def test_perfect_separation(self):
+        r = self.make([10, 12, 11], [1, 2, 3])
+        assert r.power() == 1.0
+
+    def test_no_separation(self):
+        r = self.make([1, 2, 3], [10, 12, 11])
+        assert r.power() == 0.0
+
+    def test_fpr_raises_power(self):
+        r = self.make([5, 5, 5], [1, 2, 6])
+        assert r.power(0.0) == 0.0  # threshold = 6
+        assert r.power(0.4) == 1.0  # threshold ~ below 5
+
+    def test_invalid_fpr(self):
+        r = self.make([1], [1])
+        with pytest.raises(ScanConfigError):
+            r.power(1.0)
+
+    def test_localization_median(self):
+        r = self.make([1, 1], [0, 0], loc=[100.0, 300.0])
+        assert r.median_localization_error() == 200.0
+
+    def test_localization_all_nan(self):
+        r = self.make([1], [0], loc=[np.nan])
+        assert np.isnan(r.median_localization_error())
+
+    def test_roc_perfect_separation(self):
+        r = self.make([10, 11, 12], [1, 2, 3])
+        fpr, tpr = r.roc_curve()
+        assert fpr[0] == 0.0 and fpr[-1] == 1.0
+        assert r.auc() == pytest.approx(1.0)
+
+    def test_roc_no_separation(self):
+        r = self.make([1, 2, 3], [1, 2, 3])
+        assert 0.2 < r.auc() < 0.8
+
+    def test_roc_inverted(self):
+        r = self.make([1, 2, 3], [10, 11, 12])
+        assert r.auc() == pytest.approx(0.0)
+
+    def test_roc_monotone(self):
+        rng = np.random.default_rng(1)
+        r = self.make(rng.normal(1, 1, 30), rng.normal(0, 1, 30))
+        fpr, tpr = r.roc_curve()
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= -1e-12).all()
+        assert 0.5 < r.auc() <= 1.0
+
+
+class TestPowerStudy:
+    def test_default_sweep_params_derived(self):
+        study = PowerStudy(region_bp=5e5)
+        assert study.sweep_params is not None
+        assert study.sweep_params.escape_scale_bp == pytest.approx(
+            0.15 * 5e5, rel=1e-6
+        )
+
+    def test_omega_power_on_small_study(self):
+        """Two replicates, omega only — the fast end-to-end check that
+        the harness actually separates hypotheses."""
+        study = PowerStudy(
+            region_bp=5e5, n_samples=25, theta=120.0, rho=60.0
+        )
+        scorers = {"omega": default_scorers(5e5)["omega"]}
+        results = study.run(scorers, n_replicates=2, seed=3)
+        r = results["omega"]
+        assert r.sweep_scores.shape == (2,)
+        assert r.sweep_scores.mean() > r.neutral_scores.mean()
+
+    def test_localization_within_region(self):
+        study = PowerStudy(region_bp=5e5, n_samples=25, theta=120.0)
+        scorers = {"omega": default_scorers(5e5)["omega"]}
+        results = study.run(scorers, n_replicates=2, seed=5)
+        errors = results["omega"].localization_errors_bp
+        assert (errors[np.isfinite(errors)] <= 5e5).all()
+
+    def test_rejects_empty_scorers(self):
+        with pytest.raises(ScanConfigError):
+            PowerStudy().run({}, n_replicates=1)
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ScanConfigError):
+            PowerStudy().run(default_scorers(1e6), n_replicates=0)
+
+    def test_default_scorers_complete(self):
+        scorers = default_scorers(1e6)
+        assert set(scorers) == {"omega", "CLR", "iHS"}

@@ -1,0 +1,122 @@
+"""Additional cross-module property tests (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import SumMatrix
+from repro.core.omega import omega_from_sums, omega_max_at_split
+from repro.core.reuse import R2RegionCache
+from repro.datasets.generators import random_alignment
+from repro.datasets.msformat import ms_text, parse_ms_text
+from repro.ld.gemm import r_squared_block, r_squared_matrix
+
+
+class TestMsRoundTripProperty:
+    @given(
+        n_samples=st.integers(2, 20),
+        n_sites=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_preserves_genotypes(self, n_samples, n_sites, seed):
+        aln = random_alignment(n_samples, n_sites, seed=seed)
+        text = ms_text([aln], decimals=8)
+        back = parse_ms_text(text, length=aln.length)[0].alignment
+        np.testing.assert_array_equal(back.matrix, aln.matrix)
+        np.testing.assert_allclose(
+            back.positions, aln.positions, atol=aln.length * 1e-6
+        )
+
+    @given(n_reps=st.integers(1, 5), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_replicate_count_preserved(self, n_reps, seed):
+        alns = [
+            random_alignment(5, 4 + k, seed=seed + k) for k in range(n_reps)
+        ]
+        back = parse_ms_text(ms_text(alns), length=alns[0].length)
+        assert len(back) == n_reps
+
+
+class TestOmegaScalingInvariance:
+    @given(
+        scale=st.floats(0.01, 100.0),
+        sum_l=st.floats(0.0, 50.0),
+        sum_r=st.floats(0.0, 50.0),
+        sum_lr=st.floats(0.001, 50.0),
+        n_left=st.integers(2, 40),
+        n_right=st.integers(2, 40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_r2_scaling_cancels(
+        self, scale, sum_l, sum_r, sum_lr, n_left, n_right
+    ):
+        """With eps = 0, Eq. 2 is scale-free in the r2 values: the
+        numerator and denominator both scale linearly, so a uniform
+        rescaling of all LD values cancels. (The eps guard breaks this
+        exactness by design — only near sum_lr ~ 0.)"""
+        base = omega_from_sums(
+            sum_l, sum_r, sum_lr, n_left, n_right, eps=0.0
+        )
+        scaled = omega_from_sums(
+            scale * sum_l, scale * sum_r, scale * sum_lr,
+            n_left, n_right, eps=0.0,
+        )
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+    @given(
+        n_left=st.integers(2, 30),
+        n_right=st.integers(2, 30),
+        sums=st.tuples(
+            st.floats(0.0, 10.0), st.floats(0.0, 10.0), st.floats(0.01, 10.0)
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_omega_non_negative(self, n_left, n_right, sums):
+        assert omega_from_sums(*sums, n_left, n_right) >= 0.0
+
+
+class TestCacheEquivalenceProperty:
+    @given(
+        seed=st.integers(0, 500),
+        regions=st.lists(
+            st.tuples(st.integers(0, 40), st.integers(5, 19)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_region_sequence_matches_fresh(self, seed, regions):
+        """Whatever sequence of (possibly overlapping, possibly
+        disjoint, forward or backward) regions is requested, the cache
+        must return exactly what a fresh computation would."""
+        aln = random_alignment(10, 60, seed=seed)
+        cache = R2RegionCache(aln)
+        for start, width in regions:
+            stop = min(start + width, 59)
+            got = cache.region_matrix(start, stop)
+            fresh = r_squared_block(
+                aln, slice(start, stop + 1), slice(start, stop + 1)
+            )
+            np.testing.assert_allclose(got, fresh, atol=1e-12)
+
+
+class TestOmegaMaxDominance:
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_enlarging_candidate_sets_never_lowers_max(self, seed):
+        """The max over a superset of (i, j) candidates is >= the max
+        over the subset — catches any indexing bug that silently drops
+        combinations."""
+        aln = random_alignment(10, 30, seed=seed)
+        sums = SumMatrix(r_squared_matrix(aln))
+        c = 14
+        small = omega_max_at_split(
+            sums, np.arange(5, 13), c, np.arange(16, 24)
+        )
+        large = omega_max_at_split(
+            sums, np.arange(0, 14), c, np.arange(15, 30)
+        )
+        assert large.omega >= small.omega - 1e-12
+        assert large.n_evaluations > small.n_evaluations

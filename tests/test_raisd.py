@@ -1,0 +1,81 @@
+"""Tests for the RAiSD-style mu statistic."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.raisd import mu_scan
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+from repro.simulate import SweepParameters, simulate_neutral, simulate_sweep
+
+
+class TestMuScan:
+    def test_result_shape(self):
+        aln = random_alignment(20, 300, seed=1)
+        res = mu_scan(aln, window_snps=40)
+        assert len(res) > 3
+        assert res.mu.shape == res.centres.shape
+        assert (res.mu >= 0).all()
+
+    def test_factors_multiply(self):
+        aln = random_alignment(20, 300, seed=2)
+        res = mu_scan(aln, window_snps=40)
+        np.testing.assert_allclose(
+            res.mu, res.mu_var * res.mu_sfs * res.mu_ld, rtol=1e-12
+        )
+
+    def test_centres_inside_region(self):
+        aln = random_alignment(20, 200, seed=3)
+        res = mu_scan(aln)
+        assert (res.centres >= 0).all()
+        assert (res.centres <= aln.length).all()
+
+    def test_step_controls_count(self):
+        aln = random_alignment(20, 300, seed=4)
+        fine = mu_scan(aln, window_snps=40, step_snps=5)
+        coarse = mu_scan(aln, window_snps=40, step_snps=40)
+        assert len(fine) > len(coarse)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window_snps": 7},     # odd
+        {"window_snps": 6},     # too small
+        {"window_snps": 40, "step_snps": 0},
+    ])
+    def test_invalid_geometry(self, kwargs):
+        aln = random_alignment(20, 300, seed=5)
+        with pytest.raises(ScanConfigError):
+            mu_scan(aln, **kwargs)
+
+    def test_window_larger_than_data(self):
+        aln = random_alignment(20, 30, seed=6)
+        with pytest.raises(ScanConfigError, match="window needs"):
+            mu_scan(aln, window_snps=50)
+
+
+class TestMuDetection:
+    def test_separates_and_localizes_sweep(self):
+        """mu on a completed sweep: clearly above the neutral level and
+        peaked at the sweep site (the three factors reinforce)."""
+        params = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        sweep = simulate_sweep(
+            30, theta=200.0, length=1e6, params=params, seed=0
+        )
+        neutral = simulate_neutral(
+            30, theta=200.0, rho=100.0, length=1e6, seed=0
+        )
+        pos_s, mu_s = mu_scan(sweep).best()
+        _, mu_n = mu_scan(neutral).best()
+        assert mu_s > 3 * mu_n
+        assert abs(pos_s - 5e5) < 1.5e5
+
+    def test_all_three_factors_elevated_at_sweep(self):
+        params = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        sweep = simulate_sweep(
+            30, theta=200.0, length=1e6, params=params, seed=0
+        )
+        res = mu_scan(sweep)
+        at = int(np.argmin(np.abs(res.centres - 5e5)))
+        # each factor at the sweep exceeds its own median over the scan
+        assert res.mu_var[at] > np.median(res.mu_var)
+        assert res.mu_sfs[at] > np.median(res.mu_sfs)
+        assert res.mu_ld[at] > np.median(res.mu_ld)

@@ -1,0 +1,80 @@
+"""Tests for OmegaPlus-compatible report I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.report_io import parse_report, report_path, write_report
+from repro.core.scan import scan
+from repro.datasets.generators import random_alignment
+from repro.errors import DataFormatError
+
+
+@pytest.fixture
+def results():
+    a = random_alignment(15, 60, seed=1)
+    b = random_alignment(15, 50, seed=2)
+    return [
+        scan(a, grid_size=6, max_window=a.length / 3),
+        scan(b, grid_size=4, max_window=b.length / 3),
+    ]
+
+
+class TestReportPath:
+    def test_conventional_name(self):
+        assert report_path("/tmp", "run1").endswith("OmegaPlus_Report.run1")
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(DataFormatError):
+            report_path("/tmp", "a/b")
+        with pytest.raises(DataFormatError):
+            report_path("/tmp", "")
+
+
+class TestRoundTrip:
+    def test_stream_roundtrip(self, results):
+        buf = io.StringIO()
+        write_report(results, buf)
+        parsed = parse_report(io.StringIO(buf.getvalue()))
+        assert len(parsed) == 2
+        for res, rep in zip(results, parsed):
+            np.testing.assert_allclose(
+                rep["positions"], res.positions, atol=1e-3
+            )
+            np.testing.assert_allclose(rep["omegas"], res.omegas, atol=1e-5)
+
+    def test_file_roundtrip(self, results, tmp_path):
+        path = report_path(str(tmp_path), "testrun")
+        write_report(results, path, run_name="testrun")
+        parsed = parse_report(path)
+        assert len(parsed) == 2
+
+    def test_preamble_comment_ignored(self, results):
+        buf = io.StringIO()
+        write_report(results, buf, run_name="named")
+        text = buf.getvalue()
+        assert text.startswith("// OmegaPlus report")
+        assert len(parse_report(io.StringIO(text))) == 2
+
+
+class TestParseErrors:
+    def test_empty(self):
+        with pytest.raises(DataFormatError, match="no replicate"):
+            parse_report(io.StringIO(""))
+
+    def test_data_before_block(self):
+        with pytest.raises(DataFormatError, match="before the first"):
+            parse_report(io.StringIO("100.0\t2.5\n"))
+
+    def test_wrong_field_count(self):
+        with pytest.raises(DataFormatError, match="position omega"):
+            parse_report(io.StringIO("//0\n100.0\t2.5\t9\n"))
+
+    def test_non_numeric(self):
+        with pytest.raises(DataFormatError, match="non-numeric"):
+            parse_report(io.StringIO("//0\nabc\tdef\n"))
+
+    def test_write_empty_rejected(self):
+        with pytest.raises(DataFormatError):
+            write_report([], io.StringIO())

@@ -1,0 +1,39 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.analysis.reproduce import build_report, main
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_report(grid_size=40)
+
+    def test_contains_every_artifact(self, report):
+        for token in (
+            "Table I", "Table II", "Table III", "Table IV",
+            "Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14",
+        ):
+            assert token in report
+
+    def test_pairs_reproduced_with_paper(self, report):
+        assert "paper" in report
+        assert "[21.4x]" in report  # Fig. 14 FPGA balanced
+        assert "12003" in report  # Table I FF count
+
+    def test_is_markdown(self, report):
+        assert report.startswith("# Reproduction report")
+        assert report.count("```") % 2 == 0
+
+
+class TestMain:
+    def test_writes_file(self, tmp_path):
+        out = str(tmp_path / "r.md")
+        assert main([out]) == 0
+        with open(out) as fh:
+            assert "Reproduction report" in fh.read()
+
+    def test_stdout(self, capsys):
+        assert main([]) == 0
+        assert "Table III" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Unit tests for the r2 data-reuse cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.reuse import R2RegionCache, ReuseStats
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+
+
+class TestReuseStats:
+    def test_fraction_empty(self):
+        assert ReuseStats().reuse_fraction == 0.0
+
+    def test_fraction(self):
+        s = ReuseStats(entries_computed=25, entries_reused=75)
+        assert s.reuse_fraction == pytest.approx(0.75)
+
+
+class TestR2RegionCache:
+    def test_first_region_computed(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        r2 = cache.region_matrix(0, 19)
+        expected = r_squared_block(small_alignment, slice(0, 20), slice(0, 20))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+        assert cache.stats.entries_reused == 0
+        assert cache.stats.entries_computed == 400
+
+    def test_overlapping_region_correct(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(0, 19)
+        r2 = cache.region_matrix(10, 29)
+        expected = r_squared_block(small_alignment, slice(10, 30), slice(10, 30))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+        assert cache.stats.entries_reused == 100  # 10x10 overlap block
+
+    def test_forward_scan_reuses_majority(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        for start in range(0, 30, 2):
+            cache.region_matrix(start, start + 29)
+        assert cache.stats.reuse_fraction > 0.5
+
+    def test_disjoint_region_recomputed(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(0, 9)
+        cache.region_matrix(30, 39)
+        assert cache.stats.entries_reused == 0
+
+    def test_backward_overlap_also_works(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(20, 39)
+        r2 = cache.region_matrix(10, 29)
+        expected = r_squared_block(small_alignment, slice(10, 30), slice(10, 30))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+        assert cache.stats.entries_reused == 100
+
+    def test_region_shrinks_inside_previous(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(0, 39)
+        r2 = cache.region_matrix(10, 19)
+        expected = r_squared_block(small_alignment, slice(10, 20), slice(10, 20))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+
+    def test_region_grows_both_sides(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(20, 29)
+        r2 = cache.region_matrix(10, 39)
+        expected = r_squared_block(small_alignment, slice(10, 40), slice(10, 40))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+
+    def test_packed_backend_equivalent(self, small_alignment):
+        a = R2RegionCache(small_alignment, backend="gemm")
+        b = R2RegionCache(small_alignment, backend="packed")
+        for start, stop in [(0, 19), (10, 29), (25, 45)]:
+            np.testing.assert_allclose(
+                a.region_matrix(start, stop),
+                b.region_matrix(start, stop),
+                atol=1e-12,
+            )
+
+    def test_unknown_backend(self, small_alignment):
+        with pytest.raises(ScanConfigError, match="backend"):
+            R2RegionCache(small_alignment, backend="quantum")
+
+    def test_bounds(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        with pytest.raises(ScanConfigError):
+            cache.region_matrix(-1, 5)
+        with pytest.raises(ScanConfigError):
+            cache.region_matrix(0, 999)
+        with pytest.raises(ScanConfigError):
+            cache.region_matrix(10, 5)
+
+    def test_reset_drops_cache(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(0, 19)
+        cache.reset()
+        cache.region_matrix(5, 24)
+        assert cache.stats.entries_reused == 0
+
+    def test_memory_guard(self, small_alignment):
+        """An over-wide region fails with a clear message instead of an
+        opaque MemoryError."""
+        cache = R2RegionCache(small_alignment, max_region_bytes=1000)
+        with pytest.raises(ScanConfigError, match="reduce max_window"):
+            cache.region_matrix(0, 59)
+        # small regions still fine under the tiny cap
+        cache.region_matrix(0, 5)
+
+    def test_memory_guard_rejects_silly_cap(self, small_alignment):
+        with pytest.raises(ScanConfigError):
+            R2RegionCache(small_alignment, max_region_bytes=0)
+
+    def test_cached_matrix_not_aliased(self, small_alignment):
+        """Mutating a returned matrix must not corrupt later reuse."""
+        cache = R2RegionCache(small_alignment)
+        first = cache.region_matrix(0, 19)
+        expected_second = r_squared_block(
+            small_alignment, slice(10, 30), slice(10, 30)
+        ).copy()
+        # The cache holds a reference to `first`; a *fresh* request reuses
+        # its overlap. Corrupt a region `first` and the next request share:
+        second = cache.region_matrix(10, 29)
+        np.testing.assert_allclose(second, expected_second, atol=1e-12)

@@ -1,0 +1,50 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert resolve_rng(g) is g
+
+    def test_numpy_int_accepted(self):
+        a = resolve_rng(np.int32(7)).random(3)
+        b = resolve_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError, match="seed must be"):
+            resolve_rng("42")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_deterministic_given_seed(self):
+        x = [g.random() for g in spawn_rngs(5, 3)]
+        y = [g.random() for g in spawn_rngs(5, 3)]
+        assert x == y
+
+    def test_zero_children(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

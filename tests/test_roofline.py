@@ -1,0 +1,74 @@
+"""Tests for the roofline analysis module."""
+
+import pytest
+
+from repro.accel.gpu.device import RADEON_HD8750M, TESLA_K80
+from repro.accel.roofline import (
+    LD_KERNEL,
+    OMEGA_KERNEL,
+    KernelCharacter,
+    gpu_analysis,
+    roofline_rate,
+)
+from repro.errors import ModelCalibrationError
+
+
+class TestKernelCharacter:
+    def test_intensity(self):
+        k = KernelCharacter(name="x", flops_per_output=10, bytes_per_output=5)
+        assert k.arithmetic_intensity == 2.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ModelCalibrationError):
+            KernelCharacter(name="x", flops_per_output=0, bytes_per_output=1)
+
+    def test_builtin_characters_low_intensity(self):
+        """Both computations are low-intensity (well under typical GPU
+        machine balance of ~10 FLOP/B)."""
+        assert OMEGA_KERNEL.arithmetic_intensity < 5
+        assert LD_KERNEL.arithmetic_intensity < 5
+
+
+class TestRooflineRate:
+    def test_memory_roof_binds_low_intensity(self):
+        k = KernelCharacter(name="x", flops_per_output=1, bytes_per_output=100)
+        rate = roofline_rate(
+            k, compute_peak_flops=1e12, mem_bandwidth=1e11
+        )
+        assert rate == pytest.approx(1e11 / 100)
+
+    def test_compute_roof_binds_high_intensity(self):
+        k = KernelCharacter(
+            name="x", flops_per_output=1000, bytes_per_output=1
+        )
+        rate = roofline_rate(
+            k, compute_peak_flops=1e12, mem_bandwidth=1e11
+        )
+        assert rate == pytest.approx(1e12 / 1000)
+
+    def test_rejects_bad_roofs(self):
+        with pytest.raises(ModelCalibrationError):
+            roofline_rate(OMEGA_KERNEL, compute_peak_flops=0, mem_bandwidth=1)
+
+
+class TestGPUAnalysis:
+    def test_both_kernels_memory_bound(self):
+        for device in (TESLA_K80, RADEON_HD8750M):
+            analysis = gpu_analysis(device)
+            for vals in analysis.values():
+                assert vals["memory_bound"] == 1.0
+                assert vals["intensity"] < vals["machine_balance"]
+
+    def test_rate_scales_with_bandwidth(self):
+        k80 = gpu_analysis(TESLA_K80)[OMEGA_KERNEL.name]["rate"]
+        radeon = gpu_analysis(RADEON_HD8750M)[OMEGA_KERNEL.name]["rate"]
+        assert k80 / radeon == pytest.approx(
+            TESLA_K80.mem_bandwidth / RADEON_HD8750M.mem_bandwidth
+        )
+
+    def test_consistent_with_kernel_model_plateau(self):
+        """The roofline's attainable omega rate on the K80 should sit at
+        the same order as the Kernel I plateau (both are statements
+        about the memory roof)."""
+        rate = gpu_analysis(TESLA_K80)[OMEGA_KERNEL.name]["rate"]
+        assert 0.2 * 7e9 < rate < 10 * 7e9

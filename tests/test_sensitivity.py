@@ -1,0 +1,58 @@
+"""Tests for the calibration sensitivity harness."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PERTURBATIONS,
+    check_conclusions,
+    sensitivity_sweep,
+)
+from repro.analysis.speedup import table3
+from repro.errors import ScanConfigError
+
+
+class TestCheckConclusions:
+    def test_baseline_all_hold(self):
+        concl = check_conclusions(table3())
+        assert all(concl.values())
+        assert len(concl) == 4
+
+
+class TestPerturbations:
+    def test_every_perturbation_builds_engines(self):
+        for pert in PERTURBATIONS:
+            engines = pert.build(1.0)
+            assert {"cpu", "fpga_engine", "gpu_engine"} == set(engines)
+
+    def test_identity_factor_reproduces_baseline(self):
+        """Scaling by 1.0 must give the exact baseline conclusions."""
+        from repro.analysis.speedup import compare_workload
+        from repro.analysis.workloads import PAPER_WORKLOADS
+
+        base = check_conclusions(table3())
+        for pert in PERTURBATIONS[:3]:
+            engines = pert.build(1.0)
+            comps = [
+                compare_workload(s, **engines) for s in PAPER_WORKLOADS
+            ]
+            assert check_conclusions(comps) == base
+
+
+class TestSweep:
+    def test_moderate_band_all_hold(self):
+        sweep = sensitivity_sweep(factors=(0.7, 1.3))
+        assert set(sweep) == {p.name for p in PERTURBATIONS}
+        for by_factor in sweep.values():
+            for concl in by_factor.values():
+                assert all(concl.values())
+
+    def test_extreme_perturbation_can_break_conclusions(self):
+        """Sanity that the harness can detect breakage at all: slowing
+        the FPGA pipeline 100x must cost it the omega-stage win."""
+        sweep = sensitivity_sweep(factors=(100.0,))
+        broken = sweep["fpga pipeline overheads"][100.0]
+        assert not broken["C3 fpga wins omega stage everywhere"]
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ScanConfigError):
+            sensitivity_sweep(factors=(0.0,))

@@ -1,0 +1,125 @@
+"""Tests for the SweepFinder/SweeD-style CLR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sfs import (
+    background_spectrum,
+    clr_scan,
+    sweep_spectrum,
+)
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+
+
+class TestBackgroundSpectrum:
+    def test_is_distribution(self, small_alignment):
+        spec = background_spectrum(small_alignment)
+        assert spec.shape == (small_alignment.n_samples + 1,)
+        assert spec.sum() == pytest.approx(1.0)
+        assert spec[0] == 0.0 and spec[-1] == 0.0
+        assert (spec >= 0).all()
+
+    def test_neutralish_data_singleton_rich(self):
+        """On coalescent-like data the spectrum is ~1/i shaped; on our
+        uniform-frequency generator it is flat-ish — either way the mass
+        is concentrated on segregating classes."""
+        aln = random_alignment(20, 300, seed=1)
+        spec = background_spectrum(aln)
+        assert spec[1:20].sum() == pytest.approx(1.0)
+
+    def test_rejects_tiny_samples(self):
+        aln = SNPAlignment(
+            np.array([[0, 1], [1, 0]], dtype=np.uint8),
+            np.array([1.0, 2.0]), 10.0,
+        )
+        with pytest.raises(ScanConfigError):
+            background_spectrum(aln)
+
+    def test_rejects_no_segregating(self):
+        aln = SNPAlignment(
+            np.ones((5, 3), dtype=np.uint8), np.array([1.0, 2.0, 3.0]), 10.0
+        )
+        with pytest.raises(ScanConfigError):
+            background_spectrum(aln)
+
+
+class TestSweepSpectrum:
+    @pytest.fixture
+    def spec(self, small_alignment):
+        return background_spectrum(small_alignment)
+
+    def test_is_distribution(self, spec, small_alignment):
+        n = small_alignment.n_samples
+        for pe in (0.05, 0.3, 0.7, 1.0):
+            out = sweep_spectrum(spec, n, pe)
+            assert out.sum() == pytest.approx(1.0)
+            assert out[0] == 0.0 and out[n] == 0.0
+
+    def test_full_escape_is_background(self, spec, small_alignment):
+        """p_escape = 1 (infinitely far from the sweep) must return the
+        background spectrum exactly (with no singleton boost)."""
+        n = small_alignment.n_samples
+        out = sweep_spectrum(spec, n, 1.0, singleton_boost=0.3)
+        np.testing.assert_allclose(out, spec, atol=1e-12)
+
+    def test_near_sweep_extremes_enriched(self, spec, small_alignment):
+        """Low escape probability: singletons and high-frequency derived
+        classes must gain mass relative to the background — the two SFS
+        sweep signatures."""
+        n = small_alignment.n_samples
+        near = sweep_spectrum(spec, n, 0.1)
+        hi = slice(int(0.8 * n), n)
+        assert near[1] > spec[1]
+        assert near[hi].sum() > spec[hi].sum()
+
+    def test_middle_frequencies_depleted(self, spec, small_alignment):
+        n = small_alignment.n_samples
+        near = sweep_spectrum(spec, n, 0.1)
+        mid = slice(int(0.3 * n), int(0.7 * n))
+        assert near[mid].sum() < spec[mid].sum()
+
+    def test_rejects_bad_pe(self, spec, small_alignment):
+        with pytest.raises(ScanConfigError):
+            sweep_spectrum(spec, small_alignment.n_samples, 1.5)
+        with pytest.raises(ScanConfigError):
+            sweep_spectrum(spec, small_alignment.n_samples, 0.5,
+                           singleton_boost=1.0)
+
+
+class TestCLRScan:
+    def test_result_shape(self, small_alignment):
+        res = clr_scan(small_alignment, grid_size=9)
+        assert len(res) == 9
+        assert (res.clr >= 0).all()
+
+    def test_neutral_scores_low(self):
+        aln = random_alignment(25, 400, seed=3)
+        res = clr_scan(aln, grid_size=11)
+        # independent-sites data carries no spatial SFS distortion
+        assert res.best()[1] < 15.0
+
+    def test_detects_simulated_sweep(self):
+        from repro.simulate import SweepParameters, simulate_sweep
+
+        params = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        sw = simulate_sweep(30, theta=200.0, length=1e6, params=params, seed=0)
+        res = clr_scan(sw, grid_size=21)
+        pos, score = res.best()
+        assert score > 20.0
+        assert abs(pos - 5e5) < 2e5
+
+    def test_custom_scales(self, small_alignment):
+        res = clr_scan(small_alignment, grid_size=5, scales=[1000.0, 5000.0])
+        assert set(res.best_scales) <= {1000.0, 5000.0, 0.0}
+
+    def test_rejects_bad_inputs(self, small_alignment):
+        with pytest.raises(ScanConfigError):
+            clr_scan(small_alignment, grid_size=0)
+        with pytest.raises(ScanConfigError):
+            clr_scan(small_alignment, grid_size=5, scales=[-1.0])
+
+    def test_single_position_grid(self, small_alignment):
+        res = clr_scan(small_alignment, grid_size=1)
+        assert len(res) == 1

@@ -1,0 +1,202 @@
+"""Tests for the summary statistics, including theory-based checks on
+coalescent expectations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sumstats import (
+    fay_wu_h,
+    nucleotide_diversity,
+    sliding_windows,
+    tajimas_d,
+    watterson_theta,
+)
+from repro.datasets.alignment import SNPAlignment
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+from repro.simulate.coalescent import simulate_neutral
+from repro.simulate.sweep import SweepParameters, simulate_sweep
+
+
+def harmonic(n):
+    return sum(1.0 / i for i in range(1, n))
+
+
+class TestWattersonTheta:
+    def test_counts_segregating(self):
+        aln = random_alignment(10, 30, seed=1)
+        assert watterson_theta(aln) == pytest.approx(30 / harmonic(10))
+
+    def test_neutral_estimates_theta(self):
+        """E[theta_W] = theta on neutral coalescent replicates."""
+        theta = 12.0
+        estimates = [
+            watterson_theta(simulate_neutral(12, theta=theta, seed=s))
+            for s in range(40)
+        ]
+        assert np.mean(estimates) == pytest.approx(theta, rel=0.15)
+
+    def test_rejects_one_sample(self):
+        aln = SNPAlignment(
+            np.zeros((1, 3), dtype=np.uint8),
+            np.array([1.0, 2.0, 3.0]), 10.0,
+        )
+        with pytest.raises(ScanConfigError):
+            watterson_theta(aln)
+
+
+class TestPi:
+    def test_hand_computed(self):
+        # one site, 2 of 4 derived: pi = 2*0.5*0.5*4/3 = 2/3
+        m = np.array([[1], [1], [0], [0]], dtype=np.uint8)
+        aln = SNPAlignment(m, np.array([5.0]), 10.0)
+        assert nucleotide_diversity(aln) == pytest.approx(2.0 / 3.0)
+
+    def test_matches_pairwise_definition(self):
+        aln = random_alignment(8, 20, seed=2)
+        m = aln.matrix.astype(int)
+        n = aln.n_samples
+        diffs = [
+            (m[i] != m[j]).sum()
+            for i in range(n)
+            for j in range(i + 1, n)
+        ]
+        expected = np.mean(diffs)
+        assert nucleotide_diversity(aln) == pytest.approx(expected)
+
+    def test_neutral_estimates_theta(self):
+        theta = 10.0
+        estimates = [
+            nucleotide_diversity(simulate_neutral(10, theta=theta, seed=s))
+            for s in range(40)
+        ]
+        assert np.mean(estimates) == pytest.approx(theta, rel=0.25)
+
+    def test_empty_alignment_zero(self):
+        aln = SNPAlignment(np.zeros((4, 0), dtype=np.uint8), np.zeros(0), 10.0)
+        assert nucleotide_diversity(aln) == 0.0
+
+
+class TestTajimasD:
+    def test_neutral_near_zero(self):
+        """E[D] ~ 0 under the standard neutral model."""
+        values = [
+            tajimas_d(simulate_neutral(15, theta=15.0, seed=s))
+            for s in range(40)
+        ]
+        assert abs(np.mean(values)) < 0.5
+
+    def test_no_segregation_zero(self):
+        m = np.zeros((5, 2), dtype=np.uint8)
+        m[:, 0] = 1
+        aln = SNPAlignment(m, np.array([1.0, 2.0]), 10.0)
+        assert tajimas_d(aln) == 0.0
+
+    def test_excess_singletons_negative(self):
+        """All-singleton data (everyone carries a private variant) must
+        give strongly negative D."""
+        n, s = 12, 24
+        m = np.zeros((n, s), dtype=np.uint8)
+        for k in range(s):
+            m[k % n, k] = 1
+        aln = SNPAlignment(m, np.arange(s) * 10.0 + 5.0, s * 10.0 + 10.0)
+        assert tajimas_d(aln) < -1.0
+
+    def test_intermediate_frequencies_positive(self):
+        """Balanced 50/50 variants inflate pi over theta_W -> D > 0."""
+        n, s = 12, 20
+        m = np.zeros((n, s), dtype=np.uint8)
+        m[: n // 2, :] = 1
+        aln = SNPAlignment(m, np.arange(s) * 10.0 + 5.0, s * 10.0 + 10.0)
+        assert tajimas_d(aln) > 1.0
+
+    def test_rejects_tiny_sample(self):
+        aln = random_alignment(3, 10, seed=1)
+        with pytest.raises(ScanConfigError):
+            tajimas_d(aln)
+
+
+class TestFayWuH:
+    def test_high_frequency_derived_negative(self):
+        n, s = 10, 15
+        m = np.ones((n, s), dtype=np.uint8)
+        m[0, :] = 0  # derived at frequency 9/10 everywhere
+        aln = SNPAlignment(m, np.arange(s) * 10.0 + 5.0, s * 10.0 + 10.0)
+        assert fay_wu_h(aln) < 0
+
+    def test_singletons_positive(self):
+        n, s = 10, 15
+        m = np.zeros((n, s), dtype=np.uint8)
+        m[0, :] = 1
+        aln = SNPAlignment(m, np.arange(s) * 10.0 + 5.0, s * 10.0 + 10.0)
+        assert fay_wu_h(aln) > 0
+
+
+class TestSlidingWindows:
+    def test_windows_cover_region(self):
+        aln = random_alignment(10, 100, seed=3)
+        wins = sliding_windows(aln, window_bp=aln.length / 5)
+        assert wins[0].start == 0.0
+        assert wins[-1].stop == aln.length
+        assert all(w.stop > w.start for w in wins)
+
+    def test_site_counts_sum_with_disjoint_step(self):
+        aln = random_alignment(10, 100, seed=4)
+        w = aln.length / 4
+        wins = sliding_windows(aln, window_bp=w, step_bp=w)
+        assert sum(win.n_sites for win in wins) == aln.n_sites
+
+    def test_statistics_selected(self):
+        aln = random_alignment(10, 60, seed=5)
+        wins = sliding_windows(
+            aln, window_bp=aln.length / 3, statistics=("pi", "fay_wu_h")
+        )
+        assert set(wins[0].values) == {"pi", "fay_wu_h"}
+
+    def test_unknown_statistic_rejected(self):
+        aln = random_alignment(10, 60, seed=5)
+        with pytest.raises(ScanConfigError, match="unknown statistics"):
+            sliding_windows(aln, window_bp=100.0, statistics=("chi2",))
+
+    def test_invalid_geometry(self):
+        aln = random_alignment(10, 60, seed=5)
+        with pytest.raises(ScanConfigError):
+            sliding_windows(aln, window_bp=0.0)
+        with pytest.raises(ScanConfigError):
+            sliding_windows(aln, window_bp=10.0, step_bp=0.0)
+
+
+class TestSweepSignatures:
+    """The Fig. 1 triplet on simulated sweeps (signature a and b here;
+    signature c is the omega statistic itself, tested elsewhere)."""
+
+    @pytest.fixture(scope="class")
+    def sweep_windows(self):
+        params = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        aln = simulate_sweep(
+            25, theta=250.0, length=1e6, params=params, seed=1
+        )
+        return sliding_windows(
+            aln,
+            window_bp=2e5,
+            step_bp=1e5,
+            statistics=("pi", "tajimas_d", "fay_wu_h"),
+        )
+
+    def test_variation_trough_at_centre(self, sweep_windows):
+        centre = min(
+            sweep_windows, key=lambda w: abs(w.centre - 5e5)
+        )
+        edge_pi = np.mean(
+            [w.values["pi"] for w in sweep_windows
+             if abs(w.centre - 5e5) > 3.5e5]
+        )
+        assert centre.values["pi"] < edge_pi
+
+    def test_tajima_negative_near_sweep(self, sweep_windows):
+        near = [
+            w.values["tajimas_d"]
+            for w in sweep_windows
+            if abs(w.centre - 5e5) < 2e5 and not np.isnan(w.values["tajimas_d"])
+        ]
+        assert np.mean(near) < 0

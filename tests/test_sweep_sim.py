@@ -1,0 +1,147 @@
+"""Tests for the hitchhiking sweep simulator: parameterization, structural
+validity, and — most importantly — that it produces the signatures the
+omega statistic detects."""
+
+import numpy as np
+import pytest
+
+from repro.core.scan import scan
+from repro.errors import SimulationError
+from repro.simulate.coalescent import simulate_neutral
+from repro.simulate.sweep import SweepParameters, simulate_sweep
+
+
+class TestSweepParameters:
+    def test_defaults_valid(self):
+        p = SweepParameters()
+        assert p.sweep_duration > 0
+        assert p.escape_scale_bp > 0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SweepParameters(s=0.0)
+        with pytest.raises(ValueError):
+            SweepParameters(n_e=-5)
+        with pytest.raises(SimulationError):
+            SweepParameters(t_sweep=-0.1)
+
+    def test_stronger_selection_wider_footprint(self):
+        weak = SweepParameters(s=0.005)
+        strong = SweepParameters(s=0.05)
+        assert strong.escape_scale_bp > weak.escape_scale_bp
+
+    def test_for_footprint_hits_target(self):
+        L = 1e6
+        for frac in (0.1, 0.25, 0.4):
+            p = SweepParameters.for_footprint(L, footprint_fraction=frac)
+            assert p.escape_scale_bp == pytest.approx(frac * L, rel=1e-6)
+
+    def test_for_footprint_rejects_bad_fraction(self):
+        with pytest.raises(SimulationError):
+            SweepParameters.for_footprint(1e6, footprint_fraction=1.5)
+
+
+class TestSimulateSweep:
+    @pytest.fixture
+    def params(self):
+        return SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+
+    def test_well_formed(self, params):
+        aln = simulate_sweep(20, theta=120.0, length=1e6, params=params, seed=1)
+        assert aln.n_samples == 20
+        assert aln.is_polymorphic().all()
+        assert np.all(np.diff(aln.positions) > 0)
+
+    def test_deterministic(self, params):
+        a = simulate_sweep(15, theta=80.0, length=1e6, params=params, seed=3)
+        b = simulate_sweep(15, theta=80.0, length=1e6, params=params, seed=3)
+        assert a.equals(b)
+
+    def test_variation_reduced_near_sweep(self, params):
+        """Signature (a): fewer SNPs near the sweep site than far away."""
+        near_counts, far_counts = 0, 0
+        for seed in range(6):
+            aln = simulate_sweep(
+                20, theta=150.0, length=1e6, params=params, seed=seed
+            )
+            centre = 0.5 * aln.length
+            d = np.abs(aln.positions - centre)
+            near_counts += int((d < 0.05 * aln.length).sum())
+            far_counts += int((d > 0.4 * aln.length).sum())
+        assert near_counts < far_counts
+
+    def test_sweeps_score_higher_than_neutral(self, params):
+        """Signature (c), distribution level: max omega on sweep
+        replicates dominates max omega on neutral replicates."""
+        sweep_scores, neutral_scores = [], []
+        for seed in range(5):
+            sw = simulate_sweep(
+                25, theta=200.0, length=1e6, params=params, seed=seed
+            )
+            nt = simulate_neutral(
+                25, theta=200.0, rho=100.0, length=1e6, seed=seed
+            )
+            sweep_scores.append(
+                scan(sw, grid_size=15, max_window=5e5).best().omega
+            )
+            neutral_scores.append(
+                scan(nt, grid_size=15, max_window=5e5).best().omega
+            )
+        assert np.median(sweep_scores) > 2 * np.median(neutral_scores)
+
+    def test_off_centre_position(self, params):
+        aln = simulate_sweep(
+            15, theta=100.0, length=1e6, sweep_position=0.3,
+            params=params, seed=5,
+        )
+        # variation trough near 0.3 of the region
+        d_sweep = np.abs(aln.positions - 0.3 * aln.length)
+        d_far = np.abs(aln.positions - 0.8 * aln.length)
+        near_sweep = (d_sweep < 5e4).sum()
+        near_far = (d_far < 5e4).sum()
+        assert near_sweep <= near_far
+
+    def test_rejects_bad_inputs(self, params):
+        with pytest.raises(SimulationError):
+            simulate_sweep(2, theta=10.0, length=1e5, params=params)
+        with pytest.raises(SimulationError):
+            simulate_sweep(10, theta=10.0, length=1e5, sweep_position=0.0,
+                           params=params)
+        with pytest.raises(SimulationError):
+            simulate_sweep(10, theta=10.0, length=1e5, n_site_trees=0,
+                           params=params)
+        with pytest.raises(ValueError):
+            simulate_sweep(10, theta=-1.0, length=1e5, params=params)
+
+    def test_raises_when_no_variation(self, params):
+        with pytest.raises(SimulationError, match="no segregating"):
+            simulate_sweep(10, theta=1e-9, length=1e6, params=params, seed=1)
+
+    def test_sweep_in_bottlenecked_population(self, params):
+        """Sweep + demography composition: the bottleneck reduces the
+        neutral-phase variation on top of the sweep's own trough."""
+        from repro.simulate import bottleneck
+
+        d = bottleneck(start=0.1, duration=0.2, severity=0.1)
+        eq = simulate_sweep(20, theta=200.0, length=1e6, params=params, seed=1)
+        bn = simulate_sweep(
+            20, theta=200.0, length=1e6, params=params, seed=1, demography=d
+        )
+        assert bn.n_sites < 0.7 * eq.n_sites
+        assert bn.is_polymorphic().all()
+
+    def test_old_sweep_weaker_signal(self):
+        """t_sweep >> 0 adds pendant branch length to swept lineages,
+        restoring variation near the site."""
+        recent = SweepParameters.for_footprint(1e6, footprint_fraction=0.15)
+        old = SweepParameters(
+            s=recent.s, n_e=recent.n_e,
+            recomb_rate=recent.recomb_rate, t_sweep=0.5,
+        )
+        def near_site_snps(p, seed):
+            aln = simulate_sweep(20, theta=150.0, length=1e6, params=p, seed=seed)
+            d = np.abs(aln.positions - 0.5 * aln.length)
+            return (d < 0.1 * aln.length).sum()
+        recent_n = sum(near_site_snps(recent, s) for s in range(4))
+        old_n = sum(near_site_snps(old, s) for s in range(4))
+        assert old_n > recent_n

@@ -1,0 +1,73 @@
+"""Tests for the table formatters."""
+
+import pytest
+
+from repro.analysis.tables import (
+    render_table,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+)
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert render_table([]) == "(empty table)"
+
+    def test_alignment(self):
+        out = render_table([{"a": 1, "bb": "xy"}, {"a": 100, "bb": "z"}])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # columns align: every line same width structure
+        assert lines[1].count("-") >= 3
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        """Resource counts are calibrated to Table I — they must match
+        the published values exactly."""
+        for row in table1_rows():
+            assert row["reproduced"] == row["paper"], row
+
+    def test_eight_rows(self):
+        assert len(table1_rows()) == 8
+
+    def test_percentages_close(self):
+        for row in table1_rows():
+            got = float(row["utilization"].rstrip("%"))
+            paper = float(row["paper_pct"].rstrip("%"))
+            assert got == pytest.approx(paper, abs=0.03)
+
+
+class TestTable2:
+    def test_geometry_matches_paper(self):
+        for row in table2_rows():
+            assert row["CUs"] == row["CUs_paper"]
+            assert row["SPs"] == row["SPs_paper"]
+
+    def test_two_systems(self):
+        assert len(table2_rows()) == 2
+
+
+class TestTable3:
+    def test_three_distributions(self):
+        rows = table3_rows()
+        assert [r["distribution"] for r in rows] == [
+            "balanced", "high_omega", "high_ld",
+        ]
+
+    def test_rows_renderable(self):
+        out = render_table(table3_rows())
+        assert "balanced" in out
+
+
+class TestTable4:
+    def test_five_thread_counts(self):
+        rows = table4_rows()
+        assert [r["threads"] for r in rows] == [1, 2, 3, 4, 8]
+
+    def test_deviation_small(self):
+        for row in table4_rows():
+            assert abs(float(row["deviation"].rstrip("%"))) < 3.0

@@ -1,0 +1,71 @@
+"""Tests for null-calibrated detection thresholds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.thresholds import NullDistribution, omega_null
+from repro.errors import ScanConfigError
+from repro.simulate import bottleneck
+
+
+class TestNullDistribution:
+    def test_threshold_quantile(self):
+        null = NullDistribution(scores=np.arange(1.0, 101.0))
+        assert null.threshold(0.05) == pytest.approx(95.05, abs=0.5)
+        assert null.threshold(0.5) == pytest.approx(50.5, abs=0.5)
+
+    def test_threshold_monotone_in_fpr(self):
+        null = NullDistribution(scores=np.random.default_rng(0).gamma(2, 5, 200))
+        assert null.threshold(0.01) > null.threshold(0.10)
+
+    def test_p_value_bounds(self):
+        null = NullDistribution(scores=np.arange(1.0, 11.0))
+        assert null.p_value(100.0) == pytest.approx(1 / 11)
+        assert null.p_value(0.0) == pytest.approx(1.0)
+        assert 0 < null.p_value(5.0) < 1
+
+    def test_calls(self):
+        null = NullDistribution(scores=np.arange(1.0, 101.0))
+        calls = null.calls([200.0, 1.0], fpr=0.05)
+        np.testing.assert_array_equal(calls, [True, False])
+
+    def test_invalid(self):
+        with pytest.raises(ScanConfigError):
+            NullDistribution(scores=np.array([1.0]))
+        null = NullDistribution(scores=np.arange(1.0, 11.0))
+        with pytest.raises(ScanConfigError):
+            null.threshold(0.0)
+        with pytest.raises(ScanConfigError):
+            null.threshold(0.9)
+
+
+class TestOmegaNull:
+    def test_equilibrium_null(self):
+        null = omega_null(
+            n_samples=15, theta=60.0, rho=30.0, length=2e5,
+            n_replicates=4, grid_size=8, seed=1,
+        )
+        assert null.n == 4
+        assert (null.scores >= 0).all()
+        assert null.scores.max() > 0
+
+    def test_demography_matched_null_higher(self):
+        """The practical point: the bottleneck-matched null sits above
+        the equilibrium null, so equilibrium thresholds over-call."""
+        common = dict(
+            n_samples=15, theta=60.0, rho=30.0, length=2e5,
+            n_replicates=4, grid_size=8, seed=1,
+        )
+        eq = omega_null(**common)
+        bn = omega_null(
+            **common,
+            demography=bottleneck(start=0.05, duration=0.15, severity=0.08),
+        )
+        assert np.median(bn.scores) > np.median(eq.scores)
+
+    def test_rejects_too_few_replicates(self):
+        with pytest.raises(ScanConfigError):
+            omega_null(
+                n_samples=10, theta=10.0, rho=5.0, length=1e5,
+                n_replicates=1,
+            )

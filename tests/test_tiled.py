@@ -1,0 +1,83 @@
+"""Unit tests for the quickLD-style tiled LD driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LDError
+from repro.ld.gemm import r_squared_matrix
+from repro.ld.tiled import TiledLDEngine
+
+
+class TestTiles:
+    def test_tiles_cover_request(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=16)
+        full = r_squared_matrix(small_alignment)
+        got = np.zeros_like(full)
+        covered = np.zeros(full.shape, dtype=bool)
+        for rs, cs, tile in eng.tiles(slice(0, 60), slice(0, 60)):
+            got[rs, cs] = tile
+            covered[rs, cs] = True
+        assert covered.all()
+        np.testing.assert_allclose(got, full, atol=1e-12)
+
+    def test_upper_only_skips_below_diagonal(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=16)
+        for rs, cs, _ in eng.tiles(slice(0, 60), slice(0, 60), upper_only=True):
+            assert cs.stop > rs.start
+
+    def test_rejects_strided(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=16)
+        with pytest.raises(LDError):
+            list(eng.tiles(slice(0, 10, 2), slice(0, 10)))
+
+    def test_rejects_bad_tile(self, small_alignment):
+        with pytest.raises(LDError):
+            TiledLDEngine(small_alignment, tile=0)
+
+
+class TestReduceSum:
+    def test_rectangular_sum(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=13)
+        full = r_squared_matrix(small_alignment)
+        got = eng.reduce_sum(slice(5, 25), slice(30, 55))
+        assert got == pytest.approx(full[5:25, 30:55].sum(), rel=1e-12)
+
+    def test_distinct_pairs_square(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=7)
+        full = r_squared_matrix(small_alignment)
+        got = eng.reduce_sum(slice(10, 40), slice(10, 40), distinct_pairs=True)
+        # sum over unordered pairs {i < j} within [10, 40)
+        block = full[10:40, 10:40]
+        expected = block[np.triu_indices(30, k=1)].sum()
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_distinct_pairs_requires_square(self, small_alignment):
+        eng = TiledLDEngine(small_alignment)
+        with pytest.raises(LDError, match="rows == cols"):
+            eng.reduce_sum(slice(0, 10), slice(5, 15), distinct_pairs=True)
+
+    def test_tile_size_invariance(self, small_alignment):
+        full = TiledLDEngine(small_alignment, tile=64).reduce_sum(
+            slice(0, 60), slice(0, 60), distinct_pairs=True
+        )
+        small = TiledLDEngine(small_alignment, tile=5).reduce_sum(
+            slice(0, 60), slice(0, 60), distinct_pairs=True
+        )
+        assert full == pytest.approx(small, rel=1e-12)
+
+
+class TestCrossRegionSum:
+    def test_matches_block_sum(self, small_alignment):
+        eng = TiledLDEngine(small_alignment, tile=11)
+        full = r_squared_matrix(small_alignment)
+        got = eng.cross_region_sum(slice(0, 20), slice(25, 50))
+        assert got == pytest.approx(full[0:20, 25:50].sum(), rel=1e-12)
+
+    def test_rejects_overlap(self, small_alignment):
+        eng = TiledLDEngine(small_alignment)
+        with pytest.raises(LDError, match="overlap"):
+            eng.cross_region_sum(slice(0, 20), slice(15, 30))
+
+    def test_adjacent_regions_ok(self, small_alignment):
+        eng = TiledLDEngine(small_alignment)
+        assert eng.cross_region_sum(slice(0, 20), slice(20, 40)) > 0

@@ -1,0 +1,81 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import TimeBreakdown, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= 0.004
+        assert t.elapsed != first or first == 0.0
+
+
+class TestTimeBreakdown:
+    def test_phases_accumulate(self):
+        bd = TimeBreakdown()
+        with bd.phase("a"):
+            time.sleep(0.003)
+        with bd.phase("a"):
+            time.sleep(0.003)
+        with bd.phase("b"):
+            pass
+        assert bd.totals["a"] >= 0.005
+        assert "b" in bd.totals
+        assert bd.total == pytest.approx(sum(bd.totals.values()))
+
+    def test_add_direct(self):
+        bd = TimeBreakdown()
+        bd.add("model", 2.0)
+        bd.add("model", 1.0)
+        assert bd.totals["model"] == 3.0
+
+    def test_add_negative_rejected(self):
+        bd = TimeBreakdown()
+        with pytest.raises(ValueError):
+            bd.add("x", -1.0)
+
+    def test_fractions_sum_to_one(self):
+        bd = TimeBreakdown()
+        bd.add("a", 1.0)
+        bd.add("b", 3.0)
+        frac = bd.fractions()
+        assert frac["a"] == pytest.approx(0.25)
+        assert frac["b"] == pytest.approx(0.75)
+
+    def test_fractions_empty(self):
+        assert TimeBreakdown().fractions() == {}
+
+    def test_fractions_zero_total(self):
+        bd = TimeBreakdown()
+        bd.add("a", 0.0)
+        assert bd.fractions() == {"a": 0.0}
+
+    def test_merged(self):
+        a = TimeBreakdown({"ld": 1.0, "omega": 2.0})
+        b = TimeBreakdown({"omega": 3.0, "io": 0.5})
+        m = a.merged(b)
+        assert m.totals == {"ld": 1.0, "omega": 5.0, "io": 0.5}
+        # operands untouched
+        assert a.totals["omega"] == 2.0
+        assert b.totals["omega"] == 3.0
+
+    def test_phase_records_on_exception(self):
+        bd = TimeBreakdown()
+        with pytest.raises(RuntimeError):
+            with bd.phase("x"):
+                raise RuntimeError("boom")
+        assert "x" in bd.totals

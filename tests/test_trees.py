@@ -1,0 +1,149 @@
+"""Unit tests for the genealogy data structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.trees import Branch, Genealogy
+
+
+def three_leaf_tree():
+    """((0,1):0.5, 2):1.2 — fixed shape for exact assertions."""
+    g = Genealogy(3)
+    a = g.new_node(0.5)
+    g.attach(0, a)
+    g.attach(1, a)
+    b = g.new_node(1.2)
+    g.attach(a, b)
+    g.attach(2, b)
+    g.set_root(b)
+    return g, a, b
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        g, a, b = three_leaf_tree()
+        g.validate()
+        assert g.root == b
+        assert g.parent(0) == a
+        assert g.parent(a) == b
+        assert g.tmrca() == pytest.approx(1.2)
+
+    def test_rejects_single_leaf(self):
+        with pytest.raises(SimulationError):
+            Genealogy(1)
+
+    def test_attach_time_ordering_enforced(self):
+        g = Genealogy(3)
+        a = g.new_node(0.5)
+        g.attach(0, a)
+        g.attach(1, a)
+        late = g.new_node(0.1)
+        with pytest.raises(SimulationError, match="time"):
+            g.attach(a, late)
+
+    def test_from_merges(self):
+        g = Genealogy.from_merges(3, [(0, 1, 0.5), (3, 2, 1.2)])
+        g.validate()
+        assert g.tmrca() == pytest.approx(1.2)
+
+    def test_from_merges_rejects_unordered(self):
+        with pytest.raises(SimulationError, match="time-ordered"):
+            Genealogy.from_merges(3, [(0, 1, 1.0), (3, 2, 0.5)])
+
+
+class TestQueries:
+    def test_total_length(self):
+        g, a, b = three_leaf_tree()
+        # branches: 0->a (0.5), 1->a (0.5), a->b (0.7), 2->b (1.2)
+        assert g.total_length() == pytest.approx(0.5 + 0.5 + 0.7 + 1.2)
+
+    def test_leaves_under(self):
+        g, a, b = three_leaf_tree()
+        np.testing.assert_array_equal(g.leaves_under(a), [0, 1])
+        np.testing.assert_array_equal(g.leaves_under(b), [0, 1, 2])
+        np.testing.assert_array_equal(g.leaves_under(2), [2])
+
+    def test_lineage_count(self):
+        g, a, b = three_leaf_tree()
+        assert g.lineage_count(0.0) == 3
+        assert g.lineage_count(0.6) == 2
+        assert g.lineage_count(1.2) == 1
+        assert g.lineage_count(5.0) == 1
+
+    def test_branches(self):
+        g, a, b = three_leaf_tree()
+        brs = {(x.child, x.parent): x.length for x in g.branches()}
+        assert brs[(0, a)] == pytest.approx(0.5)
+        assert brs[(a, b)] == pytest.approx(0.7)
+        assert len(brs) == 4
+
+    def test_pick_uniform_point_on_tree(self):
+        g, a, b = three_leaf_tree()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            br, t = g.pick_uniform_point(rng)
+            assert br.lower <= t <= br.upper
+
+    def test_pick_distribution_weights_by_length(self):
+        g, a, b = three_leaf_tree()
+        rng = np.random.default_rng(1)
+        hits = sum(
+            1 for _ in range(3000)
+            if g.pick_uniform_point(rng)[0].child == 2
+        )
+        # branch 2->b has length 1.2 of total 2.9
+        assert hits / 3000 == pytest.approx(1.2 / 2.9, abs=0.04)
+
+
+class TestEdits:
+    def test_detach_reattach_roundtrip_validates(self):
+        g, a, b = three_leaf_tree()
+        g.detach(0, 0.3)
+        # remaining tree root is still b; leaf 1 is attached directly to b
+        assert g.parent(1) == b
+        g.reattach(0, 1, 0.4)
+        g.validate()
+        assert g.leaves_under(g.root).size == 3
+
+    def test_detach_root_child_contracts_root(self):
+        g, a, b = three_leaf_tree()
+        g.detach(2, 1.0)
+        # b contracted: a becomes the root of the remaining tree
+        assert g.root == a
+        g.reattach(2, a, 2.0)
+        g.validate()
+        assert g.tmrca() == pytest.approx(2.0)
+
+    def test_detach_rejects_root(self):
+        g, a, b = three_leaf_tree()
+        with pytest.raises(SimulationError, match="root"):
+            g.detach(b, 1.5)
+
+    def test_detach_rejects_bad_time(self):
+        g, a, b = three_leaf_tree()
+        with pytest.raises(SimulationError, match="outside"):
+            g.detach(0, 0.9)
+
+    def test_reattach_rejects_floating_root(self):
+        g, a, b = three_leaf_tree()
+        with pytest.raises(SimulationError):
+            g.reattach(b, a, 2.0)
+
+    def test_reattach_rejects_attached_node(self):
+        g, a, b = three_leaf_tree()
+        with pytest.raises(SimulationError, match="already has a parent"):
+            g.reattach(0, 2, 0.3)
+
+    def test_copy_is_independent(self):
+        g, a, b = three_leaf_tree()
+        h = g.copy()
+        g.detach(0, 0.2)
+        h.validate()  # copy unaffected by edit
+        assert h.parent(0) == a
+
+    def test_validate_detects_broken_tree(self):
+        g, a, b = three_leaf_tree()
+        g.detach(0, 0.3)  # leaves the tree open
+        with pytest.raises(SimulationError):
+            g.validate()

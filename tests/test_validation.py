@@ -1,0 +1,87 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    as_int,
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be a positive"):
+            check_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", math.inf)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -0.001)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        assert check_in_range("x", 2.0, 1.0, 2.0) == 2.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"x must lie in"):
+            check_in_range("x", 5.0, 0.0, 1.0)
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction("p", 0.5) == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction("p", 1.5)
+
+
+class TestAsInt:
+    def test_plain_int(self):
+        assert as_int("n", 7) == 7
+
+    def test_numpy_int(self):
+        assert as_int("n", np.int64(9)) == 9
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="n must be an integer"):
+            as_int("n", 2.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_int("n", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            as_int("n", "3")

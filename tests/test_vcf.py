@@ -1,0 +1,170 @@
+"""Tests for the minimal VCF reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.missing import MISSING, MaskedAlignment
+from repro.datasets.vcf import parse_vcf, parse_vcf_text, vcf_text
+from repro.errors import DataFormatError
+
+HEADER = (
+    "##fileformat=VCFv4.2\n"
+    "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\n"
+)
+
+
+class TestParseHaploid:
+    def test_basic(self):
+        text = HEADER + (
+            "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "1\t200\t.\tC\tT\t.\tPASS\t.\tGT\t1\t1\n"
+        )
+        masked = parse_vcf_text(text)
+        assert masked.n_samples == 2
+        assert masked.n_sites == 2
+        np.testing.assert_array_equal(masked.matrix[:, 0], [0, 1])
+        np.testing.assert_allclose(masked.positions, [100.0, 200.0])
+
+    def test_missing_calls(self):
+        text = HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t.\t1\n"
+        masked = parse_vcf_text(text)
+        assert masked.matrix[0, 0] == MISSING
+
+    def test_indels_and_multiallelic_skipped(self):
+        text = HEADER + (
+            "1\t100\t.\tAT\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "1\t150\t.\tA\tG,T\t.\tPASS\t.\tGT\t0\t1\n"
+            "1\t200\t.\tC\tT\t.\tPASS\t.\tGT\t0\t1\n"
+        )
+        masked = parse_vcf_text(text)
+        assert masked.n_sites == 1
+        assert masked.positions[0] == 200.0
+
+    def test_unsorted_positions_sorted(self):
+        text = HEADER + (
+            "1\t300\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "1\t100\t.\tC\tT\t.\tPASS\t.\tGT\t1\t0\n"
+        )
+        masked = parse_vcf_text(text)
+        np.testing.assert_allclose(masked.positions, [100.0, 300.0])
+        np.testing.assert_array_equal(masked.matrix[:, 0], [1, 0])
+
+    def test_explicit_length(self):
+        text = HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+        masked = parse_vcf_text(text, length=5000.0)
+        assert masked.length == 5000.0
+
+
+class TestParseDiploid:
+    def test_diploid_split_into_haplotypes(self):
+        text = HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0|1\t1/1\n"
+        masked = parse_vcf_text(text)
+        assert masked.n_samples == 4
+        np.testing.assert_array_equal(masked.matrix[:, 0], [0, 1, 1, 1])
+
+    def test_diploid_missing(self):
+        text = HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t.|1\t0/0\n"
+        masked = parse_vcf_text(text)
+        assert masked.matrix[0, 0] == MISSING
+        assert masked.matrix[1, 0] == 1
+
+
+class TestChromosomeHandling:
+    TWO_CHROM = HEADER + (
+        "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+        "2\t200\t.\tC\tT\t.\tPASS\t.\tGT\t1\t0\n"
+    )
+
+    def test_mixed_without_selection_rejected(self):
+        with pytest.raises(DataFormatError, match="multiple chromosomes"):
+            parse_vcf_text(self.TWO_CHROM)
+
+    def test_selection(self):
+        masked = parse_vcf_text(self.TWO_CHROM, chromosome="2")
+        assert masked.n_sites == 1
+        assert masked.positions[0] == 200.0
+
+
+class TestErrors:
+    def test_no_records(self):
+        with pytest.raises(DataFormatError, match="no usable"):
+            parse_vcf_text(HEADER)
+
+    def test_data_before_header(self):
+        with pytest.raises(DataFormatError, match="before #CHROM"):
+            parse_vcf_text("1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n")
+
+    def test_header_without_samples(self):
+        with pytest.raises(DataFormatError, match="no sample columns"):
+            parse_vcf_text(
+                "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\n"
+            )
+
+    def test_field_count_mismatch(self):
+        with pytest.raises(DataFormatError, match="fields"):
+            parse_vcf_text(HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\n")
+
+    def test_format_without_gt(self):
+        with pytest.raises(DataFormatError, match="GT"):
+            parse_vcf_text(
+                HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tDP:GT\t3:0\t4:1\n"
+            )
+
+    def test_bad_allele_index(self):
+        with pytest.raises(DataFormatError, match="unsupported allele"):
+            parse_vcf_text(HEADER + "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t2\t0\n")
+
+    def test_bad_pos(self):
+        with pytest.raises(DataFormatError, match="bad POS"):
+            parse_vcf_text(HEADER + "1\tXY\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n")
+
+
+class TestRoundTrip:
+    def test_haploid_roundtrip(self, small_alignment):
+        masked = MaskedAlignment(
+            small_alignment.matrix,
+            small_alignment.positions,
+            small_alignment.length,
+        )
+        text = vcf_text(masked)
+        back = parse_vcf_text(text, length=small_alignment.length)
+        np.testing.assert_array_equal(back.matrix, masked.matrix)
+
+    def test_diploid_roundtrip(self, small_alignment):
+        masked = MaskedAlignment(
+            small_alignment.matrix,
+            small_alignment.positions,
+            small_alignment.length,
+        )
+        text = vcf_text(masked, diploid=True)
+        back = parse_vcf_text(text, length=small_alignment.length)
+        np.testing.assert_array_equal(back.matrix, masked.matrix)
+
+    def test_diploid_odd_count_rejected(self):
+        m = MaskedAlignment(
+            np.array([[0], [1], [1]], dtype=np.uint8),
+            np.array([10.0]), 100.0,
+        )
+        with pytest.raises(DataFormatError, match="even"):
+            vcf_text(m, diploid=True)
+
+    def test_file_roundtrip_to_scan(self, tmp_path, small_alignment):
+        """VCF file -> parse -> impute -> scan end to end."""
+        masked = MaskedAlignment(
+            small_alignment.matrix,
+            small_alignment.positions,
+            small_alignment.length,
+        )
+        path = str(tmp_path / "data.vcf")
+        with open(path, "w") as fh:
+            fh.write(vcf_text(masked))
+        parsed = parse_vcf(path, length=small_alignment.length)
+        aln = parsed.impute_major()
+        from repro.core.scan import scan
+
+        result = scan(aln, grid_size=4, max_window=aln.length / 3)
+        reference = scan(
+            small_alignment, grid_size=4,
+            max_window=small_alignment.length / 3,
+        )
+        np.testing.assert_allclose(result.omegas, reference.omegas, rtol=1e-10)

@@ -1,0 +1,101 @@
+"""Tests for the evaluation workload definitions."""
+
+import pytest
+
+from repro.analysis.workloads import (
+    BALANCED,
+    HIGH_LD,
+    HIGH_OMEGA,
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    cpu_time_split,
+    workload_counts,
+    workload_plans,
+)
+from repro.core.reuse import R2RegionCache, simulate_fresh_entries
+from repro.errors import ScanConfigError
+
+
+class TestSpecs:
+    def test_paper_dimensions(self):
+        assert (BALANCED.n_sites, BALANCED.n_samples) == (13000, 7000)
+        assert (HIGH_OMEGA.n_sites, HIGH_OMEGA.n_samples) == (15000, 500)
+        assert (HIGH_LD.n_sites, HIGH_LD.n_samples) == (5000, 60000)
+        for w in PAPER_WORKLOADS:
+            assert w.grid_size == 1000
+
+    def test_time_split_targets(self):
+        """The calibrated CPU model must place each workload in its
+        nominal regime: ~50/50, >=85% omega, <=15% omega."""
+        assert cpu_time_split(BALANCED)["omega_share"] == pytest.approx(
+            0.5, abs=0.07
+        )
+        assert cpu_time_split(HIGH_OMEGA)["omega_share"] >= 0.85
+        assert cpu_time_split(HIGH_LD)["omega_share"] <= 0.15
+
+    def test_counts_positive(self):
+        for w in PAPER_WORKLOADS:
+            c = workload_counts(w)
+            assert c["omega"] > 0 and c["ld"] > 0
+            assert c["positions"] <= w.grid_size
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ScanConfigError):
+            WorkloadSpec(
+                name="x", n_sites=0, n_samples=10, grid_size=10,
+                window_snps=10, target_omega_share=0.5,
+            )
+        with pytest.raises(ScanConfigError):
+            WorkloadSpec(
+                name="x", n_sites=10, n_samples=10, grid_size=10,
+                window_snps=10, target_omega_share=1.5,
+            )
+
+
+class TestScaling:
+    def test_scaled_preserves_balance_roughly(self):
+        """Scaling down must keep the workload in its regime (the whole
+        point of the scaled functional runs)."""
+        small = BALANCED.scaled(20)
+        share = cpu_time_split(small)["omega_share"]
+        assert 0.3 < share < 0.7
+
+    def test_scaled_dimensions_shrink(self):
+        s = HIGH_OMEGA.scaled(10)
+        assert s.n_sites < HIGH_OMEGA.n_sites
+        assert s.n_samples < HIGH_OMEGA.n_samples
+
+    def test_scaled_rejects_below_one(self):
+        with pytest.raises(ScanConfigError):
+            BALANCED.scaled(0.5)
+
+    def test_realize_matches_spec(self):
+        small = HIGH_LD.scaled(100)
+        aln = small.realize(seed=1)
+        assert aln.n_samples == small.n_samples
+        assert aln.n_sites == small.n_sites
+
+
+class TestFreshEntrySimulator:
+    """simulate_fresh_entries must agree with the real cache's counters."""
+
+    def test_matches_real_cache(self, small_alignment):
+        regions = [(0, 19), (5, 24), (10, 35), (40, 55), (38, 59)]
+        cache = R2RegionCache(small_alignment)
+        real = []
+        prev = 0
+        for start, stop in regions:
+            cache.region_matrix(start, stop)
+            real.append(cache.stats.entries_computed - prev)
+            prev = cache.stats.entries_computed
+        assert simulate_fresh_entries(regions) == real
+
+    def test_disjoint_regions_full_cost(self):
+        assert simulate_fresh_entries([(0, 9), (20, 29)]) == [100, 100]
+
+    def test_identical_region_free(self):
+        assert simulate_fresh_entries([(0, 9), (0, 9)]) == [100, 0]
+
+    def test_rejects_inverted_region(self):
+        with pytest.raises(ScanConfigError):
+            simulate_fresh_entries([(5, 2)])
