@@ -1,0 +1,82 @@
+"""Ablation — incremental window-sum DP reuse (Fig. 3 at the M level).
+
+The r²-level ablation (``bench_ablation_reuse.py``) measures the LD-phase
+saving. This one measures the second reuse level: relocating the previous
+region's prefix-sum block and appending only the fringe rows/columns,
+instead of rebuilding the O(W²) SumMatrix at every grid position. The ω
+report must be unchanged (up to prefix-anchor rounding, ~1e-13 relative)
+while the number of DP entries actually computed drops by the overlap
+fraction of the grid walk.
+"""
+
+import numpy as np
+
+from repro.core.grid import GridSpec
+from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.generators import haplotype_block_alignment
+
+
+def _config(alignment, dp_reuse, grid=30):
+    return OmegaConfig(
+        grid=GridSpec(n_positions=grid, max_window=alignment.length / 4),
+        dp_reuse=dp_reuse,
+    )
+
+
+def test_dp_reuse_on(benchmark, report):
+    alignment = haplotype_block_alignment(60, 900, seed=31)
+    scanner = OmegaPlusScanner(_config(alignment, dp_reuse=True))
+    result = benchmark(lambda: scanner.scan(alignment))
+    sub = result.omega_subphases.totals
+    report(
+        "ablation: DP reuse ON",
+        f"DP reuse fraction: {result.reuse.dp_reuse_fraction:.1%} of "
+        f"window-sum entries relocated\n"
+        f"DP entries computed: {result.reuse.dp_entries_computed} "
+        f"({result.reuse.dp_builds} fresh builds)\n"
+        f"omega sub-timing: build {sub.get('dp_build', 0.0):.4f} s, "
+        f"reuse {sub.get('dp_reuse', 0.0):.4f} s",
+    )
+    assert result.reuse.dp_reuse_fraction > 0.5
+
+
+def test_dp_reuse_off(benchmark, report):
+    alignment = haplotype_block_alignment(60, 900, seed=31)
+    scanner = OmegaPlusScanner(_config(alignment, dp_reuse=False))
+    result = benchmark(lambda: scanner.scan(alignment))
+    sub = result.omega_subphases.totals
+    report(
+        "ablation: DP reuse OFF",
+        f"DP reuse fraction: {result.reuse.dp_reuse_fraction:.1%}\n"
+        f"DP entries computed: {result.reuse.dp_entries_computed} "
+        f"({result.reuse.dp_builds} fresh builds)\n"
+        f"omega sub-timing: build {sub.get('dp_build', 0.0):.4f} s",
+    )
+    assert result.reuse.dp_reuse_fraction == 0.0
+
+
+def test_dp_reuse_identical_results_and_saving(benchmark, report):
+    alignment = haplotype_block_alignment(60, 900, seed=31)
+
+    def run_both():
+        on = OmegaPlusScanner(_config(alignment, True)).scan(alignment)
+        off = OmegaPlusScanner(_config(alignment, False)).scan(alignment)
+        return on, off
+
+    on, off = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    identical = bool(np.allclose(on.omegas, off.omegas, rtol=1e-10))
+    on_sub = on.omega_subphases.totals
+    off_sub = off.omega_subphases.totals
+    t_on = sum(on_sub.values())
+    t_off = sum(off_sub.values())
+    saving = 1.0 - t_on / t_off if t_off > 0 else 0.0
+    report(
+        "ablation: DP reuse on-vs-off",
+        f"identical omega reports (rtol 1e-10): {identical}\n"
+        f"DP entries computed: {on.reuse.dp_entries_computed} (on) vs "
+        f"{off.reuse.dp_entries_computed} (off)\n"
+        f"window-sum step time: {t_on:.4f} s (on) vs {t_off:.4f} s (off) "
+        f"— {saving:.0%} saving",
+    )
+    assert identical
+    assert on.reuse.dp_entries_computed < off.reuse.dp_entries_computed

@@ -29,11 +29,10 @@ from repro.accel.base import ExecutionRecord
 from repro.accel.cpu import AMD_A10_5757M, CPUModel
 from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
 from repro.accel.fpga.pipeline import PipelineModel
-from repro.core.dp import SumMatrix
 from repro.core.grid import build_plans
 from repro.core.omega import omega_max_at_split
 from repro.core.results import ScanResult
-from repro.core.reuse import R2RegionCache
+from repro.core.reuse import R2RegionCache, SumMatrixCache
 from repro.core.scan import OmegaConfig
 from repro.datasets.alignment import SNPAlignment
 from repro.errors import AcceleratorError
@@ -105,6 +104,9 @@ class FPGAOmegaEngine:
             raise AcceleratorError("scanning requires at least 2 SNPs")
         plans = build_plans(alignment, config.grid)
         cache = R2RegionCache(alignment, backend=config.ld_backend)
+        # The host maintains matrix M; reuse it across overlapping
+        # regions exactly as the CPU reference scanner does.
+        dp_cache = SumMatrixCache(reuse=config.dp_reuse, stats=cache.stats)
         record = ExecutionRecord(device=self.pipeline.device.name)
 
         n = len(plans)
@@ -126,7 +128,9 @@ class FPGAOmegaEngine:
             )
             record.add_scores("ld", fresh)
 
-            sums = SumMatrix(r2, assume_symmetric=True)
+            sums = dp_cache.region_sums(
+                plan.region_start, plan.region_stop, r2
+            )
             off = plan.region_start
             li = plan.left_borders - off
             c = plan.split_index - off

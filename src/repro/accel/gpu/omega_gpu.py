@@ -40,10 +40,9 @@ from repro.accel.base import ExecutionRecord
 from repro.accel.gpu.device import GPUDevice
 from repro.accel.gpu.dispatch import DynamicDispatcher, KernelChoice
 from repro.accel.gpu.ld_gpu import BINDER_GEMM_LD, GPULDModel
-from repro.core.dp import SumMatrix
 from repro.core.grid import build_plans
 from repro.core.results import ScanResult
-from repro.core.reuse import R2RegionCache
+from repro.core.reuse import R2RegionCache, SumMatrixCache
 from repro.core.scan import OmegaConfig
 from repro.datasets.alignment import SNPAlignment
 from repro.errors import AcceleratorError
@@ -214,6 +213,10 @@ class GPUOmegaEngine:
             raise AcceleratorError("scanning requires at least 2 SNPs")
         plans = build_plans(alignment, config.grid)
         cache = R2RegionCache(alignment, backend=config.ld_backend)
+        # Same two-level reuse as the CPU reference scanner: the host
+        # maintains matrix M incrementally across overlapping regions, so
+        # the omega report stays identical to the CPU path.
+        dp_cache = SumMatrixCache(reuse=config.dp_reuse, stats=cache.stats)
         record = ExecutionRecord(device=self.device.name)
         breakdown = TimeBreakdown()
 
@@ -237,7 +240,9 @@ class GPUOmegaEngine:
             record.add_time("ld", t_ld)
             record.add_scores("ld", fresh)
 
-            sums = SumMatrix(r2, assume_symmetric=True)
+            sums = dp_cache.region_sums(
+                plan.region_start, plan.region_stop, r2
+            )
             off = plan.region_start
             result = self.dispatcher.launch(
                 sums,

@@ -4,7 +4,8 @@
 * :mod:`repro.core.omega` — the ω statistic (Eq. 2) and its all-splits
   maximization.
 * :mod:`repro.core.grid` — grid positions and window arithmetic (Fig. 2).
-* :mod:`repro.core.reuse` — the overlap data-reuse optimization.
+* :mod:`repro.core.reuse` — the overlap data-reuse optimization, at the
+  r² level and at the window-sum DP level.
 * :mod:`repro.core.scan` — the complete CPU scanner (Fig. 3 workflow).
 * :mod:`repro.core.parallel` — multiprocess scan (multithreaded baseline).
 """
@@ -21,7 +22,7 @@ from repro.core.omega import (
 )
 from repro.core.parallel import parallel_scan, split_grid
 from repro.core.results import PositionResult, ScanResult
-from repro.core.reuse import R2RegionCache, ReuseStats
+from repro.core.reuse import R2RegionCache, ReuseStats, SumMatrixCache
 from repro.core.scan import OmegaConfig, OmegaPlusScanner, scan
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "ScanResult",
     "R2RegionCache",
     "ReuseStats",
+    "SumMatrixCache",
     "OmegaConfig",
     "OmegaPlusScanner",
     "scan",

@@ -110,6 +110,27 @@ class SumMatrix:
         self._prefix = p
         self._w = w
 
+    @classmethod
+    def from_prefix(cls, prefix: np.ndarray, n_sites: int) -> "SumMatrix":
+        """Wrap an existing ``(W+1, W+1)`` prefix block without rebuilding.
+
+        Used by :class:`~repro.core.reuse.SumMatrixCache` to serve a
+        region as an offset view into a larger anchored prefix structure.
+        The block does **not** need a zero first row/column: every query
+        below is a four-corner rectangle difference, so a constant shift
+        of the prefix anchor cancels exactly.
+        """
+        prefix = np.asarray(prefix, dtype=np.float64)
+        if prefix.shape != (n_sites + 1, n_sites + 1):
+            raise ScanConfigError(
+                f"prefix shape {prefix.shape} does not match "
+                f"{n_sites} sites"
+            )
+        obj = cls.__new__(cls)
+        obj._prefix = prefix
+        obj._w = n_sites
+        return obj
+
     @property
     def n_sites(self) -> int:
         """Region width W."""

@@ -81,16 +81,28 @@ class _FixedGridScanner(OmegaPlusScanner):
 
     def scan(self, alignment: SNPAlignment) -> ScanResult:
         spec = self.config.grid
+        fixed = self._grid_positions
+        if fixed.size == 0:
+            # An empty chunk scans nothing. Returning the empty result
+            # directly keeps the patched spec below consistent
+            # (GridSpec requires n_positions >= 1, which would disagree
+            # with a zero-length fixed position array).
+            return ScanResult(
+                positions=np.zeros(0),
+                omegas=np.zeros(0),
+                left_borders_bp=np.zeros(0),
+                right_borders_bp=np.zeros(0),
+                n_evaluations=np.zeros(0, dtype=np.int64),
+            )
+
         # Monkey-patch the positions source for this scan only: reuse the
         # sequential implementation verbatim with a fixed-position grid.
-        fixed = self._grid_positions
-
         class _Spec(GridSpec):
             def positions(self, _aln: SNPAlignment) -> np.ndarray:  # type: ignore[override]
                 return fixed
 
         patched = _Spec(
-            n_positions=max(1, fixed.size),
+            n_positions=fixed.size,
             max_window=spec.max_window,
             min_window=spec.min_window,
             min_flank_snps=spec.min_flank_snps,
@@ -100,6 +112,7 @@ class _FixedGridScanner(OmegaPlusScanner):
             eps=self.config.eps,
             ld_backend=self.config.ld_backend,
             reuse=self.config.reuse,
+            dp_reuse=self.config.dp_reuse,
         )
         return OmegaPlusScanner(cfg).scan(alignment)
 
@@ -146,12 +159,12 @@ def parallel_scan(
         parts = pool.map(_run_chunk, tasks)
 
     breakdown = TimeBreakdown()
+    subphases = TimeBreakdown()
     reuse = ReuseStats()
     for part in parts:
         breakdown = breakdown.merged(part.breakdown)
-        reuse.entries_computed += part.reuse.entries_computed
-        reuse.entries_reused += part.reuse.entries_reused
-        reuse.regions_served += part.reuse.regions_served
+        subphases = subphases.merged(part.omega_subphases)
+        reuse.merge_from(part.reuse)
     return ScanResult(
         positions=np.concatenate([p.positions for p in parts]),
         omegas=np.concatenate([p.omegas for p in parts]),
@@ -160,4 +173,5 @@ def parallel_scan(
         n_evaluations=np.concatenate([p.n_evaluations for p in parts]),
         breakdown=breakdown,
         reuse=reuse,
+        omega_subphases=subphases,
     )

@@ -45,6 +45,11 @@ class ScanResult:
     n_evaluations: np.ndarray
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
     reuse: ReuseStats = field(default_factory=ReuseStats)
+    #: Sub-timing of the omega phase's window-sum step: ``dp_build``
+    #: (fresh construction) vs ``dp_reuse`` (relocated/extended from the
+    #: previous region). These seconds are *contained in* the breakdown's
+    #: ``omega`` phase, not additional to it.
+    omega_subphases: TimeBreakdown = field(default_factory=TimeBreakdown)
 
     def __post_init__(self) -> None:
         n = self.positions.shape[0]
@@ -112,5 +117,7 @@ class ScanResult:
             f"(window [{best.left_border_bp:.1f}, {best.right_border_bp:.1f}])\n"
             f"time: {self.breakdown.total:.3f}s ({phases})\n"
             f"LD reuse: {self.reuse.reuse_fraction:.1%} of entries served "
-            f"from cache"
+            f"from cache\n"
+            f"DP reuse: {self.reuse.dp_reuse_fraction:.1%} of window-sum "
+            f"entries relocated"
         )

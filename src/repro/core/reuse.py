@@ -1,35 +1,49 @@
-"""Data-reuse of r² values across overlapping grid regions.
+"""Data-reuse across overlapping grid regions — r² level and DP level.
 
 Consecutive grid positions bound regions that largely overlap (Fig. 2), and
 r² between two given SNPs does not depend on which region asks for it.
 OmegaPlus exploits this by relocating already-computed values of matrix M
 when it advances to the next grid position and computing only the values
-involving newly entered SNPs (Fig. 3, "data-reuse optimization"). Because
-our production M is rebuilt from the region's r² matrix in O(W²) cheap
-prefix-sum passes, we host the reuse one level down — on the r² matrix
-itself, where the expensive O(W² · samples) work lives. The effect is the
-same: entries for the overlapping SNP block are copied, only the new rows
-and columns are computed.
+involving newly entered SNPs (Fig. 3, "data-reuse optimization"). We apply
+the same idea at *two* levels:
 
-:class:`R2RegionCache` also keeps reuse statistics so the benefit is
-measurable (``tests/test_reuse.py`` asserts the saving; the profiling
-benchmark reports it).
+* :class:`R2RegionCache` — reuse of the r² matrix itself, where the
+  expensive O(W² · samples) work lives: entries for the overlapping SNP
+  block are copied, only the new rows and columns are computed.
+* :class:`SumMatrixCache` — reuse of the window-sum DP structure
+  (:class:`~repro.core.dp.SumMatrix`, Eq. 3). The prefix-sum block built
+  for the previous region is *relocated* (served as an offset view — every
+  window-sum query is a four-corner rectangle difference, so the prefix
+  anchor cancels) and extended with only the rows/columns of newly entered
+  SNPs, making the per-position DP cost proportional to the
+  non-overlapping fringe instead of the full O(W²) rebuild.
+
+Both caches keep reuse statistics in one :class:`ReuseStats` so the
+benefit is measurable (``tests/test_reuse.py`` asserts the saving; the
+ablation benchmarks report it).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.dp import SumMatrix
 from repro.datasets.alignment import SNPAlignment
 from repro.datasets.packed import PackedAlignment
 from repro.errors import ScanConfigError
 from repro.ld.gemm import r_squared_block
 from repro.ld.packed_kernels import r_squared_block_packed
 
-__all__ = ["R2RegionCache", "ReuseStats", "simulate_fresh_entries"]
+__all__ = [
+    "R2RegionCache",
+    "ReuseStats",
+    "SumMatrixCache",
+    "simulate_fresh_entries",
+]
 
 
 def simulate_fresh_entries(regions) -> list:
@@ -51,33 +65,52 @@ def simulate_fresh_entries(regions) -> list:
         if prev is None or max(start, prev[0]) > min(stop, prev[1]):
             out.append(width * width)
         else:
-            o_lo, o_hi = max(start, prev[0]), min(stop, prev[1])
-            fresh = 0
-            segments = []
-            if start < o_lo:
-                segments.append(o_lo - start)
-            if stop > o_hi:
-                segments.append(stop - o_hi)
-            for seg in segments:
-                fresh += 2 * seg * width - seg * seg
-            out.append(fresh)
+            # Everything outside the relocated overlap block is fresh —
+            # exact even when fresh segments exist on *both* sides of the
+            # overlap (a backward-then-forward jump).
+            overlap = min(stop, prev[1]) - max(start, prev[0]) + 1
+            out.append(width * width - overlap * overlap)
         prev = (start, stop)
     return out
 
 
 @dataclass
 class ReuseStats:
-    """Counters for the data-reuse optimization."""
+    """Counters for the two-level data-reuse optimization.
+
+    ``entries_*`` count r² matrix cells (:class:`R2RegionCache`);
+    ``dp_entries_*`` count window-sum DP cells (:class:`SumMatrixCache`),
+    both in units of one region cell, so ``computed + reused`` equals the
+    sum of served region areas at either level.
+    """
 
     entries_computed: int = 0
     entries_reused: int = 0
     regions_served: int = 0
+    dp_entries_computed: int = 0
+    dp_entries_reused: int = 0
+    dp_builds: int = 0
 
     @property
     def reuse_fraction(self) -> float:
         """Share of served r² entries that were copies, not computations."""
         total = self.entries_computed + self.entries_reused
         return self.entries_reused / total if total else 0.0
+
+    @property
+    def dp_reuse_fraction(self) -> float:
+        """Share of served window-sum DP entries relocated, not rebuilt."""
+        total = self.dp_entries_computed + self.dp_entries_reused
+        return self.dp_entries_reused / total if total else 0.0
+
+    def merge_from(self, other: "ReuseStats") -> None:
+        """Accumulate another scan's counters (chunked/parallel scans)."""
+        self.entries_computed += other.entries_computed
+        self.entries_reused += other.entries_reused
+        self.regions_served += other.regions_served
+        self.dp_entries_computed += other.dp_entries_computed
+        self.dp_entries_reused += other.dp_entries_reused
+        self.dp_builds += other.dp_builds
 
 
 class R2RegionCache:
@@ -176,20 +209,28 @@ class R2RegionCache:
 
             # New sites enter on either side of the overlap; a forward scan
             # only adds on the right, but both are handled for generality.
-            fresh_segments = []
+            # The left block spans every column; once it is in place
+            # (including its transpose), the right block only needs the
+            # columns it does not already cover — otherwise the
+            # left-fresh x right-fresh cross block would be computed twice
+            # and entries_computed would over-count it.
             if new_a > 0:
-                fresh_segments.append((0, new_a - 1))
+                rows = self._block(
+                    slice(start, start + new_a), slice(start, stop + 1)
+                )  # (new_a, width)
+                out[:new_a, :] = rows
+                out[:, :new_a] = rows.T
+                self.stats.entries_computed += 2 * rows.size - new_a**2
             if new_b < width - 1:
-                fresh_segments.append((new_b + 1, width - 1))
-            for seg_lo, seg_hi in fresh_segments:
-                g = slice(start + seg_lo, start + seg_hi + 1)
-                full = slice(start, stop + 1)
-                rows = self._block(g, full)  # (seg, width)
-                out[seg_lo : seg_hi + 1, :] = rows
-                out[:, seg_lo : seg_hi + 1] = rows.T
-                self.stats.entries_computed += rows.size * 2 - (
-                    rows.shape[0] ** 2
-                )
+                lo = new_b + 1
+                seg = width - lo
+                rows = self._block(
+                    slice(start + lo, stop + 1),
+                    slice(start + new_a, stop + 1),
+                )  # (seg, width - new_a)
+                out[lo:, new_a:] = rows
+                out[new_a:, lo:] = rows.T
+                self.stats.entries_computed += 2 * rows.size - seg**2
         self.stats.regions_served += 1
         self._prev_start, self._prev_stop = start, stop
         self._prev_matrix = out
@@ -199,3 +240,189 @@ class R2RegionCache:
         """Drop the cached region (e.g. when jumping to a new chromosome)."""
         self._prev_start = self._prev_stop = None
         self._prev_matrix = None
+
+
+class SumMatrixCache:
+    """Serve per-region :class:`~repro.core.dp.SumMatrix` structures,
+    relocating the previous prefix-sum block across overlapping regions.
+
+    The paper's Fig. 3 data-reuse optimization relocates matrix-M entries
+    between grid positions; our production M is a 2-D prefix sum, so the
+    cache keeps one prefix structure *anchored* at a past region start and
+    grows it in place:
+
+    * an overlapping request is served as an offset **view** into the
+      anchored prefix — zero relocation cost, because every window-sum
+      query (:meth:`SumMatrix.pair_sum` and friends) is a four-corner
+      rectangle difference in which the anchor cancels;
+    * SNPs entering on the right are **appended**: their prefix rows and
+      columns are extended from the existing block in O(Wa · F) for F new
+      SNPs, instead of the O(W²) rebuild-from-scratch of the seed scanner;
+    * when the anchored block outgrows ``growth_factor`` times the current
+      region (or the request falls outside it), the cache **re-anchors**
+      with one fresh build, so memory and float magnitudes stay bounded.
+
+    Rows of appended columns that precede the current region start were
+    never computed at the r² level (their SNP pairs span wider than any
+    region the scan evaluated); they are stored as zeros. That is sound
+    because a later query only touches SNP pairs inside its own region,
+    and the cache re-anchors whenever a request reaches further back than
+    the columns it has (``_fill_starts`` tracks the first truthfully
+    filled row of every column).
+
+    With ``reuse=False`` the cache degenerates to a fresh build per
+    request — bit-identical arithmetic to ``SumMatrix(r2)`` — which is the
+    rebuild-every-position baseline of ``bench_ablation_dp_reuse.py``;
+    either way it keeps the ``dp_entries_*`` counters, so the ablation is
+    measurable in exact entry counts as well as wall-clock time.
+    """
+
+    def __init__(
+        self,
+        *,
+        reuse: bool = True,
+        growth_factor: float = 2.0,
+        stats: Optional[ReuseStats] = None,
+    ):
+        if growth_factor < 1.0:
+            raise ScanConfigError(
+                f"growth_factor must be >= 1, got {growth_factor}"
+            )
+        self._reuse = reuse
+        self._growth = growth_factor
+        self.stats = stats if stats is not None else ReuseStats()
+        #: What the most recent :meth:`region_sums` call did:
+        #: ``"build"`` (fresh construction), ``"extend"`` (appended the
+        #: fringe) or ``"view"`` (served entirely from the standing block).
+        self.last_action: str = "build"
+        self._anchor: Optional[int] = None
+        self._hi: Optional[int] = None
+        self._width = 0  # currently filled anchored width
+        self._capacity = 0  # allocated width of the prefix array
+        self._prefix: Optional[np.ndarray] = None
+        self._fill_starts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+
+    def _rebuild(self, start: int, stop: int, r2: np.ndarray) -> None:
+        """Fresh anchored build — the exact arithmetic of
+        ``SumMatrix(r2, assume_symmetric=True)``, placed into a capacity
+        array with room to grow in place."""
+        width = stop - start + 1
+        self._capacity = max(width, int(math.ceil(self._growth * width)))
+        prefix = np.zeros((self._capacity + 1, self._capacity + 1))
+        sym = np.asarray(r2, dtype=np.float64).copy()
+        np.fill_diagonal(sym, 0.0)
+        np.cumsum(sym, axis=0, out=sym)
+        np.cumsum(sym, axis=1, out=sym)
+        prefix[1 : width + 1, 1 : width + 1] = sym
+        self._prefix = prefix
+        self._anchor, self._hi = start, stop
+        self._width = width
+        self._fill_starts = np.full(width, start, dtype=np.intp)
+        self.stats.dp_entries_computed += width * width
+        self.stats.dp_builds += 1
+        self.last_action = "build"
+
+    def _extend(self, start: int, stop: int, r2: np.ndarray) -> None:
+        """Append SNPs ``(_hi, stop]``: grow the anchored prefix by their
+        rows and columns only (O(anchored width x fringe))."""
+        assert self._prefix is not None and self._hi is not None
+        assert self._anchor is not None and self._fill_starts is not None
+        width = stop - start + 1
+        delta = start - self._anchor
+        old_w = self._width
+        fringe = stop - self._hi
+        new_w = old_w + fringe
+        p = self._prefix
+
+        # Symmetric values of the entering columns over every anchored
+        # row: zeros before the current region (pairs never computed at
+        # the r2 level; they cancel in all legal rectangle queries), the
+        # region's r2 rows elsewhere, and a zeroed diagonal.
+        cols = np.zeros((new_w, fringe))
+        cols[delta:new_w, :] = r2[:, self._hi + 1 - start :]
+        diag = np.arange(fringe)
+        cols[self._hi + 1 - self._anchor + diag, diag] = 0.0
+
+        # Prefix of the entering columns over the old rows ...
+        col_prefix = np.cumsum(cols, axis=0)
+        p[1 : old_w + 1, old_w + 1 : new_w + 1] = p[
+            1 : old_w + 1, old_w : old_w + 1
+        ] + np.cumsum(col_prefix[:old_w, :], axis=1)
+        # ... then the entering rows over every column (symmetry).
+        p[old_w + 1 : new_w + 1, 1 : new_w + 1] = p[
+            old_w : old_w + 1, 1 : new_w + 1
+        ] + np.cumsum(np.cumsum(cols.T, axis=0), axis=1)
+
+        self._fill_starts = np.concatenate(
+            [self._fill_starts, np.full(fringe, start, dtype=np.intp)]
+        )
+        self._width = new_w
+        self._hi = stop
+        overlap = width - fringe
+        self.stats.dp_entries_computed += width * width - overlap * overlap
+        self.stats.dp_entries_reused += overlap * overlap
+        self.last_action = "extend"
+
+    def _can_serve(self, start: int, stop: int) -> bool:
+        """True when ``[start, stop]`` can be served from the standing
+        anchored block (possibly after appending its right fringe)."""
+        if self._prefix is None or self._anchor is None or self._hi is None:
+            return False
+        if start < self._anchor or start > self._hi:
+            return False  # reaches back before the anchor, or disjoint
+        if stop - self._anchor + 1 > self._capacity:
+            return False  # would outgrow the allocated block
+        width = stop - start + 1
+        if stop - self._anchor + 1 > self._growth * width:
+            return False  # re-anchor: keep magnitudes and memory bounded
+        assert self._fill_starts is not None
+        lo = start - self._anchor
+        hi = min(stop, self._hi) - self._anchor
+        # Every column the query touches must be truthfully filled from
+        # the query's own start row downwards.
+        return int(self._fill_starts[lo : hi + 1].max()) <= start
+
+    # ------------------------------------------------------------------ #
+
+    def region_sums(
+        self, start: int, stop: int, r2: np.ndarray
+    ) -> SumMatrix:
+        """Window-sum structure for global sites ``[start .. stop]``
+        (inclusive), given the region's r² matrix.
+
+        Returns a :class:`SumMatrix` backed by the anchored prefix (an
+        offset view when relocation applies). The view stays valid after
+        later calls: appends only write cells outside every previously
+        served view, and a re-anchor allocates a new block.
+        """
+        if stop < start:
+            raise ScanConfigError(f"bad region ({start}, {stop})")
+        width = stop - start + 1
+        r2 = np.asarray(r2)
+        if r2.shape != (width, width):
+            raise ScanConfigError(
+                f"r2 shape {r2.shape} does not match region width {width}"
+            )
+        if not self._reuse or not self._can_serve(start, stop):
+            self._rebuild(start, stop, r2)
+        elif stop > self._hi:  # type: ignore[operator]
+            self._extend(start, stop, r2)
+        else:
+            self.stats.dp_entries_reused += width * width
+            self.last_action = "view"
+        assert self._prefix is not None and self._anchor is not None
+        delta = start - self._anchor
+        view = self._prefix[
+            delta : delta + width + 1, delta : delta + width + 1
+        ]
+        return SumMatrix.from_prefix(view, width)
+
+    def reset(self) -> None:
+        """Drop the anchored block (e.g. when jumping to a new
+        chromosome)."""
+        self._anchor = self._hi = None
+        self._prefix = None
+        self._fill_starts = None
+        self._width = self._capacity = 0

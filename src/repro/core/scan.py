@@ -6,8 +6,11 @@ For each grid position the scanner
    :mod:`repro.core.grid`),
 2. obtains the region's r² matrix, reusing the overlap with the previous
    region (:mod:`repro.core.reuse` — the data-reuse optimization),
-3. builds the window-sum structure (:class:`~repro.core.dp.SumMatrix`,
-   Eq. 3),
+3. obtains the window-sum structure (:class:`~repro.core.dp.SumMatrix`,
+   Eq. 3), relocating the previous region's prefix block and extending it
+   with only the newly entered SNPs
+   (:class:`~repro.core.reuse.SumMatrixCache` — the DP level of the same
+   data-reuse optimization; sub-timed as ``dp_build`` vs ``dp_reuse``),
 4. maximizes ω over all border combinations
    (:func:`~repro.core.omega.omega_max_at_split`, Eq. 2),
 
@@ -21,14 +24,15 @@ against: the GPU and FPGA engines must produce the exact same ω report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+
 import numpy as np
 
-from repro.core.dp import SumMatrix
 from repro.core.grid import GridSpec, build_plans
 from repro.core.omega import DENOMINATOR_OFFSET, omega_max_at_split
 from repro.core.results import ScanResult
-from repro.core.reuse import R2RegionCache
+from repro.core.reuse import R2RegionCache, SumMatrixCache
 from repro.datasets.alignment import SNPAlignment
 from repro.errors import ScanConfigError
 from repro.utils.timing import TimeBreakdown
@@ -50,14 +54,23 @@ class OmegaConfig:
         ``"gemm"`` or ``"packed"`` — which LD formulation feeds the r²
         region cache.
     reuse:
-        Enable the overlap data-reuse optimization. Disabling it is only
-        useful for the ablation benchmark that quantifies its benefit.
+        Enable the overlap data-reuse optimization at the r² level.
+        Disabling it is only useful for the ablation benchmark that
+        quantifies its benefit.
+    dp_reuse:
+        Enable the overlap data-reuse optimization at the window-sum DP
+        level (:class:`~repro.core.reuse.SumMatrixCache`): the prefix-sum
+        block is relocated across overlapping regions and extended with
+        only the newly entered SNPs instead of being rebuilt from scratch
+        at every grid position. Disabling it recovers the
+        rebuild-every-position baseline (``bench_ablation_dp_reuse.py``).
     """
 
     grid: GridSpec
     eps: float = DENOMINATOR_OFFSET
     ld_backend: str = "gemm"
     reuse: bool = True
+    dp_reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.eps < 0:
@@ -85,6 +98,8 @@ class OmegaPlusScanner:
             plans = build_plans(alignment, cfg.grid)
 
         cache = R2RegionCache(alignment, backend=cfg.ld_backend)
+        dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
+        subphases = TimeBreakdown()
         n = len(plans)
         omegas = np.zeros(n)
         lefts = np.full(n, np.nan)
@@ -101,7 +116,16 @@ class OmegaPlusScanner:
                     cache.reset()
                     r2 = cache.region_matrix(plan.region_start, plan.region_stop)
             with breakdown.phase("omega"):
-                sums = SumMatrix(r2, assume_symmetric=True)
+                t0 = time.perf_counter()
+                sums = dp_cache.region_sums(
+                    plan.region_start, plan.region_stop, r2
+                )
+                subphases.add(
+                    "dp_build"
+                    if dp_cache.last_action == "build"
+                    else "dp_reuse",
+                    time.perf_counter() - t0,
+                )
                 off = plan.region_start
                 result = omega_max_at_split(
                     sums,
@@ -125,6 +149,7 @@ class OmegaPlusScanner:
             n_evaluations=evals,
             breakdown=breakdown,
             reuse=cache.stats,
+            omega_subphases=subphases,
         )
 
 
@@ -138,6 +163,7 @@ def scan(
     eps: float = DENOMINATOR_OFFSET,
     ld_backend: str = "gemm",
     reuse: bool = True,
+    dp_reuse: bool = True,
 ) -> ScanResult:
     """One-call convenience wrapper around :class:`OmegaPlusScanner`.
 
@@ -159,5 +185,6 @@ def scan(
         eps=eps,
         ld_backend=ld_backend,
         reuse=reuse,
+        dp_reuse=dp_reuse,
     )
     return OmegaPlusScanner(config).scan(alignment)

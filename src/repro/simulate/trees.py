@@ -97,7 +97,6 @@ class Genealogy:
         ``new_node``. Merges must be time-ordered.
         """
         g = cls(n_leaves)
-        ids = list(range(n_leaves))
         last_t = 0.0
         new_id = -1
         for a, b, t in merges:

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datasets.alignment import SNPAlignment
 from repro.datasets.generators import random_alignment
 from repro.errors import LDError
 from repro.ld.correlation import (

@@ -1,0 +1,265 @@
+"""Property tests for the incremental window-sum DP cache.
+
+The invariant under test: for *any* sequence of regions — overlapping,
+disjoint, backward jumps — :meth:`SumMatrixCache.region_sums` answers
+every window-sum query like a fresh ``SumMatrix`` built from the same
+region r² matrix. Relocation shifts the prefix anchor, so incremental
+answers differ from fresh ones only by float rounding of the cumulative
+sums (observed ~1e-13 relative); fresh builds are bit-identical.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import SumMatrix
+from repro.core.reuse import ReuseStats, SumMatrixCache, simulate_fresh_entries
+from repro.datasets.generators import random_alignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+
+N_SITES = 60
+
+
+@pytest.fixture(scope="module")
+def full_r2():
+    """One full-alignment r² matrix all region requests slice from."""
+    aln = random_alignment(25, N_SITES, seed=7)
+    return r_squared_block(aln, slice(0, N_SITES), slice(0, N_SITES))
+
+
+def _region_sequence(draw):
+    """A random sequence of regions: forward walks, backward jumps and
+    disjoint hops, widths 2..24."""
+    n = draw(st.integers(2, 8))
+    regions = []
+    for _ in range(n):
+        start = draw(st.integers(0, N_SITES - 2))
+        width = draw(st.integers(2, min(24, N_SITES - start)))
+        regions.append((start, start + width - 1))
+    return regions
+
+
+class TestIncrementalMatchesFresh:
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_random_sequences(self, full_r2, data):
+        cache = SumMatrixCache()
+        for start, stop in _region_sequence(data.draw):
+            r2 = full_r2[start : stop + 1, start : stop + 1]
+            sums = cache.region_sums(start, stop, r2)
+            fresh = SumMatrix(r2, assume_symmetric=True)
+            np.testing.assert_allclose(
+                sums.as_matrix(), fresh.as_matrix(), rtol=1e-9, atol=1e-9
+            )
+
+    def test_forward_scan_extends(self, full_r2):
+        """A Fig. 2-style forward walk: after the first build, every step
+        is served by appending the fringe, never rebuilding."""
+        cache = SumMatrixCache()
+        actions = []
+        for start in range(0, 20, 2):
+            stop = start + 19
+            r2 = full_r2[start : stop + 1, start : stop + 1]
+            sums = cache.region_sums(start, stop, r2)
+            actions.append(cache.last_action)
+            fresh = SumMatrix(r2, assume_symmetric=True)
+            np.testing.assert_allclose(
+                sums.as_matrix(), fresh.as_matrix(), rtol=1e-10, atol=1e-12
+            )
+        assert actions[0] == "build"
+        assert all(a == "extend" for a in actions[1:])
+        assert cache.stats.dp_builds >= 1
+
+    def test_queries_match_fresh(self, full_r2):
+        """All SumMatrix query entry points agree on a relocated view."""
+        cache = SumMatrixCache()
+        cache.region_sums(0, 19, full_r2[:20, :20])
+        start, stop = 6, 27
+        r2 = full_r2[start : stop + 1, start : stop + 1]
+        sums = cache.region_sums(start, stop, r2)
+        assert cache.last_action == "extend"
+        fresh = SumMatrix(r2, assume_symmetric=True)
+        w = stop - start + 1
+        li = np.arange(0, 8)
+        rj = np.arange(12, w)
+        c = 10
+        np.testing.assert_allclose(
+            sums.pair_sum(0, w - 1), fresh.pair_sum(0, w - 1), rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            sums.left_sums(li, c), fresh.left_sums(li, c), rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            sums.right_sums(c, rj), fresh.right_sums(c, rj), rtol=1e-10
+        )
+        np.testing.assert_allclose(
+            sums.cross_sums_grid(li, c, rj),
+            fresh.cross_sums_grid(li, c, rj),
+            rtol=1e-10,
+            atol=1e-12,
+        )
+
+    def test_contained_region_served_as_view(self, full_r2):
+        cache = SumMatrixCache()
+        cache.region_sums(0, 29, full_r2[:30, :30])
+        computed_before = cache.stats.dp_entries_computed
+        r2 = full_r2[10:25, 10:25]
+        sums = cache.region_sums(10, 24, r2)
+        assert cache.last_action == "view"
+        assert cache.stats.dp_entries_computed == computed_before
+        fresh = SumMatrix(r2, assume_symmetric=True)
+        np.testing.assert_allclose(
+            sums.as_matrix(), fresh.as_matrix(), rtol=1e-10, atol=1e-12
+        )
+
+    def test_backward_jump_rebuilds(self, full_r2):
+        """A request reaching before the anchor cannot be served (the
+        columns were zero-filled there) — must rebuild, and correctly."""
+        cache = SumMatrixCache()
+        cache.region_sums(20, 39, full_r2[20:40, 20:40])
+        r2 = full_r2[10:30, 10:30]
+        sums = cache.region_sums(10, 29, r2)
+        assert cache.last_action == "build"
+        fresh = SumMatrix(r2, assume_symmetric=True)
+        np.testing.assert_array_equal(sums.as_matrix(), fresh.as_matrix())
+
+    def test_disjoint_region_rebuilds(self, full_r2):
+        cache = SumMatrixCache()
+        cache.region_sums(0, 9, full_r2[:10, :10])
+        sums = cache.region_sums(30, 39, full_r2[30:40, 30:40])
+        assert cache.last_action == "build"
+        fresh = SumMatrix(full_r2[30:40, 30:40], assume_symmetric=True)
+        np.testing.assert_array_equal(sums.as_matrix(), fresh.as_matrix())
+
+    def test_earlier_view_survives_extension(self, full_r2):
+        """Appending the fringe must not invalidate a previously returned
+        view (it writes only cells outside every served view)."""
+        cache = SumMatrixCache()
+        r2_a = full_r2[:20, :20]
+        sums_a = cache.region_sums(0, 19, r2_a)
+        before = sums_a.as_matrix().copy()
+        cache.region_sums(5, 29, full_r2[5:30, 5:30])
+        assert cache.last_action == "extend"
+        np.testing.assert_array_equal(sums_a.as_matrix(), before)
+
+
+class TestReuseOffBaseline:
+    def test_bitwise_identical_to_fresh(self, full_r2):
+        """reuse=False must reproduce SumMatrix(r2) *bit for bit* — this
+        is what keeps dp_reuse=False scans exactly on the seed arithmetic."""
+        cache = SumMatrixCache(reuse=False)
+        for start, stop in [(0, 19), (5, 24), (10, 29)]:
+            r2 = full_r2[start : stop + 1, start : stop + 1]
+            sums = cache.region_sums(start, stop, r2)
+            assert cache.last_action == "build"
+            fresh = SumMatrix(r2, assume_symmetric=True)
+            np.testing.assert_array_equal(sums.as_matrix(), fresh.as_matrix())
+
+    def test_counts_builds(self, full_r2):
+        cache = SumMatrixCache(reuse=False)
+        for start, stop in [(0, 19), (5, 24), (10, 29)]:
+            cache.region_sums(start, stop, full_r2[start : stop + 1, start : stop + 1])
+        assert cache.stats.dp_builds == 3
+        assert cache.stats.dp_entries_reused == 0
+        assert cache.stats.dp_entries_computed == 3 * 400
+
+
+class TestDpStats:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_area_conservation(self, full_r2, data):
+        """dp computed + reused equals the total served region area for
+        any request sequence — mirrors the r²-level invariant."""
+        cache = SumMatrixCache()
+        area = 0
+        for start, stop in _region_sequence(data.draw):
+            cache.region_sums(
+                start, stop, full_r2[start : stop + 1, start : stop + 1]
+            )
+            area += (stop - start + 1) ** 2
+        s = cache.stats
+        assert s.dp_entries_computed + s.dp_entries_reused == area
+
+    def test_extend_counts_match_simulator(self, full_r2):
+        """A forward-overlapping walk: per-step fresh DP entries equal the
+        r²-level analytical mirror (both are W² − V²)."""
+        regions = [(0, 19), (4, 23), (8, 27)]
+        cache = SumMatrixCache(growth_factor=3.0)
+        real = []
+        prev = 0
+        for start, stop in regions:
+            cache.region_sums(
+                start, stop, full_r2[start : stop + 1, start : stop + 1]
+            )
+            real.append(cache.stats.dp_entries_computed - prev)
+            prev = cache.stats.dp_entries_computed
+        assert real == simulate_fresh_entries(regions)
+
+    def test_shared_stats_object(self, full_r2):
+        stats = ReuseStats()
+        cache = SumMatrixCache(stats=stats)
+        cache.region_sums(0, 19, full_r2[:20, :20])
+        assert stats.dp_entries_computed == 400
+        assert stats.dp_reuse_fraction == 0.0
+
+    def test_fraction(self):
+        s = ReuseStats(dp_entries_computed=25, dp_entries_reused=75)
+        assert s.dp_reuse_fraction == pytest.approx(0.75)
+
+    def test_merge_from(self):
+        a = ReuseStats(
+            entries_computed=1,
+            entries_reused=2,
+            regions_served=3,
+            dp_entries_computed=4,
+            dp_entries_reused=5,
+            dp_builds=6,
+        )
+        a.merge_from(
+            ReuseStats(
+                entries_computed=10,
+                entries_reused=20,
+                regions_served=30,
+                dp_entries_computed=40,
+                dp_entries_reused=50,
+                dp_builds=60,
+            )
+        )
+        assert (a.entries_computed, a.entries_reused, a.regions_served) == (
+            11,
+            22,
+            33,
+        )
+        assert (a.dp_entries_computed, a.dp_entries_reused, a.dp_builds) == (
+            44,
+            55,
+            66,
+        )
+
+
+class TestValidation:
+    def test_rejects_inverted_region(self, full_r2):
+        with pytest.raises(ScanConfigError):
+            SumMatrixCache().region_sums(5, 2, full_r2[:4, :4])
+
+    def test_rejects_shape_mismatch(self, full_r2):
+        with pytest.raises(ScanConfigError, match="shape"):
+            SumMatrixCache().region_sums(0, 9, full_r2[:5, :5])
+
+    def test_rejects_bad_growth_factor(self):
+        with pytest.raises(ScanConfigError, match="growth_factor"):
+            SumMatrixCache(growth_factor=0.5)
+
+    def test_reset_forces_rebuild(self, full_r2):
+        cache = SumMatrixCache()
+        cache.region_sums(0, 19, full_r2[:20, :20])
+        cache.reset()
+        cache.region_sums(5, 24, full_r2[5:25, 5:25])
+        assert cache.last_action == "build"
+        assert cache.stats.dp_entries_reused == 0
+
+    def test_from_prefix_shape_guard(self):
+        with pytest.raises(ScanConfigError):
+            SumMatrix.from_prefix(np.zeros((5, 5)), 5)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.figures import (
-    GPU_EVAL_SNP_COUNTS,
     fig10_series,
     fig11_series,
     fig12_series,

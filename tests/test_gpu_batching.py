@@ -8,7 +8,7 @@ import pytest
 from repro.accel.gpu import GPUOmegaEngine, TESLA_K80
 from repro.analysis.figures import gpu_eval_plans
 from repro.core.grid import GridSpec
-from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.core.scan import OmegaConfig
 from repro.errors import AcceleratorError
 
 

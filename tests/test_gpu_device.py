@@ -1,7 +1,5 @@
 """Tests for GPU device models and the Eq. (4) dispatch threshold."""
 
-import dataclasses
-
 import pytest
 
 from repro.accel.gpu.device import (

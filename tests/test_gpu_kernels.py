@@ -39,7 +39,7 @@ class TestDecodeWorkItems:
         pl, pr, right_inner = decode_work_items(li, rj)
         assert right_inner  # right side larger
         pairs = set(zip(pl.tolist(), pr.tolist()))
-        assert pairs == {(l, r) for l in li for r in rj}
+        assert pairs == {(a, b) for a in li for b in rj}
         assert pl.size == 12
 
     def test_order_switch_left_inner(self):

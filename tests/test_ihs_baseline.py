@@ -5,10 +5,7 @@ import pytest
 
 from repro.baselines.ihs import ehh, ihs_scan
 from repro.datasets.alignment import SNPAlignment
-from repro.datasets.generators import (
-    random_alignment,
-    sweep_signature_alignment,
-)
+from repro.datasets.generators import random_alignment
 from repro.errors import ScanConfigError
 
 
@@ -76,7 +73,6 @@ class TestIHSScan:
         m[:, core] = 0
         m[carriers, core] = 1
         # carriers share one haplotype across a wide span around the core
-        span = slice(core - 60, core + 61)
         shared = rng.integers(0, 2, size=121).astype(np.uint8)
         m[np.ix_(carriers, np.arange(core - 60, core + 61))] = shared
         m[carriers, core] = 1

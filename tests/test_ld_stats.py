@@ -9,12 +9,7 @@ from repro.datasets.alignment import SNPAlignment
 from repro.datasets.generators import random_alignment
 from repro.errors import LDError
 from repro.ld.gemm import r_squared_matrix
-from repro.ld.stats import (
-    d_from_counts,
-    d_prime_from_counts,
-    ld_stats_matrix,
-    r_from_counts,
-)
+from repro.ld.stats import d_from_counts, ld_stats_matrix
 
 
 def two_column_alignment(col_a, col_b):

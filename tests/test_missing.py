@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.datasets.generators import random_alignment
 from repro.datasets.missing import (
     MISSING,
     MaskedAlignment,

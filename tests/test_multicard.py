@@ -5,7 +5,7 @@ import pytest
 from repro.accel.fpga.device import ALVEO_U200
 from repro.accel.fpga.multicard import model_multicard
 from repro.accel.fpga.pipeline import PipelineModel
-from repro.analysis.workloads import BALANCED, HIGH_OMEGA, workload_plans
+from repro.analysis.workloads import BALANCED, workload_plans
 from repro.errors import AcceleratorError
 
 

@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.grid import GridSpec
-from repro.core.parallel import parallel_scan, split_grid
+from repro.core.parallel import _FixedGridScanner, parallel_scan, split_grid
 from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.generators import haplotype_block_alignment
 from repro.errors import ScanConfigError
 
 
@@ -49,24 +52,34 @@ class TestParallelScan:
         par = parallel_scan(block_alignment, config, n_workers=1)
         np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-12)
 
+    # Chunked workers re-anchor the incremental window-sum DP at their
+    # chunk start, so parallel omegas match the sequential scan only up
+    # to prefix-anchor rounding (~1e-13 relative on this fixture, up to
+    # ~1e-9 on chromosome-scale data) — hence rtol=1e-9, not 1e-12.
     def test_matches_sequential(self, block_alignment, config):
         seq = OmegaPlusScanner(config).scan(block_alignment)
         par = parallel_scan(block_alignment, config, n_workers=3)
         np.testing.assert_allclose(par.positions, seq.positions, rtol=1e-12)
-        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-12)
+        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-9)
         np.testing.assert_array_equal(par.n_evaluations, seq.n_evaluations)
 
     def test_worker_count_invariance(self, block_alignment, config):
         two = parallel_scan(block_alignment, config, n_workers=2)
         four = parallel_scan(block_alignment, config, n_workers=4)
-        np.testing.assert_allclose(two.omegas, four.omegas, rtol=1e-12)
+        np.testing.assert_allclose(two.omegas, four.omegas, rtol=1e-9)
 
     def test_more_workers_than_positions(self, block_alignment):
+        """split_grid drops empty chunks, so oversubscription must still
+        produce the full, sequential-identical report."""
         config = OmegaConfig(
             grid=GridSpec(n_positions=3, max_window=block_alignment.length / 3)
         )
+        seq = OmegaPlusScanner(config).scan(block_alignment)
         par = parallel_scan(block_alignment, config, n_workers=8)
         assert len(par) == 3
+        np.testing.assert_allclose(par.positions, seq.positions, rtol=1e-12)
+        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-9)
+        np.testing.assert_array_equal(par.n_evaluations, seq.n_evaluations)
 
     def test_rejects_zero_workers(self, block_alignment, config):
         with pytest.raises(ScanConfigError):
@@ -75,3 +88,92 @@ class TestParallelScan:
     def test_breakdown_aggregated(self, block_alignment, config):
         par = parallel_scan(block_alignment, config, n_workers=2)
         assert par.breakdown.totals.get("omega", 0.0) > 0
+
+    def test_reuse_stats_aggregated(self, block_alignment, config):
+        """Per-chunk reuse counters merge; the total served area (computed
+        + reused, at both levels) is worker-count invariant because every
+        worker serves the same set of valid regions overall."""
+        seq = OmegaPlusScanner(config).scan(block_alignment)
+        par = parallel_scan(block_alignment, config, n_workers=3)
+        assert (
+            par.reuse.entries_computed + par.reuse.entries_reused
+            == seq.reuse.entries_computed + seq.reuse.entries_reused
+        )
+        assert (
+            par.reuse.dp_entries_computed + par.reuse.dp_entries_reused
+            == seq.reuse.dp_entries_computed + seq.reuse.dp_entries_reused
+        )
+        assert par.reuse.regions_served == seq.reuse.regions_served
+        # Chunking loses one region overlap per boundary, never gains one.
+        assert par.reuse.entries_reused <= seq.reuse.entries_reused
+
+    def test_omega_subphases_aggregated(self, block_alignment, config):
+        par = parallel_scan(block_alignment, config, n_workers=2)
+        sub = par.omega_subphases.totals
+        assert sum(sub.values()) > 0
+        assert set(sub) <= {"dp_build", "dp_reuse"}
+
+
+class TestFixedGridScanner:
+    def test_empty_chunk(self, block_alignment):
+        """A zero-position chunk must scan to an empty result instead of
+        tripping GridSpec's n_positions >= 1 validation."""
+        config = OmegaConfig(
+            grid=GridSpec(n_positions=4, max_window=block_alignment.length / 3)
+        )
+        scanner = _FixedGridScanner(config, np.zeros(0))
+        result = scanner.scan(block_alignment)
+        assert len(result) == 0
+        assert result.n_evaluations.dtype == np.int64
+        assert result.total_evaluations == 0
+
+    def test_chunk_positions_used_verbatim(self, block_alignment):
+        config = OmegaConfig(
+            grid=GridSpec(n_positions=6, max_window=block_alignment.length / 3)
+        )
+        all_positions = config.grid.positions(block_alignment)
+        scanner = _FixedGridScanner(config, all_positions[2:5])
+        result = scanner.scan(block_alignment)
+        np.testing.assert_allclose(result.positions, all_positions[2:5])
+
+
+class TestParallelEquivalenceProperty:
+    """parallel_scan must be observationally identical to the sequential
+    scanner for any grid size / worker count / LD backend."""
+
+    _ALN = haplotype_block_alignment(40, 120, seed=202)
+
+    @given(
+        n_positions=st.integers(2, 10),
+        n_workers=st.integers(2, 6),
+        backend=st.sampled_from(["gemm", "packed"]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_matches_sequential(self, n_positions, n_workers, backend):
+        aln = self._ALN
+        config = OmegaConfig(
+            grid=GridSpec(n_positions=n_positions, max_window=aln.length / 3),
+            ld_backend=backend,
+        )
+        seq = OmegaPlusScanner(config).scan(aln)
+        par = parallel_scan(aln, config, n_workers=n_workers)
+        np.testing.assert_array_equal(par.positions, seq.positions)
+        np.testing.assert_allclose(
+            par.omegas, seq.omegas, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            par.left_borders_bp, seq.left_borders_bp, rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_allclose(
+            par.right_borders_bp, seq.right_borders_bp, rtol=1e-9, equal_nan=True
+        )
+        np.testing.assert_array_equal(par.n_evaluations, seq.n_evaluations)
+        assert par.reuse.regions_served == seq.reuse.regions_served
+        assert (
+            par.reuse.entries_computed + par.reuse.entries_reused
+            == seq.reuse.entries_computed + seq.reuse.entries_reused
+        )
+        assert (
+            par.reuse.dp_entries_computed + par.reuse.dp_entries_reused
+            == seq.reuse.dp_entries_computed + seq.reuse.dp_entries_reused
+        )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.reuse import R2RegionCache, ReuseStats
+from repro.core.reuse import R2RegionCache, ReuseStats, simulate_fresh_entries
 from repro.errors import ScanConfigError
 from repro.ld.gemm import r_squared_block
 
@@ -119,6 +119,65 @@ class TestR2RegionCache:
             small_alignment, slice(10, 30), slice(10, 30)
         ).copy()
         # The cache holds a reference to `first`; a *fresh* request reuses
-        # its overlap. Corrupt a region `first` and the next request share:
+        # its overlap. Corrupt `first` outside the region the next request
+        # shares — the served overlap must stay intact:
+        first[0, 0] = 123.0
         second = cache.region_matrix(10, 29)
         np.testing.assert_allclose(second, expected_second, atol=1e-12)
+
+
+class TestDualFreshSegments:
+    """Regression tests for the dual-fresh-segment case: a backward jump
+    whose region grows past the previous one on *both* sides, leaving
+    fresh SNPs left and right of the relocated overlap block.
+
+    The original implementation computed the full-width left rows and the
+    full-width right rows independently, so the left-fresh x right-fresh
+    cross block was written (and counted) twice — the counters over-stated
+    the computed entries even though the matrix values came out right.
+    """
+
+    def test_matrix_correct(self, small_alignment):
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(20, 29)
+        r2 = cache.region_matrix(10, 39)
+        expected = r_squared_block(small_alignment, slice(10, 40), slice(10, 40))
+        np.testing.assert_allclose(r2, expected, atol=1e-12)
+
+    def test_counter_exact(self, small_alignment):
+        """Fresh entries = W^2 - V^2 (V = overlap width): the 30x30 region
+        reuses the 10x10 block, so exactly 800 entries are computed — the
+        double-counted cross block would have reported 1000."""
+        cache = R2RegionCache(small_alignment)
+        cache.region_matrix(20, 29)
+        before = cache.stats.entries_computed
+        cache.region_matrix(10, 39)
+        assert cache.stats.entries_computed - before == 30 * 30 - 10 * 10
+        assert cache.stats.entries_reused == 10 * 10
+
+    def test_counter_conservation(self, small_alignment):
+        """computed + reused must equal the sum of served region areas —
+        the invariant the double-count broke."""
+        cache = R2RegionCache(small_alignment)
+        regions = [(20, 29), (10, 39), (35, 50), (30, 59), (0, 29)]
+        for start, stop in regions:
+            cache.region_matrix(start, stop)
+        area = sum((b - a + 1) ** 2 for a, b in regions)
+        assert cache.stats.entries_computed + cache.stats.entries_reused == area
+
+    def test_simulator_cross_check_backward_forward(self, small_alignment):
+        """simulate_fresh_entries must agree *exactly* with the corrected
+        cache accounting on a sequence containing a dual-fresh region."""
+        regions = [(20, 29), (10, 39), (5, 44), (50, 59), (40, 59), (0, 19)]
+        cache = R2RegionCache(small_alignment)
+        real = []
+        prev = 0
+        for start, stop in regions:
+            cache.region_matrix(start, stop)
+            real.append(cache.stats.entries_computed - prev)
+            prev = cache.stats.entries_computed
+        assert simulate_fresh_entries(regions) == real
+
+    def test_simulator_dual_fresh_value(self):
+        # (20,29) then (10,39): 30^2 minus the relocated 10^2 block.
+        assert simulate_fresh_entries([(20, 29), (10, 39)]) == [100, 800]

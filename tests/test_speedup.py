@@ -10,8 +10,7 @@ from repro.analysis.paper_values import (
     HEADLINES,
     TABLE3,
 )
-from repro.analysis.speedup import compare_workload, table3
-from repro.analysis.workloads import BALANCED, HIGH_LD, HIGH_OMEGA
+from repro.analysis.speedup import table3
 
 
 @pytest.fixture(scope="module")

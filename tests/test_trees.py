@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulate.trees import Branch, Genealogy
+from repro.simulate.trees import Genealogy
 
 
 def three_leaf_tree():

@@ -10,7 +10,6 @@ from repro.analysis.workloads import (
     WorkloadSpec,
     cpu_time_split,
     workload_counts,
-    workload_plans,
 )
 from repro.core.reuse import R2RegionCache, simulate_fresh_entries
 from repro.errors import ScanConfigError
@@ -80,7 +79,10 @@ class TestFreshEntrySimulator:
     """simulate_fresh_entries must agree with the real cache's counters."""
 
     def test_matches_real_cache(self, small_alignment):
-        regions = [(0, 19), (5, 24), (10, 35), (40, 55), (38, 59)]
+        # (40, 55) -> (38, 59) is a dual-fresh-segment step (fresh SNPs on
+        # both sides of the overlap); (20, 59) adds a backward-only step.
+        # The dual-fresh accounting is exercised further in tests/test_reuse.py.
+        regions = [(0, 19), (5, 24), (10, 35), (40, 55), (38, 59), (20, 59)]
         cache = R2RegionCache(small_alignment)
         real = []
         prev = 0
