@@ -20,6 +20,7 @@ True
 from repro.core import (
     OmegaConfig,
     OmegaPlusScanner,
+    ParallelScanSession,
     ScanResult,
     parallel_scan,
     scan,
@@ -54,4 +55,5 @@ __all__ = [
     "ScanResult",
     "scan",
     "parallel_scan",
+    "ParallelScanSession",
 ]

@@ -7,7 +7,9 @@
 * :mod:`repro.core.reuse` — the overlap data-reuse optimization, at the
   r² level and at the window-sum DP level.
 * :mod:`repro.core.scan` — the complete CPU scanner (Fig. 3 workflow).
-* :mod:`repro.core.parallel` — multiprocess scan (multithreaded baseline).
+* :mod:`repro.core.parallel` — zero-copy shared-memory multiprocess scan
+  (the paper's multithreaded baseline).
+* :mod:`repro.core.tilestore` — shared r² tile store feeding all workers.
 """
 
 from repro.core.dp import SumMatrix, build_m_recurrence
@@ -20,10 +22,16 @@ from repro.core.omega import (
     omega_max_at_split,
     omega_split_matrix,
 )
-from repro.core.parallel import parallel_scan, split_grid
+from repro.core.parallel import (
+    ParallelScanSession,
+    make_blocks,
+    parallel_scan,
+    split_grid,
+)
 from repro.core.results import PositionResult, ScanResult
 from repro.core.reuse import R2RegionCache, ReuseStats, SumMatrixCache
 from repro.core.scan import OmegaConfig, OmegaPlusScanner, scan
+from repro.core.tilestore import SharedR2TileStore, TileStoreSpec
 
 __all__ = [
     "SumMatrix",
@@ -37,8 +45,12 @@ __all__ = [
     "omega_brute_force",
     "omega_split_matrix",
     "omega_max_at_split",
+    "ParallelScanSession",
+    "make_blocks",
     "parallel_scan",
     "split_grid",
+    "SharedR2TileStore",
+    "TileStoreSpec",
     "PositionResult",
     "ScanResult",
     "R2RegionCache",

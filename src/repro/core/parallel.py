@@ -1,40 +1,86 @@
-"""Multiprocess genome scan (the "generic multithreaded OmegaPlus").
+"""Zero-copy shared-memory multiprocess genome scan.
 
-The paper's multicore baseline (Table IV) is OmegaPlus-generic [31], which
-partitions grid positions across threads. We do the same across processes:
-the grid is cut into ``n_workers`` contiguous chunks (contiguity preserves
-the data-reuse optimization within each chunk; only one region overlap per
-boundary is lost), each worker runs the sequential scanner on its chunk,
-and the per-position records are concatenated.
+The paper's multicore baseline (Table IV) is OmegaPlus-generic [31]:
+pthreads that *share* one alignment and one LD workspace and partition the
+grid positions. Python threads cannot parallelize this CPU-bound
+NumPy-plus-control-flow loop under the GIL, so processes stand in for
+pthreads — but the original process model here shipped a pickled copy of
+the full SNP matrix to every worker and carved the grid into one static
+contiguous chunk per worker, which capped the reproducible speedup three
+ways: per-task serialization, per-worker cache warmup, and load imbalance
+(per-position ω work varies by orders of magnitude — the very skew the
+paper's Eq. 4 dispatch threshold exists for).
 
-Python threads cannot parallelize this CPU-bound NumPy-plus-control-flow
-loop under the GIL, so processes stand in for OmegaPlus's pthreads. The
-returned breakdown sums *CPU seconds across workers*; wall-clock speedup
-is measured by the caller (see ``benchmarks/bench_table4_threads.py``).
+The current architecture mirrors the pthread model instead:
+
+* **Shared segments** — the SNP matrix and positions live in POSIX shared
+  memory (:class:`~repro.datasets.alignment.SharedAlignmentSegments`),
+  created once by the parent; a persistent worker pool attaches zero-copy
+  in its initializer. Per-task payloads are three integers.
+* **Shared r² tile store** — fresh r² entries are computed once
+  process-wide into a shared tile band
+  (:class:`~repro.core.tilestore.SharedR2TileStore`) and served to every
+  worker, recovering the region-overlap reuse that scheduling boundaries
+  would otherwise lose.
+* **Dynamic block scheduling** — the grid is cut into many small
+  contiguous blocks (contiguity preserves the within-block r²/DP reuse),
+  which workers pull from the pool's shared task queue as they free up; a
+  cost model (estimated ω evaluations plus region area per position, the
+  Eq. 4 accounting) orders blocks largest-first so stragglers start
+  early.
+* **Observability** — per-worker phase breakdowns, DP sub-timings and
+  :class:`~repro.core.reuse.ReuseStats` merge through the result; the
+  merged breakdown's phase totals remain *summed worker CPU seconds*,
+  while its ``wall_seconds`` field records true elapsed time (see
+  :class:`~repro.utils.timing.TimeBreakdown`).
+
+The previous pickled static-chunk implementation is kept behind
+``scheduler="pickled"`` as the A/B baseline for
+``benchmarks/bench_table4_threads.py``.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.grid import GridSpec
+from repro.core.grid import GridSpec, build_plans
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
 from repro.core.scan import OmegaConfig, OmegaPlusScanner
-from repro.datasets.alignment import SNPAlignment
+from repro.core.tilestore import SharedR2TileStore
+from repro.datasets.alignment import SharedAlignmentSegments, SNPAlignment
 from repro.errors import ScanConfigError
 from repro.utils.timing import TimeBreakdown
 
-__all__ = ["parallel_scan", "split_grid"]
+__all__ = [
+    "ParallelScanSession",
+    "make_blocks",
+    "parallel_scan",
+    "split_grid",
+]
+
+#: Target number of scheduling blocks per worker. More blocks balance the
+#: load better (a worker stuck on high-evaluation positions strands at
+#: most one block); fewer blocks preserve more within-block reuse. Four
+#: per worker keeps the straggler tail under ~25 % of one worker's share
+#: while blocks stay tens of positions long on realistic grids.
+BLOCKS_PER_WORKER = 4
 
 
 def split_grid(n_positions: int, n_workers: int) -> List[Tuple[int, int]]:
     """Split ``n_positions`` into ``n_workers`` contiguous [start, stop)
-    chunks whose sizes differ by at most one. Empty chunks are dropped."""
+    chunks whose sizes differ by at most one. Empty chunks are dropped.
+
+    This is the *static* partitioning of the legacy pickled scheduler
+    (one chunk per worker); the shared-memory scheduler cuts finer with
+    :func:`make_blocks`.
+    """
     if n_positions < 1:
         raise ScanConfigError(f"n_positions must be >= 1, got {n_positions}")
     if n_workers < 1:
@@ -51,39 +97,52 @@ def split_grid(n_positions: int, n_workers: int) -> List[Tuple[int, int]]:
     return chunks
 
 
-@dataclass
-class _WorkerTask:
-    """Picklable task description shipped to a worker process."""
+def make_blocks(
+    n_positions: int,
+    n_workers: int,
+    *,
+    block_size: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """Cut ``n_positions`` into contiguous [start, stop) scheduling blocks.
 
-    matrix: np.ndarray
-    positions: np.ndarray
-    length: float
-    config: OmegaConfig
-    grid_positions: np.ndarray
-
-
-def _run_chunk(task: _WorkerTask) -> ScanResult:
-    """Worker body: scan a fixed set of grid positions sequentially."""
-    alignment = SNPAlignment(
-        matrix=task.matrix, positions=task.positions, length=task.length
-    )
-    scanner = _FixedGridScanner(task.config, task.grid_positions)
-    return scanner.scan(alignment)
+    The default block size targets :data:`BLOCKS_PER_WORKER` blocks per
+    worker; pass ``block_size`` to override. Blocks are never empty.
+    """
+    if n_positions < 1:
+        raise ScanConfigError(f"n_positions must be >= 1, got {n_positions}")
+    if n_workers < 1:
+        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if block_size is None:
+        block_size = max(
+            1, math.ceil(n_positions / (BLOCKS_PER_WORKER * n_workers))
+        )
+    if block_size < 1:
+        raise ScanConfigError(f"block_size must be >= 1, got {block_size}")
+    return [
+        (lo, min(lo + block_size, n_positions))
+        for lo in range(0, n_positions, block_size)
+    ]
 
 
 class _FixedGridScanner(OmegaPlusScanner):
     """Scanner whose grid positions are supplied explicitly rather than
-    derived from the grid spec (used to hand each worker its chunk)."""
+    derived from the grid spec (used to hand each worker its block)."""
 
-    def __init__(self, config: OmegaConfig, grid_positions: np.ndarray):
-        super().__init__(config)
+    def __init__(
+        self,
+        config: OmegaConfig,
+        grid_positions: np.ndarray,
+        *,
+        block_fn=None,
+    ):
+        super().__init__(config, block_fn=block_fn)
         self._grid_positions = grid_positions
 
     def scan(self, alignment: SNPAlignment) -> ScanResult:
         spec = self.config.grid
         fixed = self._grid_positions
         if fixed.size == 0:
-            # An empty chunk scans nothing. Returning the empty result
+            # An empty block scans nothing. Returning the empty result
             # directly keeps the patched spec below consistent
             # (GridSpec requires n_positions >= 1, which would disagree
             # with a zero-length fixed position array).
@@ -114,34 +173,42 @@ class _FixedGridScanner(OmegaPlusScanner):
             reuse=self.config.reuse,
             dp_reuse=self.config.dp_reuse,
         )
-        return OmegaPlusScanner(cfg).scan(alignment)
+        return OmegaPlusScanner(cfg, block_fn=self._block_fn).scan(alignment)
 
 
-def parallel_scan(
+# ---------------------------------------------------------------------- #
+# legacy pickled static-chunk scheduler (the A/B baseline)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _WorkerTask:
+    """Picklable task description shipped to a worker process — carries a
+    full copy of the alignment, which is exactly what the shared-memory
+    scheduler exists to avoid."""
+
+    matrix: np.ndarray
+    positions: np.ndarray
+    length: float
+    config: OmegaConfig
+    grid_positions: np.ndarray
+
+
+def _run_chunk(task: _WorkerTask) -> ScanResult:
+    """Worker body: scan a fixed set of grid positions sequentially."""
+    alignment = SNPAlignment(
+        matrix=task.matrix, positions=task.positions, length=task.length
+    )
+    scanner = _FixedGridScanner(task.config, task.grid_positions)
+    return scanner.scan(alignment)
+
+
+def _scan_pickled_static(
     alignment: SNPAlignment,
     config: OmegaConfig,
-    *,
     n_workers: int,
-    mp_context: Optional[str] = None,
+    mp_context: Optional[str],
 ) -> ScanResult:
-    """Scan with ``n_workers`` processes; results match a sequential scan.
-
-    Parameters
-    ----------
-    alignment, config:
-        Same inputs as :class:`~repro.core.scan.OmegaPlusScanner`.
-    n_workers:
-        Number of worker processes. ``1`` short-circuits to the sequential
-        scanner (no process overhead).
-    mp_context:
-        Multiprocessing start method (default: platform default, ``fork``
-        on Linux, which shares the alignment pages copy-on-write).
-    """
-    if n_workers < 1:
-        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
-    if n_workers == 1:
-        return OmegaPlusScanner(config).scan(alignment)
-
     grid_positions = config.grid.positions(alignment)
     chunks = split_grid(grid_positions.size, n_workers)
     tasks = [
@@ -157,7 +224,12 @@ def parallel_scan(
     ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
     with ctx.Pool(processes=len(tasks)) as pool:
         parts = pool.map(_run_chunk, tasks)
+    return _merge_parts(parts)
 
+
+def _merge_parts(parts: List[ScanResult]) -> ScanResult:
+    """Concatenate per-block records (in grid order) and merge the
+    observability sidecars."""
     breakdown = TimeBreakdown()
     subphases = TimeBreakdown()
     reuse = ReuseStats()
@@ -175,3 +247,275 @@ def parallel_scan(
         reuse=reuse,
         omega_subphases=subphases,
     )
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory dynamic-block scheduler
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _WorkerSetup:
+    """Everything a worker needs, shipped once via the pool initializer.
+
+    ``alignment_spec`` and ``tile_spec`` are a few strings/ints each —
+    the actual data stays in shared memory.
+    """
+
+    alignment_spec: object
+    tile_spec: object
+    config: OmegaConfig
+    grid_positions: np.ndarray
+
+
+#: Per-worker-process state, populated by the pool initializer. Holds an
+#: exception instance when attachment failed (surfaced by the first task
+#: instead of crashing the initializer, which would make the pool respawn
+#: workers forever).
+_WORKER_STATE = None
+
+
+def _init_worker(setup: _WorkerSetup) -> None:
+    global _WORKER_STATE
+    try:
+        segments = SharedAlignmentSegments.attach(setup.alignment_spec)
+        store = None
+        if setup.tile_spec is not None:
+            store = SharedR2TileStore.attach(
+                setup.tile_spec, segments.alignment
+            )
+        _WORKER_STATE = (segments, store, setup.config, setup.grid_positions)
+    except BaseException as exc:  # noqa: BLE001 - reported by first task
+        _WORKER_STATE = exc
+
+
+def _scan_block(task: Tuple[int, int, int]) -> Tuple[int, ScanResult]:
+    """Worker body: scan grid positions [lo, hi) against the attached
+    shared alignment; returns (block index, block result)."""
+    idx, lo, hi = task
+    state = _WORKER_STATE
+    if state is None or isinstance(state, BaseException):
+        raise RuntimeError(
+            "shared-memory worker failed to attach its segments"
+        ) from (state if isinstance(state, BaseException) else None)
+    segments, store, config, grid_positions = state
+    block_fn = store.block if store is not None else None
+    scanner = _FixedGridScanner(
+        config, grid_positions[lo:hi], block_fn=block_fn
+    )
+    if store is not None:
+        computed0 = store.tile_entries_computed
+        reused0 = store.tile_entries_reused
+    result = scanner.scan(segments.alignment)
+    if store is not None:
+        result.reuse.tile_entries_computed += (
+            store.tile_entries_computed - computed0
+        )
+        result.reuse.tile_entries_reused += store.tile_entries_reused - reused0
+    return idx, result
+
+
+class ParallelScanSession:
+    """Persistent shared-memory scan workers over one alignment.
+
+    Creating a session places the alignment (and the r² tile band) in
+    shared memory and forks a worker pool that attaches zero-copy; every
+    :meth:`scan` then only moves block descriptors — three integers each —
+    through the pool's task queue, so repeated scans reuse warm workers
+    *and* the already-computed tiles. Use as a context manager (or call
+    :meth:`close`): teardown unlinks the segments even on error paths, so
+    failed scans do not orphan ``/dev/shm`` entries.
+    """
+
+    def __init__(
+        self,
+        alignment: SNPAlignment,
+        config: OmegaConfig,
+        *,
+        n_workers: int,
+        mp_context: Optional[str] = None,
+        block_size: Optional[int] = None,
+        shared_tiles: bool = True,
+        cost_ordering: bool = True,
+    ):
+        if n_workers < 1:
+            raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+        self._alignment = alignment
+        self._config = config
+        self._n_workers = n_workers
+        self._mp_context = mp_context
+        self._block_size = block_size
+        self._shared_tiles = shared_tiles
+        self._cost_ordering = cost_ordering
+        self._segments: Optional[SharedAlignmentSegments] = None
+        self._store: Optional[SharedR2TileStore] = None
+        self._pool = None
+        self._grid_positions: Optional[np.ndarray] = None
+        self._position_costs: Optional[np.ndarray] = None
+
+    # -------------------------------------------------------------- #
+
+    def start(self) -> "ParallelScanSession":
+        """Create the shared segments and the worker pool (idempotent)."""
+        if self._pool is not None:
+            return self
+        alignment, config = self._alignment, self._config
+        self._grid_positions = config.grid.positions(alignment)
+        plans = build_plans(alignment, config.grid)
+        # Cost model per position: omega work is the evaluation count
+        # (Eq. 4's numerator); LD work scales with the region area. Used
+        # only for largest-first ordering, so the scale factor between
+        # the two terms is uncritical.
+        self._position_costs = np.array(
+            [p.n_evaluations + p.region_width**2 for p in plans],
+            dtype=np.float64,
+        )
+        max_span = max(
+            (p.region_width for p in plans if p.valid), default=0
+        )
+        try:
+            self._segments = SharedAlignmentSegments.create(alignment)
+            if self._shared_tiles and max_span >= 1:
+                self._store = SharedR2TileStore.create(
+                    alignment,
+                    max_pair_span=max_span,
+                    backend=config.ld_backend,
+                )
+            setup = _WorkerSetup(
+                alignment_spec=self._segments.spec,
+                tile_spec=self._store.spec if self._store else None,
+                config=config,
+                grid_positions=self._grid_positions,
+            )
+            ctx = (
+                mp.get_context(self._mp_context)
+                if self._mp_context
+                else mp.get_context()
+            )
+            self._pool = ctx.Pool(
+                processes=self._n_workers,
+                initializer=_init_worker,
+                initargs=(setup,),
+            )
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def scan(self) -> ScanResult:
+        """Run one full scan; the report matches the sequential scanner."""
+        self.start()
+        t_wall = time.perf_counter()
+        assert self._grid_positions is not None
+        assert self._position_costs is not None
+        blocks = make_blocks(
+            self._grid_positions.size,
+            self._n_workers,
+            block_size=self._block_size,
+        )
+        tasks = [(idx, lo, hi) for idx, (lo, hi) in enumerate(blocks)]
+        if self._cost_ordering:
+            costs = self._position_costs
+            tasks.sort(key=lambda t: -float(costs[t[1] : t[2]].sum()))
+        parts = {}
+        for idx, part in self._pool.imap_unordered(
+            _scan_block, tasks, chunksize=1
+        ):
+            parts[idx] = part
+        result = _merge_parts([parts[i] for i in range(len(blocks))])
+        result.breakdown.wall_seconds = time.perf_counter() - t_wall
+        return result
+
+    def close(self) -> None:
+        """Tear down the pool and remove the shared segments."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store.unlink()
+            self._store = None
+        if self._segments is not None:
+            self._segments.close()
+            self._segments.unlink()
+            self._segments = None
+
+    def __enter__(self) -> "ParallelScanSession":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# public entry point
+# ---------------------------------------------------------------------- #
+
+
+def parallel_scan(
+    alignment: SNPAlignment,
+    config: OmegaConfig,
+    *,
+    n_workers: int,
+    mp_context: Optional[str] = None,
+    scheduler: str = "shared",
+    block_size: Optional[int] = None,
+    shared_tiles: bool = True,
+    cost_ordering: bool = True,
+) -> ScanResult:
+    """Scan with ``n_workers`` processes; results match a sequential scan.
+
+    Parameters
+    ----------
+    alignment, config:
+        Same inputs as :class:`~repro.core.scan.OmegaPlusScanner`.
+    n_workers:
+        Number of worker processes. ``1`` short-circuits to the sequential
+        scanner (no process overhead).
+    mp_context:
+        Multiprocessing start method (default: platform default, ``fork``
+        on Linux).
+    scheduler:
+        ``"shared"`` (default) — zero-copy shared-memory segments, shared
+        r² tile store, dynamic load-balanced block scheduling.
+        ``"pickled"`` — the legacy baseline: one static contiguous chunk
+        per worker, full alignment pickled into every task. Kept for the
+        old-vs-new benchmark comparison.
+    block_size:
+        Scheduling-block length in grid positions (``"shared"`` only);
+        default targets :data:`BLOCKS_PER_WORKER` blocks per worker.
+    shared_tiles:
+        Serve fresh r² entries from the shared tile store (``"shared"``
+        only). Disable to measure its contribution.
+    cost_ordering:
+        Dispatch blocks largest-estimated-cost first (``"shared"`` only).
+
+    The returned breakdown's phase totals sum CPU seconds *across
+    workers*; its ``wall_seconds`` holds the true elapsed time of this
+    call.
+    """
+    if n_workers < 1:
+        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if scheduler not in ("shared", "pickled"):
+        raise ScanConfigError(
+            f"scheduler must be 'shared' or 'pickled', got {scheduler!r}"
+        )
+    t_wall = time.perf_counter()
+    if n_workers == 1:
+        return OmegaPlusScanner(config).scan(alignment)
+    if scheduler == "pickled":
+        result = _scan_pickled_static(alignment, config, n_workers, mp_context)
+    else:
+        with ParallelScanSession(
+            alignment,
+            config,
+            n_workers=n_workers,
+            mp_context=mp_context,
+            block_size=block_size,
+            shared_tiles=shared_tiles,
+            cost_ordering=cost_ordering,
+        ) as session:
+            result = session.scan()
+    result.breakdown.wall_seconds = time.perf_counter() - t_wall
+    return result

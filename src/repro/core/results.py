@@ -110,12 +110,19 @@ class ScanResult:
         phases = ", ".join(
             f"{name} {share:.1%}" for name, share in sorted(frac.items())
         )
+        # Parallel scans attribute phase seconds per worker, so the sum
+        # exceeds the elapsed time; show the true wall clock alongside.
+        wall = (
+            f", wall {self.breakdown.wall_seconds:.3f}s"
+            if self.breakdown.wall_seconds > 0
+            else ""
+        )
         return (
             f"{len(self)} grid positions, {self.total_evaluations} omega "
             f"evaluations\n"
             f"max omega = {best.omega:.4f} at position {best.position:.1f} "
             f"(window [{best.left_border_bp:.1f}, {best.right_border_bp:.1f}])\n"
-            f"time: {self.breakdown.total:.3f}s ({phases})\n"
+            f"time: {self.breakdown.total:.3f}s ({phases}{wall})\n"
             f"LD reuse: {self.reuse.reuse_fraction:.1%} of entries served "
             f"from cache\n"
             f"DP reuse: {self.reuse.dp_reuse_fraction:.1%} of window-sum "

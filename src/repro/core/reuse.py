@@ -26,6 +26,7 @@ ablation benchmarks report it).
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -82,6 +83,12 @@ class ReuseStats:
     ``dp_entries_*`` count window-sum DP cells (:class:`SumMatrixCache`),
     both in units of one region cell, so ``computed + reused`` equals the
     sum of served region areas at either level.
+
+    ``dp_anchor_*`` record the prefix-anchor allocations the DP cache
+    chose (so the adaptive growth policy is observable: mean span =
+    ``dp_anchor_span_total / dp_anchor_allocs``). ``tile_entries_*``
+    count r² cells a shared tile store computed vs served from
+    already-published tiles (multiprocess scans only; zero otherwise).
     """
 
     entries_computed: int = 0
@@ -90,6 +97,10 @@ class ReuseStats:
     dp_entries_computed: int = 0
     dp_entries_reused: int = 0
     dp_builds: int = 0
+    dp_anchor_allocs: int = 0
+    dp_anchor_span_total: int = 0
+    tile_entries_computed: int = 0
+    tile_entries_reused: int = 0
 
     @property
     def reuse_fraction(self) -> float:
@@ -103,6 +114,13 @@ class ReuseStats:
         total = self.dp_entries_computed + self.dp_entries_reused
         return self.dp_entries_reused / total if total else 0.0
 
+    @property
+    def mean_anchor_span(self) -> float:
+        """Mean SNP capacity of the DP prefix anchors allocated so far."""
+        if self.dp_anchor_allocs == 0:
+            return 0.0
+        return self.dp_anchor_span_total / self.dp_anchor_allocs
+
     def merge_from(self, other: "ReuseStats") -> None:
         """Accumulate another scan's counters (chunked/parallel scans)."""
         self.entries_computed += other.entries_computed
@@ -111,6 +129,10 @@ class ReuseStats:
         self.dp_entries_computed += other.dp_entries_computed
         self.dp_entries_reused += other.dp_entries_reused
         self.dp_builds += other.dp_builds
+        self.dp_anchor_allocs += other.dp_anchor_allocs
+        self.dp_anchor_span_total += other.dp_anchor_span_total
+        self.tile_entries_computed += other.tile_entries_computed
+        self.tile_entries_reused += other.tile_entries_reused
 
 
 class R2RegionCache:
@@ -125,6 +147,13 @@ class R2RegionCache:
         ``"gemm"`` (default) computes fresh blocks with the GEMM
         formulation; ``"packed"`` uses popcounts on a bit-packed copy —
         functionally identical, validated against each other in tests.
+    block_fn:
+        Optional override for the fresh-block source: a callable
+        ``(rows, cols) -> ndarray`` with :func:`~repro.ld.gemm.
+        r_squared_block` semantics. The multiprocess scanner injects a
+        shared-memory tile store here so fresh entries one worker
+        computes are served to every other worker; ``backend`` is ignored
+        when set.
     """
 
     #: Default cap on one region's r² matrix (512 MB of float64): wide
@@ -139,6 +168,7 @@ class R2RegionCache:
         *,
         backend: str = "gemm",
         max_region_bytes: Optional[int] = None,
+        block_fn: Optional[Callable[[slice, slice], np.ndarray]] = None,
     ):
         self._alignment = alignment
         self._max_region_bytes = (
@@ -148,7 +178,9 @@ class R2RegionCache:
         )
         if self._max_region_bytes < 8:
             raise ScanConfigError("max_region_bytes too small")
-        if backend == "gemm":
+        if block_fn is not None:
+            self._block = block_fn
+        elif backend == "gemm":
             self._block: Callable[[slice, slice], np.ndarray] = (
                 lambda r, c: r_squared_block(alignment, r, c)
             )
@@ -258,9 +290,24 @@ class SumMatrixCache:
     * SNPs entering on the right are **appended**: their prefix rows and
       columns are extended from the existing block in O(Wa · F) for F new
       SNPs, instead of the O(W²) rebuild-from-scratch of the seed scanner;
-    * when the anchored block outgrows ``growth_factor`` times the current
-      region (or the request falls outside it), the cache **re-anchors**
-      with one fresh build, so memory and float magnitudes stay bounded.
+    * when the anchored block outgrows its planned span (or the request
+      falls outside it), the cache **re-anchors** with one fresh build, so
+      memory and float magnitudes stay bounded.
+
+    The anchor span is chosen by one of two policies. With an explicit
+    ``growth_factor`` g, capacity is always ``g · width`` (the fixed
+    policy of earlier releases). With the default ``growth_factor=None``
+    the policy is *adaptive to the observed grid stride*: appending a
+    stride-s fringe onto an anchored block of width a costs O(a · s)
+    while a re-anchor costs O(W²), so the cache plans
+    ``n = min(⌊√2·W/s⌋, ⌊W(W−s)/s²⌋)`` appends per anchor (the first
+    term balances total append work against the amortized rebuild, the
+    second stops planning appends once a single append would cost more
+    than a rebuild) and allocates ``W + n·s``. Small strides therefore
+    get large anchors (many positions amortize one build); strides
+    approaching the region width collapse to rebuild-per-position, which
+    is genuinely cheaper there. Chosen spans are observable through
+    ``ReuseStats.dp_anchor_allocs`` / ``dp_anchor_span_total``.
 
     Rows of appended columns that precede the current region start were
     never computed at the r² level (their SNP pairs span wider than any
@@ -277,19 +324,35 @@ class SumMatrixCache:
     measurable in exact entry counts as well as wall-clock time.
     """
 
+    #: Span factor used by the adaptive policy before any stride has been
+    #: observed (matches the old fixed default), and hard cap on how far
+    #: beyond the region width an adaptive anchor may plan (bounds both
+    #: memory and prefix-sum float magnitudes).
+    DEFAULT_GROWTH = 2.0
+    MAX_ADAPTIVE_GROWTH = 6.0
+    #: How many recent strides inform the adaptive estimate.
+    STRIDE_WINDOW = 8
+
     def __init__(
         self,
         *,
         reuse: bool = True,
-        growth_factor: float = 2.0,
+        growth_factor: Optional[float] = None,
         stats: Optional[ReuseStats] = None,
     ):
-        if growth_factor < 1.0:
+        if growth_factor is not None and growth_factor < 1.0:
             raise ScanConfigError(
                 f"growth_factor must be >= 1, got {growth_factor}"
             )
         self._reuse = reuse
-        self._growth = growth_factor
+        self._growth = growth_factor  # None => adaptive policy
+        #: Span bound of the current anchor (capacity / anchored width);
+        #: equals growth_factor under the fixed policy.
+        self._growth_eff = (
+            growth_factor if growth_factor is not None else self.DEFAULT_GROWTH
+        )
+        self._strides: deque = deque(maxlen=self.STRIDE_WINDOW)
+        self._last_start: Optional[int] = None
         self.stats = stats if stats is not None else ReuseStats()
         #: What the most recent :meth:`region_sums` call did:
         #: ``"build"`` (fresh construction), ``"extend"`` (appended the
@@ -304,12 +367,37 @@ class SumMatrixCache:
 
     # ------------------------------------------------------------------ #
 
+    def _choose_capacity(self, width: int) -> int:
+        """Anchor capacity for a fresh build of ``width`` SNPs."""
+        if self._growth is not None:
+            return max(width, int(math.ceil(self._growth * width)))
+        if not self._strides:
+            return int(math.ceil(self.DEFAULT_GROWTH * width))
+        stride = sorted(self._strides)[len(self._strides) // 2]
+        # Append-vs-rebuild balance: √2·W/s appends equalize total append
+        # work with the amortized O(W²) rebuild; W(W−s)/s² caps planning
+        # where one stride-s append on a ≥W-wide anchor already exceeds a
+        # rebuild. Small strides ⇒ many planned appends ⇒ larger anchors.
+        n_appends = min(
+            int(math.sqrt(2.0) * width / stride),
+            int(width * max(0, width - stride) / (stride * stride)),
+            int((self.MAX_ADAPTIVE_GROWTH - 1.0) * width / stride),
+        )
+        return width + max(0, n_appends) * stride
+
     def _rebuild(self, start: int, stop: int, r2: np.ndarray) -> None:
         """Fresh anchored build — the exact arithmetic of
         ``SumMatrix(r2, assume_symmetric=True)``, placed into a capacity
         array with room to grow in place."""
         width = stop - start + 1
-        self._capacity = max(width, int(math.ceil(self._growth * width)))
+        self._capacity = self._choose_capacity(width)
+        self._growth_eff = (
+            self._growth
+            if self._growth is not None
+            else max(1.0, self._capacity / width)
+        )
+        self.stats.dp_anchor_allocs += 1
+        self.stats.dp_anchor_span_total += self._capacity
         prefix = np.zeros((self._capacity + 1, self._capacity + 1))
         sym = np.asarray(r2, dtype=np.float64).copy()
         np.fill_diagonal(sym, 0.0)
@@ -375,7 +463,7 @@ class SumMatrixCache:
         if stop - self._anchor + 1 > self._capacity:
             return False  # would outgrow the allocated block
         width = stop - start + 1
-        if stop - self._anchor + 1 > self._growth * width:
+        if stop - self._anchor + 1 > self._growth_eff * width:
             return False  # re-anchor: keep magnitudes and memory bounded
         assert self._fill_starts is not None
         lo = start - self._anchor
@@ -405,6 +493,11 @@ class SumMatrixCache:
             raise ScanConfigError(
                 f"r2 shape {r2.shape} does not match region width {width}"
             )
+        if self._last_start is not None and start > self._last_start:
+            # Forward grid stride — the signal the adaptive anchor policy
+            # sizes capacities from (backward jumps rebuild regardless).
+            self._strides.append(start - self._last_start)
+        self._last_start = start
         if not self._reuse or not self._can_serve(start, stop):
             self._rebuild(start, stop, r2)
         elif stop > self._hi:  # type: ignore[operator]
@@ -420,9 +513,11 @@ class SumMatrixCache:
         return SumMatrix.from_prefix(view, width)
 
     def reset(self) -> None:
-        """Drop the anchored block (e.g. when jumping to a new
-        chromosome)."""
+        """Drop the anchored block and stride history (e.g. when jumping
+        to a new chromosome)."""
         self._anchor = self._hi = None
         self._prefix = None
         self._fill_starts = None
         self._width = self._capacity = 0
+        self._strides.clear()
+        self._last_start = None

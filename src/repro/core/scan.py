@@ -82,22 +82,37 @@ class OmegaConfig:
 
 
 class OmegaPlusScanner:
-    """Reference CPU implementation of the complete sweep-detection scan."""
+    """Reference CPU implementation of the complete sweep-detection scan.
 
-    def __init__(self, config: OmegaConfig):
+    Parameters
+    ----------
+    config:
+        The scan configuration.
+    block_fn:
+        Optional fresh-block source handed to the
+        :class:`~repro.core.reuse.R2RegionCache` (see its ``block_fn``
+        parameter). The multiprocess scanner injects the shared r² tile
+        store here; the default computes blocks with ``config.ld_backend``.
+    """
+
+    def __init__(self, config: OmegaConfig, *, block_fn=None):
         self.config = config
+        self._block_fn = block_fn
 
     def scan(self, alignment: SNPAlignment) -> ScanResult:
         """Scan an alignment and return the per-grid-position ω report."""
         if alignment.n_sites < 2:
             raise ScanConfigError("scanning requires at least 2 SNPs")
         cfg = self.config
+        t_wall = time.perf_counter()
         breakdown = TimeBreakdown()
 
         with breakdown.phase("plan"):
             plans = build_plans(alignment, cfg.grid)
 
-        cache = R2RegionCache(alignment, backend=cfg.ld_backend)
+        cache = R2RegionCache(
+            alignment, backend=cfg.ld_backend, block_fn=self._block_fn
+        )
         dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
         subphases = TimeBreakdown()
         n = len(plans)
@@ -141,6 +156,7 @@ class OmegaPlusScanner:
                 rights[k] = alignment.positions[result.right_border + off]
 
         positions = np.array([p.grid_position for p in plans])
+        breakdown.wall_seconds = time.perf_counter() - t_wall
         return ScanResult(
             positions=positions,
             omegas=omegas,

@@ -1,0 +1,319 @@
+"""Shared-memory r² tile store for multiprocess scans.
+
+The r² between two given SNPs does not depend on which worker, block or
+region asks for it. When the grid is cut into many scheduling blocks, the
+block boundaries lose the region-overlap reuse of
+:class:`~repro.core.reuse.R2RegionCache` — every block start used to
+recompute its first region from scratch, once per worker. This module
+recovers that loss with one band of r² *tiles* placed in POSIX shared
+memory by the parent:
+
+* the band covers every SNP pair closer than the widest region the scan
+  can request (``max_pair_span``), cut into ``tile x tile`` squares, with
+  only the upper-triangle offsets stored (r² is symmetric);
+* a tile is computed by whichever process first needs it and published
+  under a per-tile ready flag; afterwards every process serves it with a
+  plain copy. Because both LD backends are deterministic (co-occurrence
+  counts are exact integers in float64, so every summation order agrees
+  bit-for-bit), two workers racing on the same tile write identical
+  bytes — the flag is set only after the data, so a reader never sees a
+  half-filled tile as ready;
+* :meth:`SharedR2TileStore.block` assembles any rectangular block of the
+  pair matrix from tiles, bit-identical to computing the block directly.
+
+The store plugs into :class:`~repro.core.reuse.R2RegionCache` as its
+``block_fn``, so the region cache's overlap reuse still runs in front of
+it — tiles only serve the *fresh* entries each region needs.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.datasets.alignment import SHM_NAME_PREFIX, SNPAlignment
+from repro.datasets.packed import PackedAlignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+from repro.ld.packed_kernels import r_squared_block_packed
+
+__all__ = ["SharedR2TileStore", "TileStoreSpec"]
+
+#: Default tile edge (SNPs). 64 keeps one tile at 32 KB of float64 —
+#: small enough that the first-touch compute granularity stays fine,
+#: large enough that assembly is a handful of block copies per region.
+DEFAULT_TILE = 64
+
+#: Refuse to allocate a store larger than this (the band grows as
+#: n_sites x max_pair_span x 8 bytes; a misconfigured max_window should
+#: fail loudly, mirroring R2RegionCache's region cap).
+DEFAULT_MAX_STORE_BYTES = 1024 * 1024 * 1024
+
+
+def _block_fn(
+    alignment: SNPAlignment, backend: str
+) -> Callable[[slice, slice], np.ndarray]:
+    """The same backend dispatch R2RegionCache uses for fresh blocks."""
+    if backend == "gemm":
+        return lambda r, c: r_squared_block(alignment, r, c)
+    if backend == "packed":
+        packed = PackedAlignment.from_alignment(alignment)
+        return lambda r, c: r_squared_block_packed(packed, r, c)
+    raise ScanConfigError(
+        f"unknown LD backend {backend!r}; use 'gemm' or 'packed'"
+    )
+
+
+@dataclass(frozen=True)
+class TileStoreSpec:
+    """Picklable handle for attaching to a shared tile store."""
+
+    data_name: str
+    flags_name: str
+    tile: int
+    n_sites: int
+    band_tiles: int
+    backend: str
+
+    @property
+    def n_tile_rows(self) -> int:
+        return -(-self.n_sites // self.tile)
+
+    @property
+    def n_slots(self) -> int:
+        return self.n_tile_rows * (self.band_tiles + 1)
+
+
+class SharedR2TileStore:
+    """Cooperatively filled, read-mostly r² tile band in shared memory.
+
+    Create once in the parent (:meth:`create`), ship the
+    :class:`TileStoreSpec`, attach in each worker (:meth:`attach`). The
+    instance's :meth:`block` has the same signature and bit-exact values
+    as :func:`repro.ld.gemm.r_squared_block`, so it drops into
+    :class:`~repro.core.reuse.R2RegionCache` as ``block_fn``.
+
+    ``tile_entries_computed`` / ``tile_entries_reused`` count the r² cells
+    this attachment computed into the store vs served from tiles another
+    fill (possibly in another process) already published.
+    """
+
+    def __init__(
+        self,
+        spec: TileStoreSpec,
+        segments,
+        alignment: Optional[SNPAlignment],
+        *,
+        owner: bool,
+    ):
+        self.spec = spec
+        self._segments = list(segments)
+        self._owner = owner
+        data_shm, flags_shm = segments
+        self._data = np.ndarray(
+            (spec.n_slots, spec.tile, spec.tile),
+            dtype=np.float64,
+            buffer=data_shm.buf,
+        )
+        self._flags = np.ndarray(
+            (spec.n_slots,), dtype=np.uint8, buffer=flags_shm.buf
+        )
+        self._compute = (
+            _block_fn(alignment, spec.backend) if alignment is not None else None
+        )
+        self.tile_entries_computed = 0
+        self.tile_entries_reused = 0
+
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def band_tiles_for(max_pair_span: int, tile: int) -> int:
+        """Tile-index offset needed to cover SNP pairs up to
+        ``max_pair_span - 1`` apart (i.e. any block inside a region of
+        width ``max_pair_span``), for any alignment of the band to the
+        tile grid."""
+        if max_pair_span < 1:
+            raise ScanConfigError(
+                f"max_pair_span must be >= 1, got {max_pair_span}"
+            )
+        return (max_pair_span + tile - 2) // tile
+
+    @classmethod
+    def create(
+        cls,
+        alignment: SNPAlignment,
+        *,
+        max_pair_span: int,
+        tile: int = DEFAULT_TILE,
+        backend: str = "gemm",
+        max_store_bytes: int = DEFAULT_MAX_STORE_BYTES,
+    ) -> "SharedR2TileStore":
+        """Allocate the (zero-filled) band in the creating process."""
+        if tile < 1:
+            raise ScanConfigError(f"tile must be >= 1, got {tile}")
+        _block_fn(alignment, backend)  # validate the backend name early
+        token = f"{SHM_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        spec = TileStoreSpec(
+            data_name=f"{token}-r2tiles",
+            flags_name=f"{token}-r2flags",
+            tile=tile,
+            n_sites=alignment.n_sites,
+            band_tiles=cls.band_tiles_for(max_pair_span, tile),
+            backend=backend,
+        )
+        data_bytes = spec.n_slots * tile * tile * 8
+        if data_bytes > max_store_bytes:
+            raise ScanConfigError(
+                f"shared r2 tile store needs {data_bytes / 1e6:.0f} MB "
+                f"(cap {max_store_bytes / 1e6:.0f} MB); reduce max_window, "
+                f"raise max_store_bytes, or disable shared tiles"
+            )
+        segments = []
+        try:
+            data_shm = shared_memory.SharedMemory(
+                name=spec.data_name, create=True, size=max(1, data_bytes)
+            )
+            segments.append(data_shm)
+            flags_shm = shared_memory.SharedMemory(
+                name=spec.flags_name, create=True, size=max(1, spec.n_slots)
+            )
+            segments.append(flags_shm)
+            # POSIX shared memory is zero-filled on creation: all ready
+            # flags start at 0, no explicit initialization pass needed.
+        except BaseException:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(spec, segments, alignment, owner=True)
+
+    @classmethod
+    def attach(
+        cls, spec: TileStoreSpec, alignment: SNPAlignment
+    ) -> "SharedR2TileStore":
+        """Attach to an existing store; ``alignment`` must be the same
+        data the store was created for (workers pass the shared-backed
+        alignment, so this holds by construction)."""
+        if alignment.n_sites != spec.n_sites:
+            raise ScanConfigError(
+                f"alignment has {alignment.n_sites} sites but the tile "
+                f"store was built for {spec.n_sites}"
+            )
+        segments = []
+        try:
+            data_shm = shared_memory.SharedMemory(name=spec.data_name)
+            segments.append(data_shm)
+            flags_shm = shared_memory.SharedMemory(name=spec.flags_name)
+            segments.append(flags_shm)
+        except BaseException:
+            for shm in segments:
+                shm.close()
+            raise
+        return cls(spec, segments, alignment, owner=False)
+
+    # -------------------------------------------------------------- #
+
+    def _tile_values(self, ti: int, tj: int) -> np.ndarray:
+        """The (possibly edge-trimmed) stored tile ``(ti, tj)`` with
+        ``tj >= ti``, computing and publishing it on first touch."""
+        spec = self.spec
+        t = spec.tile
+        n = spec.n_sites
+        r0, r1 = ti * t, min(ti * t + t, n)
+        c0, c1 = tj * t, min(tj * t + t, n)
+        h, w = r1 - r0, c1 - c0
+        slot = ti * (spec.band_tiles + 1) + (tj - ti)
+        view = self._data[slot, :h, :w]
+        if self._flags[slot]:
+            self.tile_entries_reused += h * w
+            return view
+        assert self._compute is not None
+        values = self._compute(slice(r0, r1), slice(c0, c1))
+        view[:] = values
+        # Publish only after the data is in place; a concurrent filler
+        # writes the identical bytes (deterministic backends), so the
+        # race is benign.
+        self._flags[slot] = 1
+        self.tile_entries_computed += h * w
+        return view
+
+    def block(self, rows: slice, cols: slice) -> np.ndarray:
+        """r² for the rectangular block ``rows x cols`` of the pair
+        matrix, assembled from shared tiles (bit-identical to
+        :func:`~repro.ld.gemm.r_squared_block` on the same alignment).
+
+        Pairs outside the stored band (further apart than the store's
+        ``max_pair_span``) fall back to direct computation — correct, just
+        unshared; the parallel scanner sizes the band so scans never hit
+        this path.
+        """
+        spec = self.spec
+        n = spec.n_sites
+        t = spec.tile
+        r0, r1, rstep = rows.indices(n)
+        c0, c1, cstep = cols.indices(n)
+        if rstep != 1 or cstep != 1:
+            raise ScanConfigError(
+                "tile store blocks require contiguous (step-1) slices"
+            )
+        out = np.empty((r1 - r0, c1 - c0))
+        for ti in range(r0 // t, (r1 - 1) // t + 1):
+            i0 = max(r0, ti * t)
+            i1 = min(r1, ti * t + t)
+            for tj in range(c0 // t, (c1 - 1) // t + 1):
+                j0 = max(c0, tj * t)
+                j1 = min(c1, tj * t + t)
+                if abs(tj - ti) > spec.band_tiles:
+                    assert self._compute is not None
+                    out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = self._compute(
+                        slice(i0, i1), slice(j0, j1)
+                    )
+                    continue
+                if tj >= ti:
+                    tile_vals = self._tile_values(ti, tj)
+                    sub = tile_vals[
+                        i0 - ti * t : i1 - ti * t, j0 - tj * t : j1 - tj * t
+                    ]
+                else:
+                    tile_vals = self._tile_values(tj, ti)
+                    sub = tile_vals[
+                        j0 - tj * t : j1 - tj * t, i0 - ti * t : i1 - ti * t
+                    ].T
+                out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = sub
+        return out
+
+    # -------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release this process's mappings."""
+        self._data = None
+        self._flags = None
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+        self._segments = []
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (owner side; idempotent)."""
+        for name in (self.spec.data_name, self.spec.flags_name):
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            shm.close()
+            shm.unlink()
+
+    def __enter__(self) -> "SharedR2TileStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

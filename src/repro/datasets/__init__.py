@@ -12,7 +12,11 @@ Public entry points:
   workloads with controlled dimensions and LD structure.
 """
 
-from repro.datasets.alignment import SNPAlignment
+from repro.datasets.alignment import (
+    SharedAlignmentSegments,
+    SharedAlignmentSpec,
+    SNPAlignment,
+)
 from repro.datasets.packed import PackedAlignment
 from repro.datasets.msformat import (
     MsReplicate,
@@ -37,6 +41,8 @@ from repro.datasets.vcf import parse_vcf, parse_vcf_text, vcf_text
 
 __all__ = [
     "SNPAlignment",
+    "SharedAlignmentSegments",
+    "SharedAlignmentSpec",
     "PackedAlignment",
     "MsReplicate",
     "parse_ms",

@@ -9,18 +9,35 @@ allele) and is the substrate for every LD and omega computation.
 Sites are ordered by strictly increasing position. Monomorphic columns are
 allowed in the container (r-squared handling masks them downstream), but the
 provided constructors never produce them.
+
+For multiprocess scans the alignment can be placed in POSIX shared memory
+once (:class:`SharedAlignmentSegments`) so worker processes attach to the
+same physical pages zero-copy instead of receiving a pickled copy per
+task — the OmegaPlus-generic model of one alignment shared by all threads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+import os
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import AlignmentError
 
-__all__ = ["SNPAlignment"]
+__all__ = [
+    "SNPAlignment",
+    "SharedAlignmentSegments",
+    "SharedAlignmentSpec",
+]
+
+#: Prefix of every shared-memory segment this library creates; segment
+#: names are ``<prefix>-<pid>-<token>-<role>`` so leak checks can glob
+#: ``/dev/shm`` for the prefix.
+SHM_NAME_PREFIX = "repro-shm"
 
 
 @dataclass(frozen=True)
@@ -165,3 +182,169 @@ class SNPAlignment:
             f"SNPAlignment(n_samples={self.n_samples}, n_sites={self.n_sites}, "
             f"length={self.length})"
         )
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory placement (zero-copy multiprocess scans)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class SharedAlignmentSpec:
+    """Picklable handle describing the shared segments of one alignment.
+
+    This is the *only* thing that crosses the process boundary: a few
+    strings and integers, instead of the matrix itself. Workers call
+    :meth:`SharedAlignmentSegments.attach` with it.
+    """
+
+    matrix_name: str
+    positions_name: str
+    n_samples: int
+    n_sites: int
+    length: float
+
+
+class SharedAlignmentSegments:
+    """Owner/attachment of the shared-memory segments backing an alignment.
+
+    The parent process calls :meth:`create` once — the matrix and position
+    arrays are copied into two POSIX shared-memory segments — and ships the
+    tiny :attr:`spec` to workers, which :meth:`attach` and get a read-only
+    :class:`SNPAlignment` view over the *same* physical pages (zero copies,
+    zero pickled matrix bytes per task).
+
+    Lifecycle: the creating process owns the segments and must
+    :meth:`unlink` them (use the instance as a context manager — the
+    ``finally`` path of the parallel scanner does this even when workers
+    fail, so error paths do not orphan ``/dev/shm`` entries). Attachments
+    just :meth:`close`; worker-process exit releases their mappings either
+    way.
+    """
+
+    def __init__(
+        self,
+        spec: SharedAlignmentSpec,
+        segments: Tuple[shared_memory.SharedMemory, ...],
+        alignment: Optional["SNPAlignment"],
+        *,
+        owner: bool,
+    ):
+        self.spec = spec
+        self._segments = list(segments)
+        self._alignment = alignment
+        self._owner = owner
+
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def create(cls, alignment: "SNPAlignment") -> "SharedAlignmentSegments":
+        """Copy ``alignment`` into freshly created shared segments."""
+        token = f"{SHM_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        spec = SharedAlignmentSpec(
+            matrix_name=f"{token}-mat",
+            positions_name=f"{token}-pos",
+            n_samples=alignment.n_samples,
+            n_sites=alignment.n_sites,
+            length=alignment.length,
+        )
+        segments = []
+        try:
+            shm_mat = shared_memory.SharedMemory(
+                name=spec.matrix_name,
+                create=True,
+                size=max(1, alignment.matrix.nbytes),
+            )
+            segments.append(shm_mat)
+            shm_pos = shared_memory.SharedMemory(
+                name=spec.positions_name,
+                create=True,
+                size=max(1, alignment.positions.nbytes),
+            )
+            segments.append(shm_pos)
+            # Fill through transient views, then drop them so close()
+            # later does not trip over exported buffer pointers.
+            mat = np.ndarray(
+                alignment.matrix.shape, dtype=np.uint8, buffer=shm_mat.buf
+            )
+            mat[:] = alignment.matrix
+            del mat
+            pos = np.ndarray(
+                alignment.positions.shape, dtype=np.float64, buffer=shm_pos.buf
+            )
+            pos[:] = alignment.positions
+            del pos
+        except BaseException:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+            raise
+        return cls(spec, tuple(segments), None, owner=True)
+
+    @classmethod
+    def attach(cls, spec: SharedAlignmentSpec) -> "SharedAlignmentSegments":
+        """Attach to existing segments and expose a read-only alignment."""
+        segments = []
+        try:
+            shm_mat = shared_memory.SharedMemory(name=spec.matrix_name)
+            segments.append(shm_mat)
+            shm_pos = shared_memory.SharedMemory(name=spec.positions_name)
+            segments.append(shm_pos)
+            matrix = np.ndarray(
+                (spec.n_samples, spec.n_sites),
+                dtype=np.uint8,
+                buffer=shm_mat.buf,
+            )
+            matrix.flags.writeable = False
+            positions = np.ndarray(
+                (spec.n_sites,), dtype=np.float64, buffer=shm_pos.buf
+            )
+            positions.flags.writeable = False
+            # SNPAlignment's ascontiguousarray round-trip is a no-op for
+            # these contiguous typed views, so no copy happens here.
+            alignment = SNPAlignment(matrix, positions, spec.length)
+        except BaseException:
+            for shm in segments:
+                shm.close()
+            raise
+        return cls(spec, tuple(segments), alignment, owner=False)
+
+    # -------------------------------------------------------------- #
+
+    @property
+    def alignment(self) -> "SNPAlignment":
+        """The shared-backed alignment (attachments only)."""
+        if self._alignment is None:
+            raise AlignmentError(
+                "no attached alignment; the creating side keeps using its "
+                "own arrays — call attach(spec) to map the shared copy"
+            )
+        return self._alignment
+
+    def close(self) -> None:
+        """Release this process's mappings (drops the alignment views)."""
+        self._alignment = None
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views alive
+                pass
+        self._segments = []
+
+    def unlink(self) -> None:
+        """Remove the segments from the system (owner side; idempotent)."""
+        for name in (self.spec.matrix_name, self.spec.positions_name):
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            shm.close()
+            shm.unlink()
+
+    def __enter__(self) -> "SharedAlignmentSegments":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()

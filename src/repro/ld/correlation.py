@@ -61,7 +61,11 @@ def r_squared_from_counts(
     p_i = c_i / n
     p_j = c_j / n
     p_ij = n11 / n
-    denom = p_i * (1.0 - p_i) * p_j * (1.0 - p_j)
+    # Grouped per site so the product is exactly symmetric under an
+    # (i, j) swap (float multiplication commutes bitwise; the flat
+    # left-to-right order would not associate the same way) — this is
+    # what lets symmetric consumers serve r2(j, i) as r2(i, j) verbatim.
+    denom = (p_i * (1.0 - p_i)) * (p_j * (1.0 - p_j))
     bad = denom <= 0.0
     if strict and np.any(bad):
         raise LDError("r-squared undefined for monomorphic site(s)")

@@ -55,9 +55,21 @@ class TimeBreakdown:
     Use :meth:`phase` as a context manager; times for the same phase add up
     across entries. :meth:`fractions` normalizes to the total, which is how
     the paper reports the LD/omega execution-time distribution (Fig. 14).
+
+    Phase totals are *CPU-attributed* seconds: when several workers run
+    concurrently and their breakdowns are merged, the per-phase totals sum
+    across workers and therefore exceed elapsed time. The separate
+    :attr:`wall_seconds` field records true elapsed time for the whole
+    operation and is never summed — :meth:`merged` keeps the larger of the
+    two operands (the straggler), and a parallel driver overwrites it with
+    its own measured elapsed time.
     """
 
     totals: Dict[str, float] = field(default_factory=dict)
+    #: True elapsed (wall-clock) seconds for the operation this breakdown
+    #: describes. 0.0 when not measured. Distinct from :attr:`total`,
+    #: which sums per-phase CPU-attributed seconds across workers.
+    wall_seconds: float = 0.0
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -77,6 +89,7 @@ class TimeBreakdown:
 
     @property
     def total(self) -> float:
+        """Sum of per-phase seconds (CPU-attributed, not elapsed)."""
         return sum(self.totals.values())
 
     def fractions(self) -> Dict[str, float]:
@@ -87,8 +100,16 @@ class TimeBreakdown:
         return {name: t / tot for name, t in self.totals.items()}
 
     def merged(self, other: "TimeBreakdown") -> "TimeBreakdown":
-        """Return a new breakdown with phase totals from both operands."""
-        out = TimeBreakdown(dict(self.totals))
+        """Return a new breakdown with phase totals from both operands.
+
+        Phase seconds add (they are CPU-attributed); ``wall_seconds`` does
+        not — concurrent workers overlap in time, so the merge keeps the
+        larger operand (the straggler bounds elapsed time from below).
+        """
+        out = TimeBreakdown(
+            dict(self.totals),
+            wall_seconds=max(self.wall_seconds, other.wall_seconds),
+        )
         for name, t in other.totals.items():
             out.totals[name] = out.totals.get(name, 0.0) + t
         return out

@@ -239,6 +239,94 @@ class TestDpStats:
         )
 
 
+class TestAdaptiveGrowth:
+    """The default anchor policy sizes capacities from the observed grid
+    stride: small strides amortize one build over many appends (large
+    anchors); strides near the region width collapse toward
+    rebuild-per-position."""
+
+    @staticmethod
+    def _walk(cache, stride, width=20, n_sites=N_SITES, r2=None):
+        for start in range(0, n_sites - width + 1, stride):
+            stop = start + width - 1
+            cache.region_sums(start, stop, r2[start : stop + 1, start : stop + 1])
+
+    def test_anchor_allocations_are_counted(self, full_r2):
+        cache = SumMatrixCache()
+        self._walk(cache, stride=2, r2=full_r2)
+        stats = cache.stats
+        assert stats.dp_anchor_allocs == stats.dp_builds > 0
+        # Every anchor at least spans its region (width 20).
+        assert stats.dp_anchor_span_total >= 20 * stats.dp_anchor_allocs
+        assert stats.mean_anchor_span >= 20.0
+
+    def test_small_strides_get_larger_anchors(self, full_r2):
+        fine = SumMatrixCache()
+        self._walk(fine, stride=1, r2=full_r2)
+        coarse = SumMatrixCache()
+        self._walk(coarse, stride=16, r2=full_r2)
+        assert fine.stats.mean_anchor_span > coarse.stats.mean_anchor_span
+
+    def test_near_width_stride_collapses_to_rebuild(self, full_r2):
+        """Once one stride-s append costs more than a rebuild, the policy
+        plans no appends: after the stride is observed, anchors are
+        region-sized and every step is a fresh build."""
+        cache = SumMatrixCache()
+        self._walk(cache, stride=16, r2=full_r2)
+        # Starts 0, 16, 32: the first anchor (no stride history) absorbs
+        # start 16 as an extension; the re-anchor at 32 plans zero appends.
+        assert cache.stats.dp_anchor_allocs >= 2
+        assert cache.stats.dp_anchor_span_total == 40 + 20
+        assert cache.last_action == "build"
+
+    def test_fixed_policy_ignores_strides(self, full_r2):
+        cache = SumMatrixCache(growth_factor=3.0)
+        self._walk(cache, stride=1, r2=full_r2)
+        # Every allocation is exactly growth_factor * width.
+        assert (
+            cache.stats.dp_anchor_span_total
+            == 60 * cache.stats.dp_anchor_allocs
+        )
+
+    def test_adaptive_matches_fresh_build(self, full_r2):
+        """Whatever capacities the policy picks, answers stay correct."""
+        for stride in (1, 3, 7, 16):
+            cache = SumMatrixCache()
+            width = 20
+            for start in range(0, N_SITES - width + 1, stride):
+                stop = start + width - 1
+                r2 = full_r2[start : stop + 1, start : stop + 1]
+                sums = cache.region_sums(start, stop, r2)
+                fresh = SumMatrix(r2, assume_symmetric=True)
+                np.testing.assert_allclose(
+                    sums.as_matrix(), fresh.as_matrix(), rtol=1e-9, atol=1e-9
+                )
+
+    def test_mean_anchor_span_empty(self):
+        assert ReuseStats().mean_anchor_span == 0.0
+
+    def test_merge_carries_anchor_and_tile_counters(self):
+        a = ReuseStats(
+            dp_anchor_allocs=1,
+            dp_anchor_span_total=40,
+            tile_entries_computed=5,
+            tile_entries_reused=6,
+        )
+        a.merge_from(
+            ReuseStats(
+                dp_anchor_allocs=2,
+                dp_anchor_span_total=60,
+                tile_entries_computed=50,
+                tile_entries_reused=60,
+            )
+        )
+        assert a.dp_anchor_allocs == 3
+        assert a.dp_anchor_span_total == 100
+        assert a.tile_entries_computed == 55
+        assert a.tile_entries_reused == 66
+        assert a.mean_anchor_span == pytest.approx(100 / 3)
+
+
 class TestValidation:
     def test_rejects_inverted_region(self, full_r2):
         with pytest.raises(ScanConfigError):

@@ -1,15 +1,28 @@
 """Tests for the multiprocess scanner."""
 
+import glob
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.grid import GridSpec
-from repro.core.parallel import _FixedGridScanner, parallel_scan, split_grid
+from repro.core.parallel import (
+    ParallelScanSession,
+    _FixedGridScanner,
+    make_blocks,
+    parallel_scan,
+    split_grid,
+)
 from repro.core.scan import OmegaConfig, OmegaPlusScanner
+from repro.datasets.alignment import SHM_NAME_PREFIX
 from repro.datasets.generators import haplotype_block_alignment
 from repro.errors import ScanConfigError
+
+
+def _shm_entries():
+    return set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
 
 
 class TestSplitGrid:
@@ -38,6 +51,40 @@ class TestSplitGrid:
             split_grid(0, 2)
         with pytest.raises(ScanConfigError):
             split_grid(5, 0)
+
+
+class TestMakeBlocks:
+    def test_covers_everything_no_overlap(self):
+        for n, w in [(1, 1), (17, 4), (100, 7), (3, 8)]:
+            blocks = make_blocks(n, w)
+            flat = [k for a, b in blocks for k in range(a, b)]
+            assert flat == list(range(n))
+
+    def test_no_empty_blocks(self):
+        for n, w in [(1, 4), (5, 8), (23, 3)]:
+            assert all(b > a for a, b in make_blocks(n, w))
+
+    def test_default_targets_blocks_per_worker(self):
+        # 96 positions, 4 workers => 16 blocks of 6 (4 per worker).
+        blocks = make_blocks(96, 4)
+        assert len(blocks) == 16
+        assert all(b - a == 6 for a, b in blocks)
+
+    def test_explicit_block_size(self):
+        assert make_blocks(10, 3, block_size=4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_finer_than_split_grid(self):
+        """Dynamic scheduling needs more blocks than workers so the pool
+        queue can rebalance."""
+        assert len(make_blocks(64, 4)) > len(split_grid(64, 4))
+
+    def test_invalid(self):
+        with pytest.raises(ScanConfigError):
+            make_blocks(0, 2)
+        with pytest.raises(ScanConfigError):
+            make_blocks(5, 0)
+        with pytest.raises(ScanConfigError):
+            make_blocks(5, 2, block_size=0)
 
 
 class TestParallelScan:
@@ -139,7 +186,8 @@ class TestFixedGridScanner:
 
 class TestParallelEquivalenceProperty:
     """parallel_scan must be observationally identical to the sequential
-    scanner for any grid size / worker count / LD backend."""
+    scanner for any grid size / worker count / scheduler / block size /
+    LD backend."""
 
     _ALN = haplotype_block_alignment(40, 120, seed=202)
 
@@ -147,16 +195,26 @@ class TestParallelEquivalenceProperty:
         n_positions=st.integers(2, 10),
         n_workers=st.integers(2, 6),
         backend=st.sampled_from(["gemm", "packed"]),
+        scheduler=st.sampled_from(["shared", "pickled"]),
+        block_size=st.one_of(st.none(), st.integers(1, 5)),
     )
     @settings(max_examples=8, deadline=None)
-    def test_matches_sequential(self, n_positions, n_workers, backend):
+    def test_matches_sequential(
+        self, n_positions, n_workers, backend, scheduler, block_size
+    ):
         aln = self._ALN
         config = OmegaConfig(
             grid=GridSpec(n_positions=n_positions, max_window=aln.length / 3),
             ld_backend=backend,
         )
         seq = OmegaPlusScanner(config).scan(aln)
-        par = parallel_scan(aln, config, n_workers=n_workers)
+        par = parallel_scan(
+            aln,
+            config,
+            n_workers=n_workers,
+            scheduler=scheduler,
+            block_size=block_size,
+        )
         np.testing.assert_array_equal(par.positions, seq.positions)
         np.testing.assert_allclose(
             par.omegas, seq.omegas, rtol=1e-9, atol=1e-12
@@ -177,3 +235,129 @@ class TestParallelEquivalenceProperty:
             par.reuse.dp_entries_computed + par.reuse.dp_entries_reused
             == seq.reuse.dp_entries_computed + seq.reuse.dp_entries_reused
         )
+
+
+def _boom(task):
+    raise RuntimeError("injected worker failure")
+
+
+class TestSharedScheduler:
+    @pytest.fixture
+    def config(self, block_alignment):
+        return OmegaConfig(
+            grid=GridSpec(n_positions=12, max_window=block_alignment.length / 3)
+        )
+
+    def test_wall_seconds_recorded(self, block_alignment, config):
+        par = parallel_scan(block_alignment, config, n_workers=2)
+        assert par.breakdown.wall_seconds > 0.0
+        # Phase totals are CPU-attributed across workers, so they are not
+        # bounded by the wall clock — but both must be populated.
+        assert par.breakdown.total > 0.0
+
+    def test_tile_store_feeds_workers(self, block_alignment, config):
+        par = parallel_scan(block_alignment, config, n_workers=2)
+        tiles = par.reuse.tile_entries_computed + par.reuse.tile_entries_reused
+        assert tiles > 0
+        off = parallel_scan(
+            block_alignment, config, n_workers=2, shared_tiles=False
+        )
+        assert off.reuse.tile_entries_computed == 0
+        assert off.reuse.tile_entries_reused == 0
+
+    def test_cost_ordering_off_still_matches(self, block_alignment, config):
+        seq = OmegaPlusScanner(config).scan(block_alignment)
+        par = parallel_scan(
+            block_alignment, config, n_workers=2, cost_ordering=False
+        )
+        np.testing.assert_allclose(par.omegas, seq.omegas, rtol=1e-9)
+
+    def test_rejects_unknown_scheduler(self, block_alignment, config):
+        with pytest.raises(ScanConfigError):
+            parallel_scan(
+                block_alignment, config, n_workers=2, scheduler="threads"
+            )
+
+    def test_no_segments_leak_after_scan(self, block_alignment, config):
+        before = _shm_entries()
+        parallel_scan(block_alignment, config, n_workers=2)
+        assert _shm_entries() == before
+
+    def test_failing_worker_does_not_orphan_segments(
+        self, block_alignment, config, monkeypatch
+    ):
+        """Regression: a crash inside a worker task must surface the
+        exception AND unlink every shared segment."""
+        import repro.core.parallel as parallel_mod
+
+        before = _shm_entries()
+        monkeypatch.setattr(parallel_mod, "_scan_block", _boom)
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            parallel_scan(block_alignment, config, n_workers=2)
+        assert _shm_entries() == before
+
+    def test_worker_attach_failure_surfaces_and_cleans_up(
+        self, block_alignment, config, monkeypatch
+    ):
+        """An initializer that cannot attach must not crash-loop the pool
+        (workers record the error and the first task reports it) and must
+        not orphan segments."""
+        from repro.datasets.alignment import SharedAlignmentSegments
+
+        def broken_attach(spec):
+            raise RuntimeError("no segments for you")
+
+        before = _shm_entries()
+        monkeypatch.setattr(
+            SharedAlignmentSegments, "attach", staticmethod(broken_attach)
+        )
+        with pytest.raises(RuntimeError, match="failed to attach"):
+            parallel_scan(block_alignment, config, n_workers=2)
+        assert _shm_entries() == before
+
+
+class TestParallelScanSession:
+    @pytest.fixture
+    def config(self, block_alignment):
+        return OmegaConfig(
+            grid=GridSpec(n_positions=10, max_window=block_alignment.length / 3)
+        )
+
+    def test_repeated_scans_identical(self, block_alignment, config):
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            first = session.scan()
+            second = session.scan()
+        np.testing.assert_array_equal(first.omegas, second.omegas)
+
+    def test_second_scan_computes_no_tiles(self, block_alignment, config):
+        """The tile store persists across scans of one session: the second
+        scan serves every fresh r² entry from already-published tiles."""
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            first = session.scan()
+            second = session.scan()
+        assert first.reuse.tile_entries_computed > 0
+        assert second.reuse.tile_entries_computed == 0
+        assert second.reuse.tile_entries_reused > 0
+
+    def test_exit_removes_segments(self, block_alignment, config):
+        before = _shm_entries()
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            session.scan()
+            assert len(_shm_entries()) > len(before)
+        assert _shm_entries() == before
+
+    def test_close_idempotent(self, block_alignment, config):
+        session = ParallelScanSession(block_alignment, config, n_workers=2)
+        session.start()
+        session.close()
+        session.close()
+
+    def test_rejects_zero_workers(self, block_alignment, config):
+        with pytest.raises(ScanConfigError):
+            ParallelScanSession(block_alignment, config, n_workers=0)

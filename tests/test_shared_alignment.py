@@ -1,0 +1,131 @@
+"""Tests for the shared-memory alignment segments."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.datasets.alignment import (
+    SHM_NAME_PREFIX,
+    SharedAlignmentSegments,
+    SNPAlignment,
+)
+from repro.datasets.generators import random_alignment
+from repro.errors import AlignmentError
+
+
+def _shm_entries():
+    return set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
+
+
+class TestCreateAttach:
+    def test_roundtrip_preserves_data(self):
+        aln = random_alignment(15, 40, seed=11)
+        owner = SharedAlignmentSegments.create(aln)
+        try:
+            attached = SharedAlignmentSegments.attach(owner.spec)
+            try:
+                shared = attached.alignment
+                assert shared.equals(aln)
+                assert shared.n_samples == aln.n_samples
+                assert shared.n_sites == aln.n_sites
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+            owner.unlink()
+
+    def test_attached_arrays_are_readonly_views(self):
+        aln = random_alignment(10, 20, seed=12)
+        with SharedAlignmentSegments.create(aln) as owner:
+            attached = SharedAlignmentSegments.attach(owner.spec)
+            try:
+                shared = attached.alignment
+                assert not shared.matrix.flags.writeable
+                assert not shared.positions.flags.writeable
+                # Zero-copy: the arrays are views over the mapped buffer,
+                # not fresh allocations.
+                assert not shared.matrix.flags.owndata
+                assert not shared.positions.flags.owndata
+                with pytest.raises(ValueError):
+                    shared.matrix[0, 0] = 1
+            finally:
+                attached.close()
+
+    def test_owner_side_has_no_alignment(self):
+        aln = random_alignment(8, 16, seed=13)
+        with SharedAlignmentSegments.create(aln) as owner:
+            with pytest.raises(AlignmentError):
+                _ = owner.alignment
+
+    def test_spec_is_tiny(self):
+        """The point of the design: only the spec crosses the process
+        boundary, and it is a few strings and numbers."""
+        import pickle
+
+        aln = random_alignment(30, 500, seed=14)
+        with SharedAlignmentSegments.create(aln) as owner:
+            assert len(pickle.dumps(owner.spec)) < 512
+            assert aln.matrix.nbytes > 10_000
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self):
+        before = _shm_entries()
+        aln = random_alignment(10, 30, seed=15)
+        with SharedAlignmentSegments.create(aln) as owner:
+            assert len(_shm_entries()) >= len(before) + 2
+            spec = owner.spec
+        assert _shm_entries() == before
+        with pytest.raises(FileNotFoundError):
+            SharedAlignmentSegments.attach(spec)
+
+    def test_unlink_idempotent(self):
+        aln = random_alignment(10, 30, seed=16)
+        owner = SharedAlignmentSegments.create(aln)
+        owner.close()
+        owner.unlink()
+        owner.unlink()  # second unlink must not raise
+
+    def test_attachment_close_keeps_segments(self):
+        aln = random_alignment(10, 30, seed=17)
+        with SharedAlignmentSegments.create(aln) as owner:
+            attached = SharedAlignmentSegments.attach(owner.spec)
+            attached.close()
+            # Segments still exist for other attachments.
+            again = SharedAlignmentSegments.attach(owner.spec)
+            assert again.alignment.equals(aln)
+            again.close()
+
+    def test_shared_alignment_scans_like_original(self):
+        """A scan over the attached alignment equals a scan over the
+        original (read-only views satisfy every kernel)."""
+        from repro.core.grid import GridSpec
+        from repro.core.scan import OmegaConfig, OmegaPlusScanner
+
+        aln = random_alignment(20, 60, seed=18)
+        cfg = OmegaConfig(
+            grid=GridSpec(n_positions=6, max_window=aln.length / 3)
+        )
+        ref = OmegaPlusScanner(cfg).scan(aln)
+        with SharedAlignmentSegments.create(aln) as owner:
+            attached = SharedAlignmentSegments.attach(owner.spec)
+            try:
+                got = OmegaPlusScanner(cfg).scan(attached.alignment)
+                np.testing.assert_array_equal(got.omegas, ref.omegas)
+            finally:
+                attached.close()
+
+    def test_degenerate_alignment(self):
+        """Smallest legal alignment round-trips (segment sizes >= 1)."""
+        aln = SNPAlignment(
+            matrix=np.array([[0, 1], [1, 0]], dtype=np.uint8),
+            positions=np.array([1.0, 2.0]),
+            length=10.0,
+        )
+        with SharedAlignmentSegments.create(aln) as owner:
+            attached = SharedAlignmentSegments.attach(owner.spec)
+            try:
+                assert attached.alignment.equals(aln)
+            finally:
+                attached.close()

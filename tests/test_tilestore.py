@@ -1,0 +1,132 @@
+"""Tests for the shared-memory r² tile store."""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.core.tilestore import SharedR2TileStore
+from repro.datasets.alignment import SHM_NAME_PREFIX
+from repro.datasets.generators import haplotype_block_alignment, random_alignment
+from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+
+
+@pytest.fixture
+def aln():
+    return haplotype_block_alignment(25, 90, seed=31)
+
+
+class TestBandSizing:
+    def test_band_covers_widest_region(self):
+        # A region of width W contains pairs up to W-1 apart; the band
+        # must reach them for any alignment against the tile grid.
+        for span, tile in [(2, 8), (8, 8), (9, 8), (65, 64), (64, 64)]:
+            band = SharedR2TileStore.band_tiles_for(span, tile)
+            # Worst case: pair (i, i + span - 1) with i at a tile's last
+            # row: tile distance is ceil((span - 1 + tile - 1) / tile) - 1.
+            worst = (span - 1 + tile - 1) // tile
+            assert band >= worst - 0  # band formula equals the worst case
+            assert band == (span + tile - 2) // tile
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ScanConfigError):
+            SharedR2TileStore.band_tiles_for(0, 8)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("backend", ["gemm", "packed"])
+    def test_blocks_match_direct_compute(self, aln, backend):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16, backend=backend
+        ) as store:
+            for rows, cols in [
+                (slice(0, 40), slice(0, 40)),
+                (slice(5, 30), slice(5, 30)),
+                (slice(10, 20), slice(20, 45)),  # off-diagonal
+                (slice(33, 35), slice(3, 35)),  # needs transposed tiles
+                (slice(88, 90), slice(70, 90)),  # ragged edge tiles
+            ]:
+                got = store.block(rows, cols)
+                ref = r_squared_block(aln, rows, cols)
+                np.testing.assert_array_equal(got, ref)
+
+    def test_out_of_band_falls_back(self, aln):
+        """Pairs wider than the band are computed directly — still
+        correct, just not shared."""
+        with SharedR2TileStore.create(
+            aln, max_pair_span=10, tile=4
+        ) as store:
+            rows, cols = slice(0, 5), slice(60, 70)
+            got = store.block(rows, cols)
+            np.testing.assert_array_equal(
+                got, r_squared_block(aln, rows, cols)
+            )
+
+    def test_rejects_strided_slices(self, aln):
+        with SharedR2TileStore.create(aln, max_pair_span=20) as store:
+            with pytest.raises(ScanConfigError):
+                store.block(slice(0, 10, 2), slice(0, 10))
+
+
+class TestCooperativeFill:
+    def test_counters_split_computed_vs_reused(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=8
+        ) as store:
+            store.block(slice(0, 16), slice(0, 16))
+            computed_first = store.tile_entries_computed
+            reused_first = store.tile_entries_reused
+            assert computed_first > 0
+            # The sub-diagonal tile is already served as the transpose of
+            # its upper-triangle twin, so some reuse happens immediately.
+            store.block(slice(0, 16), slice(0, 16))
+            assert store.tile_entries_computed == computed_first
+            assert store.tile_entries_reused > reused_first
+
+    def test_second_attachment_reuses_published_tiles(self, aln):
+        """A tile computed through one attachment is served (not
+        recomputed) through another — the cross-worker sharing path."""
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=8
+        ) as store:
+            store.block(slice(0, 16), slice(0, 16))
+            other = SharedR2TileStore.attach(store.spec, aln)
+            try:
+                got = other.block(slice(0, 16), slice(0, 16))
+                np.testing.assert_array_equal(
+                    got, r_squared_block(aln, slice(0, 16), slice(0, 16))
+                )
+                assert other.tile_entries_computed == 0
+                assert other.tile_entries_reused > 0
+            finally:
+                other.close()
+
+    def test_attach_validates_site_count(self, aln):
+        other = random_alignment(25, 40, seed=32)
+        with SharedR2TileStore.create(aln, max_pair_span=20) as store:
+            with pytest.raises(ScanConfigError):
+                SharedR2TileStore.attach(store.spec, other)
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self, aln):
+        before = set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
+        with SharedR2TileStore.create(aln, max_pair_span=20) as store:
+            assert len(set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))) >= (
+                len(before) + 2
+            )
+            spec = store.spec
+        assert set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*")) == before
+        with pytest.raises(FileNotFoundError):
+            SharedR2TileStore.attach(spec, aln)
+
+    def test_size_cap_enforced(self, aln):
+        with pytest.raises(ScanConfigError, match="tile store"):
+            SharedR2TileStore.create(
+                aln, max_pair_span=80, max_store_bytes=1024
+            )
+
+    def test_rejects_bad_backend(self, aln):
+        with pytest.raises(ScanConfigError):
+            SharedR2TileStore.create(aln, max_pair_span=20, backend="cuda")

@@ -73,6 +73,27 @@ class TestTimeBreakdown:
         assert a.totals["omega"] == 2.0
         assert b.totals["omega"] == 3.0
 
+    def test_wall_seconds_defaults_to_zero(self):
+        assert TimeBreakdown().wall_seconds == 0.0
+        assert TimeBreakdown({"ld": 1.0}).wall_seconds == 0.0
+
+    def test_wall_seconds_not_in_total(self):
+        """Wall clock is elapsed time, not a phase — it must not leak into
+        the CPU-attributed phase sum."""
+        bd = TimeBreakdown({"ld": 1.0}, wall_seconds=9.0)
+        assert bd.total == 1.0
+        assert bd.fractions() == {"ld": 1.0}
+
+    def test_merged_wall_takes_straggler(self):
+        """Phase seconds sum across workers; wall seconds overlap, so the
+        merge keeps the larger operand."""
+        a = TimeBreakdown({"ld": 1.0}, wall_seconds=2.0)
+        b = TimeBreakdown({"ld": 1.0}, wall_seconds=5.0)
+        m = a.merged(b)
+        assert m.totals["ld"] == 2.0
+        assert m.wall_seconds == 5.0
+        assert a.merged(TimeBreakdown()).wall_seconds == 2.0
+
     def test_phase_records_on_exception(self):
         bd = TimeBreakdown()
         with pytest.raises(RuntimeError):
