@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Bounded-memory smoke test for the streaming scan path.
+
+Generates a chromosome-scale synthetic ms file row by row (the full
+genotype matrix never exists in this process), scans it with
+``scan_stream`` under a small SNP budget, and asserts that the peak RSS
+growth stays a small fraction of what the full matrix would occupy —
+the property the streaming tentpole exists to provide.
+
+This is a standalone script rather than a pytest benchmark on purpose:
+``ru_maxrss`` is a process-lifetime high-water mark, so the measurement
+only means something in a process that has not already held a large
+alignment. Run it as::
+
+    PYTHONPATH=src python benchmarks/bench_stream_memory.py \\
+        --sites 100000 --samples 400 --snp-budget 4000 \\
+        --out benchmarks/results/stream_memory.json
+
+Exits non-zero when the bound is violated, so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+
+def _peak_rss_mib() -> float:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def write_synthetic_ms(path: str, n_samples: int, n_sites: int, seed: int):
+    """Write one ms replicate row by row — O(n_sites) resident, never
+    the full matrix."""
+    rng = np.random.default_rng(seed)
+    lattice = np.sort(rng.choice(1_000_000, size=n_sites, replace=False))
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"ms {n_samples} 1 -t 10.0\n1 2 3\n\n//\n")
+        fh.write(f"segsites: {n_sites}\n")
+        fh.write(
+            "positions: "
+            + " ".join(f"0.{d:06d}" for d in lattice)
+            + "\n"
+        )
+        for _ in range(n_samples):
+            row = rng.integers(0, 2, size=n_sites, dtype=np.uint8)
+            fh.write((row + ord("0")).tobytes().decode("ascii") + "\n")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sites", type=int, default=100_000)
+    ap.add_argument("--samples", type=int, default=400)
+    ap.add_argument("--snp-budget", type=int, default=4_000)
+    ap.add_argument("--grid", type=int, default=24)
+    ap.add_argument("--length", type=float, default=1e6)
+    ap.add_argument("--maxwin", type=float, default=1_500.0,
+                    help="max window (bp); sets the omega region width — "
+                    "the streamed peak scales with the region, not the "
+                    "chromosome")
+    ap.add_argument("--rss-fraction", type=float, default=0.5,
+                    help="allowed peak-RSS growth as a fraction of the "
+                    "full genotype matrix size")
+    ap.add_argument("--seed", type=int, default=20240731)
+    ap.add_argument("--out", default=None,
+                    help="write the JSON record here")
+    args = ap.parse_args(argv)
+
+    from repro.core.grid import GridSpec
+    from repro.core.scan import OmegaConfig, scan_stream
+    from repro.datasets.streaming import StreamingAlignmentReader
+
+    with tempfile.NamedTemporaryFile(
+        mode="w", suffix=".ms", delete=True
+    ) as tmp:
+        t0 = time.perf_counter()
+        write_synthetic_ms(tmp.name, args.samples, args.sites, args.seed)
+        gen_seconds = time.perf_counter() - t0
+
+        reader = StreamingAlignmentReader(
+            tmp.name, format="ms", length=args.length
+        )
+        baseline_mib = _peak_rss_mib()
+
+        config = OmegaConfig(
+            grid=GridSpec(n_positions=args.grid, max_window=args.maxwin)
+        )
+        t0 = time.perf_counter()
+        result = scan_stream(reader, config, snp_budget=args.snp_budget)
+        scan_seconds = time.perf_counter() - t0
+
+    peak_mib = _peak_rss_mib()
+    delta_mib = peak_mib - baseline_mib
+    full_matrix_mib = args.samples * args.sites / 2**20
+    threshold_mib = args.rss_fraction * full_matrix_mib
+    ok = delta_mib < threshold_mib
+
+    record = {
+        "sites": args.sites,
+        "samples": args.samples,
+        "snp_budget": args.snp_budget,
+        "grid": args.grid,
+        "max_window_bp": args.maxwin,
+        "baseline_rss_mib": round(baseline_mib, 2),
+        "peak_rss_mib": round(peak_mib, 2),
+        "delta_rss_mib": round(delta_mib, 2),
+        "full_matrix_mib": round(full_matrix_mib, 2),
+        "threshold_mib": round(threshold_mib, 2),
+        "max_omega": float(np.max(result.omegas)),
+        "argmax_position_bp": float(
+            result.positions[int(np.argmax(result.omegas))]
+        ),
+        "generate_seconds": round(gen_seconds, 2),
+        "scan_seconds": round(scan_seconds, 2),
+        "ok": ok,
+    }
+    text = json.dumps(record, indent=2)
+    print(text)
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n", encoding="utf-8")
+    if not ok:
+        print(
+            f"FAIL: streamed scan grew RSS by {delta_mib:.1f} MiB, "
+            f"over the {threshold_mib:.1f} MiB bound "
+            f"({args.rss_fraction:.0%} of the {full_matrix_mib:.1f} MiB "
+            f"full matrix)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: peak RSS grew {delta_mib:.1f} MiB while streaming a "
+        f"{full_matrix_mib:.1f} MiB matrix (bound {threshold_mib:.1f} MiB)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default="gemm", help="LD computation backend")
     scan_p.add_argument("--workers", type=int, default=1,
                         help="worker processes")
+    scan_p.add_argument("--scheduler", choices=("shared", "pickled"),
+                        default="shared",
+                        help="multiprocess scheduler (with --workers > 1)")
+    scan_p.add_argument("--stream", action="store_true",
+                        help="stream the input in bounded-memory chunks "
+                        "instead of loading the full matrix (ms/vcf only)")
+    scan_p.add_argument("--snp-budget", type=int, default=8192,
+                        help="max SNP columns resident per streamed chunk "
+                        "(with --stream)")
     scan_p.add_argument("--replicate", type=int, default=0,
                         help="replicate index within the ms file")
     scan_p.add_argument("--all-replicates", action="store_true",
@@ -183,8 +192,73 @@ def _config(args) -> OmegaConfig:
     )
 
 
+def _peak_rss_mib() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS.
+    """
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _stream_source(args):
+    fmt = getattr(args, "format", "ms")
+    if fmt == "fasta":
+        raise ReproError(
+            "--stream supports ms and vcf input (FASTA parsing needs the "
+            "whole alignment to call its consensus)"
+        )
+    from repro.datasets.streaming import StreamingAlignmentReader
+
+    if fmt == "vcf":
+        return StreamingAlignmentReader(
+            args.input,
+            format="vcf",
+            length=args.length if args.length > 1.0 else None,
+        )
+    return StreamingAlignmentReader(
+        args.input,
+        format="ms",
+        length=args.length,
+        replicate=args.replicate,
+    )
+
+
 def _cmd_scan(args) -> int:
     config = _config(args)
+    if getattr(args, "stream", False):
+        from repro.core.scan import scan_stream
+
+        if getattr(args, "all_replicates", False):
+            raise ReproError(
+                "--stream scans one replicate at a time; drop "
+                "--all-replicates or pick --replicate"
+            )
+        source = _stream_source(args)
+        result = scan_stream(
+            source,
+            config,
+            snp_budget=args.snp_budget,
+            n_workers=args.workers,
+            scheduler=args.scheduler,
+        )
+        report = result.to_tsv()
+        if args.out:
+            with open(args.out, "w", encoding="ascii") as fh:
+                fh.write(report + "\n")
+        else:
+            print(report)
+        print(result.summary(), file=sys.stderr)
+        print(
+            f"streamed {source.n_sites} SNPs in chunks of "
+            f"<= {args.snp_budget}; peak memory {_peak_rss_mib():.1f} MiB",
+            file=sys.stderr,
+        )
+        return 0
     if getattr(args, "all_replicates", False):
         from repro.core.report_io import write_report
 
@@ -196,7 +270,8 @@ def _cmd_scan(args) -> int:
             if args.workers > 1:
                 results.append(
                     parallel_scan(
-                        rep.alignment, config, n_workers=args.workers
+                        rep.alignment, config, n_workers=args.workers,
+                        scheduler=args.scheduler,
                     )
                 )
             else:
@@ -213,7 +288,10 @@ def _cmd_scan(args) -> int:
         return 0
     alignment = _load_alignment(args)
     if args.workers > 1:
-        result = parallel_scan(alignment, config, n_workers=args.workers)
+        result = parallel_scan(
+            alignment, config, n_workers=args.workers,
+            scheduler=args.scheduler,
+        )
     else:
         result = OmegaPlusScanner(config).scan(alignment)
     report = result.to_tsv()

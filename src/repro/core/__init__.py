@@ -13,7 +13,12 @@
 """
 
 from repro.core.dp import SumMatrix, build_m_recurrence
-from repro.core.grid import GridSpec, PositionPlan, build_plans
+from repro.core.grid import (
+    GridSpec,
+    PositionPlan,
+    build_plans,
+    build_plans_from_positions,
+)
 from repro.core.omega import (
     DENOMINATOR_OFFSET,
     OmegaMaximum,
@@ -24,13 +29,20 @@ from repro.core.omega import (
 )
 from repro.core.parallel import (
     ParallelScanSession,
+    StreamingScanSession,
     make_blocks,
     parallel_scan,
     split_grid,
 )
 from repro.core.results import PositionResult, ScanResult
 from repro.core.reuse import R2RegionCache, ReuseStats, SumMatrixCache
-from repro.core.scan import OmegaConfig, OmegaPlusScanner, scan
+from repro.core.scan import (
+    OmegaConfig,
+    OmegaPlusScanner,
+    iter_scan_stream,
+    scan,
+    scan_stream,
+)
 from repro.core.tilestore import SharedR2TileStore, TileStoreSpec
 
 __all__ = [
@@ -39,6 +51,7 @@ __all__ = [
     "GridSpec",
     "PositionPlan",
     "build_plans",
+    "build_plans_from_positions",
     "DENOMINATOR_OFFSET",
     "OmegaMaximum",
     "omega_from_sums",
@@ -46,6 +59,7 @@ __all__ = [
     "omega_split_matrix",
     "omega_max_at_split",
     "ParallelScanSession",
+    "StreamingScanSession",
     "make_blocks",
     "parallel_scan",
     "split_grid",
@@ -58,5 +72,7 @@ __all__ = [
     "SumMatrixCache",
     "OmegaConfig",
     "OmegaPlusScanner",
+    "iter_scan_stream",
     "scan",
+    "scan_stream",
 ]

@@ -27,7 +27,12 @@ from repro.datasets.alignment import SNPAlignment
 from repro.errors import ScanConfigError
 from repro.utils.validation import as_int, check_positive
 
-__all__ = ["GridSpec", "PositionPlan", "build_plans"]
+__all__ = [
+    "GridSpec",
+    "PositionPlan",
+    "build_plans",
+    "build_plans_from_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -85,12 +90,18 @@ class GridSpec:
         undefined where there is no flanking data). A single-position grid
         sits at the midpoint.
         """
-        if alignment.n_sites < 2:
+        return self.positions_from(alignment.positions)
+
+    def positions_from(self, site_positions: np.ndarray) -> np.ndarray:
+        """Grid positions from a bare site-position array (streaming
+        sources index positions without materializing an alignment)."""
+        site_positions = np.asarray(site_positions)
+        if site_positions.size < 2:
             raise ScanConfigError(
                 "need at least 2 SNPs to place grid positions"
             )
-        lo = float(alignment.positions[0])
-        hi = float(alignment.positions[-1])
+        lo = float(site_positions[0])
+        hi = float(site_positions[-1])
         if self.n_positions == 1:
             return np.array([(lo + hi) / 2.0])
         return np.linspace(lo, hi, self.n_positions)
@@ -147,13 +158,26 @@ def build_plans(alignment: SNPAlignment, spec: GridSpec) -> List[PositionPlan]:
     Runs entirely on the position array with searchsorted; cost is
     O(grid size * log sites).
     """
-    pos = alignment.positions
+    return build_plans_from_positions(alignment.positions, spec)
+
+
+def build_plans_from_positions(
+    site_positions: np.ndarray, spec: GridSpec
+) -> List[PositionPlan]:
+    """:func:`build_plans` on a bare site-position array.
+
+    The plan depends only on positions and window geometry, never on
+    genotypes, so a streaming source can plan the whole scan from its
+    index pass before any chunk is materialized.
+    """
+    pos = np.asarray(site_positions)
+    n_sites = pos.size
     plans: List[PositionPlan] = []
-    for centre in spec.positions(alignment):
+    for centre in spec.positions_from(pos):
         # Split: last SNP at or left of the grid position. Positions at or
         # beyond the last SNP clamp so a right window can still exist.
         c = int(np.searchsorted(pos, centre, side="right")) - 1
-        c = max(0, min(c, alignment.n_sites - 2))
+        c = max(0, min(c, n_sites - 2))
 
         lo = int(np.searchsorted(pos, centre - spec.max_window, side="left"))
         hi = int(np.searchsorted(pos, centre + spec.max_window, side="right")) - 1

@@ -49,17 +49,19 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.grid import GridSpec, build_plans
+from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
 from repro.core.scan import OmegaConfig, OmegaPlusScanner
 from repro.core.tilestore import SharedR2TileStore
 from repro.datasets.alignment import SharedAlignmentSegments, SNPAlignment
+from repro.datasets.streaming import AlignmentStreamSource
 from repro.errors import ScanConfigError
 from repro.utils.timing import TimeBreakdown
 
 __all__ = [
     "ParallelScanSession",
+    "StreamingScanSession",
     "make_blocks",
     "parallel_scan",
     "split_grid",
@@ -134,8 +136,9 @@ class _FixedGridScanner(OmegaPlusScanner):
         grid_positions: np.ndarray,
         *,
         block_fn=None,
+        valid_mask: Optional[np.ndarray] = None,
     ):
-        super().__init__(config, block_fn=block_fn)
+        super().__init__(config, block_fn=block_fn, valid_mask=valid_mask)
         self._grid_positions = grid_positions
 
     def scan(self, alignment: SNPAlignment) -> ScanResult:
@@ -156,8 +159,10 @@ class _FixedGridScanner(OmegaPlusScanner):
 
         # Monkey-patch the positions source for this scan only: reuse the
         # sequential implementation verbatim with a fixed-position grid.
+        # ``positions_from`` is the single source both ``positions()`` and
+        # ``build_plans_from_positions`` draw from.
         class _Spec(GridSpec):
-            def positions(self, _aln: SNPAlignment) -> np.ndarray:  # type: ignore[override]
+            def positions_from(self, _pos: np.ndarray) -> np.ndarray:  # type: ignore[override]
                 return fixed
 
         patched = _Spec(
@@ -173,7 +178,9 @@ class _FixedGridScanner(OmegaPlusScanner):
             reuse=self.config.reuse,
             dp_reuse=self.config.dp_reuse,
         )
-        return OmegaPlusScanner(cfg, block_fn=self._block_fn).scan(alignment)
+        return OmegaPlusScanner(
+            cfg, block_fn=self._block_fn, valid_mask=self._valid_mask
+        ).scan(alignment)
 
 
 # ---------------------------------------------------------------------- #
@@ -192,6 +199,10 @@ class _WorkerTask:
     length: float
     config: OmegaConfig
     grid_positions: np.ndarray
+    #: Global plan validity per grid position (streamed scans only): the
+    #: matrix above may be a chunk, and chunk-local planning must not
+    #: resurrect positions the global plan skipped.
+    valid_mask: Optional[np.ndarray] = None
 
 
 def _run_chunk(task: _WorkerTask) -> ScanResult:
@@ -199,7 +210,9 @@ def _run_chunk(task: _WorkerTask) -> ScanResult:
     alignment = SNPAlignment(
         matrix=task.matrix, positions=task.positions, length=task.length
     )
-    scanner = _FixedGridScanner(task.config, task.grid_positions)
+    scanner = _FixedGridScanner(
+        task.config, task.grid_positions, valid_mask=task.valid_mask
+    )
     return scanner.scan(alignment)
 
 
@@ -519,3 +532,448 @@ def parallel_scan(
             result = session.scan()
     result.breakdown.wall_seconds = time.perf_counter() - t_wall
     return result
+
+
+# ---------------------------------------------------------------------- #
+# streaming: persistent pool over shared-memory chunks
+# ---------------------------------------------------------------------- #
+
+#: Per-worker-process state for streamed scans. Unlike the fixed-alignment
+#: pool above (which attaches once in the initializer), streaming workers
+#: re-attach lazily whenever a task names a chunk they have not mapped
+#: yet, closing the previous chunk's mappings first.
+_STREAM_WORKER_STATE: dict = {
+    "config": None,
+    "spec_name": None,
+    "segments": None,
+    "store": None,
+}
+
+
+def _init_stream_worker(config: OmegaConfig) -> None:
+    _STREAM_WORKER_STATE.update(
+        config=config, spec_name=None, segments=None, store=None
+    )
+
+
+def _scan_stream_block(task) -> Tuple[int, ScanResult]:
+    """Worker body: attach the task's chunk (if not already mapped) and
+    scan one grid block against it."""
+    alignment_spec, tile_spec, idx, grid_block, valid_mask = task
+    state = _STREAM_WORKER_STATE
+    config = state["config"]
+    if config is None:
+        raise RuntimeError("streaming worker was not initialized")
+    if state["spec_name"] != alignment_spec.matrix_name:
+        segments = SharedAlignmentSegments.attach(alignment_spec)
+        store = (
+            SharedR2TileStore.attach(tile_spec, segments.alignment)
+            if tile_spec is not None
+            else None
+        )
+        if state["segments"] is not None:
+            state["segments"].close()
+        if state["store"] is not None:
+            state["store"].close()
+        state.update(
+            segments=segments, store=store, spec_name=alignment_spec.matrix_name
+        )
+    segments, store = state["segments"], state["store"]
+    block_fn = store.block if store is not None else None
+    scanner = _FixedGridScanner(
+        config, grid_block, block_fn=block_fn, valid_mask=valid_mask
+    )
+    if store is not None:
+        computed0 = store.tile_entries_computed
+        reused0 = store.tile_entries_reused
+    result = scanner.scan(segments.alignment)
+    if store is not None:
+        result.reuse.tile_entries_computed += (
+            store.tile_entries_computed - computed0
+        )
+        result.reuse.tile_entries_reused += store.tile_entries_reused - reused0
+    return idx, result
+
+
+class StreamingScanSession:
+    """Streaming counterpart of :class:`ParallelScanSession`: one
+    persistent worker pool scans a *sequence* of shared-memory chunks.
+
+    Each :meth:`scan_chunk` call publishes the chunk (and its r² tile
+    band) to shared memory exactly once, ships only block descriptors to
+    the pool, and unpublishes before returning — so at most one chunk is
+    resident at any time and a failed scan cannot orphan ``/dev/shm``
+    entries. Workers keep their mapping of the current chunk between
+    blocks and swap it lazily when the next chunk's tasks arrive.
+    """
+
+    def __init__(
+        self,
+        config: OmegaConfig,
+        *,
+        n_workers: int,
+        mp_context: Optional[str] = None,
+        shared_tiles: bool = True,
+    ):
+        if n_workers < 1:
+            raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+        self._config = config
+        self._n_workers = n_workers
+        self._mp_context = mp_context
+        self._shared_tiles = shared_tiles
+        self._pool = None
+        self._segments: Optional[SharedAlignmentSegments] = None
+        self._store: Optional[SharedR2TileStore] = None
+
+    def start(self) -> "StreamingScanSession":
+        """Fork the worker pool (idempotent)."""
+        if self._pool is None:
+            ctx = (
+                mp.get_context(self._mp_context)
+                if self._mp_context
+                else mp.get_context()
+            )
+            self._pool = ctx.Pool(
+                processes=self._n_workers,
+                initializer=_init_stream_worker,
+                initargs=(self._config,),
+            )
+        return self
+
+    def scan_chunk(
+        self,
+        chunk: SNPAlignment,
+        block_tasks,
+        *,
+        max_pair_span: int,
+        prefetch=None,
+    ):
+        """Scan one chunk's grid blocks; returns ``(parts, prefetched)``.
+
+        ``block_tasks`` is a list of ``(block index, grid positions,
+        valid mask)`` triples, already in the desired dispatch order.
+        ``prefetch`` (optional, zero-argument) runs in the parent *after*
+        dispatch and *before* result collection, overlapping the next
+        chunk's ingestion with this chunk's compute; its return value is
+        passed through.
+        """
+        self.start()
+        self._segments = SharedAlignmentSegments.create(chunk)
+        try:
+            if self._shared_tiles and max_pair_span >= 1:
+                self._store = SharedR2TileStore.create(
+                    chunk,
+                    max_pair_span=max_pair_span,
+                    backend=self._config.ld_backend,
+                )
+            alignment_spec = self._segments.spec
+            tile_spec = self._store.spec if self._store is not None else None
+            tasks = [
+                (alignment_spec, tile_spec, idx, grid_block, mask)
+                for idx, grid_block, mask in block_tasks
+            ]
+            it = self._pool.imap_unordered(
+                _scan_stream_block, tasks, chunksize=1
+            )
+            prefetched = prefetch() if prefetch is not None else None
+            parts = {}
+            for idx, part in it:
+                parts[idx] = part
+            return parts, prefetched
+        finally:
+            if self._store is not None:
+                self._store.close()
+                self._store.unlink()
+                self._store = None
+            self._segments.close()
+            self._segments.unlink()
+            self._segments = None
+
+    def close(self) -> None:
+        """Tear down the pool and any shared segments still live."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._store is not None:
+            self._store.close()
+            self._store.unlink()
+            self._store = None
+        if self._segments is not None:
+            self._segments.close()
+            self._segments.unlink()
+            self._segments = None
+
+    def __enter__(self) -> "StreamingScanSession":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def _block_spans(plans, blocks) -> List[Optional[Tuple[int, int]]]:
+    """Per scheduling block, the [lo, hi) site range covering every one of
+    its positions' ω regions — ``None`` for blocks whose positions all
+    have empty regions (pure SNP desert, nothing to compute)."""
+    spans: List[Optional[Tuple[int, int]]] = []
+    for lo, hi in blocks:
+        rs = min(p.region_start for p in plans[lo:hi])
+        re1 = max(p.region_stop + 1 for p in plans[lo:hi])
+        spans.append((rs, re1) if re1 > rs else None)
+    return spans
+
+
+def _group_stream_chunks(
+    spans, snp_budget: int
+) -> List[Tuple[int, int, List[int]]]:
+    """Greedily group consecutive data blocks into chunk descriptors
+    ``(site_lo, site_hi, data block indices)`` under the SNP budget.
+
+    Block spans are non-decreasing in both endpoints (blocks follow the
+    grid), so the resulting site ranges satisfy the streaming-source
+    monotonicity contract.
+    """
+    chunks: List[Tuple[int, int, List[int]]] = []
+    cur: Optional[list] = None
+    for b, span in enumerate(spans):
+        if span is None:
+            continue
+        rs, re1 = span
+        if re1 - rs > snp_budget:
+            raise ScanConfigError(
+                f"snp_budget {snp_budget} cannot hold scheduling block {b} "
+                f"({re1 - rs} SNPs); raise the budget, reduce max_window, "
+                f"or use a smaller block_size"
+            )
+        if cur is None:
+            cur = [rs, re1, [b]]
+        elif max(cur[1], re1) - cur[0] <= snp_budget:
+            cur[1] = max(cur[1], re1)
+            cur[2].append(b)
+        else:
+            chunks.append((cur[0], cur[1], cur[2]))
+            cur = [rs, re1, [b]]
+    if cur is not None:
+        chunks.append((cur[0], cur[1], cur[2]))
+    return chunks
+
+
+def _iter_scan_stream_parallel(
+    source: AlignmentStreamSource,
+    config: OmegaConfig,
+    *,
+    snp_budget: int,
+    n_workers: int,
+    scheduler: str,
+    block_size: Optional[int],
+    mp_context: Optional[str],
+    shared_tiles: bool,
+    cost_ordering: bool,
+):
+    """Parallel streamed scan (driven via
+    :func:`repro.core.scan.iter_scan_stream`), yielding one merged
+    :class:`ScanResult` part per chunk.
+
+    The grid partition is *identical* to the in-memory scheduler's
+    (:func:`make_blocks` for ``"shared"``, :func:`split_grid` for
+    ``"pickled"``), each worker computes its block from a chunk covering
+    all of the block's ω regions, and globally invalid positions are
+    masked — so every block's records are bitwise equal to the in-memory
+    run's, whichever scheduler is chosen.
+    """
+    positions = source.positions
+    t_plan = time.perf_counter()
+    grid_positions = config.grid.positions_from(positions)
+    plans = build_plans_from_positions(positions, config.grid)
+    if scheduler == "pickled":
+        blocks = split_grid(grid_positions.size, n_workers)
+    else:
+        blocks = make_blocks(
+            grid_positions.size, n_workers, block_size=block_size
+        )
+    valid = np.array([p.valid for p in plans], dtype=bool)
+    costs = np.array(
+        [p.n_evaluations + p.region_width**2 for p in plans],
+        dtype=np.float64,
+    )
+    spans = _block_spans(plans, blocks)
+    chunk_descs = _group_stream_chunks(spans, snp_budget)
+    plan_seconds = time.perf_counter() - t_plan
+
+    # Result-ordering coverage: chunk i merges every block after chunk
+    # i-1's coverage up to its own last data block; dataless blocks in
+    # between are synthesized in the parent (their positions have no
+    # sites to scan), and the final chunk extends to the last block.
+    coverage: List[Tuple[int, int]] = []
+    prev_end = 0
+    for ci, (_lo, _hi, data_blocks) in enumerate(chunk_descs):
+        end = (
+            data_blocks[-1] + 1
+            if ci < len(chunk_descs) - 1
+            else len(blocks)
+        )
+        coverage.append((prev_end, end))
+        prev_end = end
+
+    def synth_part(b: int) -> ScanResult:
+        lo, hi = blocks[b]
+        size = hi - lo
+        return ScanResult(
+            positions=grid_positions[lo:hi].copy(),
+            omegas=np.zeros(size),
+            left_borders_bp=np.full(size, np.nan),
+            right_borders_bp=np.full(size, np.nan),
+            n_evaluations=np.zeros(size, dtype=np.int64),
+        )
+
+    def chunk_max_span(data_blocks: List[int]) -> int:
+        return max(
+            (
+                plans[k].region_width
+                for b in data_blocks
+                for k in range(*blocks[b])
+                if plans[k].valid
+            ),
+            default=0,
+        )
+
+    def gen_shared():
+        window_iter = source.windows(
+            [(lo, hi) for lo, hi, _ in chunk_descs]
+        )
+        session = StreamingScanSession(
+            config,
+            n_workers=n_workers,
+            mp_context=mp_context,
+            shared_tiles=shared_tiles,
+        )
+        try:
+            if not chunk_descs:
+                part = _merge_parts(
+                    [synth_part(b) for b in range(len(blocks))]
+                )
+                part.breakdown.add("plan", plan_seconds)
+                yield part
+                return
+            t0 = time.perf_counter()
+            chunk = next(window_iter)
+            ingest_seconds = time.perf_counter() - t0
+            for ci, (_lo, _hi, data_blocks) in enumerate(chunk_descs):
+                tasks = []
+                for b in data_blocks:
+                    lo, hi = blocks[b]
+                    tasks.append((b, grid_positions[lo:hi], valid[lo:hi]))
+                if cost_ordering:
+                    tasks.sort(
+                        key=lambda t: -float(
+                            costs[blocks[t[0]][0] : blocks[t[0]][1]].sum()
+                        )
+                    )
+                prefetch = None
+                if ci + 1 < len(chunk_descs):
+
+                    def prefetch():
+                        t0 = time.perf_counter()
+                        nxt = next(window_iter)
+                        return nxt, time.perf_counter() - t0
+
+                parts, prefetched = session.scan_chunk(
+                    chunk,
+                    tasks,
+                    max_pair_span=chunk_max_span(data_blocks),
+                    prefetch=prefetch,
+                )
+                cov_lo, cov_hi = coverage[ci]
+                merged = _merge_parts(
+                    [
+                        parts[b] if b in parts else synth_part(b)
+                        for b in range(cov_lo, cov_hi)
+                    ]
+                )
+                merged.breakdown.add("ingest", ingest_seconds)
+                if ci == 0:
+                    merged.breakdown.add("plan", plan_seconds)
+                yield merged
+                if prefetched is not None:
+                    chunk, ingest_seconds = prefetched
+        finally:
+            window_iter.close()
+            session.close()
+
+    def gen_pickled():
+        window_iter = source.windows(
+            [(lo, hi) for lo, hi, _ in chunk_descs]
+        )
+        ctx = (
+            mp.get_context(mp_context) if mp_context else mp.get_context()
+        )
+        pool = None
+        try:
+            if not chunk_descs:
+                part = _merge_parts(
+                    [synth_part(b) for b in range(len(blocks))]
+                )
+                part.breakdown.add("plan", plan_seconds)
+                yield part
+                return
+            pool = ctx.Pool(processes=n_workers)
+            t0 = time.perf_counter()
+            chunk = next(window_iter)
+            ingest_seconds = time.perf_counter() - t0
+            for ci, (_lo, _hi, data_blocks) in enumerate(chunk_descs):
+                tasks = []
+                for b in data_blocks:
+                    lo, hi = blocks[b]
+                    tasks.append(
+                        (
+                            b,
+                            _WorkerTask(
+                                matrix=chunk.matrix,
+                                positions=chunk.positions,
+                                length=chunk.length,
+                                config=config,
+                                grid_positions=grid_positions[lo:hi],
+                                valid_mask=valid[lo:hi],
+                            ),
+                        )
+                    )
+                it = pool.imap_unordered(
+                    _run_stream_chunk, tasks, chunksize=1
+                )
+                prefetched = None
+                if ci + 1 < len(chunk_descs):
+                    t0 = time.perf_counter()
+                    prefetched = (
+                        next(window_iter),
+                        time.perf_counter() - t0,
+                    )
+                parts = {}
+                for idx, part in it:
+                    parts[idx] = part
+                cov_lo, cov_hi = coverage[ci]
+                merged = _merge_parts(
+                    [
+                        parts[b] if b in parts else synth_part(b)
+                        for b in range(cov_lo, cov_hi)
+                    ]
+                )
+                merged.breakdown.add("ingest", ingest_seconds)
+                if ci == 0:
+                    merged.breakdown.add("plan", plan_seconds)
+                yield merged
+                if prefetched is not None:
+                    chunk, ingest_seconds = prefetched
+        finally:
+            window_iter.close()
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+    return gen_shared() if scheduler == "shared" else gen_pickled()
+
+
+def _run_stream_chunk(task) -> Tuple[int, ScanResult]:
+    """Pickled-scheduler streamed worker body: an indexed
+    :func:`_run_chunk`."""
+    idx, wtask = task
+    return idx, _run_chunk(wtask)

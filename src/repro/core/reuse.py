@@ -154,6 +154,11 @@ class R2RegionCache:
         shared-memory tile store here so fresh entries one worker
         computes are served to every other worker; ``backend`` is ignored
         when set.
+    n_sites:
+        Global site count when ``alignment`` is ``None`` — the streaming
+        scanner addresses regions in global coordinates while only the
+        current chunk is materialized, so it supplies a chunk-dispatching
+        ``block_fn`` plus the global bound instead of an alignment.
     """
 
     #: Default cap on one region's r² matrix (512 MB of float64): wide
@@ -164,12 +169,22 @@ class R2RegionCache:
 
     def __init__(
         self,
-        alignment: SNPAlignment,
+        alignment: Optional[SNPAlignment],
         *,
         backend: str = "gemm",
         max_region_bytes: Optional[int] = None,
         block_fn: Optional[Callable[[slice, slice], np.ndarray]] = None,
+        n_sites: Optional[int] = None,
     ):
+        if alignment is None:
+            if block_fn is None or n_sites is None:
+                raise ScanConfigError(
+                    "R2RegionCache without an alignment needs an explicit "
+                    "block_fn and n_sites (the streaming scanner's setup)"
+                )
+            self._n_sites = int(n_sites)
+        else:
+            self._n_sites = alignment.n_sites
         self._alignment = alignment
         self._max_region_bytes = (
             self.DEFAULT_MAX_REGION_BYTES
@@ -203,7 +218,7 @@ class R2RegionCache:
         overlapping sub-block is copied from the cached matrix and only the
         rows/columns of newly entered SNPs are computed.
         """
-        n = self._alignment.n_sites
+        n = self._n_sites
         if not (0 <= start <= stop < n):
             raise ScanConfigError(
                 f"region [{start}, {stop}] out of bounds for {n} sites"

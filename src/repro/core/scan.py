@@ -24,20 +24,37 @@ against: the GPU and FPGA engines must produce the exact same ω report.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.grid import GridSpec, build_plans
+from repro.core.grid import (
+    GridSpec,
+    PositionPlan,
+    build_plans,
+    build_plans_from_positions,
+)
 from repro.core.omega import DENOMINATOR_OFFSET, omega_max_at_split
 from repro.core.results import ScanResult
-from repro.core.reuse import R2RegionCache, SumMatrixCache
+from repro.core.reuse import R2RegionCache, ReuseStats, SumMatrixCache
 from repro.datasets.alignment import SNPAlignment
+from repro.datasets.packed import PackedAlignment
+from repro.datasets.streaming import AlignmentStreamSource, InMemoryStreamSource
 from repro.errors import ScanConfigError
+from repro.ld.gemm import r_squared_block
+from repro.ld.packed_kernels import r_squared_block_packed
 from repro.utils.timing import TimeBreakdown
 
-__all__ = ["OmegaConfig", "OmegaPlusScanner", "scan"]
+__all__ = [
+    "OmegaConfig",
+    "OmegaPlusScanner",
+    "scan",
+    "scan_stream",
+    "iter_scan_stream",
+]
 
 
 @dataclass(frozen=True)
@@ -93,11 +110,25 @@ class OmegaPlusScanner:
         :class:`~repro.core.reuse.R2RegionCache` (see its ``block_fn``
         parameter). The multiprocess scanner injects the shared r² tile
         store here; the default computes blocks with ``config.ld_backend``.
+    valid_mask:
+        Optional per-grid-position boolean mask; positions marked False
+        are forced invalid (ω = 0, NaN borders) even if local planning
+        would admit them. The streaming scanner plans on the *global*
+        position array and scans *chunks*; the mask pins each chunk-local
+        scan to the global plan's validity so a chunk boundary can never
+        resurrect a position the full-alignment scan skipped.
     """
 
-    def __init__(self, config: OmegaConfig, *, block_fn=None):
+    def __init__(
+        self,
+        config: OmegaConfig,
+        *,
+        block_fn=None,
+        valid_mask: Optional[np.ndarray] = None,
+    ):
         self.config = config
         self._block_fn = block_fn
+        self._valid_mask = valid_mask
 
     def scan(self, alignment: SNPAlignment) -> ScanResult:
         """Scan an alignment and return the per-grid-position ω report."""
@@ -109,6 +140,8 @@ class OmegaPlusScanner:
 
         with breakdown.phase("plan"):
             plans = build_plans(alignment, cfg.grid)
+            if self._valid_mask is not None:
+                plans = _apply_valid_mask(plans, self._valid_mask)
 
         cache = R2RegionCache(
             alignment, backend=cfg.ld_backend, block_fn=self._block_fn
@@ -204,3 +237,318 @@ def scan(
         dp_reuse=dp_reuse,
     )
     return OmegaPlusScanner(config).scan(alignment)
+
+
+# ---------------------------------------------------------------------- #
+# streaming scan: bounded-memory chunked driver
+# ---------------------------------------------------------------------- #
+
+_EMPTY_BORDERS = np.zeros(0, dtype=np.intp)
+
+
+def _apply_valid_mask(
+    plans: List[PositionPlan], mask: np.ndarray
+) -> List[PositionPlan]:
+    """Force positions masked False to the invalid (skipped) state."""
+    if len(mask) != len(plans):
+        raise ScanConfigError(
+            f"valid_mask has {len(mask)} entries for {len(plans)} grid "
+            f"positions"
+        )
+    out: List[PositionPlan] = []
+    for plan, ok in zip(plans, mask):
+        if ok or not plan.valid:
+            out.append(plan)
+        else:
+            out.append(
+                dataclasses.replace(
+                    plan,
+                    left_borders=_EMPTY_BORDERS,
+                    right_borders=_EMPTY_BORDERS,
+                )
+            )
+    return out
+
+
+def _reuse_delta(stats: ReuseStats, snapshot: ReuseStats) -> ReuseStats:
+    """Counter difference ``stats - snapshot`` (per-chunk attribution)."""
+    delta = ReuseStats()
+    for f in dataclasses.fields(ReuseStats):
+        setattr(
+            delta, f.name, getattr(stats, f.name) - getattr(snapshot, f.name)
+        )
+    return delta
+
+
+def _plan_stream_chunks(
+    plans: List[PositionPlan], snp_budget: int
+) -> List[Tuple[int, int, int, int]]:
+    """Group consecutive grid positions into chunk descriptors
+    ``(site_lo, site_hi, plan_lo, plan_hi)``: the site range covers every
+    grouped position's ω region, and never exceeds ``snp_budget`` SNPs.
+
+    Region bounds are non-decreasing along the grid, so greedy grouping
+    yields monotonic site ranges (the streaming-source contract). Invalid
+    (SNP-desert) positions need no sites and ride with whichever group is
+    open when they occur.
+    """
+    widest = max((p.region_width for p in plans if p.valid), default=0)
+    if widest > snp_budget:
+        raise ScanConfigError(
+            f"snp_budget {snp_budget} is smaller than the widest omega "
+            f"region ({widest} SNPs); raise the budget or reduce max_window"
+        )
+    groups: List[Tuple[int, int, int, int]] = []
+    cur_lo: Optional[int] = None
+    cur_hi = 0
+    start_k = 0
+    for k, plan in enumerate(plans):
+        if not plan.valid:
+            continue
+        rs, re1 = plan.region_start, plan.region_stop + 1
+        if cur_lo is None:
+            cur_lo, cur_hi = rs, re1
+        elif max(cur_hi, re1) - cur_lo <= snp_budget:
+            cur_hi = max(cur_hi, re1)
+        else:
+            groups.append((cur_lo, cur_hi, start_k, k))
+            start_k = k
+            cur_lo, cur_hi = rs, re1
+    if cur_lo is None:
+        groups.append((0, 0, 0, len(plans)))
+    else:
+        groups.append((cur_lo, cur_hi, start_k, len(plans)))
+    return groups
+
+
+def _iter_stream_sequential(
+    source: AlignmentStreamSource, config: OmegaConfig, snp_budget: int
+) -> Iterator[ScanResult]:
+    """Sequential streamed scan, yielding one :class:`ScanResult` part per
+    chunk.
+
+    Bitwise equality with the in-memory scanner comes from replicating its
+    arithmetic exactly: the plans are built once from the global position
+    index, one :class:`R2RegionCache` and one :class:`SumMatrixCache`
+    persist across chunks (addressed in global site coordinates), and the
+    only difference is *where* fresh r² blocks come from — a chunk slice
+    instead of the full matrix, which holds the same bytes for the same
+    global sites.
+    """
+    cfg = config
+    positions = source.positions
+    t_plan = time.perf_counter()
+    plans = build_plans_from_positions(positions, cfg.grid)
+    groups = _plan_stream_chunks(plans, snp_budget)
+    plan_seconds = time.perf_counter() - t_plan
+
+    # Fresh r² blocks are requested in global coordinates but computed
+    # from the currently resident chunk; the chunk always covers the open
+    # group's site range, so the translation below never misses.
+    holder: dict = {}
+
+    def block_fn(rows: slice, cols: slice) -> np.ndarray:
+        lo = holder["lo"]
+        r = slice(rows.start - lo, rows.stop - lo)
+        c = slice(cols.start - lo, cols.stop - lo)
+        if cfg.ld_backend == "packed":
+            return r_squared_block_packed(holder["packed"], r, c)
+        return r_squared_block(holder["chunk"], r, c)
+
+    def gen() -> Iterator[ScanResult]:
+        cache = R2RegionCache(
+            None, block_fn=block_fn, n_sites=positions.size
+        )
+        dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
+        window_iter = source.windows(
+            [(lo, hi) for lo, hi, _a, _b in groups if hi > lo]
+        )
+        try:
+            first = True
+            for site_lo, site_hi, plan_lo, plan_hi in groups:
+                breakdown = TimeBreakdown()
+                subphases = TimeBreakdown()
+                if first:
+                    breakdown.add("plan", plan_seconds)
+                if site_hi > site_lo:
+                    with breakdown.phase("ingest"):
+                        chunk = next(window_iter)
+                    holder["lo"] = site_lo
+                    if cfg.ld_backend == "packed":
+                        holder["packed"] = PackedAlignment.from_alignment(
+                            chunk
+                        )
+                    else:
+                        holder["chunk"] = chunk
+                count = plan_hi - plan_lo
+                omegas = np.zeros(count)
+                lefts = np.full(count, np.nan)
+                rights = np.full(count, np.nan)
+                evals = np.zeros(count, dtype=np.int64)
+                snapshot = dataclasses.replace(cache.stats)
+                for k in range(plan_lo, plan_hi):
+                    plan = plans[k]
+                    if not plan.valid:
+                        continue
+                    with breakdown.phase("ld"):
+                        if not cfg.reuse:
+                            cache.reset()
+                        r2 = cache.region_matrix(
+                            plan.region_start, plan.region_stop
+                        )
+                    with breakdown.phase("omega"):
+                        t0 = time.perf_counter()
+                        sums = dp_cache.region_sums(
+                            plan.region_start, plan.region_stop, r2
+                        )
+                        subphases.add(
+                            "dp_build"
+                            if dp_cache.last_action == "build"
+                            else "dp_reuse",
+                            time.perf_counter() - t0,
+                        )
+                        off = plan.region_start
+                        result = omega_max_at_split(
+                            sums,
+                            plan.left_borders - off,
+                            plan.split_index - off,
+                            plan.right_borders - off,
+                            eps=cfg.eps,
+                        )
+                    j = k - plan_lo
+                    omegas[j] = result.omega
+                    evals[j] = result.n_evaluations
+                    if result.left_border >= 0:
+                        lefts[j] = positions[result.left_border + off]
+                        rights[j] = positions[result.right_border + off]
+                yield ScanResult(
+                    positions=np.array(
+                        [
+                            plans[k].grid_position
+                            for k in range(plan_lo, plan_hi)
+                        ]
+                    ),
+                    omegas=omegas,
+                    left_borders_bp=lefts,
+                    right_borders_bp=rights,
+                    n_evaluations=evals,
+                    breakdown=breakdown,
+                    reuse=_reuse_delta(cache.stats, snapshot),
+                    omega_subphases=subphases,
+                )
+                first = False
+        finally:
+            window_iter.close()
+
+    return gen()
+
+
+def iter_scan_stream(
+    source: Union[AlignmentStreamSource, SNPAlignment],
+    config: OmegaConfig,
+    *,
+    snp_budget: int,
+    n_workers: int = 1,
+    scheduler: str = "shared",
+    block_size: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    shared_tiles: bool = True,
+    cost_ordering: bool = True,
+) -> Iterator[ScanResult]:
+    """Streamed scan, yielding one :class:`ScanResult` part per chunk.
+
+    Parameters
+    ----------
+    source:
+        An :class:`~repro.datasets.streaming.AlignmentStreamSource`
+        (e.g. :class:`~repro.datasets.streaming.StreamingAlignmentReader`)
+        or a plain :class:`SNPAlignment` (wrapped in an
+        :class:`~repro.datasets.streaming.InMemoryStreamSource`).
+    config:
+        Scan configuration, as for :class:`OmegaPlusScanner`.
+    snp_budget:
+        Maximum SNPs resident per chunk — the peak-memory knob. Must be
+        at least the widest ω region (a region cannot straddle chunks).
+    n_workers, scheduler, block_size, mp_context, shared_tiles,
+    cost_ordering:
+        As in :func:`~repro.core.parallel.parallel_scan`; with
+        ``n_workers > 1`` the chunks are scanned by a persistent worker
+        pool (each chunk published once to shared memory under the
+        ``"shared"`` scheduler).
+
+    Closing the returned generator mid-iteration releases the input file
+    handle and, for parallel runs, the worker pool and every shared
+    segment.
+    """
+    if isinstance(source, SNPAlignment):
+        source = InMemoryStreamSource(source)
+    if not isinstance(source, AlignmentStreamSource):
+        raise ScanConfigError(
+            f"source must be an AlignmentStreamSource or SNPAlignment, "
+            f"got {type(source).__name__}"
+        )
+    if snp_budget < 2:
+        raise ScanConfigError(f"snp_budget must be >= 2, got {snp_budget}")
+    if n_workers < 1:
+        raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
+    if scheduler not in ("shared", "pickled"):
+        raise ScanConfigError(
+            f"scheduler must be 'shared' or 'pickled', got {scheduler!r}"
+        )
+    if source.n_sites < 2:
+        raise ScanConfigError("scanning requires at least 2 SNPs")
+    if n_workers > 1:
+        from repro.core.parallel import _iter_scan_stream_parallel
+
+        return _iter_scan_stream_parallel(
+            source,
+            config,
+            snp_budget=snp_budget,
+            n_workers=n_workers,
+            scheduler=scheduler,
+            block_size=block_size,
+            mp_context=mp_context,
+            shared_tiles=shared_tiles,
+            cost_ordering=cost_ordering,
+        )
+    return _iter_stream_sequential(source, config, snp_budget)
+
+
+def scan_stream(
+    source: Union[AlignmentStreamSource, SNPAlignment],
+    config: OmegaConfig,
+    *,
+    snp_budget: int,
+    n_workers: int = 1,
+    scheduler: str = "shared",
+    block_size: Optional[int] = None,
+    mp_context: Optional[str] = None,
+    shared_tiles: bool = True,
+    cost_ordering: bool = True,
+) -> ScanResult:
+    """Scan a streaming source chunk by chunk; the merged report is
+    bitwise identical to scanning the fully loaded alignment the same way
+    (sequentially, or with the same parallel scheduler).
+
+    See :func:`iter_scan_stream` for parameters; this wrapper drains the
+    chunk iterator and merges the parts.
+    """
+    t_wall = time.perf_counter()
+    parts = list(
+        iter_scan_stream(
+            source,
+            config,
+            snp_budget=snp_budget,
+            n_workers=n_workers,
+            scheduler=scheduler,
+            block_size=block_size,
+            mp_context=mp_context,
+            shared_tiles=shared_tiles,
+            cost_ordering=cost_ordering,
+        )
+    )
+    from repro.core.parallel import _merge_parts
+
+    result = _merge_parts(parts)
+    result.breakdown.wall_seconds = time.perf_counter() - t_wall
+    return result

@@ -35,9 +35,21 @@ from repro.datasets.fasta import fasta_text, parse_fasta, parse_fasta_text
 from repro.datasets.missing import (
     MISSING,
     MaskedAlignment,
+    impute_major_column,
     r_squared_pairwise_complete,
 )
-from repro.datasets.vcf import parse_vcf, parse_vcf_text, vcf_text
+from repro.datasets.streaming import (
+    AlignmentStreamSource,
+    InMemoryStreamSource,
+    StreamingAlignmentReader,
+)
+from repro.datasets.vcf import (
+    VcfRecord,
+    iter_vcf_records,
+    parse_vcf,
+    parse_vcf_text,
+    vcf_text,
+)
 
 __all__ = [
     "SNPAlignment",
@@ -55,10 +67,16 @@ __all__ = [
     "clustered_positions",
     "MISSING",
     "MaskedAlignment",
+    "impute_major_column",
     "r_squared_pairwise_complete",
+    "AlignmentStreamSource",
+    "InMemoryStreamSource",
+    "StreamingAlignmentReader",
     "parse_fasta",
     "parse_fasta_text",
     "fasta_text",
+    "VcfRecord",
+    "iter_vcf_records",
     "parse_vcf",
     "parse_vcf_text",
     "vcf_text",

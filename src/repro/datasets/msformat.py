@@ -36,7 +36,17 @@ import numpy as np
 from repro.datasets.alignment import SNPAlignment
 from repro.errors import DataFormatError
 
-__all__ = ["MsReplicate", "parse_ms", "write_ms", "parse_ms_text", "ms_text"]
+__all__ = [
+    "MsReplicate",
+    "parse_ms",
+    "write_ms",
+    "parse_ms_text",
+    "ms_text",
+    "parse_segsites_line",
+    "parse_positions_line",
+    "parse_haplotype_line",
+    "scale_positions",
+]
 
 
 @dataclass
@@ -56,6 +66,79 @@ def _make_strictly_increasing(positions: np.ndarray) -> np.ndarray:
         if out[k] <= out[k - 1]:
             out[k] = np.nextafter(out[k - 1], np.inf)
     return out
+
+
+# ---------------------------------------------------------------------- #
+# record-level parsing, shared with the streaming reader
+# ---------------------------------------------------------------------- #
+
+
+def parse_segsites_line(line: str, rep_index: int) -> int:
+    """Validate and extract the count from a ``segsites:`` line."""
+    try:
+        segsites = int(line.split(":", 1)[1].strip())
+    except ValueError as exc:
+        raise DataFormatError(
+            f"replicate {rep_index}: malformed segsites line {line!r}"
+        ) from exc
+    if segsites < 0:
+        raise DataFormatError(
+            f"replicate {rep_index}: negative segsites {segsites}"
+        )
+    return segsites
+
+
+def parse_positions_line(
+    line: str, segsites: int, rep_index: int
+) -> np.ndarray:
+    """Validate a ``positions:`` line and return the fractional positions
+    (count, range and sortedness checked; no scaling applied)."""
+    pos_tokens = line.split(":", 1)[1].split()
+    if len(pos_tokens) != segsites:
+        raise DataFormatError(
+            f"replicate {rep_index}: {segsites} segsites but "
+            f"{len(pos_tokens)} positions"
+        )
+    try:
+        rel_positions = np.array([float(t) for t in pos_tokens])
+    except ValueError as exc:
+        raise DataFormatError(
+            f"replicate {rep_index}: non-numeric position"
+        ) from exc
+    if rel_positions.size and (
+        rel_positions.min() < 0.0 or rel_positions.max() > 1.0
+    ):
+        raise DataFormatError(
+            f"replicate {rep_index}: positions must lie in [0, 1]"
+        )
+    if np.any(np.diff(rel_positions) < 0):
+        raise DataFormatError(
+            f"replicate {rep_index}: positions must be sorted"
+        )
+    return rel_positions
+
+
+def parse_haplotype_line(
+    row: str, segsites: int, rep_index: int
+) -> np.ndarray:
+    """Validate one haplotype row and return its uint8 allele vector."""
+    if len(row) != segsites:
+        raise DataFormatError(
+            f"replicate {rep_index}: haplotype of length {len(row)}, "
+            f"expected {segsites}"
+        )
+    if set(row) - {"0", "1"}:
+        raise DataFormatError(
+            f"replicate {rep_index}: haplotype contains characters "
+            f"other than 0/1: {row[:20]!r}..."
+        )
+    return np.frombuffer(row.encode("ascii"), dtype=np.uint8) - ord("0")
+
+
+def scale_positions(rel_positions: np.ndarray, length: float) -> np.ndarray:
+    """Scale fractional ms positions to bp and break ties, exactly as
+    :func:`parse_ms` does (the streaming reader must match it bitwise)."""
+    return _make_strictly_increasing(rel_positions * length)
 
 
 def parse_ms(
@@ -114,16 +197,7 @@ def _parse_lines(lines: Sequence[str], *, length: float) -> List[MsReplicate]:
                 f"got {lines[i]!r}" if i < n else
                 f"replicate {rep_index}: file ends after '//'"
             )
-        try:
-            segsites = int(lines[i].split(":", 1)[1].strip())
-        except ValueError as exc:
-            raise DataFormatError(
-                f"replicate {rep_index}: malformed segsites line {lines[i]!r}"
-            ) from exc
-        if segsites < 0:
-            raise DataFormatError(
-                f"replicate {rep_index}: negative segsites {segsites}"
-            )
+        segsites = parse_segsites_line(lines[i], rep_index)
         i += 1
 
         if segsites == 0:
@@ -143,51 +217,21 @@ def _parse_lines(lines: Sequence[str], *, length: float) -> List[MsReplicate]:
             raise DataFormatError(
                 f"replicate {rep_index}: expected 'positions:' line"
             )
-        pos_tokens = lines[i].split(":", 1)[1].split()
-        if len(pos_tokens) != segsites:
-            raise DataFormatError(
-                f"replicate {rep_index}: {segsites} segsites but "
-                f"{len(pos_tokens)} positions"
-            )
-        try:
-            rel_positions = np.array([float(t) for t in pos_tokens])
-        except ValueError as exc:
-            raise DataFormatError(
-                f"replicate {rep_index}: non-numeric position"
-            ) from exc
-        if rel_positions.size and (
-            rel_positions.min() < 0.0 or rel_positions.max() > 1.0
-        ):
-            raise DataFormatError(
-                f"replicate {rep_index}: positions must lie in [0, 1]"
-            )
-        if np.any(np.diff(rel_positions) < 0):
-            raise DataFormatError(
-                f"replicate {rep_index}: positions must be sorted"
-            )
+        rel_positions = parse_positions_line(lines[i], segsites, rep_index)
         i += 1
 
         haplotypes: List[np.ndarray] = []
         while i < n and lines[i].strip() and lines[i].strip() != "//":
-            row = lines[i].strip()
-            if len(row) != segsites:
-                raise DataFormatError(
-                    f"replicate {rep_index}: haplotype of length {len(row)}, "
-                    f"expected {segsites}"
-                )
-            if set(row) - {"0", "1"}:
-                raise DataFormatError(
-                    f"replicate {rep_index}: haplotype contains characters "
-                    f"other than 0/1: {row[:20]!r}..."
-                )
-            haplotypes.append(np.frombuffer(row.encode("ascii"), dtype=np.uint8) - ord("0"))
+            haplotypes.append(
+                parse_haplotype_line(lines[i].strip(), segsites, rep_index)
+            )
             i += 1
         if not haplotypes:
             raise DataFormatError(
                 f"replicate {rep_index}: no haplotype rows"
             )
         matrix = np.vstack(haplotypes)
-        positions = _make_strictly_increasing(rel_positions * length)
+        positions = scale_positions(rel_positions, length)
         alignment = SNPAlignment(matrix=matrix, positions=positions, length=length)
         replicates.append(MsReplicate(alignment=alignment, index=rep_index))
         rep_index += 1

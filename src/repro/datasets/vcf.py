@@ -14,48 +14,67 @@ Supports the subset of VCF 4.x that genotype-level sweep analyses need:
 The REF allele encodes as 0 and ALT as 1 (VCF's own polarity — with an
 ancestral-allele INFO tag absent, this is reference-polarized, which the
 LD/ω machinery is invariant to).
+
+The record-level logic lives in :func:`iter_vcf_records` so that
+:func:`parse_vcf` (which accumulates the full matrix) and the
+chromosome-scale streaming reader (:mod:`repro.datasets.streaming`,
+which never does) parse every byte identically.
 """
 
 from __future__ import annotations
 
 import io
-from typing import List, Optional, Union
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.datasets.missing import MISSING, MaskedAlignment
 from repro.errors import DataFormatError
 
-__all__ = ["parse_vcf", "parse_vcf_text", "vcf_text"]
+__all__ = [
+    "VcfRecord",
+    "iter_vcf_records",
+    "parse_vcf",
+    "parse_vcf_text",
+    "vcf_text",
+]
 
 _SNP_ALLELES = {"A", "C", "G", "T"}
 
 
-def parse_vcf(
-    source: Union[str, io.TextIOBase],
+@dataclass(frozen=True)
+class VcfRecord:
+    """One usable biallelic SNP record.
+
+    Attributes
+    ----------
+    position:
+        Raw POS as float (no sorting or tie-nudging applied).
+    calls:
+        uint8 haplotype calls in {0, 1, MISSING}; diploid genotypes
+        contribute two entries per sample.
+    """
+
+    position: float
+    calls: np.ndarray
+
+
+def iter_vcf_records(
+    source: io.TextIOBase,
     *,
     chromosome: Optional[str] = None,
-    length: Optional[float] = None,
-) -> MaskedAlignment:
-    """Parse a VCF into a masked haplotype alignment.
+) -> Iterator[VcfRecord]:
+    """Yield a :class:`VcfRecord` per usable biallelic SNP, in file order.
 
-    Parameters
-    ----------
-    source:
-        Path or open text stream.
-    chromosome:
-        CHROM value to keep; default: the first one encountered (a
-        mixed-chromosome file without this argument is an error).
-    length:
-        Region length in bp; defaults to the last position + 1.
+    Handles the header, chromosome selection, biallelic/SNP filtering and
+    GT parsing, and enforces a consistent haplotype count: ploidy must be
+    uniform within a record (no haploid/diploid mixing on one line) and
+    across records. Position ordering is the caller's concern —
+    :func:`parse_vcf` sorts, the streaming reader rejects unsorted input.
     """
-    if isinstance(source, str):
-        with open(source, "r", encoding="ascii") as fh:
-            return parse_vcf(fh, chromosome=chromosome, length=length)
-
     sample_names: Optional[List[str]] = None
-    columns: List[np.ndarray] = []
-    positions: List[float] = []
+    n_haplotypes: Optional[int] = None
     seen_chrom: Optional[str] = None
 
     for raw in source:
@@ -105,9 +124,16 @@ def parse_vcf(
             raise DataFormatError(f"bad POS {pos_s!r}") from exc
 
         calls: List[int] = []
+        ploidy: Optional[int] = None
         for entry in fields[9:]:
             gt = entry.split(":", 1)[0]
             alleles = gt.replace("|", "/").split("/")
+            if ploidy is None:
+                ploidy = len(alleles)
+            elif len(alleles) != ploidy:
+                raise DataFormatError(
+                    f"mixed ploidy within record at pos {pos_s}"
+                )
             for a in alleles:
                 if a == ".":
                     calls.append(int(MISSING))
@@ -118,13 +144,44 @@ def parse_vcf(
                         f"unsupported allele index {a!r} in biallelic "
                         f"record at pos {pos_s}"
                     )
-        column = np.array(calls, dtype=np.uint8)
-        if columns and column.size != columns[0].size:
+        if n_haplotypes is None:
+            n_haplotypes = len(calls)
+        elif len(calls) != n_haplotypes:
             raise DataFormatError(
                 f"inconsistent ploidy at pos {pos_s}"
             )
-        columns.append(column)
-        positions.append(pos)
+        yield VcfRecord(
+            position=pos, calls=np.array(calls, dtype=np.uint8)
+        )
+
+
+def parse_vcf(
+    source: Union[str, io.TextIOBase],
+    *,
+    chromosome: Optional[str] = None,
+    length: Optional[float] = None,
+) -> MaskedAlignment:
+    """Parse a VCF into a masked haplotype alignment.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    chromosome:
+        CHROM value to keep; default: the first one encountered (a
+        mixed-chromosome file without this argument is an error).
+    length:
+        Region length in bp; defaults to the last position + 1.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return parse_vcf(fh, chromosome=chromosome, length=length)
+
+    columns: List[np.ndarray] = []
+    positions: List[float] = []
+    for record in iter_vcf_records(source, chromosome=chromosome):
+        columns.append(record.calls)
+        positions.append(record.position)
 
     if not columns:
         raise DataFormatError("no usable biallelic SNP records found")

@@ -17,6 +17,7 @@ __all__ = [
     "AcceleratorError",
     "ModelCalibrationError",
     "SimulationError",
+    "StreamingError",
 ]
 
 
@@ -52,3 +53,9 @@ class ModelCalibrationError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """The coalescent / sweep simulator hit an invalid configuration."""
+
+
+class StreamingError(ReproError, RuntimeError):
+    """A streaming source was driven outside its protocol: non-monotonic
+    window ranges, a window outside the indexed site range, or an input
+    that changed between the index pass and the chunk pass."""

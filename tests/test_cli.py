@@ -260,3 +260,55 @@ class TestTables:
             assert token in out
         assert "ZCU102" in out
         assert "balanced" in out
+
+
+class TestScanStream:
+    def test_stream_matches_in_memory(self, sweep_ms, tmp_path, capsys):
+        a, b = str(tmp_path / "a.tsv"), str(tmp_path / "b.tsv")
+        base = ["scan", sweep_ms, "--length", "500000", "--grid", "9",
+                "--maxwin", "50000"]
+        assert main(base + ["-o", a]) == 0
+        capsys.readouterr()
+        rc = main(base + ["--stream", "--snp-budget", "400", "-o", b])
+        assert rc == 0
+        assert open(a).read() == open(b).read()
+        err = capsys.readouterr().err
+        assert "peak memory" in err
+
+    def test_stream_parallel_matches_in_memory(self, sweep_ms, tmp_path):
+        a, b = str(tmp_path / "a.tsv"), str(tmp_path / "b.tsv")
+        base = ["scan", sweep_ms, "--length", "500000", "--grid", "9",
+                "--maxwin", "50000", "--workers", "2",
+                "--scheduler", "pickled"]
+        assert main(base + ["-o", a]) == 0
+        assert main(base + ["--stream", "--snp-budget", "700", "-o", b]) == 0
+        assert open(a).read() == open(b).read()
+
+    def test_stream_budget_undershoot_reports_minimum(
+        self, sweep_ms, capsys
+    ):
+        rc = main([
+            "scan", sweep_ms, "--length", "500000", "--grid", "9",
+            "--maxwin", "50000", "--stream", "--snp-budget", "2",
+        ])
+        assert rc == 2
+        assert "widest omega region" in capsys.readouterr().err
+
+    def test_stream_rejects_fasta(self, tmp_path, capsys):
+        path = str(tmp_path / "x.fa")
+        with open(path, "w") as fh:
+            fh.write(">s1\nACGT\n>s2\nACGA\n")
+        rc = main([
+            "scan", path, "--format", "fasta", "--maxwin", "2",
+            "--stream",
+        ])
+        assert rc == 2
+        assert "ms and vcf" in capsys.readouterr().err
+
+    def test_stream_rejects_all_replicates(self, sweep_ms, capsys):
+        rc = main([
+            "scan", sweep_ms, "--length", "500000", "--maxwin", "50000",
+            "--stream", "--all-replicates",
+        ])
+        assert rc == 2
+        assert "one replicate" in capsys.readouterr().err

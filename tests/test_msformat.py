@@ -4,7 +4,10 @@ import io
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.datasets.alignment import SNPAlignment
 from repro.datasets.generators import random_alignment
 from repro.datasets.msformat import ms_text, parse_ms, parse_ms_text, write_ms
 from repro.errors import DataFormatError
@@ -141,3 +144,42 @@ class TestWrite:
         text = ms_text([a, b])
         assert text.count("//") == 2
         assert "segsites: 5" in text and "segsites: 7" in text
+
+
+@st.composite
+def _lattice_alignments(draw):
+    """Alignments whose positions sit on the 6-decimal fraction lattice
+    that ``ms_text`` emits, so round trips can demand bitwise equality."""
+    n_samples = draw(st.integers(1, 8))
+    lattice = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 999999), min_size=1, max_size=25, unique=True
+            )
+        )
+    )
+    n_sites = len(lattice)
+    rows = [
+        draw(st.lists(st.integers(0, 1), min_size=n_sites, max_size=n_sites))
+        for _ in range(n_samples)
+    ]
+    return SNPAlignment(
+        matrix=np.array(rows, dtype=np.uint8),
+        positions=np.array(lattice, dtype=np.float64) / 1e6,
+        length=1.0,
+    )
+
+
+class TestRoundTripFuzz:
+    """``ms_text`` -> ``parse_ms_text`` recovers genotypes and positions
+    exactly — the equality is bitwise, not approximate, which is what
+    lets the streaming reader index a file it did not write."""
+
+    @given(_lattice_alignments())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_recovery(self, aln):
+        text = ms_text([aln])
+        back = parse_ms_text(text, length=1.0)[0].alignment
+        np.testing.assert_array_equal(back.matrix, aln.matrix)
+        np.testing.assert_array_equal(back.positions, aln.positions)
+        assert back.length == aln.length
