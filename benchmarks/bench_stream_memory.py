@@ -31,6 +31,11 @@ import time
 
 import numpy as np
 
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from metrics_io import emit_bench_metrics  # noqa: E402
+
 
 def _peak_rss_mib() -> float:
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -130,6 +135,19 @@ def main(argv=None) -> int:
         out = pathlib.Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n", encoding="utf-8")
+        # The gated companion document for check_regression.py.
+        emit_bench_metrics(
+            "stream_memory",
+            timings={"scan_seconds": scan_seconds},
+            values={
+                "delta_rss_mib": delta_mib,
+                "full_matrix_mib": full_matrix_mib,
+                "sites": args.sites,
+                "samples": args.samples,
+            },
+            meta={"snp_budget": args.snp_budget, "grid": args.grid},
+            out_dir=out.parent,
+        )
     if not ok:
         print(
             f"FAIL: streamed scan grew RSS by {delta_mib:.1f} MiB, "

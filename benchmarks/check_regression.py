@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Gate benchmark timings against an archived baseline run.
+
+Compares every ``BENCH_*.json`` in ``--current`` (default
+``benchmarks/results/``) against the same-named document in
+``--baseline``. Each timing (lower is better) may grow by at most
+``--max-slowdown`` (a ratio, default 1.30 — CI runners are noisy);
+per-metric overrides tighten or loosen individual gates::
+
+    python benchmarks/check_regression.py \\
+        --baseline baseline/ --current benchmarks/results/ \\
+        --max-slowdown 1.3 --limit stream_memory:scan_seconds=1.5
+
+Exit codes: 0 — no regressions (including the no-baseline case, which
+only *warns*, so the first nightly run of a new repo passes); 1 — at
+least one timing regressed; 2 — bad invocation or malformed documents.
+
+``values`` entries are diffed in the report but never gated: they
+describe the workload (sizes, counts), not the performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from metrics_io import load_bench_dir  # noqa: E402
+
+
+def parse_limit(spec: str) -> tuple:
+    """``bench:metric=ratio`` -> ((bench, metric), ratio)."""
+    try:
+        key, value = spec.split("=", 1)
+        bench, metric = key.split(":", 1)
+        return (bench, metric), float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected bench:metric=ratio, got {spec!r}"
+        ) from None
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    max_slowdown: float,
+    limits: dict,
+    min_seconds: float,
+) -> tuple:
+    """Diff two bench-document maps; returns (lines, regressions)."""
+    lines = []
+    regressions = []
+    for name in sorted(current):
+        cur = current[name]
+        base = baseline.get(name)
+        if base is None:
+            lines.append(f"[new]  {name}: no baseline, skipping gate")
+            continue
+        for metric in sorted(cur.get("timings", {})):
+            cur_v = cur["timings"][metric]
+            base_v = base.get("timings", {}).get(metric)
+            if base_v is None:
+                lines.append(
+                    f"[new]  {name}:{metric} = {cur_v:.4g}s "
+                    "(metric absent from baseline)"
+                )
+                continue
+            limit = limits.get((name, metric), max_slowdown)
+            if base_v < min_seconds:
+                # Sub-threshold timings are dominated by timer noise;
+                # report them but never gate on them.
+                lines.append(
+                    f"[tiny] {name}:{metric} "
+                    f"{base_v:.4g}s -> {cur_v:.4g}s (below "
+                    f"{min_seconds}s floor, not gated)"
+                )
+                continue
+            ratio = cur_v / base_v if base_v > 0 else float("inf")
+            tag = "FAIL" if ratio > limit else "ok"
+            lines.append(
+                f"[{tag:4s}] {name}:{metric} "
+                f"{base_v:.4g}s -> {cur_v:.4g}s "
+                f"(x{ratio:.3f}, limit x{limit:.2f})"
+            )
+            if ratio > limit:
+                regressions.append((name, metric, base_v, cur_v, ratio))
+        for metric in sorted(cur.get("values", {})):
+            cur_v = cur["values"][metric]
+            base_v = base.get("values", {}).get(metric)
+            if base_v is not None and base_v != cur_v:
+                lines.append(
+                    f"[info] {name}:{metric} {base_v:.6g} -> {cur_v:.6g}"
+                )
+    for name in sorted(set(baseline) - set(current)):
+        lines.append(f"[gone] {name}: in baseline but not in current run")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="directory holding the previous run's "
+                    "BENCH_*.json files")
+    ap.add_argument("--current", default=None,
+                    help="directory holding this run's BENCH_*.json "
+                    "files (default benchmarks/results/)")
+    ap.add_argument("--max-slowdown", type=float, default=1.30,
+                    help="default allowed timing ratio current/baseline")
+    ap.add_argument("--limit", type=parse_limit, action="append",
+                    default=[], metavar="BENCH:METRIC=RATIO",
+                    help="per-metric slowdown override (repeatable)")
+    ap.add_argument("--min-seconds", type=float, default=0.05,
+                    help="baseline timings below this are reported but "
+                    "not gated (timer noise floor)")
+    args = ap.parse_args(argv)
+
+    current_dir = (
+        pathlib.Path(args.current)
+        if args.current
+        else pathlib.Path(__file__).parent / "results"
+    )
+    try:
+        current = load_bench_dir(current_dir)
+        baseline = load_bench_dir(args.baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not current:
+        print(
+            f"error: no BENCH_*.json documents in {current_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    if not baseline:
+        print(
+            f"WARNING: no baseline documents in {args.baseline!r} — "
+            "first run? Gate skipped; this run becomes the baseline.",
+            file=sys.stderr,
+        )
+        for name in sorted(current):
+            timings = current[name].get("timings", {})
+            for metric, v in sorted(timings.items()):
+                print(f"[base] {name}:{metric} = {v:.4g}s")
+        return 0
+
+    lines, regressions = compare(
+        baseline,
+        current,
+        max_slowdown=args.max_slowdown,
+        limits=dict(args.limit),
+        min_seconds=args.min_seconds,
+    )
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"\n{len(regressions)} timing regression(s) over the "
+            f"x{args.max_slowdown:.2f} gate:",
+            file=sys.stderr,
+        )
+        for name, metric, base_v, cur_v, ratio in regressions:
+            print(
+                f"  {name}:{metric} {base_v:.4g}s -> {cur_v:.4g}s "
+                f"(x{ratio:.3f})",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nno timing regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Shared benchmark-metrics emission and loading.
+
+Every benchmark that wants regression gating writes one
+``BENCH_<name>.json`` document through :func:`emit_bench_metrics`;
+``check_regression.py`` diffs a directory of these against an archived
+baseline run. The document separates
+
+* ``timings`` — seconds-like values where *lower is better*; these are
+  what the slowdown gate applies to, and
+* ``values`` — context numbers (sizes, counts, scores) recorded for the
+  diff report but never gated, because they are workload properties, not
+  performance.
+
+Import note: the file doubles as a module for the benchmark scripts
+(``from metrics_io import emit_bench_metrics`` with ``benchmarks/`` on
+the path, or run next to it) — it deliberately has no repro imports so
+``check_regression.py`` works from a bare checkout without PYTHONPATH.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_metrics_path",
+    "emit_bench_metrics",
+    "load_bench_metrics",
+    "load_bench_dir",
+]
+
+BENCH_SCHEMA = "repro.bench-metrics/1"
+
+#: Default location for BENCH_*.json files (benchmarks/results/).
+DEFAULT_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_metrics_path(
+    name: str, out_dir: Union[str, pathlib.Path, None] = None
+) -> pathlib.Path:
+    """``<out_dir>/BENCH_<name>.json`` (default dir: benchmarks/results)."""
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"invalid benchmark name {name!r}")
+    directory = pathlib.Path(out_dir) if out_dir else DEFAULT_DIR
+    return directory / f"BENCH_{name}.json"
+
+
+def emit_bench_metrics(
+    name: str,
+    *,
+    timings: Optional[Dict[str, float]] = None,
+    values: Optional[Dict[str, float]] = None,
+    meta: Optional[dict] = None,
+    out_dir: Union[str, pathlib.Path, None] = None,
+) -> pathlib.Path:
+    """Write one benchmark's metrics document; returns the path written.
+
+    ``timings`` are gated by ``check_regression.py`` (lower is better);
+    ``values`` and ``meta`` are carried for context only.
+    """
+    path = bench_metrics_path(name, out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "timings": {k: float(v) for k, v in (timings or {}).items()},
+        "values": {k: float(v) for k, v in (values or {}).items()},
+    }
+    if meta:
+        doc["meta"] = meta
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_bench_metrics(path: Union[str, pathlib.Path]) -> dict:
+    """Load and schema-check one ``BENCH_*.json`` document."""
+    doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} document "
+            f"(schema={doc.get('schema')!r})"
+        )
+    for section in ("timings", "values"):
+        if not isinstance(doc.get(section, {}), dict):
+            raise ValueError(f"{path}: {section!r} is not an object")
+    return doc
+
+
+def load_bench_dir(
+    directory: Union[str, pathlib.Path],
+) -> Dict[str, dict]:
+    """All ``BENCH_*.json`` documents in a directory, keyed by bench name.
+
+    Missing directory -> empty dict (the no-baseline-yet case).
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return {}
+    docs = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        doc = load_bench_metrics(path)
+        docs[doc["bench"]] = doc
+    return docs

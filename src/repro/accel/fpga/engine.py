@@ -25,6 +25,7 @@ from typing import Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.accel.base import ExecutionRecord
 from repro.accel.cpu import AMD_A10_5757M, CPUModel
 from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
@@ -93,6 +94,14 @@ class FPGAOmegaEngine:
                 )
                 record.add_scores("omega_sw", timing.sw_scores)
             record.kernel_launches += 1
+        # One summary span per modelled phase on the virtual device track.
+        obs.get_tracer().add_modeled(
+            "fpga-model",
+            [
+                (p, record.seconds.get(p, 0.0))
+                for p in ("ld", "omega_hw", "omega_sw")
+            ],
+        )
         return record
 
     def scan(
@@ -102,84 +111,115 @@ class FPGAOmegaEngine:
         reference scanner."""
         if alignment.n_sites < 2:
             raise AcceleratorError("scanning requires at least 2 SNPs")
-        plans = build_plans(alignment, config.grid)
-        cache = R2RegionCache(alignment, backend=config.ld_backend)
-        # The host maintains matrix M; reuse it across overlapping
-        # regions exactly as the CPU reference scanner does.
-        dp_cache = SumMatrixCache(reuse=config.dp_reuse, stats=cache.stats)
-        record = ExecutionRecord(device=self.pipeline.device.name)
-
-        n = len(plans)
-        omegas = np.zeros(n)
-        lefts = np.full(n, np.nan)
-        rights = np.full(n, np.nan)
-        evals = np.zeros(n, dtype=np.int64)
-
-        u = self.pipeline.effective_unroll
-        prev_computed = 0
-        for k, plan in enumerate(plans):
-            if not plan.valid:
-                continue
-            r2 = cache.region_matrix(plan.region_start, plan.region_stop)
-            fresh = cache.stats.entries_computed - prev_computed
-            prev_computed = cache.stats.entries_computed
-            record.add_time(
-                "ld", self.ld_model.seconds(fresh, alignment.n_samples)
+        tr = obs.get_tracer()
+        with obs.scoped_metrics() as registry:
+            plans = build_plans(alignment, config.grid)
+            cache = R2RegionCache(alignment, backend=config.ld_backend)
+            # The host maintains matrix M; reuse it across overlapping
+            # regions exactly as the CPU reference scanner does.
+            dp_cache = SumMatrixCache(
+                reuse=config.dp_reuse, stats=cache.stats
             )
-            record.add_scores("ld", fresh)
+            record = ExecutionRecord(device=self.pipeline.device.name)
 
-            sums = dp_cache.region_sums(
-                plan.region_start, plan.region_stop, r2
-            )
-            off = plan.region_start
-            li = plan.left_borders - off
-            c = plan.split_index - off
-            rj = plan.right_borders - off
+            n = len(plans)
+            omegas = np.zeros(n)
+            lefts = np.full(n, np.nan)
+            rights = np.full(n, np.nan)
+            evals = np.zeros(n, dtype=np.int64)
 
-            # Hardware/software partition of the right borders: each outer
-            # iteration's first floor(R/U)*U inner iterations run on the
-            # pipeline instances, the remainder in host software.
-            n_hw = (rj.size // u) * u
-            hw_best = (
-                omega_max_at_split(sums, li, c, rj[:n_hw], eps=config.eps)
-                if n_hw > 0
-                else None
-            )
-            sw_best = (
-                omega_max_at_split(sums, li, c, rj[n_hw:], eps=config.eps)
-                if n_hw < rj.size
-                else None
-            )
-            candidates = [b for b in (hw_best, sw_best) if b is not None]
-            best = max(candidates, key=lambda b: b.omega)
-            # region-local border index of the software candidates is
-            # already absolute within rj's slice order (omega_max_at_split
-            # receives real border values), so no re-offsetting is needed.
+            u = self.pipeline.effective_unroll
+            prev_computed = 0
+            # Modelled device time on the synthetic "fpga-model" track,
+            # one continuous virtual timeline anchored at the scan start.
+            cursor_us = None
+            for k, plan in enumerate(plans):
+                if not plan.valid:
+                    continue
+                r2 = cache.region_matrix(plan.region_start, plan.region_stop)
+                fresh = cache.stats.entries_computed - prev_computed
+                prev_computed = cache.stats.entries_computed
+                t_ld = self.ld_model.seconds(fresh, alignment.n_samples)
+                record.add_time("ld", t_ld)
+                record.add_scores("ld", fresh)
 
-            timing = self.pipeline.position(li.size, rj.size)
-            record.add_time(
-                "omega_hw", timing.seconds(self.pipeline.device.clock_hz)
-            )
-            record.add_scores("omega_hw", timing.hw_scores)
-            if timing.sw_scores:
-                record.add_time(
-                    "omega_sw", self.host_cpu.omega_seconds(timing.sw_scores)
+                sums = dp_cache.region_sums(
+                    plan.region_start, plan.region_stop, r2
                 )
-                record.add_scores("omega_sw", timing.sw_scores)
-            record.kernel_launches += 1
+                off = plan.region_start
+                li = plan.left_borders - off
+                c = plan.split_index - off
+                rj = plan.right_borders - off
 
-            omegas[k] = best.omega
-            evals[k] = li.size * rj.size
-            lefts[k] = alignment.positions[best.left_border + off]
-            rights[k] = alignment.positions[best.right_border + off]
+                # Hardware/software partition of the right borders: each
+                # outer iteration's first floor(R/U)*U inner iterations
+                # run on the pipeline instances, the remainder in host
+                # software.
+                n_hw = (rj.size // u) * u
+                hw_best = (
+                    omega_max_at_split(
+                        sums, li, c, rj[:n_hw], eps=config.eps
+                    )
+                    if n_hw > 0
+                    else None
+                )
+                sw_best = (
+                    omega_max_at_split(
+                        sums, li, c, rj[n_hw:], eps=config.eps
+                    )
+                    if n_hw < rj.size
+                    else None
+                )
+                candidates = [b for b in (hw_best, sw_best) if b is not None]
+                best = max(candidates, key=lambda b: b.omega)
+                # region-local border index of the software candidates is
+                # already absolute within rj's slice order
+                # (omega_max_at_split receives real border values), so no
+                # re-offsetting is needed.
 
-        breakdown = TimeBreakdown()
-        breakdown.add("ld", record.seconds.get("ld", 0.0))
-        breakdown.add(
-            "omega",
-            record.seconds.get("omega_hw", 0.0)
-            + record.seconds.get("omega_sw", 0.0),
-        )
+                timing = self.pipeline.position(li.size, rj.size)
+                t_hw = timing.seconds(self.pipeline.device.clock_hz)
+                record.add_time("omega_hw", t_hw)
+                record.add_scores("omega_hw", timing.hw_scores)
+                t_sw = 0.0
+                if timing.sw_scores:
+                    t_sw = self.host_cpu.omega_seconds(timing.sw_scores)
+                    record.add_time("omega_sw", t_sw)
+                    record.add_scores("omega_sw", timing.sw_scores)
+                    registry.counter("fpga.sw_remainder_scores").inc(
+                        timing.sw_scores
+                    )
+                record.kernel_launches += 1
+                if tr.enabled:
+                    cursor_us = tr.add_modeled(
+                        "fpga-model",
+                        [
+                            ("ld", t_ld),
+                            ("omega_hw", t_hw),
+                            ("omega_sw", t_sw),
+                        ],
+                        start_us=cursor_us,
+                    )
+
+                omegas[k] = best.omega
+                evals[k] = li.size * rj.size
+                lefts[k] = alignment.positions[best.left_border + off]
+                rights[k] = alignment.positions[best.right_border + off]
+
+            breakdown = TimeBreakdown()
+            breakdown.add("ld", record.seconds.get("ld", 0.0))
+            breakdown.add(
+                "omega",
+                record.seconds.get("omega_hw", 0.0)
+                + record.seconds.get("omega_sw", 0.0),
+            )
+            registry.counter("fpga.positions_launched").inc(
+                record.kernel_launches
+            )
+            from repro.core.scan import _mirror_reuse_metrics
+
+            _mirror_reuse_metrics(registry, cache.stats)
+            metrics = registry.snapshot()
         scan_result = ScanResult(
             positions=np.array([p.grid_position for p in plans]),
             omegas=omegas,
@@ -188,5 +228,6 @@ class FPGAOmegaEngine:
             n_evaluations=evals,
             breakdown=breakdown,
             reuse=cache.stats,
+            metrics=metrics,
         )
         return scan_result, record

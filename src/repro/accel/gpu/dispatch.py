@@ -25,6 +25,7 @@ from typing import Literal, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.accel.gpu.device import GPUDevice
 from repro.accel.gpu.kernels import KernelI, KernelII, KernelResult
 from repro.core.dp import SumMatrix
@@ -95,6 +96,13 @@ class DynamicDispatcher:
         else:
             self.stats.kernel2_launches += 1
             kern = self.kernel2
+        obs.get_metrics().counter(f"gpu.{which}_launches").inc()
+        obs.get_tracer().instant(
+            "kernel_dispatch",
+            "dispatch",
+            thread="gpu-model",
+            args={"kernel": which, "n_scores": n},
+        )
         return kern.launch(
             sums,
             left_borders,

@@ -36,6 +36,7 @@ import math
 
 import numpy as np
 
+import repro.obs as obs
 from repro.accel.base import ExecutionRecord
 from repro.accel.gpu.device import GPUDevice
 from repro.accel.gpu.dispatch import DynamicDispatcher, KernelChoice
@@ -202,6 +203,15 @@ class GPUOmegaEngine:
                 bytes_h2d=t.bytes_h2d,
                 bytes_d2h=t.bytes_d2h,
             )
+        # One summary span per modelled phase on the virtual device track
+        # (per-position spans would be noise at paper scale).
+        obs.get_tracer().add_modeled(
+            "gpu-model",
+            [
+                (p, record.seconds.get(p, 0.0))
+                for p in ("ld", "prep", "h2d", "kernel", "d2h")
+            ],
+        )
         return record
 
     def scan(
@@ -211,73 +221,100 @@ class GPUOmegaEngine:
         reference scanner."""
         if alignment.n_sites < 2:
             raise AcceleratorError("scanning requires at least 2 SNPs")
-        plans = build_plans(alignment, config.grid)
-        cache = R2RegionCache(alignment, backend=config.ld_backend)
-        # Same two-level reuse as the CPU reference scanner: the host
-        # maintains matrix M incrementally across overlapping regions, so
-        # the omega report stays identical to the CPU path.
-        dp_cache = SumMatrixCache(reuse=config.dp_reuse, stats=cache.stats)
-        record = ExecutionRecord(device=self.device.name)
-        breakdown = TimeBreakdown()
+        tr = obs.get_tracer()
+        with obs.scoped_metrics() as registry:
+            plans = build_plans(alignment, config.grid)
+            cache = R2RegionCache(alignment, backend=config.ld_backend)
+            # Same two-level reuse as the CPU reference scanner: the host
+            # maintains matrix M incrementally across overlapping regions,
+            # so the omega report stays identical to the CPU path.
+            dp_cache = SumMatrixCache(
+                reuse=config.dp_reuse, stats=cache.stats
+            )
+            record = ExecutionRecord(device=self.device.name)
+            breakdown = TimeBreakdown()
 
-        n = len(plans)
-        omegas = np.zeros(n)
-        lefts = np.full(n, np.nan)
-        rights = np.full(n, np.nan)
-        evals = np.zeros(n, dtype=np.int64)
+            n = len(plans)
+            omegas = np.zeros(n)
+            lefts = np.full(n, np.nan)
+            rights = np.full(n, np.nan)
+            evals = np.zeros(n, dtype=np.int64)
 
-        prev_computed = cache.stats.entries_computed
-        slot = 0
-        for k, plan in enumerate(plans):
-            if not plan.valid:
-                continue
-            r2 = cache.region_matrix(plan.region_start, plan.region_stop)
-            # Charge the GPU LD model for the *newly computed* r2 entries
-            # only — the data-reuse optimization also saves GPU GEMM work.
-            fresh = cache.stats.entries_computed - prev_computed
             prev_computed = cache.stats.entries_computed
-            t_ld = self.ld_model.seconds(fresh, alignment.n_samples)
-            record.add_time("ld", t_ld)
-            record.add_scores("ld", fresh)
+            slot = 0
+            # Modelled device time is laid out on the synthetic
+            # "gpu-model" track as a continuous virtual timeline anchored
+            # at the scan's start.
+            cursor_us = None
+            for k, plan in enumerate(plans):
+                if not plan.valid:
+                    continue
+                r2 = cache.region_matrix(plan.region_start, plan.region_stop)
+                # Charge the GPU LD model for the *newly computed* r2
+                # entries only — the data-reuse optimization also saves
+                # GPU GEMM work.
+                fresh = cache.stats.entries_computed - prev_computed
+                prev_computed = cache.stats.entries_computed
+                before = dict(record.seconds)
+                t_ld = self.ld_model.seconds(fresh, alignment.n_samples)
+                record.add_time("ld", t_ld)
+                record.add_scores("ld", fresh)
 
-            sums = dp_cache.region_sums(
-                plan.region_start, plan.region_stop, r2
-            )
-            off = plan.region_start
-            result = self.dispatcher.launch(
-                sums,
-                plan.left_borders - off,
-                plan.split_index - off,
-                plan.right_borders - off,
-                region_width=plan.region_width,
-                eps=config.eps,
-            )
-            self._charge_position(
-                record,
-                batch_slot=slot % self.batch_positions,
-                exec_seconds=result.exec_seconds,
-                n_scores=result.n_scores,
-                region_width=plan.region_width,
-                bytes_h2d=result.bytes_h2d,
-                bytes_d2h=result.bytes_d2h,
-            )
-            slot += 1
+                sums = dp_cache.region_sums(
+                    plan.region_start, plan.region_stop, r2
+                )
+                off = plan.region_start
+                result = self.dispatcher.launch(
+                    sums,
+                    plan.left_borders - off,
+                    plan.split_index - off,
+                    plan.right_borders - off,
+                    region_width=plan.region_width,
+                    eps=config.eps,
+                )
+                self._charge_position(
+                    record,
+                    batch_slot=slot % self.batch_positions,
+                    exec_seconds=result.exec_seconds,
+                    n_scores=result.n_scores,
+                    region_width=plan.region_width,
+                    bytes_h2d=result.bytes_h2d,
+                    bytes_d2h=result.bytes_d2h,
+                )
+                slot += 1
+                if tr.enabled:
+                    after = record.seconds
+                    cursor_us = tr.add_modeled(
+                        "gpu-model",
+                        [
+                            (p, after.get(p, 0.0) - before.get(p, 0.0))
+                            for p in ("ld", "prep", "h2d", "kernel", "d2h")
+                        ],
+                        start_us=cursor_us,
+                    )
 
-            omegas[k] = result.omega
-            evals[k] = result.n_scores
-            lefts[k] = alignment.positions[result.left_border + off]
-            rights[k] = alignment.positions[result.right_border + off]
+                omegas[k] = result.omega
+                evals[k] = result.n_scores
+                lefts[k] = alignment.positions[result.left_border + off]
+                rights[k] = alignment.positions[result.right_border + off]
 
-        # Mirror the modelled phases into the ScanResult breakdown so the
-        # Fig. 14 harness can treat CPU and GPU results uniformly.
-        breakdown.add("ld", record.seconds.get("ld", 0.0))
-        breakdown.add(
-            "omega",
-            sum(
-                record.seconds.get(p, 0.0)
-                for p in ("prep", "h2d", "kernel", "d2h")
-            ),
-        )
+            # Mirror the modelled phases into the ScanResult breakdown so
+            # the Fig. 14 harness can treat CPU and GPU results uniformly.
+            breakdown.add("ld", record.seconds.get("ld", 0.0))
+            breakdown.add(
+                "omega",
+                sum(
+                    record.seconds.get(p, 0.0)
+                    for p in ("prep", "h2d", "kernel", "d2h")
+                ),
+            )
+            registry.counter("gpu.kernel_launches").inc(
+                record.kernel_launches
+            )
+            from repro.core.scan import _mirror_reuse_metrics
+
+            _mirror_reuse_metrics(registry, cache.stats)
+            metrics = registry.snapshot()
         scan_result = ScanResult(
             positions=np.array([p.grid_position for p in plans]),
             omegas=omegas,
@@ -286,5 +323,6 @@ class GPUOmegaEngine:
             n_evaluations=evals,
             breakdown=breakdown,
             reuse=cache.stats,
+            metrics=metrics,
         )
         return scan_result, record

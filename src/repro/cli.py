@@ -25,9 +25,11 @@ Examples
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
+import repro.obs as obs
 from repro.accel.fpga.device import ALVEO_U200, ZCU102
 from repro.accel.fpga.engine import FPGAOmegaEngine
 from repro.accel.fpga.pipeline import PipelineModel
@@ -92,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "OmegaPlus-format report")
     scan_p.add_argument("-o", "--out", default=None,
                         help="write the TSV report here (default stdout)")
+    scan_p.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome-trace/Perfetto JSONL span "
+                        "trace covering every process")
+    scan_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the scan metrics document (phase "
+                        "times, reuse counters, merged metrics) as JSON")
 
     sim_p = sub.add_parser("simulate", help="generate ms-format datasets")
     sim_p.add_argument("model", choices=("neutral", "sweep"))
@@ -124,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     accel_p.add_argument("--batch", type=int, default=1,
                          help="grid positions per GPU kernel launch "
                          "(transfer batching; GPU platforms only)")
+    accel_p.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome-trace/Perfetto JSONL trace "
+                        "(includes the modelled device track)")
+    accel_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write the scan metrics document as JSON")
 
     sub.add_parser("tables", help="print reproduced Tables I-IV")
 
@@ -205,6 +218,27 @@ def _peak_rss_mib() -> float:
     return peak / 1024.0
 
 
+def _maybe_tracing(args):
+    """``obs.tracing`` bound to ``--trace``, or a no-op context."""
+    path = getattr(args, "trace", None)
+    if path:
+        return obs.tracing(path)
+    return contextlib.nullcontext()
+
+
+def _emit_obs(args, result, *, extra: Optional[dict] = None) -> None:
+    """Post-scan ``--trace`` / ``--metrics-out`` reporting."""
+    if getattr(args, "metrics_out", None):
+        obs.write_scan_metrics(result, args.metrics_out, extra=extra)
+        print(f"wrote metrics -> {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "trace", None):
+        print(
+            f"wrote trace -> {args.trace} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
 def _stream_source(args):
     fmt = getattr(args, "format", "ms")
     if fmt == "fasta":
@@ -239,13 +273,14 @@ def _cmd_scan(args) -> int:
                 "--all-replicates or pick --replicate"
             )
         source = _stream_source(args)
-        result = scan_stream(
-            source,
-            config,
-            snp_budget=args.snp_budget,
-            n_workers=args.workers,
-            scheduler=args.scheduler,
-        )
+        with _maybe_tracing(args):
+            result = scan_stream(
+                source,
+                config,
+                snp_budget=args.snp_budget,
+                n_workers=args.workers,
+                scheduler=args.scheduler,
+            )
         report = result.to_tsv()
         if args.out:
             with open(args.out, "w", encoding="ascii") as fh:
@@ -258,26 +293,30 @@ def _cmd_scan(args) -> int:
             f"<= {args.snp_budget}; peak memory {_peak_rss_mib():.1f} MiB",
             file=sys.stderr,
         )
+        _emit_obs(args, result)
         return 0
     if getattr(args, "all_replicates", False):
+        import json
+
         from repro.core.report_io import write_report
 
         if getattr(args, "format", "ms") != "ms":
             raise ReproError("--all-replicates requires ms input")
         reps = parse_ms(args.input, length=args.length)
         results = []
-        for rep in reps:
-            if args.workers > 1:
-                results.append(
-                    parallel_scan(
-                        rep.alignment, config, n_workers=args.workers,
-                        scheduler=args.scheduler,
+        with _maybe_tracing(args):
+            for rep in reps:
+                if args.workers > 1:
+                    results.append(
+                        parallel_scan(
+                            rep.alignment, config, n_workers=args.workers,
+                            scheduler=args.scheduler,
+                        )
                     )
-                )
-            else:
-                results.append(
-                    OmegaPlusScanner(config).scan(rep.alignment)
-                )
+                else:
+                    results.append(
+                        OmegaPlusScanner(config).scan(rep.alignment)
+                    )
         if args.out:
             write_report(results, args.out)
         else:
@@ -285,15 +324,35 @@ def _cmd_scan(args) -> int:
         print(
             f"scanned {len(results)} replicate(s)", file=sys.stderr
         )
+        if getattr(args, "metrics_out", None):
+            doc = {
+                "schema": obs.export.SCHEMA,
+                "replicates": [
+                    obs.scan_metrics_document(r) for r in results
+                ],
+            }
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=2)
+                fh.write("\n")
+            print(
+                f"wrote metrics -> {args.metrics_out}", file=sys.stderr
+            )
+        if getattr(args, "trace", None):
+            print(
+                f"wrote trace -> {args.trace} "
+                "(open at https://ui.perfetto.dev)",
+                file=sys.stderr,
+            )
         return 0
     alignment = _load_alignment(args)
-    if args.workers > 1:
-        result = parallel_scan(
-            alignment, config, n_workers=args.workers,
-            scheduler=args.scheduler,
-        )
-    else:
-        result = OmegaPlusScanner(config).scan(alignment)
+    with _maybe_tracing(args):
+        if args.workers > 1:
+            result = parallel_scan(
+                alignment, config, n_workers=args.workers,
+                scheduler=args.scheduler,
+            )
+        else:
+            result = OmegaPlusScanner(config).scan(alignment)
     report = result.to_tsv()
     if args.out:
         with open(args.out, "w", encoding="ascii") as fh:
@@ -301,6 +360,7 @@ def _cmd_scan(args) -> int:
     else:
         print(report)
     print(result.summary(), file=sys.stderr)
+    _emit_obs(args, result)
     return 0
 
 
@@ -344,7 +404,8 @@ def _cmd_accel(args) -> int:
         engine = GPUOmegaEngine(device, batch_positions=args.batch)
     else:
         engine = PLATFORMS[args.platform]()
-    result, record = engine.scan(alignment, config)
+    with _maybe_tracing(args):
+        result, record = engine.scan(alignment, config)
     print(result.to_tsv())
     print(f"\n[{record.device}] modelled execution:", file=sys.stderr)
     for phase, seconds in sorted(record.seconds.items()):
@@ -356,6 +417,18 @@ def _cmd_accel(args) -> int:
         f"{record.throughput('omega' if 'omega' in record.scores else 'omega_hw') / 1e6:.1f} "
         f"Mscores/s",
         file=sys.stderr,
+    )
+    _emit_obs(
+        args,
+        result,
+        extra={
+            "device": record.device,
+            "modelled_seconds": dict(record.seconds),
+            "modelled_scores": {
+                k: int(v) for k, v in record.scores.items()
+            },
+            "kernel_launches": int(record.kernel_launches),
+        },
     )
     return 0
 

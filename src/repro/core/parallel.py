@@ -49,6 +49,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
@@ -203,17 +204,23 @@ class _WorkerTask:
     #: matrix above may be a chunk, and chunk-local planning must not
     #: resurrect positions the global plan skipped.
     valid_mask: Optional[np.ndarray] = None
+    #: Observability configuration (trace path); applied before scanning
+    #: so worker spans land in the parent's trace file.
+    obs_spec: Optional[obs.ObsSpec] = None
 
 
 def _run_chunk(task: _WorkerTask) -> ScanResult:
     """Worker body: scan a fixed set of grid positions sequentially."""
+    obs.configure_worker(task.obs_spec)
     alignment = SNPAlignment(
         matrix=task.matrix, positions=task.positions, length=task.length
     )
     scanner = _FixedGridScanner(
         task.config, task.grid_positions, valid_mask=task.valid_mask
     )
-    return scanner.scan(alignment)
+    result = scanner.scan(alignment)
+    obs.get_tracer().flush()
+    return result
 
 
 def _scan_pickled_static(
@@ -224,6 +231,7 @@ def _scan_pickled_static(
 ) -> ScanResult:
     grid_positions = config.grid.positions(alignment)
     chunks = split_grid(grid_positions.size, n_workers)
+    spec = obs.current_spec()
     tasks = [
         _WorkerTask(
             matrix=alignment.matrix,
@@ -231,13 +239,19 @@ def _scan_pickled_static(
             length=alignment.length,
             config=config,
             grid_positions=grid_positions[a:b],
+            obs_spec=spec,
         )
         for a, b in chunks
     ]
-    ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
-    with ctx.Pool(processes=len(tasks)) as pool:
-        parts = pool.map(_run_chunk, tasks)
-    return _merge_parts(parts)
+    with obs.scoped_metrics() as registry:
+        registry.counter("scheduler.blocks_dispatched").inc(len(tasks))
+        ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        with ctx.Pool(processes=len(tasks)) as pool:
+            parts = pool.map(_run_chunk, tasks)
+        sched_snap = registry.snapshot()
+    result = _merge_parts(parts)
+    result.metrics = obs.merge_snapshots(result.metrics, sched_snap)
+    return result
 
 
 def _merge_parts(parts: List[ScanResult]) -> ScanResult:
@@ -250,6 +264,8 @@ def _merge_parts(parts: List[ScanResult]) -> ScanResult:
         breakdown = breakdown.merged(part.breakdown)
         subphases = subphases.merged(part.omega_subphases)
         reuse.merge_from(part.reuse)
+    snaps = [p.metrics for p in parts if p.metrics]
+    metrics = obs.merge_snapshots(*snaps) if snaps else None
     return ScanResult(
         positions=np.concatenate([p.positions for p in parts]),
         omegas=np.concatenate([p.omegas for p in parts]),
@@ -259,6 +275,7 @@ def _merge_parts(parts: List[ScanResult]) -> ScanResult:
         breakdown=breakdown,
         reuse=reuse,
         omega_subphases=subphases,
+        metrics=metrics,
     )
 
 
@@ -279,6 +296,7 @@ class _WorkerSetup:
     tile_spec: object
     config: OmegaConfig
     grid_positions: np.ndarray
+    obs_spec: Optional[obs.ObsSpec] = None
 
 
 #: Per-worker-process state, populated by the pool initializer. Holds an
@@ -291,6 +309,7 @@ _WORKER_STATE = None
 def _init_worker(setup: _WorkerSetup) -> None:
     global _WORKER_STATE
     try:
+        obs.configure_worker(setup.obs_spec)
         segments = SharedAlignmentSegments.attach(setup.alignment_spec)
         store = None
         if setup.tile_spec is not None:
@@ -319,12 +338,15 @@ def _scan_block(task: Tuple[int, int, int]) -> Tuple[int, ScanResult]:
     if store is not None:
         computed0 = store.tile_entries_computed
         reused0 = store.tile_entries_reused
-    result = scanner.scan(segments.alignment)
+    tr = obs.get_tracer()
+    with tr.span("scan_block", "block", args={"block": idx, "lo": lo, "hi": hi}):
+        result = scanner.scan(segments.alignment)
     if store is not None:
         result.reuse.tile_entries_computed += (
             store.tile_entries_computed - computed0
         )
         result.reuse.tile_entries_reused += store.tile_entries_reused - reused0
+    tr.flush()
     return idx, result
 
 
@@ -386,19 +408,24 @@ class ParallelScanSession:
         max_span = max(
             (p.region_width for p in plans if p.valid), default=0
         )
+        tr = obs.get_tracer()
         try:
-            self._segments = SharedAlignmentSegments.create(alignment)
-            if self._shared_tiles and max_span >= 1:
-                self._store = SharedR2TileStore.create(
-                    alignment,
-                    max_pair_span=max_span,
-                    backend=config.ld_backend,
-                )
+            with tr.span(
+                "shm_publish", "shm", args={"sites": int(alignment.n_sites)}
+            ):
+                self._segments = SharedAlignmentSegments.create(alignment)
+                if self._shared_tiles and max_span >= 1:
+                    self._store = SharedR2TileStore.create(
+                        alignment,
+                        max_pair_span=max_span,
+                        backend=config.ld_backend,
+                    )
             setup = _WorkerSetup(
                 alignment_spec=self._segments.spec,
                 tile_spec=self._store.spec if self._store else None,
                 config=config,
                 grid_positions=self._grid_positions,
+                obs_spec=obs.current_spec(),
             )
             ctx = (
                 mp.get_context(self._mp_context)
@@ -427,15 +454,34 @@ class ParallelScanSession:
             block_size=self._block_size,
         )
         tasks = [(idx, lo, hi) for idx, (lo, hi) in enumerate(blocks)]
+        costs = self._position_costs
         if self._cost_ordering:
-            costs = self._position_costs
             tasks.sort(key=lambda t: -float(costs[t[1] : t[2]].sum()))
-        parts = {}
-        for idx, part in self._pool.imap_unordered(
-            _scan_block, tasks, chunksize=1
-        ):
-            parts[idx] = part
+        tr = obs.get_tracer()
+        with obs.scoped_metrics() as registry:
+            blocks_c = registry.counter("scheduler.blocks_dispatched")
+            depth_g = registry.gauge("scheduler.queue_depth")
+            secs_h = registry.histogram("scheduler.block_seconds")
+            est_h = registry.histogram("scheduler.block_est_cost")
+            with tr.span(
+                "dispatch", "scheduler", args={"blocks": len(tasks)}
+            ):
+                blocks_c.inc(len(tasks))
+                for _idx, lo, hi in tasks:
+                    est_h.observe(float(costs[lo:hi].sum()))
+                pending = len(tasks)
+                depth_g.set(pending)
+                parts = {}
+                for idx, part in self._pool.imap_unordered(
+                    _scan_block, tasks, chunksize=1
+                ):
+                    parts[idx] = part
+                    pending -= 1
+                    depth_g.set(pending)
+                    secs_h.observe(part.breakdown.wall_seconds)
+            sched_snap = registry.snapshot()
         result = _merge_parts([parts[i] for i in range(len(blocks))])
+        result.metrics = obs.merge_snapshots(result.metrics, sched_snap)
         result.breakdown.wall_seconds = time.perf_counter() - t_wall
         return result
 
@@ -550,7 +596,10 @@ _STREAM_WORKER_STATE: dict = {
 }
 
 
-def _init_stream_worker(config: OmegaConfig) -> None:
+def _init_stream_worker(
+    config: OmegaConfig, obs_spec: Optional[obs.ObsSpec] = None
+) -> None:
+    obs.configure_worker(obs_spec)
     _STREAM_WORKER_STATE.update(
         config=config, spec_name=None, segments=None, store=None
     )
@@ -586,12 +635,15 @@ def _scan_stream_block(task) -> Tuple[int, ScanResult]:
     if store is not None:
         computed0 = store.tile_entries_computed
         reused0 = store.tile_entries_reused
-    result = scanner.scan(segments.alignment)
+    tr = obs.get_tracer()
+    with tr.span("scan_block", "block", args={"block": idx}):
+        result = scanner.scan(segments.alignment)
     if store is not None:
         result.reuse.tile_entries_computed += (
             store.tile_entries_computed - computed0
         )
         result.reuse.tile_entries_reused += store.tile_entries_reused - reused0
+    tr.flush()
     return idx, result
 
 
@@ -636,7 +688,7 @@ class StreamingScanSession:
             self._pool = ctx.Pool(
                 processes=self._n_workers,
                 initializer=_init_stream_worker,
-                initargs=(self._config,),
+                initargs=(self._config, obs.current_spec()),
             )
         return self
 
@@ -658,36 +710,49 @@ class StreamingScanSession:
         passed through.
         """
         self.start()
-        self._segments = SharedAlignmentSegments.create(chunk)
+        tr = obs.get_tracer()
+        with tr.span("shm_publish", "shm", args={"sites": int(chunk.n_sites)}):
+            self._segments = SharedAlignmentSegments.create(chunk)
         try:
             if self._shared_tiles and max_pair_span >= 1:
-                self._store = SharedR2TileStore.create(
-                    chunk,
-                    max_pair_span=max_pair_span,
-                    backend=self._config.ld_backend,
-                )
+                with tr.span("shm_publish_tiles", "shm"):
+                    self._store = SharedR2TileStore.create(
+                        chunk,
+                        max_pair_span=max_pair_span,
+                        backend=self._config.ld_backend,
+                    )
             alignment_spec = self._segments.spec
             tile_spec = self._store.spec if self._store is not None else None
             tasks = [
                 (alignment_spec, tile_spec, idx, grid_block, mask)
                 for idx, grid_block, mask in block_tasks
             ]
+            registry = obs.get_metrics()
+            registry.counter("scheduler.blocks_dispatched").inc(len(tasks))
+            depth_g = registry.gauge("scheduler.queue_depth")
+            secs_h = registry.histogram("scheduler.block_seconds")
             it = self._pool.imap_unordered(
                 _scan_stream_block, tasks, chunksize=1
             )
             prefetched = prefetch() if prefetch is not None else None
             parts = {}
+            pending = len(tasks)
+            depth_g.set(pending)
             for idx, part in it:
                 parts[idx] = part
+                pending -= 1
+                depth_g.set(pending)
+                secs_h.observe(part.breakdown.wall_seconds)
             return parts, prefetched
         finally:
-            if self._store is not None:
-                self._store.close()
-                self._store.unlink()
-                self._store = None
-            self._segments.close()
-            self._segments.unlink()
-            self._segments = None
+            with tr.span("shm_unpublish", "shm"):
+                if self._store is not None:
+                    self._store.close()
+                    self._store.unlink()
+                    self._store = None
+                self._segments.close()
+                self._segments.unlink()
+                self._segments = None
 
     def close(self) -> None:
         """Tear down the pool and any shared segments still live."""
@@ -782,23 +847,32 @@ def _iter_scan_stream_parallel(
     run's, whichever scheduler is chosen.
     """
     positions = source.positions
-    t_plan = time.perf_counter()
-    grid_positions = config.grid.positions_from(positions)
-    plans = build_plans_from_positions(positions, config.grid)
-    if scheduler == "pickled":
-        blocks = split_grid(grid_positions.size, n_workers)
-    else:
-        blocks = make_blocks(
-            grid_positions.size, n_workers, block_size=block_size
+    tr = obs.get_tracer()
+    _plan_bd = TimeBreakdown()
+    with tr.phase(_plan_bd, "plan", "phase"):
+        grid_positions = config.grid.positions_from(positions)
+        plans = build_plans_from_positions(positions, config.grid)
+        if scheduler == "pickled":
+            blocks = split_grid(grid_positions.size, n_workers)
+        else:
+            blocks = make_blocks(
+                grid_positions.size, n_workers, block_size=block_size
+            )
+        valid = np.array([p.valid for p in plans], dtype=bool)
+        costs = np.array(
+            [p.n_evaluations + p.region_width**2 for p in plans],
+            dtype=np.float64,
         )
-    valid = np.array([p.valid for p in plans], dtype=bool)
-    costs = np.array(
-        [p.n_evaluations + p.region_width**2 for p in plans],
-        dtype=np.float64,
-    )
-    spans = _block_spans(plans, blocks)
-    chunk_descs = _group_stream_chunks(spans, snp_budget)
-    plan_seconds = time.perf_counter() - t_plan
+        spans = _block_spans(plans, blocks)
+        chunk_descs = _group_stream_chunks(spans, snp_budget)
+    plan_seconds = _plan_bd.totals["plan"]
+
+    def ingest_next(window_iter):
+        """Pull the next chunk, timed and traced on the ingest track."""
+        bd = TimeBreakdown()
+        with tr.phase(bd, "ingest", "ingest", thread="ingest"):
+            chunk = next(window_iter)
+        return chunk, bd.totals["ingest"]
 
     # Result-ordering coverage: chunk i merges every block after chunk
     # i-1's coverage up to its own last data block; dataless blocks in
@@ -855,9 +929,7 @@ def _iter_scan_stream_parallel(
                 part.breakdown.add("plan", plan_seconds)
                 yield part
                 return
-            t0 = time.perf_counter()
-            chunk = next(window_iter)
-            ingest_seconds = time.perf_counter() - t0
+            chunk, ingest_seconds = ingest_next(window_iter)
             for ci, (_lo, _hi, data_blocks) in enumerate(chunk_descs):
                 tasks = []
                 for b in data_blocks:
@@ -873,22 +945,29 @@ def _iter_scan_stream_parallel(
                 if ci + 1 < len(chunk_descs):
 
                     def prefetch():
-                        t0 = time.perf_counter()
-                        nxt = next(window_iter)
-                        return nxt, time.perf_counter() - t0
+                        return ingest_next(window_iter)
 
-                parts, prefetched = session.scan_chunk(
-                    chunk,
-                    tasks,
-                    max_pair_span=chunk_max_span(data_blocks),
-                    prefetch=prefetch,
-                )
+                with obs.scoped_metrics() as registry:
+                    parts, prefetched = session.scan_chunk(
+                        chunk,
+                        tasks,
+                        max_pair_span=chunk_max_span(data_blocks),
+                        prefetch=prefetch,
+                    )
+                    registry.counter("stream.chunks").inc()
+                    registry.gauge("stream.chunk_rss_bytes").set(
+                        obs.current_rss_bytes()
+                    )
+                    parent_snap = registry.snapshot()
                 cov_lo, cov_hi = coverage[ci]
                 merged = _merge_parts(
                     [
                         parts[b] if b in parts else synth_part(b)
                         for b in range(cov_lo, cov_hi)
                     ]
+                )
+                merged.metrics = obs.merge_snapshots(
+                    merged.metrics, parent_snap
                 )
                 merged.breakdown.add("ingest", ingest_seconds)
                 if ci == 0:
@@ -917,9 +996,8 @@ def _iter_scan_stream_parallel(
                 yield part
                 return
             pool = ctx.Pool(processes=n_workers)
-            t0 = time.perf_counter()
-            chunk = next(window_iter)
-            ingest_seconds = time.perf_counter() - t0
+            obs_spec = obs.current_spec()
+            chunk, ingest_seconds = ingest_next(window_iter)
             for ci, (_lo, _hi, data_blocks) in enumerate(chunk_descs):
                 tasks = []
                 for b in data_blocks:
@@ -934,28 +1012,37 @@ def _iter_scan_stream_parallel(
                                 config=config,
                                 grid_positions=grid_positions[lo:hi],
                                 valid_mask=valid[lo:hi],
+                                obs_spec=obs_spec,
                             ),
                         )
                     )
-                it = pool.imap_unordered(
-                    _run_stream_chunk, tasks, chunksize=1
-                )
-                prefetched = None
-                if ci + 1 < len(chunk_descs):
-                    t0 = time.perf_counter()
-                    prefetched = (
-                        next(window_iter),
-                        time.perf_counter() - t0,
+                with obs.scoped_metrics() as registry:
+                    registry.counter("scheduler.blocks_dispatched").inc(
+                        len(tasks)
                     )
-                parts = {}
-                for idx, part in it:
-                    parts[idx] = part
+                    it = pool.imap_unordered(
+                        _run_stream_chunk, tasks, chunksize=1
+                    )
+                    prefetched = None
+                    if ci + 1 < len(chunk_descs):
+                        prefetched = ingest_next(window_iter)
+                    parts = {}
+                    for idx, part in it:
+                        parts[idx] = part
+                    registry.counter("stream.chunks").inc()
+                    registry.gauge("stream.chunk_rss_bytes").set(
+                        obs.current_rss_bytes()
+                    )
+                    parent_snap = registry.snapshot()
                 cov_lo, cov_hi = coverage[ci]
                 merged = _merge_parts(
                     [
                         parts[b] if b in parts else synth_part(b)
                         for b in range(cov_lo, cov_hi)
                     ]
+                )
+                merged.metrics = obs.merge_snapshots(
+                    merged.metrics, parent_snap
                 )
                 merged.breakdown.add("ingest", ingest_seconds)
                 if ci == 0:

@@ -7,22 +7,40 @@ downstream tooling built around OmegaPlus parses these files, and this
 package should be able to read reports produced by the original C tool
 for cross-validation.
 
+Format version 2 additionally persists each replicate's observability
+sidecars — the :class:`~repro.utils.timing.TimeBreakdown` (including
+``wall_seconds``) and the :class:`~repro.core.reuse.ReuseStats` counters —
+without breaking either direction of interop. The carrier is the comment
+channel the version-1 parser already skips: a ``//!repro-report-version``
+preamble line plus one ``//@ {json}`` line per replicate block. Version-1
+readers (including the original tool's downstream scripts) see comments;
+this parser reconstructs the sidecar objects, and version-1 files simply
+load with ``breakdown``/``reuse`` set to ``None``.
+
 :func:`write_report` / :func:`parse_report` implement the format;
 :func:`report_path` builds the conventional filename.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
+import json
 import os
 from typing import Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.core.results import ScanResult
+from repro.core.reuse import ReuseStats
 from repro.errors import DataFormatError
+from repro.utils.timing import TimeBreakdown
 
-__all__ = ["write_report", "parse_report", "report_path"]
+__all__ = ["REPORT_VERSION", "write_report", "parse_report", "report_path"]
+
+#: Current report format version. Version 1 is the plain OmegaPlus
+#: format; version 2 adds the ``//!``/``//@`` metadata comment lines.
+REPORT_VERSION = 2
 
 
 def report_path(directory: str, run_name: str) -> str:
@@ -32,22 +50,46 @@ def report_path(directory: str, run_name: str) -> str:
     return os.path.join(directory, f"OmegaPlus_Report.{run_name}")
 
 
+def _replicate_metadata(result: ScanResult) -> dict:
+    """The JSON document persisted on a replicate's ``//@`` line."""
+    return {
+        "wall_seconds": result.breakdown.wall_seconds,
+        "phase_seconds": dict(result.breakdown.totals),
+        "omega_subphase_seconds": dict(result.omega_subphases.totals),
+        "reuse": dataclasses.asdict(result.reuse),
+    }
+
+
 def write_report(
     results: Sequence[ScanResult],
     path_or_stream: Union[str, io.TextIOBase],
     *,
     run_name: str = "repro",
+    metadata: bool = True,
 ) -> None:
     """Write scan results in OmegaPlus report format (one ``//k`` block
-    per replicate)."""
+    per replicate).
+
+    With ``metadata`` (the default) the file is format version 2: each
+    block carries a ``//@`` comment line holding the replicate's phase
+    breakdown and reuse counters. Pass ``metadata=False`` for a bare
+    version-1 file (byte-compatible with the original tool's output).
+    """
     if not results:
         raise DataFormatError("need at least one scan result")
 
     def _write(fh) -> None:
         fh.write(f"// OmegaPlus report (repro reproduction), run "
                  f"{run_name}\n")
+        if metadata:
+            fh.write(f"//!repro-report-version {REPORT_VERSION}\n")
         for k, result in enumerate(results):
             fh.write(f"//{k}\n")
+            if metadata:
+                doc = json.dumps(
+                    _replicate_metadata(result), separators=(",", ":")
+                )
+                fh.write(f"//@ {doc}\n")
             for i in range(len(result)):
                 fh.write(
                     f"{result.positions[i]:.4f}\t{result.omegas[i]:.6f}\n"
@@ -65,25 +107,62 @@ def parse_report(
 ) -> List[Dict[str, np.ndarray]]:
     """Parse an OmegaPlus report into per-replicate position/omega arrays.
 
-    Returns a list of ``{"positions": ..., "omegas": ...}`` dicts, one per
-    ``//`` block, matching what the original tool emits.
+    Returns a list of ``{"positions": ..., "omegas": ..., "breakdown": ...,
+    "reuse": ...}`` dicts, one per ``//`` block. ``breakdown`` (a
+    :class:`~repro.utils.timing.TimeBreakdown`, ``wall_seconds``
+    included) and ``reuse`` (a :class:`~repro.core.reuse.ReuseStats`) are
+    reconstructed from version-2 metadata lines and are ``None`` for
+    version-1 files, including reports written by the original C tool.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="ascii") as fh:
             return parse_report(fh)
 
-    replicates: List[Dict[str, List[float]]] = []
-    current: Dict[str, List[float]] | None = None
+    replicates: List[dict] = []
+    current: dict | None = None
     for raw in source:
         line = raw.strip()
         if not line:
             continue
+        if line.startswith("//@"):
+            if current is None:
+                continue  # stray metadata before any block: ignore
+            try:
+                doc = json.loads(line[3:])
+            except json.JSONDecodeError as exc:
+                raise DataFormatError(
+                    f"malformed replicate metadata: {line[:60]!r}"
+                ) from exc
+            breakdown = TimeBreakdown()
+            for name, seconds in doc.get("phase_seconds", {}).items():
+                breakdown.add(name, float(seconds))
+            breakdown.wall_seconds = float(doc.get("wall_seconds", 0.0))
+            subphases = TimeBreakdown()
+            for name, seconds in doc.get(
+                "omega_subphase_seconds", {}
+            ).items():
+                subphases.add(name, float(seconds))
+            known = {f.name for f in dataclasses.fields(ReuseStats)}
+            reuse_doc = doc.get("reuse", {})
+            current["breakdown"] = breakdown
+            current["omega_subphases"] = subphases
+            current["reuse"] = ReuseStats(
+                **{k: v for k, v in reuse_doc.items() if k in known}
+            )
+            continue
         if line.startswith("//"):
             marker = line[2:].strip()
             if marker.isdigit() or marker == "":
-                current = {"positions": [], "omegas": []}
+                current = {
+                    "positions": [],
+                    "omegas": [],
+                    "breakdown": None,
+                    "omega_subphases": None,
+                    "reuse": None,
+                }
                 replicates.append(current)
-            # non-numeric // lines are comments (the preamble)
+            # non-numeric // lines are comments (the preamble and the
+            # //! version marker)
             continue
         if current is None:
             # preamble lines before the first block
@@ -107,6 +186,7 @@ def parse_report(
         raise DataFormatError("no replicate blocks found in report")
     return [
         {
+            **r,
             "positions": np.array(r["positions"]),
             "omegas": np.array(r["omegas"]),
         }

@@ -10,6 +10,8 @@ quantity profiled in Section I and Fig. 14) and the data-reuse counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
 import numpy as np
 
 from repro.core.reuse import ReuseStats
@@ -50,6 +52,12 @@ class ScanResult:
     #: previous region). These seconds are *contained in* the breakdown's
     #: ``omega`` phase, not additional to it.
     omega_subphases: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: Merged :meth:`repro.obs.MetricsRegistry.snapshot` for this scan
+    #: (tile-store hits vs fills, scheduler queue stats, per-chunk RSS,
+    #: ...). ``None`` when the scan predates the metrics layer or the
+    #: result was built by hand; worker parts carry their own snapshots
+    #: and merges are lossless (see :mod:`repro.obs.metrics`).
+    metrics: Optional[dict] = None
 
     def __post_init__(self) -> None:
         n = self.positions.shape[0]
@@ -117,14 +125,57 @@ class ScanResult:
             if self.breakdown.wall_seconds > 0
             else ""
         )
-        return (
+        lines = [
             f"{len(self)} grid positions, {self.total_evaluations} omega "
-            f"evaluations\n"
+            f"evaluations",
             f"max omega = {best.omega:.4f} at position {best.position:.1f} "
-            f"(window [{best.left_border_bp:.1f}, {best.right_border_bp:.1f}])\n"
-            f"time: {self.breakdown.total:.3f}s ({phases}{wall})\n"
+            f"(window [{best.left_border_bp:.1f}, "
+            f"{best.right_border_bp:.1f}])",
+            f"time: {self.breakdown.total:.3f}s ({phases}{wall})",
             f"LD reuse: {self.reuse.reuse_fraction:.1%} of entries served "
-            f"from cache\n"
+            f"from cache",
             f"DP reuse: {self.reuse.dp_reuse_fraction:.1%} of window-sum "
-            f"entries relocated"
+            f"entries relocated",
+        ]
+        tile_total = (
+            self.reuse.tile_entries_computed + self.reuse.tile_entries_reused
         )
+        if tile_total > 0:
+            hit_rate = self.reuse.tile_entries_reused / tile_total
+            lines.append(
+                f"tile store: {hit_rate:.1%} of fresh entries served from "
+                f"published tiles"
+            )
+        if self.reuse.dp_anchor_allocs > 0:
+            lines.append(
+                f"DP anchors: {self.reuse.dp_anchor_allocs} allocated, "
+                f"mean span {self.reuse.mean_anchor_span:.0f} SNPs"
+            )
+        sched = self._scheduler_summary()
+        if sched:
+            lines.append(sched)
+        return "\n".join(lines)
+
+    def _scheduler_summary(self) -> str:
+        """One-line scheduler digest from the metrics snapshot (empty
+        string for sequential scans, which dispatch no blocks)."""
+        if not self.metrics:
+            return ""
+        counters = self.metrics.get("counters", {})
+        blocks = counters.get("scheduler.blocks_dispatched", 0)
+        if not blocks:
+            return ""
+        gauges = self.metrics.get("gauges", {})
+        depth = gauges.get("scheduler.queue_depth", {})
+        hist = self.metrics.get("histograms", {}).get(
+            "scheduler.block_seconds", {}
+        )
+        line = f"scheduler: {blocks} blocks dispatched"
+        if depth.get("n", 0):
+            line += f", peak queue depth {depth['max']:.0f}"
+        if hist.get("count", 0):
+            line += (
+                f", block time {hist['min'] * 1e3:.1f}-"
+                f"{hist['max'] * 1e3:.1f} ms"
+            )
+        return line

@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.grid import (
     GridSpec,
     PositionPlan,
@@ -135,61 +136,75 @@ class OmegaPlusScanner:
         if alignment.n_sites < 2:
             raise ScanConfigError("scanning requires at least 2 SNPs")
         cfg = self.config
+        tr = obs.get_tracer()
         t_wall = time.perf_counter()
         breakdown = TimeBreakdown()
 
-        with breakdown.phase("plan"):
-            plans = build_plans(alignment, cfg.grid)
-            if self._valid_mask is not None:
-                plans = _apply_valid_mask(plans, self._valid_mask)
+        with obs.scoped_metrics() as registry:
+            with tr.phase(breakdown, "plan", "phase"):
+                plans = build_plans(alignment, cfg.grid)
+                if self._valid_mask is not None:
+                    plans = _apply_valid_mask(plans, self._valid_mask)
 
-        cache = R2RegionCache(
-            alignment, backend=cfg.ld_backend, block_fn=self._block_fn
-        )
-        dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
-        subphases = TimeBreakdown()
-        n = len(plans)
-        omegas = np.zeros(n)
-        lefts = np.full(n, np.nan)
-        rights = np.full(n, np.nan)
-        evals = np.zeros(n, dtype=np.int64)
+            cache = R2RegionCache(
+                alignment, backend=cfg.ld_backend, block_fn=self._block_fn
+            )
+            dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
+            subphases = TimeBreakdown()
+            n = len(plans)
+            omegas = np.zeros(n)
+            lefts = np.full(n, np.nan)
+            rights = np.full(n, np.nan)
+            evals = np.zeros(n, dtype=np.int64)
+            positions_evaluated = registry.counter("scan.positions_evaluated")
 
-        for k, plan in enumerate(plans):
-            if not plan.valid:
-                continue
-            with breakdown.phase("ld"):
-                if cfg.reuse:
-                    r2 = cache.region_matrix(plan.region_start, plan.region_stop)
-                else:
-                    cache.reset()
-                    r2 = cache.region_matrix(plan.region_start, plan.region_stop)
-            with breakdown.phase("omega"):
-                t0 = time.perf_counter()
-                sums = dp_cache.region_sums(
-                    plan.region_start, plan.region_stop, r2
-                )
-                subphases.add(
-                    "dp_build"
-                    if dp_cache.last_action == "build"
-                    else "dp_reuse",
-                    time.perf_counter() - t0,
-                )
-                off = plan.region_start
-                result = omega_max_at_split(
-                    sums,
-                    plan.left_borders - off,
-                    plan.split_index - off,
-                    plan.right_borders - off,
-                    eps=cfg.eps,
-                )
-            omegas[k] = result.omega
-            evals[k] = result.n_evaluations
-            if result.left_border >= 0:
-                lefts[k] = alignment.positions[result.left_border + off]
-                rights[k] = alignment.positions[result.right_border + off]
+            for k, plan in enumerate(plans):
+                if not plan.valid:
+                    continue
+                positions_evaluated.inc()
+                with tr.phase(breakdown, "ld", "phase"):
+                    if cfg.reuse:
+                        r2 = cache.region_matrix(
+                            plan.region_start, plan.region_stop
+                        )
+                    else:
+                        cache.reset()
+                        r2 = cache.region_matrix(
+                            plan.region_start, plan.region_stop
+                        )
+                with tr.phase(breakdown, "omega", "phase"):
+                    t0ns = time.perf_counter_ns()
+                    sums = dp_cache.region_sums(
+                        plan.region_start, plan.region_stop, r2
+                    )
+                    dtns = time.perf_counter_ns() - t0ns
+                    dp_name = (
+                        "dp_build"
+                        if dp_cache.last_action == "build"
+                        else "dp_reuse"
+                    )
+                    subphases.add(dp_name, dtns / 1e9)
+                    tr.add_complete(
+                        dp_name, "dp", t0ns // 1000, dtns // 1000
+                    )
+                    off = plan.region_start
+                    result = omega_max_at_split(
+                        sums,
+                        plan.left_borders - off,
+                        plan.split_index - off,
+                        plan.right_borders - off,
+                        eps=cfg.eps,
+                    )
+                omegas[k] = result.omega
+                evals[k] = result.n_evaluations
+                if result.left_border >= 0:
+                    lefts[k] = alignment.positions[result.left_border + off]
+                    rights[k] = alignment.positions[result.right_border + off]
 
-        positions = np.array([p.grid_position for p in plans])
-        breakdown.wall_seconds = time.perf_counter() - t_wall
+            positions = np.array([p.grid_position for p in plans])
+            breakdown.wall_seconds = time.perf_counter() - t_wall
+            _mirror_reuse_metrics(registry, cache.stats)
+            metrics = registry.snapshot()
         return ScanResult(
             positions=positions,
             omegas=omegas,
@@ -199,6 +214,7 @@ class OmegaPlusScanner:
             breakdown=breakdown,
             reuse=cache.stats,
             omega_subphases=subphases,
+            metrics=metrics,
         )
 
 
@@ -270,6 +286,20 @@ def _apply_valid_mask(
     return out
 
 
+def _mirror_reuse_metrics(registry, stats: ReuseStats) -> None:
+    """Mirror the r²/DP reuse counters into the metrics registry.
+
+    Tile-store counters (``tilestore.*``) are *not* mirrored here — the
+    shared tile store increments those live at fill/hit time, and
+    double-counting them would corrupt the merged snapshot.
+    """
+    registry.counter("ld.entries_computed").inc(stats.entries_computed)
+    registry.counter("ld.entries_reused").inc(stats.entries_reused)
+    registry.counter("dp.entries_computed").inc(stats.dp_entries_computed)
+    registry.counter("dp.entries_reused").inc(stats.dp_entries_reused)
+    registry.counter("dp.builds").inc(stats.dp_builds)
+
+
 def _reuse_delta(stats: ReuseStats, snapshot: ReuseStats) -> ReuseStats:
     """Counter difference ``stats - snapshot`` (per-chunk attribution)."""
     delta = ReuseStats()
@@ -337,10 +367,12 @@ def _iter_stream_sequential(
     """
     cfg = config
     positions = source.positions
-    t_plan = time.perf_counter()
-    plans = build_plans_from_positions(positions, cfg.grid)
-    groups = _plan_stream_chunks(plans, snp_budget)
-    plan_seconds = time.perf_counter() - t_plan
+    tr = obs.get_tracer()
+    _plan_bd = TimeBreakdown()
+    with tr.phase(_plan_bd, "plan", "phase"):
+        plans = build_plans_from_positions(positions, cfg.grid)
+        groups = _plan_stream_chunks(plans, snp_budget)
+    plan_seconds = _plan_bd.totals["plan"]
 
     # Fresh r² blocks are requested in global coordinates but computed
     # from the currently resident chunk; the chunk always covers the open
@@ -370,57 +402,74 @@ def _iter_stream_sequential(
                 subphases = TimeBreakdown()
                 if first:
                     breakdown.add("plan", plan_seconds)
-                if site_hi > site_lo:
-                    with breakdown.phase("ingest"):
-                        chunk = next(window_iter)
-                    holder["lo"] = site_lo
-                    if cfg.ld_backend == "packed":
-                        holder["packed"] = PackedAlignment.from_alignment(
-                            chunk
-                        )
-                    else:
-                        holder["chunk"] = chunk
-                count = plan_hi - plan_lo
-                omegas = np.zeros(count)
-                lefts = np.full(count, np.nan)
-                rights = np.full(count, np.nan)
-                evals = np.zeros(count, dtype=np.int64)
-                snapshot = dataclasses.replace(cache.stats)
-                for k in range(plan_lo, plan_hi):
-                    plan = plans[k]
-                    if not plan.valid:
-                        continue
-                    with breakdown.phase("ld"):
-                        if not cfg.reuse:
-                            cache.reset()
-                        r2 = cache.region_matrix(
-                            plan.region_start, plan.region_stop
-                        )
-                    with breakdown.phase("omega"):
-                        t0 = time.perf_counter()
-                        sums = dp_cache.region_sums(
-                            plan.region_start, plan.region_stop, r2
-                        )
-                        subphases.add(
-                            "dp_build"
-                            if dp_cache.last_action == "build"
-                            else "dp_reuse",
-                            time.perf_counter() - t0,
-                        )
-                        off = plan.region_start
-                        result = omega_max_at_split(
-                            sums,
-                            plan.left_borders - off,
-                            plan.split_index - off,
-                            plan.right_borders - off,
-                            eps=cfg.eps,
-                        )
-                    j = k - plan_lo
-                    omegas[j] = result.omega
-                    evals[j] = result.n_evaluations
-                    if result.left_border >= 0:
-                        lefts[j] = positions[result.left_border + off]
-                        rights[j] = positions[result.right_border + off]
+                with obs.scoped_metrics() as registry:
+                    if site_hi > site_lo:
+                        with tr.phase(
+                            breakdown, "ingest", "ingest", thread="ingest"
+                        ):
+                            chunk = next(window_iter)
+                        holder["lo"] = site_lo
+                        if cfg.ld_backend == "packed":
+                            holder["packed"] = (
+                                PackedAlignment.from_alignment(chunk)
+                            )
+                        else:
+                            holder["chunk"] = chunk
+                    count = plan_hi - plan_lo
+                    omegas = np.zeros(count)
+                    lefts = np.full(count, np.nan)
+                    rights = np.full(count, np.nan)
+                    evals = np.zeros(count, dtype=np.int64)
+                    snapshot = dataclasses.replace(cache.stats)
+                    for k in range(plan_lo, plan_hi):
+                        plan = plans[k]
+                        if not plan.valid:
+                            continue
+                        with tr.phase(breakdown, "ld", "phase"):
+                            if not cfg.reuse:
+                                cache.reset()
+                            r2 = cache.region_matrix(
+                                plan.region_start, plan.region_stop
+                            )
+                        with tr.phase(breakdown, "omega", "phase"):
+                            t0ns = time.perf_counter_ns()
+                            sums = dp_cache.region_sums(
+                                plan.region_start, plan.region_stop, r2
+                            )
+                            dtns = time.perf_counter_ns() - t0ns
+                            dp_name = (
+                                "dp_build"
+                                if dp_cache.last_action == "build"
+                                else "dp_reuse"
+                            )
+                            subphases.add(dp_name, dtns / 1e9)
+                            tr.add_complete(
+                                dp_name, "dp", t0ns // 1000, dtns // 1000
+                            )
+                            off = plan.region_start
+                            result = omega_max_at_split(
+                                sums,
+                                plan.left_borders - off,
+                                plan.split_index - off,
+                                plan.right_borders - off,
+                                eps=cfg.eps,
+                            )
+                        j = k - plan_lo
+                        omegas[j] = result.omega
+                        evals[j] = result.n_evaluations
+                        if result.left_border >= 0:
+                            lefts[j] = positions[result.left_border + off]
+                            rights[j] = positions[result.right_border + off]
+                    reuse_delta = _reuse_delta(cache.stats, snapshot)
+                    registry.counter("stream.chunks").inc()
+                    registry.counter("stream.chunk_sites").inc(
+                        site_hi - site_lo
+                    )
+                    registry.gauge("stream.chunk_rss_bytes").set(
+                        obs.current_rss_bytes()
+                    )
+                    _mirror_reuse_metrics(registry, reuse_delta)
+                    metrics = registry.snapshot()
                 yield ScanResult(
                     positions=np.array(
                         [
@@ -433,8 +482,9 @@ def _iter_stream_sequential(
                     right_borders_bp=rights,
                     n_evaluations=evals,
                     breakdown=breakdown,
-                    reuse=_reuse_delta(cache.stats, snapshot),
+                    reuse=reuse_delta,
                     omega_subphases=subphases,
+                    metrics=metrics,
                 )
                 first = False
         finally:

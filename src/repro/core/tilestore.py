@@ -36,6 +36,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+import repro.obs as obs
 from repro.datasets.alignment import SHM_NAME_PREFIX, SNPAlignment
 from repro.datasets.packed import PackedAlignment
 from repro.errors import ScanConfigError
@@ -229,17 +230,25 @@ class SharedR2TileStore:
         h, w = r1 - r0, c1 - c0
         slot = ti * (spec.band_tiles + 1) + (tj - ti)
         view = self._data[slot, :h, :w]
+        registry = obs.get_metrics()
         if self._flags[slot]:
             self.tile_entries_reused += h * w
+            registry.counter("tilestore.hits").inc()
+            registry.counter("tilestore.entries_reused").inc(h * w)
             return view
         assert self._compute is not None
-        values = self._compute(slice(r0, r1), slice(c0, c1))
-        view[:] = values
-        # Publish only after the data is in place; a concurrent filler
-        # writes the identical bytes (deterministic backends), so the
-        # race is benign.
-        self._flags[slot] = 1
+        with obs.get_tracer().span(
+            "tile_fill", "tilestore", args={"ti": ti, "tj": tj}
+        ):
+            values = self._compute(slice(r0, r1), slice(c0, c1))
+            view[:] = values
+            # Publish only after the data is in place; a concurrent filler
+            # writes the identical bytes (deterministic backends), so the
+            # race is benign.
+            self._flags[slot] = 1
         self.tile_entries_computed += h * w
+        registry.counter("tilestore.fills").inc()
+        registry.counter("tilestore.entries_computed").inc(h * w)
         return view
 
     def block(self, rows: slice, cols: slice) -> np.ndarray:

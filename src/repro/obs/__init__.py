@@ -1,0 +1,236 @@
+"""Unified tracing + metrics for the scan pipeline.
+
+The paper's entire acceleration argument rests on one profiling
+observation (LD + ω ≥ 98 % of OmegaPlus runtime, Section I), and every
+optimization this reproduction layers on top — two-level data reuse,
+shared-memory scheduling, streaming ingestion, modelled accelerators —
+claims a time saving that must be *measured* to be believed. This package
+is the single instrumentation substrate those measurements flow through:
+
+* :class:`~repro.obs.trace.Tracer` — nested spans (ingest, LD tile fill,
+  DP build/reuse, ω kernel, dispatch decisions, shared-memory
+  publish/unpublish) exported as Chrome-trace/Perfetto-compatible JSONL.
+  One scan — sequential, multiprocess or streamed — produces one trace
+  file spanning every process, because ``time.perf_counter`` is
+  CLOCK_MONOTONIC on Linux (one system-wide timeline) and each process
+  appends complete JSON lines with ``O_APPEND`` writes.
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms (tile-store hits vs fills, scheduler queue depth, estimated
+  vs realized block cost, DP entries reused vs rebuilt, per-chunk peak
+  RSS). Workers accumulate into a process-local registry and ship
+  lossless snapshot deltas back with their results; snapshots merge
+  associatively at join.
+
+Both are **disabled by default** and the disabled fast path is a single
+attribute check, so the instrumented hot loops stay within noise of the
+uninstrumented ones (``tests/test_obs.py`` guards < 2 % overhead).
+
+Process model
+-------------
+Each process owns one tracer and one registry, reached through
+:func:`get_tracer` / :func:`get_metrics`. The state is keyed by PID: a
+forked worker that inherits an enabled tracer keeps the configuration but
+drops the parent's buffered events (they would otherwise flush twice).
+Pools created with the ``spawn`` start method receive an explicit
+:class:`ObsSpec` through their initializer instead (the parallel sessions
+ship :func:`current_spec` automatically).
+
+Usage
+-----
+::
+
+    from repro import obs
+
+    with obs.tracing("scan.trace.jsonl"):
+        result = parallel_scan(alignment, config, n_workers=4)
+    print(obs.get_metrics().snapshot())
+
+or, from the command line::
+
+    omegascan scan data.ms --maxwin 5e4 --workers 4 \\
+        --trace scan.trace.jsonl --metrics-out scan.metrics.json
+
+Open the trace at https://ui.perfetto.dev or ``chrome://tracing``; see
+``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.obs.export import scan_metrics_document, write_scan_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "ObsSpec",
+    "Tracer",
+    "configure_worker",
+    "current_rss_bytes",
+    "current_spec",
+    "get_metrics",
+    "get_tracer",
+    "merge_snapshots",
+    "reset",
+    "scan_metrics_document",
+    "scoped_metrics",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+    "write_scan_metrics",
+]
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Picklable observability configuration for worker processes.
+
+    ``trace_path is None`` means tracing is disabled. The spec is a couple
+    of strings — the actual trace data never crosses process boundaries
+    (every process appends to the file itself).
+    """
+
+    trace_path: Optional[str] = None
+
+
+class _ObsState:
+    """Per-process tracer + registry, keyed by PID (fork-aware)."""
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
+
+    def check_pid(self) -> None:
+        """After a fork, keep the configuration but drop inherited
+        buffers: the parent flushes its own events, and a child flushing
+        a copied buffer would duplicate them."""
+        pid = os.getpid()
+        if pid != self.pid:
+            self.pid = pid
+            self.tracer = self.tracer.forked_copy()
+            self.registry = MetricsRegistry()
+
+
+_STATE = _ObsState()
+
+
+def get_tracer() -> Tracer:
+    """This process's tracer (disabled no-op unless configured)."""
+    _STATE.check_pid()
+    return _STATE.tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """This process's metrics registry (always collecting; cheap)."""
+    _STATE.check_pid()
+    return _STATE.registry
+
+
+def start_tracing(path: str, *, process_name: str = "scan") -> Tracer:
+    """Enable tracing to ``path`` (truncates any existing file)."""
+    _STATE.check_pid()
+    _STATE.tracer.close()
+    _STATE.tracer = Tracer(path=path, process_name=process_name)
+    _STATE.tracer.open_fresh()
+    return _STATE.tracer
+
+
+def stop_tracing() -> None:
+    """Flush and disable this process's tracer."""
+    _STATE.check_pid()
+    _STATE.tracer.close()
+    _STATE.tracer = Tracer()
+
+
+@contextmanager
+def tracing(path: str, *, process_name: str = "scan") -> Iterator[Tracer]:
+    """Context manager around :func:`start_tracing`/:func:`stop_tracing`."""
+    tracer = start_tracing(path, process_name=process_name)
+    try:
+        yield tracer
+    finally:
+        stop_tracing()
+
+
+def current_spec() -> ObsSpec:
+    """The spec a worker needs to reproduce this process's obs config."""
+    _STATE.check_pid()
+    t = _STATE.tracer
+    return ObsSpec(trace_path=t.path if t.enabled else None)
+
+
+def configure_worker(spec: Optional[ObsSpec]) -> None:
+    """Apply a shipped :class:`ObsSpec` in a worker process.
+
+    Safe to call repeatedly (persistent pools call it per task batch);
+    reconfiguring with the same spec keeps the live tracer. Workers
+    *append* to the trace file — only :func:`start_tracing` truncates.
+    """
+    _STATE.check_pid()
+    path = spec.trace_path if spec is not None else None
+    t = _STATE.tracer
+    if (t.path if t.enabled else None) == path:
+        return
+    t.close()
+    _STATE.tracer = Tracer(
+        path=path, process_name=f"worker-{os.getpid()}"
+    )
+
+
+@contextmanager
+def scoped_metrics() -> Iterator[MetricsRegistry]:
+    """Collect this process's metrics into a fresh registry for the
+    duration of one operation (a scan, a worker block).
+
+    Everything recorded through :func:`get_metrics` inside the scope
+    lands in the scoped registry; on exit the scope's snapshot is folded
+    back into the enclosing registry, so process-lifetime totals still
+    accumulate. The scoped snapshot is what a scan attaches to its
+    :class:`~repro.core.results.ScanResult` — an exact, mergeable record
+    of that operation only. Scopes are per-process and the innermost
+    scope owns the metrics; pipeline code opens exactly one per scan.
+    """
+    _STATE.check_pid()
+    outer = _STATE.registry
+    inner = MetricsRegistry()
+    _STATE.registry = inner
+    try:
+        yield inner
+    finally:
+        _STATE.registry = outer
+        outer.merge_snapshot(inner.snapshot())
+
+
+def reset() -> None:
+    """Drop all obs state (tests only)."""
+    _STATE.check_pid()
+    _STATE.tracer.close()
+    _STATE.tracer = Tracer()
+    _STATE.registry = MetricsRegistry()
+
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size of this process in bytes.
+
+    Reads ``/proc/self/statm`` on Linux; falls back to the
+    ``ru_maxrss`` high-water mark elsewhere (coarser, but monotone).
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak) * 1024

@@ -1,0 +1,51 @@
+"""Metrics-document export for scan results.
+
+One scan -> one JSON document combining the phase breakdown, the reuse
+counters and the merged metrics snapshot. This is what the CLI's
+``--metrics-out`` writes and what ``benchmarks/check_regression.py``
+style tooling consumes; the schema string is bumped on incompatible
+changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+__all__ = ["SCHEMA", "scan_metrics_document", "write_scan_metrics"]
+
+SCHEMA = "repro.scan-metrics/1"
+
+
+def scan_metrics_document(result, *, extra: dict = None) -> dict:
+    """JSON-able document for a ``ScanResult``-shaped object.
+
+    Duck-typed on purpose: anything with ``breakdown`` (a
+    ``TimeBreakdown``), ``reuse`` (a ``ReuseStats``), ``n_evaluations``
+    and an optional ``metrics`` snapshot dict works, so the accelerator
+    engines' results export through the same path.
+    """
+    doc = {
+        "schema": SCHEMA,
+        "wall_seconds": result.breakdown.wall_seconds,
+        "phase_seconds": dict(result.breakdown.totals),
+        "omega_subphase_seconds": dict(
+            getattr(result, "omega_subphases", None).totals
+        )
+        if getattr(result, "omega_subphases", None) is not None
+        else {},
+        "reuse": dataclasses.asdict(result.reuse),
+        "n_positions": int(len(result)),
+        "total_evaluations": int(result.n_evaluations.sum()),
+        "metrics": getattr(result, "metrics", None) or {},
+    }
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def write_scan_metrics(result, path: str, *, extra: dict = None) -> None:
+    """Write :func:`scan_metrics_document` to ``path`` as pretty JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(scan_metrics_document(result, extra=extra), fh, indent=2)
+        fh.write("\n")

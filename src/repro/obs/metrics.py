@@ -1,0 +1,197 @@
+"""Counters, gauges and histograms with lossless snapshot merging.
+
+A :class:`MetricsRegistry` is process-local and lock-free: the scan
+pipeline is multi-*process*, not multi-threaded, so each worker
+accumulates into its own registry and ships a plain-dict
+:meth:`~MetricsRegistry.snapshot` back with its results. Snapshots merge
+associatively and commutatively (:func:`merge_snapshots`) — counters and
+histogram buckets add, gauge extrema take min/max — so the join order of
+worker parts cannot change the merged totals. ``tests/test_obs.py``
+checks this with a hypothesis property: any partition of counter
+increments across workers merges to the sequential totals, exactly.
+
+Metric naming convention: dotted ``subsystem.quantity`` lower-case names
+(``tilestore.fills``, ``scheduler.queue_depth``,
+``stream.chunk_rss_bytes``); the full list lives in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """Monotonically increasing count (merge: sum)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value with running extrema (merge: min/max)."""
+
+    __slots__ = ("last", "min", "max", "n")
+
+    def __init__(self) -> None:
+        self.last = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.n = 0
+
+    def set(self, value) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.n += 1
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (merge: add buckets).
+
+    Bucket ``le`` boundaries are the smallest power of two at or above
+    each observation (with a dedicated ``0`` bucket for non-positive
+    values), so two registries always agree on bucket edges and merging
+    never loses resolution it ever had.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: Dict[str, int] = {}
+
+    @staticmethod
+    def bucket_le(value) -> str:
+        if value <= 0:
+            return "0"
+        return repr(float(2.0 ** math.ceil(math.log2(value))))
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        le = self.bucket_le(value)
+        self.buckets[le] = self.buckets.get(le, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name -> metric map with get-or-create accessors.
+
+    ``counter`` / ``gauge`` / ``histogram`` return the live metric
+    object, so hot loops can bind it to a local once and pay one method
+    call per update.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # ---------------------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """JSON-able plain-dict copy of every metric."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {
+                k: {
+                    "last": g.last,
+                    "min": g.min if g.n else 0.0,
+                    "max": g.max if g.n else 0.0,
+                    "n": g.n,
+                }
+                for k, g in self._gauges.items()
+            },
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "buckets": dict(h.buckets),
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge_snapshot(self, snap: Optional[dict]) -> None:
+        """Fold a :meth:`snapshot` (e.g. a worker's) into this registry."""
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, g in snap.get("gauges", {}).items():
+            live = self.gauge(name)
+            if g.get("n", 0) > 0:
+                live.last = g["last"]
+                live.min = min(live.min, g["min"])
+                live.max = max(live.max, g["max"])
+                live.n += g["n"]
+        for name, h in snap.get("histograms", {}).items():
+            live = self.histogram(name)
+            if h.get("count", 0) > 0:
+                live.count += h["count"]
+                live.sum += h["sum"]
+                live.min = min(live.min, h["min"])
+                live.max = max(live.max, h["max"])
+                for le, c in h.get("buckets", {}).items():
+                    live.buckets[le] = live.buckets.get(le, 0) + c
+
+
+def merge_snapshots(*snaps: Optional[dict]) -> dict:
+    """Merge snapshot dicts losslessly (associative and commutative up
+    to gauges' ``last``, which keeps the last merged operand's value)."""
+    out = MetricsRegistry()
+    for snap in snaps:
+        out.merge_snapshot(snap)
+    return out.snapshot()

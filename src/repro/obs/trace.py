@@ -1,0 +1,383 @@
+"""Span tracing with Chrome-trace/Perfetto-compatible JSONL export.
+
+The export format is newline-delimited Chrome trace events — one complete
+JSON object per line, no enclosing array. Perfetto's JSON tokenizer (and
+therefore https://ui.perfetto.dev and current ``chrome://tracing``)
+accepts this stream form directly; it is also what makes *multi-process*
+tracing safe: every process appends whole lines to the same file with
+``O_APPEND`` writes, so no cross-process coordination is needed and a
+crashed worker loses at most its unflushed tail.
+
+Event vocabulary (see ``docs/OBSERVABILITY.md`` for the full taxonomy):
+
+* ``ph: "X"`` — complete spans with microsecond ``ts``/``dur`` taken from
+  ``time.perf_counter_ns()``. On Linux that clock is CLOCK_MONOTONIC,
+  which is system-wide, so spans from different processes land on one
+  coherent timeline.
+* ``ph: "i"`` — instant events (dispatch decisions, chunk boundaries).
+* ``ph: "M"`` — metadata naming processes and the synthetic tracks
+  (``ingest``, ``gpu-model``, ``fpga-model``).
+
+The disabled tracer costs one attribute check per call site; the
+:meth:`Tracer.phase` helper measures time *once* and feeds both a
+:class:`~repro.utils.timing.TimeBreakdown` and the trace, so per-phase
+span sums agree with the breakdown totals by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Tracer", "SYNTHETIC_TIDS", "validate_trace_line"]
+
+#: Stable thread ids for logical (non-OS) tracks. Chrome trace ``tid``
+#: values are arbitrary integers scoped to a pid; these are far above any
+#: real native thread id's typical range *within one process's track
+#: group* and are named via metadata events.
+SYNTHETIC_TIDS: Dict[str, int] = {
+    "ingest": 900001,
+    "gpu-model": 900002,
+    "fpga-model": 900003,
+}
+
+#: Buffered events are flushed once the buffer reaches this many entries
+#: (and always on :meth:`Tracer.flush`/:meth:`Tracer.close`).
+FLUSH_EVERY = 1024
+
+_REQUIRED_KEYS = ("name", "ph", "pid", "tid", "ts")
+
+
+def _now_us() -> int:
+    return time.perf_counter_ns() // 1000
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Reads the clock on enter/exit and records one complete span."""
+
+    __slots__ = ("_tracer", "_name", "_cat", "_thread", "_args", "_t0")
+
+    def __init__(self, tracer, name, cat, thread, args):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._thread = thread
+        self._args = args
+
+    def __enter__(self) -> None:
+        self._t0 = time.perf_counter_ns()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter_ns()
+        self._tracer.add_complete(
+            self._name,
+            self._cat,
+            self._t0 // 1000,
+            (t1 - self._t0) // 1000,
+            thread=self._thread,
+            args=self._args,
+        )
+        return False
+
+
+class _PhaseSpan:
+    """Times a block once, crediting a breakdown phase and (when the
+    tracer is enabled) the matching trace span from the same reading."""
+
+    __slots__ = (
+        "_tracer", "_breakdown", "_name", "_cat", "_thread", "_args", "_t0"
+    )
+
+    def __init__(self, tracer, breakdown, name, cat, thread, args):
+        self._tracer = tracer
+        self._breakdown = breakdown
+        self._name = name
+        self._cat = cat
+        self._thread = thread
+        self._args = args
+
+    def __enter__(self) -> None:
+        self._t0 = time.perf_counter_ns()
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t1 = time.perf_counter_ns()
+        totals = self._breakdown.totals
+        totals[self._name] = totals.get(self._name, 0.0) + (
+            (t1 - self._t0) / 1e9
+        )
+        if self._tracer.enabled:
+            self._tracer.add_complete(
+                self._name,
+                self._cat,
+                self._t0 // 1000,
+                (t1 - self._t0) // 1000,
+                thread=self._thread,
+                args=self._args,
+            )
+        return False
+
+
+class Tracer:
+    """Per-process span recorder (no-op unless ``path`` is set).
+
+    Parameters
+    ----------
+    path:
+        Trace file to append JSONL events to; ``None`` disables the
+        tracer entirely (every record call returns immediately).
+    process_name:
+        Human-readable name attached to this process's track via a
+        metadata event (``scan`` for the driver, ``worker-<pid>`` for
+        pool workers).
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, *, process_name: str = "scan"
+    ):
+        self.path = path
+        self.enabled = path is not None
+        self.process_name = process_name
+        self._events: List[dict] = []
+        self._meta_done = False
+        self._named_tracks: set = set()
+
+    # ---------------------------------------------------------------- #
+    # lifecycle
+
+    def forked_copy(self) -> "Tracer":
+        """Same configuration, empty buffer — what a forked child should
+        hold so it never re-flushes events the parent buffered."""
+        return Tracer(
+            self.path, process_name=f"worker-{os.getpid()}"
+        )
+
+    def open_fresh(self) -> None:
+        """Truncate the trace file (driver side, at trace start)."""
+        if self.path is not None:
+            fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644
+            )
+            os.close(fd)
+
+    def flush(self) -> None:
+        """Append buffered events to the file in one ``O_APPEND`` write."""
+        if not self._events:
+            return
+        payload = (
+            "\n".join(
+                json.dumps(e, separators=(",", ":")) for e in self._events
+            )
+            + "\n"
+        )
+        self._events = []
+        assert self.path is not None
+        fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        """Flush and disable."""
+        if self.enabled:
+            self.flush()
+        self.enabled = False
+
+    # ---------------------------------------------------------------- #
+    # event plumbing
+
+    def _tid(self, thread: Optional[str]) -> int:
+        if thread is None:
+            return threading.get_native_id()
+        tid = SYNTHETIC_TIDS.get(thread)
+        if tid is None:
+            tid = 900100 + (hash(thread) % 1000)
+        if thread not in self._named_tracks:
+            self._named_tracks.add(thread)
+            self._push(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": os.getpid(),
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": thread},
+                }
+            )
+        return tid
+
+    def _push(self, event: dict) -> None:
+        if not self._meta_done:
+            self._meta_done = True
+            self._events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": self.process_name},
+                }
+            )
+        self._events.append(event)
+        if len(self._events) >= FLUSH_EVERY:
+            self.flush()
+
+    def add_complete(
+        self,
+        name: str,
+        cat: str,
+        ts_us: int,
+        dur_us: int,
+        *,
+        thread: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one complete (``ph: "X"``) span with explicit
+        timestamps — the modelled accelerators lay their virtual device
+        time out through this."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "pid": os.getpid(),
+            "tid": self._tid(thread),
+            "ts": int(ts_us),
+            "dur": max(0, int(dur_us)),
+        }
+        if args:
+            event["args"] = args
+        self._push(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "scan",
+        *,
+        thread: Optional[str] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record an instant (``ph: "i"``) event."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "pid": os.getpid(),
+            "tid": self._tid(thread),
+            "ts": _now_us(),
+        }
+        if args:
+            event["args"] = args
+        self._push(event)
+
+    def add_modeled(
+        self,
+        thread: str,
+        phases,
+        *,
+        cat: str = "model",
+        start_us: Optional[int] = None,
+    ) -> int:
+        """Lay modelled (virtual-clock) phase durations out as consecutive
+        spans on a synthetic track.
+
+        ``phases`` is an iterable of ``(name, seconds)`` pairs; spans are
+        placed back to back starting at ``start_us`` (default: now, so the
+        modelled track lines up with the host spans that produced it).
+        Returns the cursor after the last span, so callers can chain
+        batches onto one continuous virtual timeline.
+        """
+        cursor = _now_us() if start_us is None else int(start_us)
+        if not self.enabled:
+            return cursor
+        for name, seconds in phases:
+            if seconds <= 0:
+                continue
+            dur = max(1, int(seconds * 1e6))
+            self.add_complete(name, cat, cursor, dur, thread=thread)
+            cursor += dur
+        return cursor
+
+    # ---------------------------------------------------------------- #
+    # measuring context managers
+
+    def span(
+        self,
+        name: str,
+        cat: str = "scan",
+        *,
+        thread: Optional[str] = None,
+        args: Optional[dict] = None,
+    ):
+        """Measure a nested span. A disabled tracer hands back a shared
+        no-op context manager — no clock reads, no allocation."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, thread, args)
+
+    def phase(
+        self,
+        breakdown,
+        name: str,
+        cat: str = "phase",
+        *,
+        thread: Optional[str] = None,
+        args: Optional[dict] = None,
+    ):
+        """Time a block once, attributing it to *both* the breakdown's
+        ``name`` phase and (when enabled) a trace span.
+
+        Drop-in replacement for ``TimeBreakdown.phase`` — the single
+        measurement is why per-phase span sums match breakdown totals.
+        """
+        return _PhaseSpan(self, breakdown, name, cat, thread, args)
+
+
+def validate_trace_line(line: str) -> dict:
+    """Parse and schema-check one JSONL trace line; returns the event.
+
+    Raises ``ValueError`` on malformed lines — the trace-schema test (and
+    any downstream tooling) uses this as the format contract.
+    """
+    event = json.loads(line)
+    if not isinstance(event, dict):
+        raise ValueError(f"trace line is not an object: {line[:60]!r}")
+    for key in _REQUIRED_KEYS:
+        if key not in event:
+            raise ValueError(f"trace event missing {key!r}: {line[:60]!r}")
+    if event["ph"] not in ("X", "M", "i"):
+        raise ValueError(f"unknown phase {event['ph']!r}")
+    if event["ph"] == "X":
+        if "dur" not in event or event["dur"] < 0 or event["ts"] < 0:
+            raise ValueError(f"bad complete event: {line[:60]!r}")
+        if "cat" not in event:
+            raise ValueError(f"complete event missing cat: {line[:60]!r}")
+    for key in ("pid", "tid", "ts"):
+        if not isinstance(event[key], int):
+            raise ValueError(f"{key} is not an integer: {line[:60]!r}")
+    return event

@@ -5,7 +5,12 @@ import io
 import numpy as np
 import pytest
 
-from repro.core.report_io import parse_report, report_path, write_report
+from repro.core.report_io import (
+    REPORT_VERSION,
+    parse_report,
+    report_path,
+    write_report,
+)
 from repro.core.scan import scan
 from repro.datasets.generators import random_alignment
 from repro.errors import DataFormatError
@@ -56,6 +61,81 @@ class TestRoundTrip:
         text = buf.getvalue()
         assert text.startswith("// OmegaPlus report")
         assert len(parse_report(io.StringIO(text))) == 2
+
+
+class TestMetadataRoundTrip:
+    """Format v2: TimeBreakdown + ReuseStats ride along in comments."""
+
+    def test_v2_roundtrips_breakdown_and_reuse(self, results):
+        buf = io.StringIO()
+        write_report(results, buf)
+        text = buf.getvalue()
+        assert f"//!repro-report-version {REPORT_VERSION}" in text
+        parsed = parse_report(io.StringIO(text))
+        for res, rep in zip(results, parsed):
+            assert rep["breakdown"].wall_seconds == (
+                res.breakdown.wall_seconds
+            )
+            assert rep["breakdown"].totals == res.breakdown.totals
+            assert rep["omega_subphases"].totals == (
+                res.omega_subphases.totals
+            )
+            assert rep["reuse"] == res.reuse
+
+    def test_v1_report_loads_with_none_sidecars(self, results):
+        """Old reports (and the original tool's output) have no metadata
+        lines; they parse with breakdown/reuse set to None."""
+        buf = io.StringIO()
+        write_report(results, buf, metadata=False)
+        text = buf.getvalue()
+        assert "//!" not in text and "//@" not in text
+        parsed = parse_report(io.StringIO(text))
+        for rep in parsed:
+            assert rep["breakdown"] is None
+            assert rep["omega_subphases"] is None
+            assert rep["reuse"] is None
+
+    def test_v2_is_v1_compatible(self, results):
+        """Every metadata line is a comment to a v1 reader: the data
+        lines of a v2 file are byte-identical to the v1 file."""
+        v1, v2 = io.StringIO(), io.StringIO()
+        write_report(results, v1, metadata=False)
+        write_report(results, v2)
+        def data_lines(text):
+            return [
+                ln for ln in text.splitlines() if not ln.startswith("//")
+            ]
+
+        assert data_lines(v2.getvalue()) == data_lines(v1.getvalue())
+        added = set(v2.getvalue().splitlines()) - set(
+            v1.getvalue().splitlines()
+        )
+        for line in added:
+            # every addition is a comment whose marker cannot be
+            # mistaken for a //k block start by a v1 parser
+            assert line.startswith("//")
+            assert not line[2:].strip().isdigit()
+
+    def test_unknown_reuse_fields_are_ignored(self, results):
+        """Forward compat: a newer writer may add ReuseStats fields."""
+        buf = io.StringIO()
+        write_report(results[:1], buf)
+        text = buf.getvalue().replace(
+            '"reuse":{', '"reuse":{"from_the_future":1,'
+        )
+        parsed = parse_report(io.StringIO(text))
+        assert parsed[0]["reuse"] == results[0].reuse
+
+    def test_malformed_metadata_raises(self):
+        with pytest.raises(DataFormatError, match="malformed"):
+            parse_report(io.StringIO("//0\n//@ {not json\n1.0\t2.0\n"))
+
+    def test_stray_metadata_before_first_block_ignored(self):
+        parsed = parse_report(
+            io.StringIO('//@ {"wall_seconds":1}\n//0\n1.0\t2.0\n')
+        )
+        assert len(parsed) == 1
+        assert parsed[0]["breakdown"] is None
 
 
 class TestParseErrors:
