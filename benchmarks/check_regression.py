@@ -17,11 +17,20 @@ least one timing regressed; 2 — bad invocation or malformed documents.
 
 ``values`` entries are diffed in the report but never gated: they
 describe the workload (sizes, counts), not the performance.
+
+With ``--trace-baseline``/``--trace-current`` the script additionally
+diffs two JSONL trace files (the ``--trace`` output of the CLI):
+complete spans (``ph == "X"``) are summed by ``(cat, name)`` and by
+worker ``(pid, tid)``, so a slowdown is attributed to the *phase* that
+regressed and the *worker* it regressed on. The trace diff is
+informational only — span sums on shared CI runners are too noisy to
+gate — and never affects the exit code.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -100,6 +109,77 @@ def compare(
     return lines, regressions
 
 
+def load_trace_spans(path) -> tuple:
+    """Aggregate a JSONL trace: complete-span duration sums.
+
+    Returns ``(by_phase, by_worker)`` — seconds keyed by ``(cat, name)``
+    and by ``(pid, tid)``. Malformed lines are skipped (a truncated
+    nightly trace should degrade the report, not crash the gate).
+    """
+    by_phase: dict = {}
+    by_worker: dict = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(ev, dict) or ev.get("ph") != "X":
+                continue
+            try:
+                dur_s = float(ev["dur"]) / 1e6
+            except (KeyError, TypeError, ValueError):
+                continue
+            phase = (str(ev.get("cat", "?")), str(ev.get("name", "?")))
+            worker = (ev.get("pid", 0), ev.get("tid", 0))
+            by_phase[phase] = by_phase.get(phase, 0.0) + dur_s
+            by_worker[worker] = by_worker.get(worker, 0.0) + dur_s
+    return by_phase, by_worker
+
+
+def trace_diff_lines(baseline_path, current_path, *, top=10) -> list:
+    """Informational per-phase / per-worker span-sum diff report."""
+
+    def diff(base, cur, fmt_key):
+        rows = []
+        for key in set(base) | set(cur):
+            b, c = base.get(key, 0.0), cur.get(key, 0.0)
+            ratio = c / b if b > 0 else float("inf")
+            rows.append((c - b, ratio, fmt_key(key), b, c))
+        # Largest absolute slowdown first — that is where the time went.
+        rows.sort(key=lambda r: -r[0])
+        return rows
+
+    by_phase_b, by_worker_b = load_trace_spans(baseline_path)
+    by_phase_c, by_worker_c = load_trace_spans(current_path)
+    lines = ["", f"trace span-sum diff ({baseline_path} -> {current_path}):"]
+    if not by_phase_b or not by_phase_c:
+        lines.append(
+            "  (one of the traces has no complete spans — skipping)"
+        )
+        return lines
+    lines.append("  by phase (cat:name), largest regression first:")
+    for delta, ratio, key, b, c in diff(
+        by_phase_b, by_phase_c, lambda k: f"{k[0]}:{k[1]}"
+    )[:top]:
+        lines.append(
+            f"    {key:32s} {b:9.4f}s -> {c:9.4f}s  "
+            f"({delta:+.4f}s, x{ratio:.2f})"
+        )
+    lines.append("  by worker (pid/tid):")
+    for delta, ratio, key, b, c in diff(
+        by_worker_b, by_worker_c, lambda k: f"pid {k[0]} tid {k[1]}"
+    )[:top]:
+        lines.append(
+            f"    {key:32s} {b:9.4f}s -> {c:9.4f}s  "
+            f"({delta:+.4f}s, x{ratio:.2f})"
+        )
+    return lines
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -116,7 +196,18 @@ def main(argv=None) -> int:
     ap.add_argument("--min-seconds", type=float, default=0.05,
                     help="baseline timings below this are reported but "
                     "not gated (timer noise floor)")
+    ap.add_argument("--trace-baseline", default=None, metavar="JSONL",
+                    help="baseline trace file for the informational "
+                    "span-sum diff (requires --trace-current)")
+    ap.add_argument("--trace-current", default=None, metavar="JSONL",
+                    help="current trace file for the span-sum diff")
     args = ap.parse_args(argv)
+    if bool(args.trace_baseline) != bool(args.trace_current):
+        print(
+            "error: --trace-baseline and --trace-current go together",
+            file=sys.stderr,
+        )
+        return 2
 
     current_dir = (
         pathlib.Path(args.current)
@@ -135,6 +226,22 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 2
+    def print_trace_diff() -> None:
+        if not args.trace_baseline:
+            return
+        if pathlib.Path(args.trace_baseline).is_file() and pathlib.Path(
+            args.trace_current
+        ).is_file():
+            for line in trace_diff_lines(
+                args.trace_baseline, args.trace_current
+            ):
+                print(line)
+        else:
+            print(
+                "\ntrace diff skipped: trace file(s) missing "
+                f"({args.trace_baseline!r}, {args.trace_current!r})",
+            )
+
     if not baseline:
         print(
             f"WARNING: no baseline documents in {args.baseline!r} — "
@@ -145,6 +252,7 @@ def main(argv=None) -> int:
             timings = current[name].get("timings", {})
             for metric, v in sorted(timings.items()):
                 print(f"[base] {name}:{metric} = {v:.4g}s")
+        print_trace_diff()
         return 0
 
     lines, regressions = compare(
@@ -156,6 +264,7 @@ def main(argv=None) -> int:
     )
     for line in lines:
         print(line)
+    print_trace_diff()
     if regressions:
         print(
             f"\n{len(regressions)} timing regression(s) over the "

@@ -30,8 +30,8 @@ from repro.accel.base import ExecutionRecord
 from repro.accel.cpu import AMD_A10_5757M, CPUModel
 from repro.accel.fpga.ld_fpga import BOZIKAS_HC2EX_LD, FPGALDModel
 from repro.accel.fpga.pipeline import PipelineModel
+from repro.core.batch import BatchedOmegaPlan, omega_max_batch
 from repro.core.grid import build_plans
-from repro.core.omega import omega_max_at_split
 from repro.core.results import ScanResult
 from repro.core.reuse import R2RegionCache, SumMatrixCache
 from repro.core.scan import OmegaConfig
@@ -40,6 +40,10 @@ from repro.errors import AcceleratorError
 from repro.utils.timing import TimeBreakdown
 
 __all__ = ["FPGAOmegaEngine"]
+
+#: Host→pipeline stream payload per hardware-executed score: one
+#: (TS, LS, RS, l, W−l) tuple of float32 operands.
+STREAM_BYTES_PER_SCORE = 20
 
 
 class FPGAOmegaEngine:
@@ -88,6 +92,9 @@ class FPGAOmegaEngine:
             )
             record.add_time("omega_hw", timing.seconds(clock))
             record.add_scores("omega_hw", timing.hw_scores)
+            record.add_bytes(
+                "stream", STREAM_BYTES_PER_SCORE * timing.hw_scores
+            )
             if timing.sw_scores:
                 record.add_time(
                     "omega_sw", self.host_cpu.omega_seconds(timing.sw_scores)
@@ -133,6 +140,45 @@ class FPGAOmegaEngine:
             # Modelled device time on the synthetic "fpga-model" track,
             # one continuous virtual timeline anchored at the scan start.
             cursor_us = None
+            # Host-side batched evaluation: each position contributes two
+            # packed segments (hardware slice, software remainder) to one
+            # multi-position buffer, flushed every config.omega_batch
+            # positions through omega_max_batch — bitwise-equal to the
+            # per-position evaluation it replaces.
+            packed = BatchedOmegaPlan(
+                max_positions=max(2, 2 * config.omega_batch),
+                score_budget=1 << 62,
+            )
+            pending: list = []  # (grid index, region offset)
+
+            def flush() -> None:
+                if not pending:
+                    return
+                res = omega_max_batch(packed, eps=config.eps)
+                registry.counter("fpga.host_batches").inc()
+                for i, (k, off) in enumerate(pending):
+                    hw, sw = 2 * i, 2 * i + 1
+                    # Merge the two partition maxima exactly as the
+                    # comparator stage + host reduction did per position:
+                    # hardware's candidate wins ties (it is compared
+                    # first), and a partition with no scores is never a
+                    # candidate.
+                    best = hw
+                    if res.n_evaluations[hw] == 0 or (
+                        res.n_evaluations[sw] > 0
+                        and res.omegas[sw] > res.omegas[hw]
+                    ):
+                        best = sw
+                    omegas[k] = res.omegas[best]
+                    lefts[k] = alignment.positions[
+                        int(res.left_borders[best]) + off
+                    ]
+                    rights[k] = alignment.positions[
+                        int(res.right_borders[best]) + off
+                    ]
+                packed.reset()
+                pending.clear()
+
             for k, plan in enumerate(plans):
                 if not plan.valid:
                     continue
@@ -154,33 +200,21 @@ class FPGAOmegaEngine:
                 # Hardware/software partition of the right borders: each
                 # outer iteration's first floor(R/U)*U inner iterations
                 # run on the pipeline instances, the remainder in host
-                # software.
+                # software. Both slices are packed; empty slices score as
+                # "no candidate".
                 n_hw = (rj.size // u) * u
-                hw_best = (
-                    omega_max_at_split(
-                        sums, li, c, rj[:n_hw], eps=config.eps
-                    )
-                    if n_hw > 0
-                    else None
-                )
-                sw_best = (
-                    omega_max_at_split(
-                        sums, li, c, rj[n_hw:], eps=config.eps
-                    )
-                    if n_hw < rj.size
-                    else None
-                )
-                candidates = [b for b in (hw_best, sw_best) if b is not None]
-                best = max(candidates, key=lambda b: b.omega)
-                # region-local border index of the software candidates is
-                # already absolute within rj's slice order
-                # (omega_max_at_split receives real border values), so no
-                # re-offsetting is needed.
+                packed.add(sums, li, c, rj[:n_hw])
+                packed.add(sums, li, c, rj[n_hw:])
+                pending.append((k, off))
+                evals[k] = li.size * rj.size
 
                 timing = self.pipeline.position(li.size, rj.size)
                 t_hw = timing.seconds(self.pipeline.device.clock_hz)
                 record.add_time("omega_hw", t_hw)
                 record.add_scores("omega_hw", timing.hw_scores)
+                record.add_bytes(
+                    "stream", STREAM_BYTES_PER_SCORE * timing.hw_scores
+                )
                 t_sw = 0.0
                 if timing.sw_scores:
                     t_sw = self.host_cpu.omega_seconds(timing.sw_scores)
@@ -200,11 +234,9 @@ class FPGAOmegaEngine:
                         ],
                         start_us=cursor_us,
                     )
-
-                omegas[k] = best.omega
-                evals[k] = li.size * rj.size
-                lefts[k] = alignment.positions[best.left_border + off]
-                rights[k] = alignment.positions[best.right_border + off]
+                if len(pending) >= config.omega_batch:
+                    flush()
+            flush()
 
             breakdown = TimeBreakdown()
             breakdown.add("ld", record.seconds.get("ld", 0.0))

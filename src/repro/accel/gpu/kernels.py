@@ -136,7 +136,9 @@ def _scores_all(
     sum_lr = sums.cross_sums_pairs(per_l, c, per_r)
     n_left = (c - per_l + 1).astype(np.float64)
     n_right = (per_r - c).astype(np.float64)
-    return omega_from_sums(sum_l, sum_r, sum_lr, n_left, n_right, eps=eps)
+    return omega_from_sums(
+        sum_l, sum_r, sum_lr, n_left, n_right, eps=eps, checked=False
+    )
 
 
 class KernelI:

@@ -76,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="minimum window (bp)")
     scan_p.add_argument("--backend", choices=("gemm", "packed"),
                         default="gemm", help="LD computation backend")
+    scan_p.add_argument("--omega-batch", type=int, default=None,
+                        metavar="N",
+                        help="grid positions packed per batched omega "
+                        "evaluation (1 disables batching)")
     scan_p.add_argument("--workers", type=int, default=1,
                         help="worker processes")
     scan_p.add_argument("--scheduler", choices=("shared", "pickled"),
@@ -195,6 +199,9 @@ def _load_alignment(args):
 
 
 def _config(args) -> OmegaConfig:
+    kwargs = {}
+    if getattr(args, "omega_batch", None) is not None:
+        kwargs["omega_batch"] = args.omega_batch
     return OmegaConfig(
         grid=GridSpec(
             n_positions=args.grid,
@@ -202,6 +209,7 @@ def _config(args) -> OmegaConfig:
             min_window=args.minwin,
         ),
         ld_backend=getattr(args, "backend", "gemm"),
+        **kwargs,
     )
 
 

@@ -12,6 +12,18 @@
 * :mod:`repro.core.tilestore` — shared r² tile store feeding all workers.
 """
 
+from repro.core.batch import (
+    DEFAULT_BATCH_POSITIONS,
+    BatchedOmegaPlan,
+    BatchedOmegaResult,
+    omega_max_batch,
+)
+from repro.core.costmodel import (
+    ScanCostModel,
+    get_cost_model,
+    reset_cost_model,
+    set_cost_model,
+)
 from repro.core.dp import SumMatrix, build_m_recurrence
 from repro.core.grid import (
     GridSpec,
@@ -46,6 +58,14 @@ from repro.core.scan import (
 from repro.core.tilestore import SharedR2TileStore, TileStoreSpec
 
 __all__ = [
+    "DEFAULT_BATCH_POSITIONS",
+    "BatchedOmegaPlan",
+    "BatchedOmegaResult",
+    "omega_max_batch",
+    "ScanCostModel",
+    "get_cost_model",
+    "set_cost_model",
+    "reset_cost_model",
     "SumMatrix",
     "build_m_recurrence",
     "GridSpec",

@@ -1,0 +1,137 @@
+"""The Eq. 4 scan cost model, shared by host scheduling and GPU dispatch.
+
+The paper's dynamic dispatcher (Eq. 4) predicts per-position work from the
+number of ω evaluations; the host block scheduler additionally charges the
+LD/DP region area (``region_width²``) each position touches. Before this
+module both users carried private copies of the formula inline; now one
+:class:`ScanCostModel` owns it, is **cached across scans** (module-level,
+survives :class:`~repro.core.parallel.ParallelScanSession` teardown), and
+is **calibrated** after every parallel scan from the
+``scheduler.block_est_cost`` vs ``scheduler.block_seconds`` histograms
+that ``repro.obs`` already emits: total observed block seconds over total
+estimated cost yields ``seconds_per_unit``, turning the dimensionless
+Eq. 4 estimate into a wall-clock prediction the GPU dispatcher and block
+scheduler can both consume.
+
+Knobs (see ``docs/OBSERVABILITY.md``):
+
+* ``eval_weight`` — weight of ``n_evaluations`` (ω work).
+* ``area_weight`` — weight of ``region_width²`` (LD/DP work).
+* ``seconds_per_unit`` — calibrated cost→seconds scale (``None`` until a
+  parallel scan has published block timings).
+* ``batch_score_threshold`` — positions at or above this many score-grid
+  elements bypass host-side batch packing (the per-position vectorized
+  path already amortizes dispatch overhead there; packing would only add
+  gather traffic). Mirrors the spirit of the device dispatch threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ScanCostModel",
+    "get_cost_model",
+    "set_cost_model",
+    "reset_cost_model",
+]
+
+#: Default host batching bypass: ≥ this many packed scores per position
+#: and the position is evaluated directly (see ``batch_score_threshold``).
+#: Calibrated by microbenchmark: below ~2⁸ scores the per-position path
+#: is dominated by fixed numpy-dispatch overhead and packing wins; above
+#: it the broadcast (R, L) evaluation needs ~3× fewer memory passes than
+#: the flat-arena gather, so batching would regress.
+DEFAULT_BATCH_SCORE_THRESHOLD = 1 << 8
+
+
+@dataclass(frozen=True)
+class ScanCostModel:
+    """Eq. 4-style position cost estimate plus calibration state."""
+
+    eval_weight: float = 1.0
+    area_weight: float = 1.0
+    seconds_per_unit: Optional[float] = None
+    calibration_blocks: int = 0
+    batch_score_threshold: int = DEFAULT_BATCH_SCORE_THRESHOLD
+
+    # ------------------------------------------------------------------ #
+    # estimation
+
+    def position_cost(self, n_evaluations: int, region_width: int) -> float:
+        """Dimensionless cost of one grid position."""
+        return (
+            self.eval_weight * float(n_evaluations)
+            + self.area_weight * float(region_width) ** 2
+        )
+
+    def position_costs(self, plans: Sequence) -> np.ndarray:
+        """Vectorized :meth:`position_cost` over ``PositionPlan``-likes."""
+        if len(plans) == 0:
+            return np.zeros(0, dtype=np.float64)
+        evals = np.array(
+            [p.n_evaluations for p in plans], dtype=np.float64
+        )
+        widths = np.array(
+            [p.region_width for p in plans], dtype=np.float64
+        )
+        return self.eval_weight * evals + self.area_weight * widths**2
+
+    def estimate_seconds(self, cost: float) -> Optional[float]:
+        """Wall-clock prediction for a cost estimate, once calibrated."""
+        if self.seconds_per_unit is None:
+            return None
+        return float(cost) * self.seconds_per_unit
+
+    # ------------------------------------------------------------------ #
+    # calibration
+
+    def calibrated(self, metrics_snapshot: dict) -> "ScanCostModel":
+        """Refit ``seconds_per_unit`` from a metrics snapshot.
+
+        Reads the ``scheduler.block_est_cost`` and
+        ``scheduler.block_seconds`` histograms (the per-block estimate and
+        the per-block measured wall time of the dynamic scheduler):
+        ``seconds_per_unit = Σ seconds / Σ est_cost``. Returns ``self``
+        unchanged when the snapshot has no usable block timings, so a
+        metrics-free scan never discards an earlier calibration.
+        """
+        hists = (metrics_snapshot or {}).get("histograms", {})
+        est = hists.get("scheduler.block_est_cost")
+        sec = hists.get("scheduler.block_seconds")
+        if not est or not sec:
+            return self
+        est_sum = float(est.get("sum", 0.0))
+        sec_sum = float(sec.get("sum", 0.0))
+        blocks = int(sec.get("count", 0))
+        if est_sum <= 0.0 or sec_sum <= 0.0 or blocks == 0:
+            return self
+        return replace(
+            self,
+            seconds_per_unit=sec_sum / est_sum,
+            calibration_blocks=self.calibration_blocks + blocks,
+        )
+
+
+_DEFAULT = ScanCostModel()
+_cached: ScanCostModel = _DEFAULT
+
+
+def get_cost_model() -> ScanCostModel:
+    """The process-wide cost model (calibrations persist across scans)."""
+    return _cached
+
+
+def set_cost_model(model: ScanCostModel) -> None:
+    """Publish a (possibly recalibrated) model for subsequent scans."""
+    global _cached
+    _cached = model
+
+
+def reset_cost_model() -> None:
+    """Restore the uncalibrated default (tests)."""
+    global _cached
+    _cached = _DEFAULT

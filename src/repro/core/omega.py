@@ -66,19 +66,26 @@ def omega_from_sums(
     n_right,
     *,
     eps: float = DENOMINATOR_OFFSET,
+    checked: bool = True,
 ):
     """Evaluate Eq. (2) from window sums; broadcasts over array inputs.
 
     Splits whose within-pair normalizer C(l,2) + C(r,2) is zero (both
     windows of size 1) score 0 — they contain no within-window pair and so
     carry no sweep signal.
+
+    ``checked=False`` skips the window-size validation pass — the fast
+    path for internal callers whose border sets were already validated at
+    plan/pack construction time (every border admitted by
+    :class:`~repro.core.dp.SumMatrix`'s range checks yields window sizes
+    >= 1 by construction). The public API keeps the checked default.
     """
     sum_l = np.asarray(sum_l, dtype=np.float64)
     sum_r = np.asarray(sum_r, dtype=np.float64)
     sum_lr = np.asarray(sum_lr, dtype=np.float64)
     n_left = np.asarray(n_left, dtype=np.float64)
     n_right = np.asarray(n_right, dtype=np.float64)
-    if np.any(n_left < 1) or np.any(n_right < 1):
+    if checked and (np.any(n_left < 1) or np.any(n_right < 1)):
         raise ScanConfigError("window sizes must be >= 1 SNP")
     within_pairs = _pairs(n_left) + _pairs(n_right)
     cross_pairs = n_left * n_right
@@ -148,6 +155,8 @@ def omega_split_matrix(
     sum_lr = sums.cross_sums_grid(li, c, rj)  # (R, L)
     n_left = (c - li + 1).astype(np.float64)  # (L,)
     n_right = (rj - c).astype(np.float64)  # (R,)
+    # Window sizes derive from valid border indices (li <= c < rj), so
+    # they are >= 1 by construction — skip the public-API validation.
     return omega_from_sums(
         sum_l[None, :],
         sum_r[:, None],
@@ -155,6 +164,7 @@ def omega_split_matrix(
         n_left[None, :],
         n_right[:, None],
         eps=eps,
+        checked=False,
     )
 
 

@@ -50,6 +50,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 import repro.obs as obs
+from repro.core.costmodel import get_cost_model, set_cost_model
 from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
@@ -387,6 +388,7 @@ class ParallelScanSession:
         self._pool = None
         self._grid_positions: Optional[np.ndarray] = None
         self._position_costs: Optional[np.ndarray] = None
+        self._cost_model = get_cost_model()
 
     # -------------------------------------------------------------- #
 
@@ -397,14 +399,12 @@ class ParallelScanSession:
         alignment, config = self._alignment, self._config
         self._grid_positions = config.grid.positions(alignment)
         plans = build_plans(alignment, config.grid)
-        # Cost model per position: omega work is the evaluation count
-        # (Eq. 4's numerator); LD work scales with the region area. Used
-        # only for largest-first ordering, so the scale factor between
-        # the two terms is uncritical.
-        self._position_costs = np.array(
-            [p.n_evaluations + p.region_width**2 for p in plans],
-            dtype=np.float64,
-        )
+        # Eq. 4 per-position cost from the process-wide model: omega work
+        # is the evaluation count, LD work scales with the region area.
+        # The cached model carries any seconds_per_unit calibration from
+        # earlier scans in this process.
+        self._cost_model = get_cost_model()
+        self._position_costs = self._cost_model.position_costs(plans)
         max_span = max(
             (p.region_width for p in plans if p.valid), default=0
         )
@@ -479,6 +479,21 @@ class ParallelScanSession:
                     pending -= 1
                     depth_g.set(pending)
                     secs_h.observe(part.breakdown.wall_seconds)
+            # Recalibrate the Eq. 4 model from this scan's estimate vs
+            # measured block timings and publish it process-wide, so the
+            # next scan (and the GPU dispatcher) predict wall-clock from
+            # the same constants.
+            self._cost_model = self._cost_model.calibrated(
+                registry.snapshot()
+            )
+            set_cost_model(self._cost_model)
+            if self._cost_model.seconds_per_unit is not None:
+                registry.gauge("scheduler.cost_seconds_per_unit").set(
+                    self._cost_model.seconds_per_unit
+                )
+                registry.gauge("scheduler.cost_calibration_blocks").set(
+                    self._cost_model.calibration_blocks
+                )
             sched_snap = registry.snapshot()
         result = _merge_parts([parts[i] for i in range(len(blocks))])
         result.metrics = obs.merge_snapshots(result.metrics, sched_snap)
@@ -859,10 +874,7 @@ def _iter_scan_stream_parallel(
                 grid_positions.size, n_workers, block_size=block_size
             )
         valid = np.array([p.valid for p in plans], dtype=bool)
-        costs = np.array(
-            [p.n_evaluations + p.region_width**2 for p in plans],
-            dtype=np.float64,
-        )
+        costs = get_cost_model().position_costs(plans)
         spans = _block_spans(plans, blocks)
         chunk_descs = _group_stream_chunks(spans, snp_budget)
     plan_seconds = _plan_bd.totals["plan"]

@@ -32,6 +32,12 @@ from typing import Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 import repro.obs as obs
+from repro.core.batch import (
+    DEFAULT_BATCH_POSITIONS,
+    BatchedOmegaPlan,
+    omega_max_batch,
+)
+from repro.core.costmodel import get_cost_model
 from repro.core.grid import (
     GridSpec,
     PositionPlan,
@@ -82,6 +88,13 @@ class OmegaConfig:
         only the newly entered SNPs instead of being rebuilt from scratch
         at every grid position. Disabling it recovers the
         rebuild-every-position baseline (``bench_ablation_dp_reuse.py``).
+    omega_batch:
+        Maximum grid positions packed per batched ω evaluation
+        (:mod:`repro.core.batch`). ``1`` recovers the per-position
+        evaluation path (A/B baseline for the ablation benchmark); the
+        two paths are bitwise-equal. Positions whose score grid is at or
+        above the cost model's ``batch_score_threshold`` always bypass
+        packing — they amortize dispatch overhead on their own.
     """
 
     grid: GridSpec
@@ -89,6 +102,7 @@ class OmegaConfig:
     ld_backend: str = "gemm"
     reuse: bool = True
     dp_reuse: bool = True
+    omega_batch: int = DEFAULT_BATCH_POSITIONS
 
     def __post_init__(self) -> None:
         if self.eps < 0:
@@ -97,6 +111,98 @@ class OmegaConfig:
             raise ScanConfigError(
                 f"ld_backend must be 'gemm' or 'packed', got {self.ld_backend!r}"
             )
+        if self.omega_batch < 1:
+            raise ScanConfigError(
+                f"omega_batch must be >= 1, got {self.omega_batch}"
+            )
+
+
+class _OmegaBatchSink:
+    """Routes per-position ω evaluation through the packed batch path.
+
+    Positions are packed into a :class:`~repro.core.batch.BatchedOmegaPlan`
+    (values copied out of the ``SumMatrix`` immediately, so DP cache
+    relocation can't invalidate them) and flushed through
+    :func:`~repro.core.batch.omega_max_batch` when the batch fills;
+    results land in the caller's output arrays at flush. Large positions
+    (score grid ≥ the cost model's ``batch_score_threshold``) and the
+    ``omega_batch=1`` configuration take the direct per-position path —
+    bitwise-equal either way, so batch boundaries (chunk ends, worker
+    block ends) can never change a reported score.
+
+    ``add`` and ``flush`` must be called inside the ``omega`` phase timer
+    so span sums keep matching the breakdown.
+    """
+
+    def __init__(self, config, site_positions, omegas, lefts, rights,
+                 evals, registry):
+        self._eps = config.eps
+        self._site_positions = site_positions
+        self._omegas = omegas
+        self._lefts = lefts
+        self._rights = rights
+        self._evals = evals
+        self._threshold = get_cost_model().batch_score_threshold
+        self._plan = (
+            BatchedOmegaPlan(max_positions=config.omega_batch)
+            if config.omega_batch > 1
+            else None
+        )
+        self._pending: List[Tuple[int, int]] = []
+        self._batches = registry.counter("omega.batches")
+        self._batched_positions = registry.counter("omega.batched_positions")
+        self._direct_positions = registry.counter("omega.direct_positions")
+        self._batch_fill = registry.histogram("omega.batch_positions")
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, out_idx: int, plan: PositionPlan, sums) -> None:
+        """Evaluate (or pack) one valid position's ω maximization."""
+        off = plan.region_start
+        li = plan.left_borders - off
+        rj = plan.right_borders - off
+        c = plan.split_index - off
+        if self._plan is None or plan.n_evaluations >= self._threshold:
+            res = omega_max_at_split(sums, li, c, rj, eps=self._eps)
+            self._direct_positions.inc()
+            self._store(
+                out_idx, off, res.omega, res.left_border,
+                res.right_border, res.n_evaluations,
+            )
+            return
+        self._plan.add(sums, li, c, rj)
+        self._pending.append((out_idx, off))
+        if self._plan.full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Score every packed position and write the results out."""
+        if not self._pending:
+            return
+        res = omega_max_batch(self._plan, eps=self._eps)
+        self._batches.inc()
+        self._batched_positions.inc(len(self._pending))
+        self._batch_fill.observe(len(self._pending))
+        for slot, (out_idx, off) in enumerate(self._pending):
+            self._store(
+                out_idx,
+                off,
+                float(res.omegas[slot]),
+                int(res.left_borders[slot]),
+                int(res.right_borders[slot]),
+                int(res.n_evaluations[slot]),
+            )
+        self._pending = []
+        self._plan.reset()
+
+    def _store(self, out_idx, off, omega, lb, rb, n_evals) -> None:
+        self._omegas[out_idx] = omega
+        self._evals[out_idx] = n_evals
+        if lb >= 0:
+            self._lefts[out_idx] = self._site_positions[lb + off]
+            self._rights[out_idx] = self._site_positions[rb + off]
 
 
 class OmegaPlusScanner:
@@ -157,6 +263,10 @@ class OmegaPlusScanner:
             rights = np.full(n, np.nan)
             evals = np.zeros(n, dtype=np.int64)
             positions_evaluated = registry.counter("scan.positions_evaluated")
+            sink = _OmegaBatchSink(
+                cfg, alignment.positions, omegas, lefts, rights, evals,
+                registry,
+            )
 
             for k, plan in enumerate(plans):
                 if not plan.valid:
@@ -187,19 +297,10 @@ class OmegaPlusScanner:
                     tr.add_complete(
                         dp_name, "dp", t0ns // 1000, dtns // 1000
                     )
-                    off = plan.region_start
-                    result = omega_max_at_split(
-                        sums,
-                        plan.left_borders - off,
-                        plan.split_index - off,
-                        plan.right_borders - off,
-                        eps=cfg.eps,
-                    )
-                omegas[k] = result.omega
-                evals[k] = result.n_evaluations
-                if result.left_border >= 0:
-                    lefts[k] = alignment.positions[result.left_border + off]
-                    rights[k] = alignment.positions[result.right_border + off]
+                    sink.add(k, plan, sums)
+            if sink.pending:
+                with tr.phase(breakdown, "omega", "phase"):
+                    sink.flush()
 
             positions = np.array([p.grid_position for p in plans])
             breakdown.wall_seconds = time.perf_counter() - t_wall
@@ -421,6 +522,10 @@ def _iter_stream_sequential(
                     rights = np.full(count, np.nan)
                     evals = np.zeros(count, dtype=np.int64)
                     snapshot = dataclasses.replace(cache.stats)
+                    sink = _OmegaBatchSink(
+                        cfg, positions, omegas, lefts, rights, evals,
+                        registry,
+                    )
                     for k in range(plan_lo, plan_hi):
                         plan = plans[k]
                         if not plan.valid:
@@ -446,20 +551,10 @@ def _iter_stream_sequential(
                             tr.add_complete(
                                 dp_name, "dp", t0ns // 1000, dtns // 1000
                             )
-                            off = plan.region_start
-                            result = omega_max_at_split(
-                                sums,
-                                plan.left_borders - off,
-                                plan.split_index - off,
-                                plan.right_borders - off,
-                                eps=cfg.eps,
-                            )
-                        j = k - plan_lo
-                        omegas[j] = result.omega
-                        evals[j] = result.n_evaluations
-                        if result.left_border >= 0:
-                            lefts[j] = positions[result.left_border + off]
-                            rights[j] = positions[result.right_border + off]
+                            sink.add(k - plan_lo, plan, sums)
+                    if sink.pending:
+                        with tr.phase(breakdown, "omega", "phase"):
+                            sink.flush()
                     reuse_delta = _reuse_delta(cache.stats, snapshot)
                     registry.counter("stream.chunks").inc()
                     registry.counter("stream.chunk_sites").inc(

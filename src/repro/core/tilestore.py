@@ -251,10 +251,21 @@ class SharedR2TileStore:
         registry.counter("tilestore.entries_computed").inc(h * w)
         return view
 
-    def block(self, rows: slice, cols: slice) -> np.ndarray:
+    def block(
+        self, rows: slice, cols: slice, *, copy: bool = False
+    ) -> np.ndarray:
         """r² for the rectangular block ``rows x cols`` of the pair
-        matrix, assembled from shared tiles (bit-identical to
+        matrix, served from shared tiles (bit-identical to
         :func:`~repro.ld.gemm.r_squared_block` on the same alignment).
+
+        By default the result is **read-only**: a block that falls inside
+        one stored upper-triangle tile is a zero-copy view straight into
+        the shared segment (no assembly memcpy at all); anything larger is
+        assembled once and returned non-writeable. Consumers that need to
+        mutate the block — or to hold it across :meth:`close` — pass
+        ``copy=True`` for a private writable array. The region cache
+        copies blocks into its own buffer immediately, so the default
+        serves it zero-copy.
 
         Pairs outside the stored band (further apart than the store's
         ``max_pair_span``) fall back to direct computation — correct, just
@@ -270,11 +281,39 @@ class SharedR2TileStore:
             raise ScanConfigError(
                 "tile store blocks require contiguous (step-1) slices"
             )
+        ti0, ti1 = r0 // t, (r1 - 1) // t
+        tj0, tj1 = c0 // t, (c1 - 1) // t
+        if (
+            r1 > r0
+            and c1 > c0
+            and ti0 == ti1
+            and tj0 == tj1
+            and abs(tj0 - ti0) <= spec.band_tiles
+        ):
+            # Whole block inside one stored tile: serve a view of the
+            # shared segment directly (read-only so a consumer can't
+            # corrupt the published tile; copy=True peels it off).
+            if tj0 >= ti0:
+                tile_vals = self._tile_values(ti0, tj0)
+                sub = tile_vals[
+                    r0 - ti0 * t : r1 - ti0 * t, c0 - tj0 * t : c1 - tj0 * t
+                ]
+            else:
+                tile_vals = self._tile_values(tj0, ti0)
+                sub = tile_vals[
+                    c0 - tj0 * t : c1 - tj0 * t, r0 - ti0 * t : r1 - ti0 * t
+                ].T
+            obs.get_metrics().counter("tilestore.view_serves").inc()
+            if copy:
+                return sub.copy()
+            view = sub.view()
+            view.flags.writeable = False
+            return view
         out = np.empty((r1 - r0, c1 - c0))
-        for ti in range(r0 // t, (r1 - 1) // t + 1):
+        for ti in range(ti0, ti1 + 1):
             i0 = max(r0, ti * t)
             i1 = min(r1, ti * t + t)
-            for tj in range(c0 // t, (c1 - 1) // t + 1):
+            for tj in range(tj0, tj1 + 1):
                 j0 = max(c0, tj * t)
                 j1 = min(c1, tj * t + t)
                 if abs(tj - ti) > spec.band_tiles:
@@ -294,6 +333,8 @@ class SharedR2TileStore:
                         j0 - tj * t : j1 - tj * t, i0 - ti * t : i1 - ti * t
                     ].T
                 out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = sub
+        if not copy:
+            out.flags.writeable = False
         return out
 
     # -------------------------------------------------------------- #

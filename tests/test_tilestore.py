@@ -5,6 +5,7 @@ import glob
 import numpy as np
 import pytest
 
+import repro.obs as obs
 from repro.core.tilestore import SharedR2TileStore
 from repro.datasets.alignment import SHM_NAME_PREFIX
 from repro.datasets.generators import haplotype_block_alignment, random_alignment
@@ -107,6 +108,62 @@ class TestCooperativeFill:
         with SharedR2TileStore.create(aln, max_pair_span=20) as store:
             with pytest.raises(ScanConfigError):
                 SharedR2TileStore.attach(store.spec, other)
+
+
+class TestZeroCopyViews:
+    def test_single_tile_block_is_a_view(self, aln):
+        """A block inside one tile is served zero-copy from the shared
+        segment: no allocation, read-only, and live (later fills show)."""
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=16
+        ) as store:
+            with obs.scoped_metrics() as registry:
+                got = store.block(slice(2, 10), slice(2, 10))
+                snap = registry.snapshot()
+            assert got.base is not None  # a view, not an owned copy
+            assert not got.flags.writeable
+            with pytest.raises(ValueError):
+                got[0, 0] = 0.5
+            assert snap["counters"]["tilestore.view_serves"] >= 1
+            np.testing.assert_array_equal(
+                got, r_squared_block(aln, slice(2, 10), slice(2, 10))
+            )
+
+    def test_transposed_single_tile_view(self, aln):
+        """Lower-triangle requests inside one tile are the transposed
+        view of the stored upper tile — still zero-copy."""
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=16
+        ) as store:
+            rows, cols = slice(17, 30), slice(2, 14)
+            got = store.block(rows, cols)
+            assert got.base is not None
+            assert not got.flags.writeable
+            np.testing.assert_array_equal(
+                got, r_squared_block(aln, rows, cols)
+            )
+
+    def test_copy_flag_returns_writable_buffer(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=16
+        ) as store:
+            got = store.block(slice(2, 10), slice(2, 10), copy=True)
+            assert got.flags.writeable
+            ref = got.copy()
+            got[:] = -1.0  # scribbling must not reach the store
+            again = store.block(slice(2, 10), slice(2, 10))
+            np.testing.assert_array_equal(again, ref)
+
+    def test_assembled_block_is_read_only(self, aln):
+        """Multi-tile blocks are assembled (copied) but still handed out
+        non-writeable, so consumers treat every block uniformly."""
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            got = store.block(slice(5, 30), slice(5, 30))
+            assert not got.flags.writeable
+            writable = store.block(slice(5, 30), slice(5, 30), copy=True)
+            assert writable.flags.writeable
 
 
 class TestLifecycle:
