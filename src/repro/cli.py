@@ -8,6 +8,9 @@ Subcommands mirror the OmegaPlus workflow plus this reproduction's extras:
   format (the Hudson's-ms substitute).
 * ``omegascan accel`` — run a scan through a modelled accelerator and
   print both the ω report and the modelled execution record.
+* ``omegascan serve`` — long-lived multi-tenant scan daemon: one shared
+  worker pool serving concurrent JSON scan requests over a Unix socket,
+  with deadline-priced admission control (:mod:`repro.service`).
 * ``omegascan tables`` — print the reproduced Tables I-IV next to the
   paper's published values.
 
@@ -66,8 +69,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan_p.add_argument("input", help="input file (ms, FASTA or VCF)")
     scan_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
                         default="ms", help="input file format")
-    scan_p.add_argument("--length", type=float, default=1.0,
-                        help="region length in bp (scales ms positions)")
+    scan_p.add_argument("--length", type=float, default=None,
+                        help="region length in bp (ms default 1.0; vcf "
+                        "default: inferred from the last variant)")
     scan_p.add_argument("--grid", type=int, default=100,
                         help="number of omega evaluation positions")
     scan_p.add_argument("--maxwin", type=float, required=True,
@@ -128,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default="ms", help="input file format")
     accel_p.add_argument("--platform", choices=sorted(PLATFORMS),
                          required=True)
-    accel_p.add_argument("--length", type=float, default=1.0)
+    accel_p.add_argument("--length", type=float, default=None)
     accel_p.add_argument("--grid", type=int, default=100)
     accel_p.add_argument("--maxwin", type=float, required=True)
     accel_p.add_argument("--minwin", type=float, default=0.0)
@@ -141,6 +145,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "(includes the modelled device track)")
     accel_p.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="write the scan metrics document as JSON")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant scan daemon on a Unix socket",
+    )
+    serve_p.add_argument("input", help="alignment to serve (ms/fasta/vcf)")
+    serve_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
+                         default="ms", help="input file format")
+    serve_p.add_argument("--length", type=float, default=None,
+                         help="region length in bp (ms default 1.0; vcf "
+                         "default: inferred from the last variant)")
+    serve_p.add_argument("--grid", type=int, default=100,
+                         help="default grid size for requests that do "
+                         "not name one")
+    serve_p.add_argument("--maxwin", type=float, required=True,
+                         help="maximum window (bp)")
+    serve_p.add_argument("--minwin", type=float, default=0.0,
+                         help="minimum window (bp)")
+    serve_p.add_argument("--backend", choices=("gemm", "packed"),
+                         default="gemm", help="LD computation backend")
+    serve_p.add_argument("--replicate", type=int, default=0,
+                         help="replicate index within the ms file")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="scan worker processes (shared pool)")
+    serve_p.add_argument("--socket", required=True, metavar="PATH",
+                         help="Unix socket path to listen on")
+    serve_p.add_argument("--queue-limit", type=int, default=32,
+                         help="max queued requests before rejection")
+    serve_p.add_argument("--max-concurrent", type=int, default=4,
+                         help="requests dispatched into the pool at once")
+    serve_p.add_argument("--lru-mb", type=float, default=32.0,
+                         help="per-worker assembled r2 block LRU (MiB; "
+                         "0 disables)")
+    serve_p.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a Chrome-trace/Perfetto JSONL span "
+                         "trace covering the daemon and its workers")
 
     sub.add_parser("tables", help="print reproduced Tables I-IV")
 
@@ -156,7 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("input")
     stats_p.add_argument("--format", choices=("ms", "fasta", "vcf"),
                          default="ms")
-    stats_p.add_argument("--length", type=float, default=1.0)
+    stats_p.add_argument("--length", type=float, default=None)
     stats_p.add_argument("--replicate", type=int, default=0)
     stats_p.add_argument("--window", type=float, required=True,
                          help="window width (bp)")
@@ -174,6 +214,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _ms_length(args) -> float:
+    """The ms region length: the user's ``--length``, else ms's 1.0.
+
+    ``--length`` defaults to ``None`` (not 1.0) so "flag left at default"
+    and "user passed 1.0" are distinguishable — VCF paths must forward a
+    user-supplied value verbatim, including values ``<= 1.0``.
+    """
+    length = getattr(args, "length", None)
+    return 1.0 if length is None else float(length)
+
+
 def _load_alignment(args):
     fmt = getattr(args, "format", "ms")
     if fmt == "fasta":
@@ -184,12 +235,9 @@ def _load_alignment(args):
     if fmt == "vcf":
         from repro.datasets.vcf import parse_vcf
 
-        masked = parse_vcf(
-            args.input,
-            length=args.length if args.length > 1.0 else None,
-        )
+        masked = parse_vcf(args.input, length=args.length)
         return masked.impute_major().drop_monomorphic()
-    reps = parse_ms(args.input, length=args.length)
+    reps = parse_ms(args.input, length=_ms_length(args))
     if not 0 <= args.replicate < len(reps):
         raise ReproError(
             f"replicate {args.replicate} out of range "
@@ -260,12 +308,12 @@ def _stream_source(args):
         return StreamingAlignmentReader(
             args.input,
             format="vcf",
-            length=args.length if args.length > 1.0 else None,
+            length=args.length,
         )
     return StreamingAlignmentReader(
         args.input,
         format="ms",
-        length=args.length,
+        length=_ms_length(args),
         replicate=args.replicate,
     )
 
@@ -310,7 +358,7 @@ def _cmd_scan(args) -> int:
 
         if getattr(args, "format", "ms") != "ms":
             raise ReproError("--all-replicates requires ms input")
-        reps = parse_ms(args.input, length=args.length)
+        reps = parse_ms(args.input, length=_ms_length(args))
         results = []
         with _maybe_tracing(args):
             for rep in reps:
@@ -441,6 +489,43 @@ def _cmd_accel(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from repro.service import ScanService
+    from repro.service.server import serve_unix
+
+    alignment = _load_alignment(args)
+    config = _config(args)
+    service = ScanService(
+        alignment,
+        config,
+        n_workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_concurrent=args.max_concurrent,
+        block_lru_bytes=int(args.lru_mb * 1024 * 1024),
+    )
+    with contextlib.suppress(FileNotFoundError):
+        os.unlink(args.socket)
+    print(
+        f"scan daemon: {alignment.n_samples} samples x "
+        f"{alignment.n_sites} SNPs, {args.workers} workers, "
+        f"listening on {args.socket}",
+        file=sys.stderr,
+    )
+    try:
+        with _maybe_tracing(args):
+            asyncio.run(serve_unix(service, args.socket))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            os.unlink(args.socket)
+    print("scan daemon stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_tables(_args) -> int:
     from repro.analysis.tables import (
         render_table,
@@ -528,6 +613,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scan": _cmd_scan,
         "simulate": _cmd_simulate,
         "accel": _cmd_accel,
+        "serve": _cmd_serve,
         "tables": _cmd_tables,
         "figures": _cmd_figures,
         "sumstats": _cmd_sumstats,

@@ -27,6 +27,7 @@ Knobs (see ``docs/OBSERVABILITY.md``):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
@@ -34,6 +35,7 @@ import numpy as np
 
 __all__ = [
     "ScanCostModel",
+    "calibrate_from",
     "get_cost_model",
     "set_cost_model",
     "reset_cost_model",
@@ -56,6 +58,13 @@ class ScanCostModel:
     area_weight: float = 1.0
     seconds_per_unit: Optional[float] = None
     calibration_blocks: int = 0
+    #: Accumulated calibration evidence behind ``seconds_per_unit``: the
+    #: running totals of estimated cost and measured block seconds across
+    #: every scan folded in so far. ``seconds_per_unit`` is always their
+    #: ratio, so ``calibration_blocks`` genuinely describes the fit and a
+    #: single small scan moves the model in proportion to its weight.
+    est_cost_sum: float = 0.0
+    seconds_sum: float = 0.0
     batch_score_threshold: int = DEFAULT_BATCH_SCORE_THRESHOLD
 
     # ------------------------------------------------------------------ #
@@ -94,10 +103,14 @@ class ScanCostModel:
 
         Reads the ``scheduler.block_est_cost`` and
         ``scheduler.block_seconds`` histograms (the per-block estimate and
-        the per-block measured wall time of the dynamic scheduler):
-        ``seconds_per_unit = Σ seconds / Σ est_cost``. Returns ``self``
-        unchanged when the snapshot has no usable block timings, so a
-        metrics-free scan never discards an earlier calibration.
+        the per-block measured wall time of the dynamic scheduler), folds
+        them into the running ``est_cost_sum`` / ``seconds_sum`` totals
+        and refits ``seconds_per_unit = Σ seconds / Σ est_cost`` over
+        *all* calibration evidence so far — every block ever observed
+        carries equal weight, so a short scan nudges the fit rather than
+        replacing it. Returns ``self`` unchanged when the snapshot has no
+        usable block timings, so a metrics-free scan never discards an
+        earlier calibration.
         """
         hists = (metrics_snapshot or {}).get("histograms", {})
         est = hists.get("scheduler.block_est_cost")
@@ -109,15 +122,24 @@ class ScanCostModel:
         blocks = int(sec.get("count", 0))
         if est_sum <= 0.0 or sec_sum <= 0.0 or blocks == 0:
             return self
+        est_total = self.est_cost_sum + est_sum
+        sec_total = self.seconds_sum + sec_sum
         return replace(
             self,
-            seconds_per_unit=sec_sum / est_sum,
+            seconds_per_unit=sec_total / est_total,
             calibration_blocks=self.calibration_blocks + blocks,
+            est_cost_sum=est_total,
+            seconds_sum=sec_total,
         )
 
 
 _DEFAULT = ScanCostModel()
 _cached: ScanCostModel = _DEFAULT
+#: Serializes read-modify-write calibration folds: the scan service runs
+#: concurrent requests on threads, and two interleaved ``calibrated``
+#: folds from the same base model would silently drop one scan's
+#: evidence from the running sums.
+_calibrate_lock = threading.Lock()
 
 
 def get_cost_model() -> ScanCostModel:
@@ -131,7 +153,21 @@ def set_cost_model(model: ScanCostModel) -> None:
     _cached = model
 
 
+def calibrate_from(metrics_snapshot: dict) -> ScanCostModel:
+    """Fold one scan's block timings into the process-wide model.
+
+    Atomic get→:meth:`ScanCostModel.calibrated`→set, so concurrent scans
+    (the service's request threads) each contribute their evidence to the
+    running sums exactly once. Returns the published model.
+    """
+    global _cached
+    with _calibrate_lock:
+        _cached = _cached.calibrated(metrics_snapshot)
+        return _cached
+
+
 def reset_cost_model() -> None:
     """Restore the uncalibrated default (tests)."""
     global _cached
-    _cached = _DEFAULT
+    with _calibrate_lock:
+        _cached = _DEFAULT

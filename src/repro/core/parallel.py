@@ -50,7 +50,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 import repro.obs as obs
-from repro.core.costmodel import get_cost_model, set_cost_model
+from repro.core.costmodel import calibrate_from, get_cost_model
 from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
@@ -64,8 +64,10 @@ from repro.utils.timing import TimeBreakdown
 __all__ = [
     "ParallelScanSession",
     "StreamingScanSession",
+    "fixed_position_spec",
     "make_blocks",
     "parallel_scan",
+    "plans_for_positions",
     "split_grid",
 ]
 
@@ -128,6 +130,41 @@ def make_blocks(
     ]
 
 
+def fixed_position_spec(spec: GridSpec, fixed: np.ndarray) -> GridSpec:
+    """A :class:`GridSpec` whose grid positions are the explicit
+    ``fixed`` array instead of the equidistant derivation, keeping the
+    window geometry of ``spec``.
+
+    ``positions_from`` is the single source both ``positions()`` and
+    ``build_plans_from_positions`` draw from, so patching it is enough to
+    rerun the sequential machinery verbatim on an arbitrary position set
+    (a scheduling block, a service request's region grid).
+    """
+    if fixed.size == 0:
+        raise ScanConfigError("fixed grid needs at least one position")
+
+    class _Spec(GridSpec):
+        def positions_from(self, _pos: np.ndarray) -> np.ndarray:  # type: ignore[override]
+            return fixed
+
+    return _Spec(
+        n_positions=fixed.size,
+        max_window=spec.max_window,
+        min_window=spec.min_window,
+        min_flank_snps=spec.min_flank_snps,
+    )
+
+
+def plans_for_positions(
+    site_positions: np.ndarray, grid_positions: np.ndarray, spec: GridSpec
+):
+    """Per-position evaluation plans for an explicit grid-position array
+    (the admission controller prices requests from these)."""
+    return build_plans_from_positions(
+        site_positions, fixed_position_spec(spec, grid_positions)
+    )
+
+
 class _FixedGridScanner(OmegaPlusScanner):
     """Scanner whose grid positions are supplied explicitly rather than
     derived from the grid spec (used to hand each worker its block)."""
@@ -159,20 +196,9 @@ class _FixedGridScanner(OmegaPlusScanner):
                 n_evaluations=np.zeros(0, dtype=np.int64),
             )
 
-        # Monkey-patch the positions source for this scan only: reuse the
-        # sequential implementation verbatim with a fixed-position grid.
-        # ``positions_from`` is the single source both ``positions()`` and
-        # ``build_plans_from_positions`` draw from.
-        class _Spec(GridSpec):
-            def positions_from(self, _pos: np.ndarray) -> np.ndarray:  # type: ignore[override]
-                return fixed
-
-        patched = _Spec(
-            n_positions=fixed.size,
-            max_window=spec.max_window,
-            min_window=spec.min_window,
-            min_flank_snps=spec.min_flank_snps,
-        )
+        # Reuse the sequential implementation verbatim with a
+        # fixed-position grid (see :func:`fixed_position_spec`).
+        patched = fixed_position_spec(spec, fixed)
         cfg = OmegaConfig(
             grid=patched,
             eps=self.config.eps,
@@ -298,6 +324,10 @@ class _WorkerSetup:
     config: OmegaConfig
     grid_positions: np.ndarray
     obs_spec: Optional[obs.ObsSpec] = None
+    #: Capacity of each worker's private LRU of assembled multi-tile
+    #: r² blocks (0 disables). Long-lived service sessions turn this on
+    #: so repeated scans of hot regions stop re-memcpying assemblies.
+    block_lru_bytes: int = 0
 
 
 #: Per-worker-process state, populated by the pool initializer. Holds an
@@ -317,30 +347,31 @@ def _init_worker(setup: _WorkerSetup) -> None:
             store = SharedR2TileStore.attach(
                 setup.tile_spec, segments.alignment
             )
+            if setup.block_lru_bytes > 0:
+                store.enable_block_lru(setup.block_lru_bytes)
         _WORKER_STATE = (segments, store, setup.config, setup.grid_positions)
     except BaseException as exc:  # noqa: BLE001 - reported by first task
         _WORKER_STATE = exc
 
 
-def _scan_block(task: Tuple[int, int, int]) -> Tuple[int, ScanResult]:
-    """Worker body: scan grid positions [lo, hi) against the attached
-    shared alignment; returns (block index, block result)."""
-    idx, lo, hi = task
+def _scan_attached(
+    idx: int, grid_block: np.ndarray, span_args: dict
+) -> Tuple[int, ScanResult]:
+    """Scan an explicit grid-position block against the attached shared
+    alignment (shared body of the fixed-grid and request worker fns)."""
     state = _WORKER_STATE
     if state is None or isinstance(state, BaseException):
         raise RuntimeError(
             "shared-memory worker failed to attach its segments"
         ) from (state if isinstance(state, BaseException) else None)
-    segments, store, config, grid_positions = state
+    segments, store, config, _grid_positions = state
     block_fn = store.block if store is not None else None
-    scanner = _FixedGridScanner(
-        config, grid_positions[lo:hi], block_fn=block_fn
-    )
+    scanner = _FixedGridScanner(config, grid_block, block_fn=block_fn)
     if store is not None:
         computed0 = store.tile_entries_computed
         reused0 = store.tile_entries_reused
     tr = obs.get_tracer()
-    with tr.span("scan_block", "block", args={"block": idx, "lo": lo, "hi": hi}):
+    with tr.span("scan_block", "block", args=span_args):
         result = scanner.scan(segments.alignment)
     if store is not None:
         result.reuse.tile_entries_computed += (
@@ -349,6 +380,33 @@ def _scan_block(task: Tuple[int, int, int]) -> Tuple[int, ScanResult]:
         result.reuse.tile_entries_reused += store.tile_entries_reused - reused0
     tr.flush()
     return idx, result
+
+
+def _scan_block(task: Tuple[int, int, int]) -> Tuple[int, ScanResult]:
+    """Worker body: scan grid positions [lo, hi) against the attached
+    shared alignment; returns (block index, block result)."""
+    idx, lo, hi = task
+    state = _WORKER_STATE
+    if isinstance(state, tuple):
+        grid_positions = state[3]
+        return _scan_attached(
+            idx,
+            grid_positions[lo:hi],
+            {"block": idx, "lo": lo, "hi": hi},
+        )
+    return _scan_attached(
+        idx, np.zeros(0), {"block": idx, "lo": lo, "hi": hi}
+    )
+
+
+def _scan_request_block(task) -> Tuple[int, ScanResult]:
+    """Worker body for service requests: the task carries its own grid
+    positions (a request's region grid is not the session's grid), plus
+    a request tag for the trace."""
+    idx, grid_block, request_id = task
+    return _scan_attached(
+        idx, grid_block, {"block": idx, "request": request_id}
+    )
 
 
 class ParallelScanSession:
@@ -373,6 +431,7 @@ class ParallelScanSession:
         block_size: Optional[int] = None,
         shared_tiles: bool = True,
         cost_ordering: bool = True,
+        block_lru_bytes: int = 0,
     ):
         if n_workers < 1:
             raise ScanConfigError(f"n_workers must be >= 1, got {n_workers}")
@@ -383,6 +442,7 @@ class ParallelScanSession:
         self._block_size = block_size
         self._shared_tiles = shared_tiles
         self._cost_ordering = cost_ordering
+        self._block_lru_bytes = block_lru_bytes
         self._segments: Optional[SharedAlignmentSegments] = None
         self._store: Optional[SharedR2TileStore] = None
         self._pool = None
@@ -426,6 +486,7 @@ class ParallelScanSession:
                 config=config,
                 grid_positions=self._grid_positions,
                 obs_spec=obs.current_spec(),
+                block_lru_bytes=self._block_lru_bytes,
             )
             ctx = (
                 mp.get_context(self._mp_context)
@@ -479,14 +540,11 @@ class ParallelScanSession:
                     pending -= 1
                     depth_g.set(pending)
                     secs_h.observe(part.breakdown.wall_seconds)
-            # Recalibrate the Eq. 4 model from this scan's estimate vs
-            # measured block timings and publish it process-wide, so the
-            # next scan (and the GPU dispatcher) predict wall-clock from
-            # the same constants.
-            self._cost_model = self._cost_model.calibrated(
-                registry.snapshot()
-            )
-            set_cost_model(self._cost_model)
+            # Fold this scan's estimate-vs-measured block timings into
+            # the process-wide model (running-sum refit, atomic under the
+            # calibration lock), so the next scan (and the GPU
+            # dispatcher) predict wall-clock from the same constants.
+            self._cost_model = calibrate_from(registry.snapshot())
             if self._cost_model.seconds_per_unit is not None:
                 registry.gauge("scheduler.cost_seconds_per_unit").set(
                     self._cost_model.seconds_per_unit
@@ -497,6 +555,114 @@ class ParallelScanSession:
             sched_snap = registry.snapshot()
         result = _merge_parts([parts[i] for i in range(len(blocks))])
         result.metrics = obs.merge_snapshots(result.metrics, sched_snap)
+        result.breakdown.wall_seconds = time.perf_counter() - t_wall
+        return result
+
+    # -------------------------------------------------------------- #
+    # multi-request reuse (the scan service rides on this)
+
+    @property
+    def alignment(self) -> SNPAlignment:
+        return self._alignment
+
+    @property
+    def config(self) -> OmegaConfig:
+        return self._config
+
+    @property
+    def n_workers(self) -> int:
+        return self._n_workers
+
+    @property
+    def cost_model(self):
+        """The process-wide Eq. 4 model as of the last calibration fold."""
+        return self._cost_model
+
+    def scan_positions(
+        self,
+        grid_positions: np.ndarray,
+        *,
+        position_costs: Optional[np.ndarray] = None,
+        block_size: Optional[int] = None,
+        registry: Optional[obs.MetricsRegistry] = None,
+        request_id: str = "",
+    ) -> ScanResult:
+        """Scan an explicit grid-position array over the shared pool.
+
+        This is the multi-tenant entry point: unlike :meth:`scan` (which
+        replays the session's own grid) the positions travel inside the
+        block tasks, so many concurrent requests — each with its own
+        region grid — multiplex over one worker pool, one shared
+        alignment and one shared r² tile store. The method is
+        thread-safe: scheduler metrics go to the caller-supplied
+        ``registry`` (never the process-global one, which
+        ``obs.scoped_metrics`` would make a cross-request race), and the
+        calibration fold is atomic. Results are bitwise-equal to a
+        sequential scan of the same positions.
+        """
+        self.start()
+        if registry is None:
+            registry = obs.MetricsRegistry()
+        grid_positions = np.asarray(grid_positions, dtype=np.float64)
+        if grid_positions.size == 0:
+            raise ScanConfigError("scan_positions needs >= 1 position")
+        t_wall = time.perf_counter()
+        if position_costs is None:
+            plans = plans_for_positions(
+                self._alignment.positions, grid_positions, self._config.grid
+            )
+            position_costs = get_cost_model().position_costs(plans)
+        blocks = make_blocks(
+            grid_positions.size,
+            self._n_workers,
+            block_size=block_size if block_size else self._block_size,
+        )
+        tasks = [
+            (idx, grid_positions[lo:hi], request_id)
+            for idx, (lo, hi) in enumerate(blocks)
+        ]
+        if self._cost_ordering:
+            costs = position_costs
+            order = {
+                idx: float(costs[lo:hi].sum())
+                for idx, (lo, hi) in enumerate(blocks)
+            }
+            tasks.sort(key=lambda t: -order[t[0]])
+        tr = obs.get_tracer()
+        secs_h = registry.histogram("scheduler.block_seconds")
+        est_h = registry.histogram("scheduler.block_est_cost")
+        depth_g = registry.gauge("scheduler.queue_depth")
+        registry.counter("scheduler.blocks_dispatched").inc(len(tasks))
+        with tr.span(
+            "dispatch",
+            "scheduler",
+            args={"blocks": len(tasks), "request": request_id},
+        ):
+            for idx, _pos, _rid in tasks:
+                lo, hi = blocks[idx]
+                est_h.observe(float(position_costs[lo:hi].sum()))
+            pending = len(tasks)
+            depth_g.set(pending)
+            parts = {}
+            for idx, part in self._pool.imap_unordered(
+                _scan_request_block, tasks, chunksize=1
+            ):
+                parts[idx] = part
+                pending -= 1
+                depth_g.set(pending)
+                secs_h.observe(part.breakdown.wall_seconds)
+        self._cost_model = calibrate_from(registry.snapshot())
+        if self._cost_model.seconds_per_unit is not None:
+            registry.gauge("scheduler.cost_seconds_per_unit").set(
+                self._cost_model.seconds_per_unit
+            )
+            registry.gauge("scheduler.cost_calibration_blocks").set(
+                self._cost_model.calibration_blocks
+            )
+        result = _merge_parts([parts[i] for i in range(len(blocks))])
+        result.metrics = obs.merge_snapshots(
+            result.metrics, registry.snapshot()
+        )
         result.breakdown.wall_seconds = time.perf_counter() - t_wall
         return result
 

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import os
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -129,6 +130,55 @@ class SharedR2TileStore:
         )
         self.tile_entries_computed = 0
         self.tile_entries_reused = 0
+        self._lru: Optional[OrderedDict] = None
+        self._lru_capacity_bytes = 0
+        self._lru_bytes = 0
+
+    # -------------------------------------------------------------- #
+    # worker-local assembled-block LRU
+
+    def enable_block_lru(self, capacity_bytes: int) -> None:
+        """Cache multi-tile :meth:`block` assemblies in *this process*.
+
+        Assembling a block that spans several tiles memcpys every tile
+        into a fresh array on every call; a long-lived scan service that
+        replays the same hot regions across requests pays that assembly
+        again and again. The LRU keeps the most recently served
+        assembled blocks (keyed by their exact slice rectangle) up to
+        ``capacity_bytes`` of private memory per attachment. Single-tile
+        views are never cached — they are already zero-copy. Cached
+        blocks are read-only; ``copy=True`` peels off a private copy.
+        ``capacity_bytes <= 0`` disables the cache.
+        """
+        if capacity_bytes <= 0:
+            self._lru = None
+            self._lru_capacity_bytes = 0
+            self._lru_bytes = 0
+            return
+        self._lru = OrderedDict()
+        self._lru_capacity_bytes = int(capacity_bytes)
+        self._lru_bytes = 0
+
+    def _lru_get(self, key: Tuple[int, int, int, int]):
+        assert self._lru is not None
+        cached = self._lru.get(key)
+        if cached is not None:
+            self._lru.move_to_end(key)
+        return cached
+
+    def _lru_put(self, key: Tuple[int, int, int, int], block) -> None:
+        assert self._lru is not None
+        nbytes = int(block.nbytes)
+        if nbytes > self._lru_capacity_bytes:
+            return
+        self._lru[key] = block
+        self._lru_bytes += nbytes
+        registry = obs.get_metrics()
+        while self._lru_bytes > self._lru_capacity_bytes:
+            _, evicted = self._lru.popitem(last=False)
+            self._lru_bytes -= int(evicted.nbytes)
+            registry.counter("tilestore.lru_evictions").inc()
+        registry.gauge("tilestore.lru_bytes").set(self._lru_bytes)
 
     # -------------------------------------------------------------- #
 
@@ -309,6 +359,12 @@ class SharedR2TileStore:
             view = sub.view()
             view.flags.writeable = False
             return view
+        if self._lru is not None:
+            key = (r0, r1, c0, c1)
+            cached = self._lru_get(key)
+            if cached is not None:
+                obs.get_metrics().counter("tilestore.lru_hits").inc()
+                return cached.copy() if copy else cached
         out = np.empty((r1 - r0, c1 - c0))
         for ti in range(ti0, ti1 + 1):
             i0 = max(r0, ti * t)
@@ -333,6 +389,11 @@ class SharedR2TileStore:
                         j0 - tj * t : j1 - tj * t, i0 - ti * t : i1 - ti * t
                     ].T
                 out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = sub
+        if self._lru is not None:
+            obs.get_metrics().counter("tilestore.lru_misses").inc()
+            out.flags.writeable = False
+            self._lru_put(key, out)
+            return out.copy() if copy else out
         if not copy:
             out.flags.writeable = False
         return out
@@ -343,6 +404,9 @@ class SharedR2TileStore:
         """Release this process's mappings."""
         self._data = None
         self._flags = None
+        if self._lru is not None:
+            self._lru.clear()
+            self._lru_bytes = 0
         for shm in self._segments:
             try:
                 shm.close()

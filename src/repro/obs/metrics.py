@@ -82,9 +82,32 @@ class Histogram:
 
     @staticmethod
     def bucket_le(value) -> str:
+        """Boundary of the bucket containing ``value``: the smallest
+        power of two at or above it, computed exactly.
+
+        ``math.ceil(math.log2(value))`` is *not* exact: for integers (and
+        floats) just above a large power of two the log rounds down to the
+        integer exponent and the value lands in the bucket *below* itself,
+        breaking the ``le`` invariant (e.g. ``2**50 + 1`` → ``2**50``).
+        Integers therefore bucket via ``bit_length`` (exact at any
+        magnitude) and floats via ``math.frexp`` (exact mantissa/exponent
+        split); boundaries beyond float range collapse into an ``inf``
+        bucket rather than overflowing.
+        """
         if value <= 0:
             return "0"
-        return repr(float(2.0 ** math.ceil(math.log2(value))))
+        if isinstance(value, int):
+            bits = value.bit_length()
+            exp = bits - 1 if value == (1 << (bits - 1)) else bits
+        else:
+            if math.isinf(value):
+                return repr(math.inf)
+            mantissa, exp = math.frexp(value)
+            if mantissa == 0.5:
+                exp -= 1
+        if exp > 1023:
+            return repr(math.inf)
+        return repr(2.0**exp)
 
     def observe(self, value) -> None:
         self.count += 1

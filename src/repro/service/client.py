@@ -1,0 +1,69 @@
+"""Blocking Unix-socket client for the scan daemon.
+
+Deliberately synchronous and dependency-free (plain ``socket`` +
+``json``): the callers are tests, the nightly smoke benchmark and ad-hoc
+shell pipelines, none of which want an event loop. One connection can
+carry many request lines; :func:`send_request` opens a fresh connection
+per call, which is cheap on a Unix socket and keeps the helper
+stateless.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from repro.service.model import ServiceError
+
+__all__ = ["request_scan", "send_request"]
+
+
+def send_request(
+    socket_path: str, payload: dict, *, timeout: Optional[float] = 60.0
+) -> dict:
+    """Send one JSON-line request; return the parsed response object."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+        chunks = []
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    raw = b"".join(chunks)
+    if not raw:
+        raise ServiceError("scan daemon closed the connection mid-request")
+    return json.loads(raw.decode("utf-8"))
+
+
+def request_scan(
+    socket_path: str,
+    *,
+    start_bp: Optional[float] = None,
+    stop_bp: Optional[float] = None,
+    n_positions: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
+    priority: int = 0,
+    timeout: Optional[float] = 600.0,
+) -> dict:
+    """One scan request against a running daemon; raises
+    :class:`ServiceError` on rejection (the raised message carries the
+    daemon's estimate for deadline rejections)."""
+    payload: dict = {"op": "scan", "priority": priority}
+    if start_bp is not None:
+        payload["start_bp"] = start_bp
+    if stop_bp is not None:
+        payload["stop_bp"] = stop_bp
+    if n_positions is not None:
+        payload["n_positions"] = n_positions
+    if deadline_seconds is not None:
+        payload["deadline_seconds"] = deadline_seconds
+    response = send_request(socket_path, payload, timeout=timeout)
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "scan request failed"))
+    return response

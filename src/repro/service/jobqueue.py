@@ -1,0 +1,66 @@
+"""Bounded FIFO-with-priority job queue for the scan service.
+
+A thin, explicit wrapper over a heap: items dispatch lowest ``priority``
+first and FIFO *within* a priority level (a monotone sequence number
+breaks ties, so two equal-priority requests never compare their payloads
+and never reorder). The queue is bounded — a service under pressure
+rejects new work at admission instead of buffering requests it cannot
+meet deadlines for.
+
+Single-event-loop use only (the service owns it); no locks needed beyond
+asyncio's cooperative scheduling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any, Tuple
+
+from repro.service.model import QueueFullError
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded priority queue: ``put_nowait`` rejects when full."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._not_empty: asyncio.Event = asyncio.Event()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.maxsize
+
+    def put_nowait(self, priority: int, item: Any) -> None:
+        """Enqueue ``item``; :class:`QueueFullError` when at capacity."""
+        if self.full:
+            raise QueueFullError(
+                f"job queue is full ({self.maxsize} pending); retry later"
+            )
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+        self._not_empty.set()
+
+    async def get(self) -> Tuple[int, Any]:
+        """Dequeue the next ``(priority, item)``; waits when empty."""
+        while not self._heap:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        priority, _seq, item = heapq.heappop(self._heap)
+        return priority, item
+
+    def drain(self) -> list:
+        """Remove and return every pending item (shutdown path)."""
+        items = [item for _p, _s, item in sorted(self._heap)]
+        self._heap.clear()
+        self._not_empty.clear()
+        return items

@@ -1,0 +1,132 @@
+"""Unix-socket JSON-lines front end for :class:`ScanService`.
+
+Protocol: one JSON object per line, one response line per request line.
+Ops::
+
+    {"op": "scan", "start_bp": ..., "stop_bp": ..., "n_positions": ...,
+     "deadline_seconds": ..., "priority": ...}
+    {"op": "status"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+A ``scan`` response carries the full ω report (positions, omegas,
+borders, evaluation counts), the admission estimate and the request's
+own metrics snapshot; an admission rejection answers ``{"ok": false,
+"error": ..., "estimate": {...}}`` on the same connection instead of
+dropping it. A Unix socket keeps the daemon strictly local (filesystem
+permissions are the access control) and needs no port management in CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.service.model import (
+    AdmissionError,
+    DeadlineInfeasibleError,
+    ScanRequest,
+    ServiceError,
+)
+from repro.service.service import ScanService
+
+__all__ = ["serve_unix"]
+
+
+def _scan_response(job, result) -> dict:
+    return {
+        "ok": True,
+        "request_id": job.request_id,
+        "positions": result.positions.tolist(),
+        "omegas": result.omegas.tolist(),
+        "left_borders_bp": result.left_borders_bp.tolist(),
+        "right_borders_bp": result.right_borders_bp.tolist(),
+        "n_evaluations": result.n_evaluations.tolist(),
+        "estimate": job.estimate.to_payload(),
+        "queue_seconds": job.queue_seconds,
+        "wall_seconds": job.wall_seconds,
+        "metrics": job.metrics,
+    }
+
+
+async def _handle_line(service: ScanService, line: str, shutdown) -> dict:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return {"ok": False, "error": f"malformed JSON: {exc}"}
+    if not isinstance(payload, dict):
+        return {"ok": False, "error": "request must be a JSON object"}
+    op = payload.pop("op", None)
+    if op == "ping":
+        return {"ok": True, "op": "ping"}
+    if op == "status":
+        return {"ok": True, "op": "status", **service.status()}
+    if op == "shutdown":
+        shutdown.set()
+        return {"ok": True, "op": "shutdown"}
+    if op != "scan":
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    try:
+        request = ScanRequest.from_payload(payload)
+        job = await service.submit(request)
+        result = await job.wait()
+        return _scan_response(job, result)
+    except DeadlineInfeasibleError as exc:
+        return {
+            "ok": False,
+            "error": str(exc),
+            "rejected": "deadline",
+            "estimate": exc.estimate.to_payload(),
+        }
+    except AdmissionError as exc:
+        return {"ok": False, "error": str(exc), "rejected": "queue_full"}
+    except ServiceError as exc:
+        return {"ok": False, "error": str(exc)}
+
+
+async def serve_unix(
+    service: ScanService,
+    socket_path: str,
+    *,
+    ready: Optional["asyncio.Event"] = None,
+) -> None:
+    """Serve ``service`` on a Unix socket until a ``shutdown`` op (or
+    cancellation). Starts the service if needed and closes it on the way
+    out — the daemon owns its engine. ``ready`` (optional) is set once
+    the socket is accepting connections (tests and the smoke benchmark
+    wait on it via the parent seeing the socket file)."""
+    shutdown = asyncio.Event()
+
+    async def handle(reader, writer) -> None:
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                response = await _handle_line(service, line, shutdown)
+                writer.write(
+                    (json.dumps(response) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                if shutdown.is_set():
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    await service.start()
+    server = await asyncio.start_unix_server(handle, path=socket_path)
+    try:
+        if ready is not None:
+            ready.set()
+        async with server:
+            await shutdown.wait()
+    finally:
+        await service.close()

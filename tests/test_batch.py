@@ -254,9 +254,60 @@ class TestCostModel:
         fit = model.calibrated(snap)
         assert fit.seconds_per_unit == pytest.approx(0.5 / 2e6)
         assert fit.calibration_blocks == 4
+        assert fit.est_cost_sum == pytest.approx(2e6)
+        assert fit.seconds_sum == pytest.approx(0.5)
         # Unusable snapshots never discard an earlier calibration.
         assert fit.calibrated({}) is fit
         assert fit.calibrated({"histograms": {}}) is fit
+
+    def test_recalibration_accumulates_running_sums(self):
+        """Regression: a later (small) scan must refine the fit as a
+        weighted ratio of *all* measured blocks, not replace it with the
+        last scan's ratio alone."""
+
+        def snap(blocks, est, sec):
+            return {
+                "histograms": {
+                    "scheduler.block_est_cost": {
+                        "count": blocks, "sum": est,
+                    },
+                    "scheduler.block_seconds": {
+                        "count": blocks, "sum": sec,
+                    },
+                }
+            }
+
+        first = ScanCostModel().calibrated(snap(10, 1000.0, 100.0))
+        assert first.seconds_per_unit == pytest.approx(0.1)
+        # One tiny, noisy block: naive last-scan fit would jump to 5.0.
+        second = first.calibrated(snap(1, 1.0, 5.0))
+        assert second.seconds_per_unit == pytest.approx(105.0 / 1001.0)
+        assert second.seconds_per_unit != pytest.approx(5.0)
+        assert second.calibration_blocks == 11
+        assert second.est_cost_sum == pytest.approx(1001.0)
+        assert second.seconds_sum == pytest.approx(105.0)
+        # A third scan keeps folding into the same running sums.
+        third = second.calibrated(snap(4, 999.0, 95.0))
+        assert third.seconds_per_unit == pytest.approx(200.0 / 2000.0)
+        assert third.calibration_blocks == 15
+
+    def test_calibrate_from_updates_global_model(self):
+        from repro.core.costmodel import calibrate_from
+
+        snap = {
+            "histograms": {
+                "scheduler.block_est_cost": {"count": 2, "sum": 100.0},
+                "scheduler.block_seconds": {"count": 2, "sum": 1.0},
+            }
+        }
+        fit = calibrate_from(snap)
+        assert fit is get_cost_model()
+        assert fit.seconds_per_unit == pytest.approx(0.01)
+        again = calibrate_from(snap)
+        assert again.calibration_blocks == 4
+        assert again.seconds_per_unit == pytest.approx(0.01)
+        # Metrics-free snapshots are a no-op, never a reset.
+        assert calibrate_from({}) is again
 
     def test_parallel_scan_publishes_calibration(self):
         aln = haplotype_block_alignment(30, 400, seed=14)

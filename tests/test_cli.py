@@ -191,6 +191,97 @@ class TestInputFormats:
         assert out.startswith("position")
 
 
+class TestLengthForwarding:
+    """Regression: ``--length`` used to default to the ms sentinel 1.0
+    and the VCF paths forwarded it only when ``> 1.0`` — silently
+    replacing an explicit user value ``<= 1.0`` with the inferred
+    last-variant length."""
+
+    VCF = (
+        "##fileformat=VCFv4.2\n"
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\n"
+        "1\t0\t.\tA\tG\t.\tPASS\t.\tGT\t0|1\t1|0\n"
+    )
+
+    @pytest.fixture
+    def tiny_vcf(self, tmp_path):
+        path = str(tmp_path / "tiny.vcf")
+        with open(path, "w") as fh:
+            fh.write(self.VCF)
+        return path
+
+    def test_vcf_load_honours_sub_unit_length(self, tiny_vcf):
+        from repro.cli import _load_alignment
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "scan", tiny_vcf, "--format", "vcf",
+            "--length", "0.75", "--maxwin", "0.5",
+        ])
+        assert _load_alignment(args).length == 0.75
+
+    def test_vcf_load_default_infers_from_last_variant(self, tiny_vcf):
+        from repro.cli import _load_alignment
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "scan", tiny_vcf, "--format", "vcf", "--maxwin", "0.5",
+        ])
+        # Last POS is 0, so the inferred region length is 0 + 1.
+        assert _load_alignment(args).length == 1.0
+
+    def test_vcf_stream_source_honours_sub_unit_length(self, tiny_vcf):
+        from repro.cli import _stream_source
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "scan", tiny_vcf, "--format", "vcf", "--length", "1.0",
+            "--maxwin", "0.5", "--stream",
+        ])
+        assert _stream_source(args).length == 1.0
+        args = parser.parse_args([
+            "scan", tiny_vcf, "--format", "vcf",
+            "--maxwin", "0.5", "--stream",
+        ])
+        assert _stream_source(args).length == 1.0  # inferred, 0 + 1
+
+    def test_ms_default_stays_unit_length(self, sweep_ms):
+        from repro.cli import _ms_length
+
+        parser = build_parser()
+        args = parser.parse_args([
+            "scan", sweep_ms, "--maxwin", "0.3",
+        ])
+        assert args.length is None
+        assert _ms_length(args) == 1.0
+        args = parser.parse_args([
+            "scan", sweep_ms, "--length", "500000", "--maxwin", "50000",
+        ])
+        assert _ms_length(args) == 500000.0
+
+    def test_vcf_streamed_scan_with_explicit_length(self, tmp_path):
+        from repro.datasets.generators import random_alignment
+        from repro.datasets.missing import MaskedAlignment
+        from repro.datasets.vcf import vcf_text
+
+        aln = random_alignment(12, 80, seed=4)
+        masked = MaskedAlignment(aln.matrix, aln.positions, aln.length)
+        path = str(tmp_path / "data.vcf")
+        with open(path, "w") as fh:
+            fh.write(vcf_text(masked))
+        base = [
+            "scan", path, "--format", "vcf", "--length", str(aln.length),
+            "--grid", "4", "--maxwin", str(aln.length / 3),
+        ]
+        mem, streamed = str(tmp_path / "mem.tsv"), str(tmp_path / "str.tsv")
+        assert main(base + ["-o", mem]) == 0
+        assert main(
+            base + ["--stream", "--snp-budget", "60", "-o", streamed]
+        ) == 0
+        with open(mem) as a, open(streamed) as b:
+            assert a.read() == b.read()
+
+
 class TestAllReplicates:
     def test_writes_omegaplus_report(self, tmp_path):
         ms_path = str(tmp_path / "multi.ms")

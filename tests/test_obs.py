@@ -20,7 +20,7 @@ from repro.core.grid import GridSpec
 from repro.core.parallel import parallel_scan
 from repro.core.scan import OmegaConfig, OmegaPlusScanner, scan_stream
 from repro.datasets.generators import haplotype_block_alignment
-from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.metrics import Histogram, MetricsRegistry, merge_snapshots
 from repro.obs.trace import SYNTHETIC_TIDS, validate_trace_line
 
 
@@ -175,6 +175,56 @@ class TestMetricsMerge:
         total = obs.get_metrics().snapshot()["counters"]
         assert total["t.outer"] == 5
         assert total["t.inner"] == 3  # folded into the enclosing registry
+
+
+# ------------------------------------------------------------------ #
+# power-of-two bucket labels
+# ------------------------------------------------------------------ #
+
+
+class TestBucketLe:
+    """``bucket_le`` names the smallest power of two >= the value (its
+    documented invariant). Regression: the float ``log2`` rounding used
+    previously filed values just above a large power of two — e.g.
+    ``2**50 + 1`` — into the bucket *below* them."""
+
+    def test_large_int_just_above_power_of_two(self):
+        assert Histogram.bucket_le(2**50 + 1) == repr(2.0**51)
+        assert Histogram.bucket_le(2**50) == repr(2.0**50)
+
+    def test_float_just_above_power_of_two(self):
+        value = 2.0**50 * (1.0 + 2.0**-52)  # nextafter(2**50)
+        assert Histogram.bucket_le(value) == repr(2.0**51)
+
+    def test_edges(self):
+        assert Histogram.bucket_le(0) == "0"
+        assert Histogram.bucket_le(-3.5) == "0"
+        assert Histogram.bucket_le(1) == repr(1.0)
+        assert Histogram.bucket_le(float("inf")) == repr(float("inf"))
+        # Values whose ceil power of two overflows float64 share the
+        # infinity bucket rather than raising.
+        assert Histogram.bucket_le(2**1030) == repr(float("inf"))
+        # 1e308 > 2**1023, so its ceil power of two (2**1024) overflows.
+        assert Histogram.bucket_le(1e308) == repr(float("inf"))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        value=st.one_of(
+            st.integers(min_value=1, max_value=2**200),
+            st.floats(
+                min_value=1e-300,
+                max_value=1e300,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        )
+    )
+    def test_bucket_bounds_value(self, value):
+        bucket = float(Histogram.bucket_le(value))
+        assert value <= bucket
+        # Tightness: the next bucket down would violate the invariant.
+        if bucket != float("inf"):
+            assert bucket / 2.0 < value
 
 
 # ------------------------------------------------------------------ #

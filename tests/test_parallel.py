@@ -361,3 +361,153 @@ class TestParallelScanSession:
     def test_rejects_zero_workers(self, block_alignment, config):
         with pytest.raises(ScanConfigError):
             ParallelScanSession(block_alignment, config, n_workers=0)
+
+
+class TestFixedPositionSpec:
+    def test_positions_used_verbatim(self, block_alignment):
+        from repro.core.parallel import fixed_position_spec
+
+        base = GridSpec(
+            n_positions=10, max_window=block_alignment.length / 3
+        )
+        fixed = np.array([10.0, 55.5, 90.0])
+        spec = fixed_position_spec(base, fixed)
+        np.testing.assert_array_equal(
+            spec.positions_from(block_alignment.positions), fixed
+        )
+        # Window geometry rides along from the base spec.
+        assert spec.max_window == base.max_window
+        assert spec.min_window == base.min_window
+
+    def test_plans_match_trusted_builder(self, block_alignment):
+        """plans_for_positions over the base grid's own positions must
+        reproduce build_plans_from_positions on the base spec exactly —
+        admission pricing and the scheduler price the same plans."""
+        from repro.core.costmodel import ScanCostModel
+        from repro.core.grid import build_plans_from_positions
+        from repro.core.parallel import plans_for_positions
+
+        base = GridSpec(
+            n_positions=10, max_window=block_alignment.length / 3
+        )
+        site_pos = block_alignment.positions
+        direct = build_plans_from_positions(site_pos, base)
+        via_helper = plans_for_positions(
+            site_pos, base.positions_from(site_pos), base
+        )
+        model = ScanCostModel()
+        np.testing.assert_array_equal(
+            model.position_costs(via_helper), model.position_costs(direct)
+        )
+
+    def test_rejects_empty(self, block_alignment):
+        from repro.core.parallel import fixed_position_spec
+
+        base = GridSpec(
+            n_positions=10, max_window=block_alignment.length / 3
+        )
+        with pytest.raises(ScanConfigError):
+            fixed_position_spec(base, np.array([]))
+
+
+class TestScanPositions:
+    @pytest.fixture
+    def config(self, block_alignment):
+        return OmegaConfig(
+            grid=GridSpec(
+                n_positions=10, max_window=block_alignment.length / 3
+            )
+        )
+
+    def test_full_grid_matches_session_scan(self, block_alignment, config):
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            own = session.scan()
+            explicit = session.scan_positions(
+                config.grid.positions_from(block_alignment.positions)
+            )
+        np.testing.assert_array_equal(explicit.positions, own.positions)
+        np.testing.assert_array_equal(explicit.omegas, own.omegas)
+        np.testing.assert_array_equal(
+            explicit.n_evaluations, own.n_evaluations
+        )
+
+    def test_subgrid_matches_sequential(self, block_alignment, config):
+        import dataclasses
+
+        from repro.core.parallel import fixed_position_spec
+        from repro.core.scan import OmegaPlusScanner
+
+        sub = np.linspace(20.0, 100.0, 6)
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            got = session.scan_positions(sub)
+        seq = OmegaPlusScanner(
+            dataclasses.replace(
+                config, grid=fixed_position_spec(config.grid, sub)
+            )
+        ).scan(block_alignment)
+        np.testing.assert_array_equal(got.positions, seq.positions)
+        np.testing.assert_allclose(
+            got.omegas, seq.omegas, rtol=1e-9, atol=1e-12
+        )
+        np.testing.assert_array_equal(got.n_evaluations, seq.n_evaluations)
+
+    def test_caller_registry_gets_scheduler_metrics(
+        self, block_alignment, config
+    ):
+        import repro.obs as obs_mod
+
+        registry = obs_mod.MetricsRegistry()
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            session.scan_positions(
+                np.linspace(20.0, 100.0, 6),
+                registry=registry,
+                request_id="req-test",
+            )
+        snap = registry.snapshot()
+        assert snap["counters"]["scheduler.blocks_dispatched"] > 0
+        assert (
+            snap["histograms"]["scheduler.block_seconds"]["count"]
+            == snap["counters"]["scheduler.blocks_dispatched"]
+        )
+
+    def test_rejects_empty_positions(self, block_alignment, config):
+        with ParallelScanSession(
+            block_alignment, config, n_workers=2
+        ) as session:
+            with pytest.raises(ScanConfigError):
+                session.scan_positions(np.array([]))
+
+    def test_calibration_converges_across_scans(
+        self, block_alignment, config
+    ):
+        """Each scan folds its measured blocks into the running-sum fit:
+        block counts accumulate and the fitted rate is always the ratio
+        of the accumulated sums (regression for the fit previously being
+        replaced by the last scan's ratio alone)."""
+        from repro.core.costmodel import get_cost_model, reset_cost_model
+
+        reset_cost_model()
+        try:
+            with ParallelScanSession(
+                block_alignment, config, n_workers=2
+            ) as session:
+                seen_blocks = []
+                for _ in range(3):
+                    session.scan_positions(
+                        config.grid.positions_from(block_alignment.positions)
+                    )
+                    model = get_cost_model()
+                    seen_blocks.append(model.calibration_blocks)
+                    assert model.seconds_per_unit == pytest.approx(
+                        model.seconds_sum / model.est_cost_sum
+                    )
+            assert seen_blocks[0] > 0
+            assert seen_blocks[0] < seen_blocks[1] < seen_blocks[2]
+        finally:
+            reset_cost_model()

@@ -166,6 +166,96 @@ class TestZeroCopyViews:
             assert writable.flags.writeable
 
 
+class TestBlockLRU:
+    ROWS, COLS = slice(5, 30), slice(5, 30)  # spans multiple 16-tiles
+
+    def test_hit_serves_same_assembly(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            store.enable_block_lru(1 << 20)
+            with obs.scoped_metrics() as registry:
+                first = store.block(self.ROWS, self.COLS)
+                second = store.block(self.ROWS, self.COLS)
+                snap = registry.snapshot()
+            assert second is first  # the cached array itself, no memcpy
+            assert not second.flags.writeable
+            assert snap["counters"]["tilestore.lru_misses"] == 1
+            assert snap["counters"]["tilestore.lru_hits"] == 1
+            np.testing.assert_array_equal(
+                first, r_squared_block(aln, self.ROWS, self.COLS)
+            )
+
+    def test_copy_flag_peels_private_copy_off_cache(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            store.enable_block_lru(1 << 20)
+            store.block(self.ROWS, self.COLS)
+            got = store.block(self.ROWS, self.COLS, copy=True)
+            assert got.flags.writeable
+            got[:] = -1.0
+            again = store.block(self.ROWS, self.COLS)
+            np.testing.assert_array_equal(
+                again, r_squared_block(aln, self.ROWS, self.COLS)
+            )
+
+    def test_single_tile_views_bypass_cache(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=16
+        ) as store:
+            store.enable_block_lru(1 << 20)
+            with obs.scoped_metrics() as registry:
+                got = store.block(slice(2, 10), slice(2, 10))
+                snap = registry.snapshot()
+            assert got.base is not None  # still zero-copy
+            assert "tilestore.lru_misses" not in snap["counters"]
+
+    def test_capacity_evicts_oldest(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            one = store.block(slice(0, 20), slice(0, 20))
+            # Capacity for ~one assembled block: the second insert must
+            # evict the first (FIFO-oldest).
+            store.enable_block_lru(int(one.nbytes * 1.5))
+            with obs.scoped_metrics() as registry:
+                store.block(slice(0, 20), slice(0, 20))
+                store.block(slice(20, 40), slice(20, 40))
+                store.block(slice(0, 20), slice(0, 20))  # miss again
+                snap = registry.snapshot()
+            assert snap["counters"]["tilestore.lru_evictions"] >= 1
+            assert snap["counters"]["tilestore.lru_misses"] == 3
+            assert snap["gauges"]["tilestore.lru_bytes"]["last"] <= (
+                one.nbytes * 1.5
+            )
+
+    def test_oversized_block_never_cached(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            store.enable_block_lru(8)  # smaller than any block
+            with obs.scoped_metrics() as registry:
+                store.block(self.ROWS, self.COLS)
+                store.block(self.ROWS, self.COLS)
+                snap = registry.snapshot()
+            assert snap["counters"]["tilestore.lru_misses"] == 2
+            assert "tilestore.lru_hits" not in snap["counters"]
+
+    def test_disable_clears(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=40, tile=16
+        ) as store:
+            store.enable_block_lru(1 << 20)
+            store.block(self.ROWS, self.COLS)
+            store.enable_block_lru(0)
+            with obs.scoped_metrics() as registry:
+                store.block(self.ROWS, self.COLS)
+                snap = registry.snapshot()
+            assert "tilestore.lru_hits" not in snap["counters"]
+            assert "tilestore.lru_misses" not in snap["counters"]
+
+
 class TestLifecycle:
     def test_context_manager_unlinks(self, aln):
         before = set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
