@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Model-vs-realized calibration audit for the executable ω backends.
+
+The dispatcher's Eq. 4 kernel model predicts *device* time for every
+launch; since PR 7 each launch also *runs* on an array backend and
+records its realized wall time. This benchmark drives both kernels over
+a packed workload that straddles the dispatch threshold (so Kernel I
+and Kernel II each serve real positions), then reports, per kernel,
+
+* the summed model-predicted seconds next to the realized seconds and
+  their ratio (how far the K80 timing model is from this host/device),
+* the ``seconds_per_unit`` that :meth:`ScanCostModel.fit_weights`
+  recovers from the recorded :class:`CalibrationPair` archive — the
+  constant the block scheduler uses for deadline admission.
+
+Functional output is asserted bitwise-equal to ``omega_max_batch``
+before any number is reported. Realized timings land in
+``BENCH_backend_calibration.json`` for the nightly regression gate;
+model seconds and error ratios ride along as context values.
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/bench_backend_calibration.py \\
+        --backend numpy --out-dir benchmarks/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from metrics_io import emit_bench_metrics  # noqa: E402
+
+
+def build_plan(n_positions: int, sums, rng):
+    """Pack a mixed workload: mostly small positions (Kernel I side of
+    the Eq. 4 threshold) plus a few border-heavy ones (Kernel II)."""
+    import numpy as np
+
+    from repro.core.batch import BatchedOmegaPlan
+
+    plan = BatchedOmegaPlan(max_positions=n_positions)
+    n_sites = sums.n_sites
+    for k in range(n_positions):
+        if k % 4 == 0:
+            n_left = int(rng.integers(100, 140))
+            n_right = int(rng.integers(100, 140))
+        else:
+            n_left = int(rng.integers(2, 12))
+            n_right = int(rng.integers(2, 12))
+        c = int(rng.integers(n_left, n_sites - n_right - 1))
+        left = np.arange(c + 1 - n_left, c + 1)
+        right = np.arange(c + 1, c + 1 + n_right)
+        plan.add(sums, left, c, right)
+    return plan
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backend", default="numpy",
+                    help="array backend to execute on (numpy/cupy/numba)")
+    ap.add_argument("--samples", type=int, default=40)
+    ap.add_argument("--sites", type=int, default=400)
+    ap.add_argument("--positions", type=int, default=48,
+                    help="packed positions per plan")
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--out-dir", default=None,
+                    help="where BENCH_backend_calibration.json goes "
+                    "(default benchmarks/results)")
+    args = ap.parse_args(argv)
+
+    import numpy as np
+
+    from repro.accel.backend import resolve_backend
+    from repro.accel.gpu.dispatch import (
+        DEFAULT_EXEC_DEVICE,
+        DynamicDispatcher,
+    )
+    from repro.core.batch import omega_max_batch
+    from repro.core.costmodel import (
+        calibration_pairs,
+        clear_calibration_pairs,
+        get_cost_model,
+    )
+    from repro.core.dp import SumMatrix
+    from repro.datasets import random_alignment
+    from repro.ld.gemm import r_squared_matrix
+
+    backend = resolve_backend(args.backend)
+    if backend is None:
+        print("error: --backend must name an executable backend",
+              file=sys.stderr)
+        return 2
+
+    alignment = random_alignment(args.samples, args.sites, seed=20260808)
+    sums = SumMatrix(r_squared_matrix(alignment))
+    rng = np.random.default_rng(7)
+    plan = build_plan(args.positions, sums, rng)
+
+    dispatcher = DynamicDispatcher(DEFAULT_EXEC_DEVICE, backend=backend)
+    reference = omega_max_batch(plan)
+
+    clear_calibration_pairs()
+    for _ in range(args.repeats):
+        result = dispatcher.run_plan(plan)
+        for field in ("omegas", "left_borders", "right_borders",
+                      "n_evaluations"):
+            got = getattr(result, field)
+            want = getattr(reference, field)
+            if not np.array_equal(got, want, equal_nan=True):
+                print(f"FAIL: {field} diverges from omega_max_batch",
+                      file=sys.stderr)
+                return 1
+
+    pairs = calibration_pairs()
+    per_kernel = {}
+    for which in ("kernel1", "kernel2"):
+        mine = [p for p in pairs if p.kernel == which]
+        if not mine:
+            continue
+        est = sum(p.est_seconds for p in mine)
+        real = sum(p.realized_seconds for p in mine)
+        # Best (lowest-noise) repeat for the gated timing: one repeat is
+        # len(mine)/repeats launches.
+        n_per = max(1, len(mine) // args.repeats)
+        best = min(
+            sum(p.realized_seconds for p in mine[i:i + n_per])
+            for i in range(0, len(mine), n_per)
+        )
+        per_kernel[which] = {
+            "model_seconds": est,
+            "realized_seconds": real,
+            "best_repeat_seconds": best,
+            "model_over_realized": est / real if real else float("nan"),
+            "launches": len(mine),
+            "scores": sum(p.n_evaluations for p in mine),
+        }
+
+    fitted = get_cost_model().fit_weights(pairs)
+
+    print(f"backend: {backend.name}  positions: {plan.n_positions}  "
+          f"scores: {plan.n_scores}  repeats: {args.repeats}")
+    for which, row in per_kernel.items():
+        print(f"  {which}: {row['launches']} launches, "
+              f"{row['scores']:.0f} scores | model "
+              f"{row['model_seconds'] * 1e3:.3f} ms vs realized "
+              f"{row['realized_seconds'] * 1e3:.3f} ms "
+              f"(model/realized {row['model_over_realized']:.3f}x)")
+    print(f"  fitted seconds_per_unit: {fitted.seconds_per_unit:.3e} "
+          f"from {fitted.calibration_blocks} pairs "
+          f"(area_weight {fitted.area_weight:.3f})")
+
+    timings = {
+        f"{which}_realized_seconds": row["best_repeat_seconds"]
+        for which, row in per_kernel.items()
+    }
+    values = {}
+    for which, row in per_kernel.items():
+        values[f"{which}_model_seconds"] = row["model_seconds"]
+        values[f"{which}_model_over_realized"] = row["model_over_realized"]
+        values[f"{which}_launches"] = row["launches"]
+        values[f"{which}_scores"] = row["scores"]
+    if fitted.seconds_per_unit is not None:
+        values["fitted_seconds_per_unit"] = fitted.seconds_per_unit
+        values["fitted_area_weight"] = fitted.area_weight
+        values["calibration_pairs"] = fitted.calibration_blocks
+
+    emit_bench_metrics(
+        "backend_calibration",
+        timings=timings,
+        values=values,
+        meta={
+            "backend": backend.name,
+            "device_model": DEFAULT_EXEC_DEVICE.name,
+            "positions": plan.n_positions,
+            "repeats": args.repeats,
+        },
+        out_dir=args.out_dir,
+    )
+    print("OK: backend output bitwise-equal; calibration recorded",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Pluggable array backends for the executable ω kernel paths.
+
+See :mod:`repro.accel.backend.base` for the numerical contract and
+:mod:`repro.accel.backend.registry` for the selection order
+(explicit name → ``REPRO_BACKEND`` → none) and fallback semantics.
+
+This package deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.accel.gpu`, so the scanners can resolve backends without
+import cycles.
+"""
+
+from repro.accel.backend.backends import (
+    CupyBackend,
+    NumbaBackend,
+    NumpyBackend,
+)
+from repro.accel.backend.base import ArrayBackend
+from repro.accel.backend.registry import (
+    ENV_VAR,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "CupyBackend",
+    "NumbaBackend",
+    "ENV_VAR",
+    "register_backend",
+    "backend_names",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,119 @@
+"""Concrete :class:`~repro.accel.backend.base.ArrayBackend` adapters.
+
+``numpy`` is always available and is the reference: kernel results on it
+are bitwise-equal to the scalar scanner. ``cupy`` and ``numba`` are
+optional runtimes — constructing their backends on a host without the
+library (or without a device) raises
+:class:`~repro.errors.BackendUnavailableError`, which the registry's
+``resolve_backend(..., fallback=True)`` turns into a graceful numpy
+fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.backend.base import ArrayBackend
+from repro.errors import BackendUnavailableError
+
+__all__ = ["NumpyBackend", "CupyBackend", "NumbaBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Host emulation backend — the bitwise reference."""
+
+    name = "numpy"
+    is_host = True
+
+    def __init__(self):
+        super().__init__(np)
+
+
+class CupyBackend(ArrayBackend):
+    """CUDA device backend via CuPy (arrays live in device memory)."""
+
+    name = "cupy"
+    is_host = False
+
+    def __init__(self):
+        try:
+            import cupy
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "array backend 'cupy' needs the cupy package (and a CUDA "
+                "device); install cupy or use --backend numpy"
+            ) from exc
+        try:
+            # A present module without a usable device still can't run.
+            cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:  # pragma: no cover - needs broken CUDA
+            raise BackendUnavailableError(
+                f"cupy is installed but no CUDA device is usable: {exc}"
+            ) from exc
+        super().__init__(cupy)
+        self._cupy = cupy
+
+    def to_host(self, a) -> np.ndarray:  # pragma: no cover - needs GPU
+        return self._cupy.asnumpy(a)
+
+    def synchronize(self) -> None:  # pragma: no cover - needs GPU
+        self._cupy.cuda.get_current_stream().synchronize()
+
+
+class NumbaBackend(ArrayBackend):
+    """Host backend with the Eq. (2) inner loop JIT-compiled by Numba.
+
+    Arrays stay in host memory (``xp`` is numpy); only the elementwise
+    score evaluation is replaced by a compiled loop. The loop uses the
+    same operation order as the reference, but Numba may contract
+    multiply-adds, so equality is ``allclose`` rather than bitwise.
+    """
+
+    name = "numba"
+    is_host = True
+
+    def __init__(self):
+        try:
+            import numba
+        except ImportError as exc:
+            raise BackendUnavailableError(
+                "array backend 'numba' needs the numba package; install "
+                "numba or use --backend numpy"
+            ) from exc
+        super().__init__(np)
+        self._numba = numba
+        self._jit_eq2 = None  # compiled lazily on first use
+
+    def _compiled(self):
+        if self._jit_eq2 is None:
+            numba = self._numba
+
+            @numba.njit(cache=False)  # pragma: no cover - needs numba
+            def _eq2(sum_l, sum_r, sum_lr, n_left, n_right, eps, out):
+                for i in range(out.size):
+                    within = (
+                        n_left[i] * (n_left[i] - 1.0) / 2.0
+                        + n_right[i] * (n_right[i] - 1.0) / 2.0
+                    )
+                    if within > 0.0:
+                        num = (sum_l[i] + sum_r[i]) / max(within, 1.0)
+                    else:
+                        num = 0.0
+                    den = sum_lr[i] / (n_left[i] * n_right[i]) + eps
+                    out[i] = num / den
+
+            self._jit_eq2 = _eq2
+        return self._jit_eq2
+
+    def eq2_scores(self, sum_l, sum_r, sum_lr, n_left, n_right, *, eps):
+        out = np.empty_like(np.asarray(sum_lr, dtype=np.float64))
+        self._compiled()(
+            np.ascontiguousarray(sum_l, dtype=np.float64),
+            np.ascontiguousarray(sum_r, dtype=np.float64),
+            np.ascontiguousarray(sum_lr, dtype=np.float64),
+            np.ascontiguousarray(n_left, dtype=np.float64),
+            np.ascontiguousarray(n_right, dtype=np.float64),
+            float(eps),
+            out,
+        )
+        return out

@@ -1,0 +1,73 @@
+"""The :class:`ArrayBackend` protocol: one array library per backend.
+
+The executable kernel paths (:meth:`repro.accel.gpu.kernels.KernelI.run`
+and ``KernelII.run``) are written once against this small surface —
+``asarray`` / ``to_host`` / ``synchronize`` plus an array namespace
+``xp`` — so the same kernel code scores the packed
+:class:`~repro.core.batch.BatchedOmegaPlan` arenas on NumPy (host
+emulation), CuPy (a real device) or Numba (JIT-compiled host loops).
+
+Numerical contract
+------------------
+:meth:`ArrayBackend.eq2_scores` must evaluate Eq. (2) with *exactly* the
+operation sequence of :func:`repro.core.omega.omega_from_sums`
+(``checked=False``): pairs normalizer, ``where``-guarded numerator,
+``sum_lr / cross_pairs + eps`` denominator, final division. On the NumPy
+backend this makes every kernel score bitwise-equal to the reference
+scanner (same ufuncs over the same doubles); device backends are held to
+``allclose`` because their libm/FMA contraction may differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend:
+    """Minimal array-library adapter the kernels execute against.
+
+    Subclasses bind ``name`` (the registry key), ``xp`` (the array
+    namespace: ``numpy``, ``cupy``) and ``is_host`` (True when arrays
+    live in host memory and ``to_host`` is a no-op view).
+    """
+
+    name: str = "abstract"
+    is_host: bool = True
+
+    def __init__(self, xp):
+        self.xp = xp
+
+    def asarray(self, a):
+        """Move/view ``a`` into this backend's memory space."""
+        return self.xp.asarray(a)
+
+    def to_host(self, a) -> np.ndarray:
+        """Bring a backend array back as a host ``numpy.ndarray``."""
+        return np.asarray(a)
+
+    def synchronize(self) -> None:
+        """Block until all queued device work is complete (no-op on
+        host backends). Realized-time measurement brackets launches with
+        this, so async device queues can't hide execution time."""
+
+    def eq2_scores(self, sum_l, sum_r, sum_lr, n_left, n_right, *, eps):
+        """Eq. (2) over flat operand arrays (see the module docstring for
+        the bitwise contract). Inputs and output live in this backend's
+        memory space."""
+        xp = self.xp
+        within_pairs = (
+            n_left * (n_left - 1.0) / 2.0 + n_right * (n_right - 1.0) / 2.0
+        )
+        cross_pairs = n_left * n_right
+        numerator = xp.where(
+            within_pairs > 0,
+            (sum_l + sum_r) / xp.maximum(within_pairs, 1.0),
+            0.0,
+        )
+        denominator = sum_lr / cross_pairs + eps
+        return numerator / denominator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} name={self.name!r}>"

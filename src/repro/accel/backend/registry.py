@@ -1,0 +1,135 @@
+"""Backend registry and selection order.
+
+Selection (``resolve_backend``):
+
+1. an explicit name (``OmegaConfig.backend`` / ``--backend`` / a direct
+   argument) wins;
+2. otherwise the ``REPRO_BACKEND`` environment variable;
+3. otherwise no backend — the scanners keep their host scalar/batched
+   path and the accelerator layer stays a pure timing model.
+
+``"model"`` (and the empty string) are reserved names meaning "no
+executable backend": the dispatcher then only predicts time, which is
+the pre-existing behaviour. An *unavailable* backend (library missing,
+no device) falls back to ``numpy`` with a warning when
+``fallback=True``; an *unknown* name is always an error — a typo should
+never silently change what executes.
+
+Instances are cached per process: backends are stateless adapters plus
+(for numba) a lazily compiled kernel, so one of each is enough.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Callable, Dict, Optional
+
+from repro.accel.backend.backends import (
+    CupyBackend,
+    NumbaBackend,
+    NumpyBackend,
+)
+from repro.accel.backend.base import ArrayBackend
+from repro.errors import AcceleratorError, BackendUnavailableError
+
+__all__ = [
+    "ENV_VAR",
+    "register_backend",
+    "backend_names",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is named.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Names that mean "no executable backend" (analytic model only).
+_MODEL_NAMES = (None, "", "model")
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "cupy": CupyBackend,
+    "numba": NumbaBackend,
+}
+_instances: Dict[str, ArrayBackend] = {}
+_lock = threading.Lock()
+
+
+def register_backend(
+    name: str, factory: Callable[[], ArrayBackend]
+) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    if not name or name == "model":
+        raise AcceleratorError(f"backend name {name!r} is reserved")
+    with _lock:
+        _FACTORIES[name] = factory
+        _instances.pop(name, None)
+
+
+def backend_names() -> list:
+    """All registered backend names (available on this host or not)."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> list:
+    """Names of the backends that can actually run on this host."""
+    out = []
+    for name in backend_names():
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return out
+
+
+def get_backend(name: str) -> ArrayBackend:
+    """The (cached) backend instance for ``name``.
+
+    Raises :class:`~repro.errors.AcceleratorError` for unknown names and
+    :class:`~repro.errors.BackendUnavailableError` when the backend's
+    runtime is missing on this host.
+    """
+    with _lock:
+        inst = _instances.get(name)
+        if inst is not None:
+            return inst
+        factory = _FACTORIES.get(name)
+        if factory is None:
+            raise AcceleratorError(
+                f"unknown array backend {name!r}; registered: "
+                f"{', '.join(backend_names())}"
+            )
+        inst = factory()
+        _instances[name] = inst
+        return inst
+
+
+def resolve_backend(
+    name: Optional[str] = None, *, fallback: bool = True
+) -> Optional[ArrayBackend]:
+    """Resolve the effective backend per the module-docstring order.
+
+    Returns ``None`` when no backend is configured (the scanners then
+    keep the host scalar path). With ``fallback=True`` an unavailable
+    backend degrades to ``numpy`` with a ``RuntimeWarning`` instead of
+    raising, so a config written for a GPU host still runs elsewhere.
+    """
+    requested = name if name is not None else os.environ.get(ENV_VAR)
+    if requested in _MODEL_NAMES:
+        return None
+    try:
+        return get_backend(requested)
+    except BackendUnavailableError as exc:
+        if not fallback:
+            raise
+        warnings.warn(
+            f"array backend {requested!r} is unavailable on this host "
+            f"({exc}); falling back to 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return get_backend("numpy")

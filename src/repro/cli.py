@@ -78,8 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="maximum window (bp)")
     scan_p.add_argument("--minwin", type=float, default=0.0,
                         help="minimum window (bp)")
-    scan_p.add_argument("--backend", choices=("gemm", "packed"),
-                        default="gemm", help="LD computation backend")
+    scan_p.add_argument("--backend",
+                        choices=("gemm", "packed",
+                                 "numpy", "cupy", "numba"),
+                        default="gemm",
+                        help="gemm/packed pick the LD computation "
+                        "backend; numpy/cupy/numba additionally run the "
+                        "omega kernels on that array backend (falling "
+                        "back to numpy when the device stack is "
+                        "unavailable)")
     scan_p.add_argument("--omega-batch", type=int, default=None,
                         metavar="N",
                         help="grid positions packed per batched omega "
@@ -140,6 +147,12 @@ def build_parser() -> argparse.ArgumentParser:
     accel_p.add_argument("--batch", type=int, default=1,
                          help="grid positions per GPU kernel launch "
                          "(transfer batching; GPU platforms only)")
+    accel_p.add_argument("--backend",
+                         choices=("model", "numpy", "cupy", "numba"),
+                         default="model",
+                         help="execute the omega kernels on this array "
+                         "backend instead of only modelling them "
+                         "(GPU platforms only)")
     accel_p.add_argument("--trace", default=None, metavar="FILE",
                         help="write a Chrome-trace/Perfetto JSONL trace "
                         "(includes the modelled device track)")
@@ -250,13 +263,21 @@ def _config(args) -> OmegaConfig:
     kwargs = {}
     if getattr(args, "omega_batch", None) is not None:
         kwargs["omega_batch"] = args.omega_batch
+    # "gemm"/"packed" name the LD stage; the array-backend names keep
+    # the default LD stage and bind the omega kernels to that backend.
+    chosen = getattr(args, "backend", "gemm")
+    if chosen in ("gemm", "packed"):
+        ld_backend = chosen
+    else:
+        ld_backend = "gemm"
+        kwargs["backend"] = chosen
     return OmegaConfig(
         grid=GridSpec(
             n_positions=args.grid,
             max_window=args.maxwin,
             min_window=args.minwin,
         ),
-        ld_backend=getattr(args, "backend", "gemm"),
+        ld_backend=ld_backend,
         **kwargs,
     )
 
@@ -452,12 +473,24 @@ def _cmd_simulate(args) -> int:
 def _cmd_accel(args) -> int:
     alignment = _load_alignment(args)
     config = _config(args)
-    if args.batch > 1 and args.platform.startswith("gpu-"):
+    exec_backend = getattr(args, "backend", "model")
+    if exec_backend == "model":
+        exec_backend = None
+    if exec_backend is not None and not args.platform.startswith("gpu-"):
+        raise ReproError(
+            "--backend applies to GPU platforms only (the FPGA engine "
+            "is a pipeline model)"
+        )
+    if args.platform.startswith("gpu-") and (
+        args.batch > 1 or exec_backend is not None
+    ):
         device = {
             "gpu-k80": TESLA_K80,
             "gpu-hd8750m": RADEON_HD8750M,
         }[args.platform]
-        engine = GPUOmegaEngine(device, batch_positions=args.batch)
+        engine = GPUOmegaEngine(
+            device, batch_positions=args.batch, backend=exec_backend
+        )
     else:
         engine = PLATFORMS[args.platform]()
     with _maybe_tracing(args):

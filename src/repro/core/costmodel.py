@@ -28,18 +28,69 @@ Knobs (see ``docs/OBSERVABILITY.md``):
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
     "ScanCostModel",
+    "CalibrationPair",
     "calibrate_from",
     "get_cost_model",
     "set_cost_model",
     "reset_cost_model",
+    "record_calibration_pair",
+    "calibration_pairs",
+    "clear_calibration_pairs",
 ]
+
+@dataclass(frozen=True)
+class CalibrationPair:
+    """One archived (estimated, realized) observation.
+
+    ``kind`` tells where the pair came from: ``"block"`` pairs are whole
+    scheduler blocks (realized seconds include LD + DP + ω work, so
+    ``region_area`` is charged); ``"kernel"`` pairs are single backend
+    kernel launches (ω work only — ``region_area`` is 0 and
+    ``est_seconds`` comes from the device timing model rather than the
+    scan cost model). :meth:`ScanCostModel.fit_weights` uses both: each
+    pair is one least-squares row ``realized ≈ a·evals + b·area``.
+    """
+
+    n_evaluations: float
+    region_area: float
+    realized_seconds: float
+    est_seconds: Optional[float] = None
+    kind: str = "block"
+    kernel: str = ""
+    backend: str = ""
+
+
+#: Bounded archive of calibration pairs (process-wide, newest kept).
+_PAIR_LOG_CAPACITY = 4096
+_pair_log: deque = deque(maxlen=_PAIR_LOG_CAPACITY)
+_pair_lock = threading.Lock()
+
+
+def record_calibration_pair(pair: CalibrationPair) -> None:
+    """Append one (estimated, realized) observation to the archive."""
+    with _pair_lock:
+        _pair_log.append(pair)
+
+
+def calibration_pairs() -> List[CalibrationPair]:
+    """A snapshot of the archived pairs (oldest first)."""
+    with _pair_lock:
+        return list(_pair_log)
+
+
+def clear_calibration_pairs() -> None:
+    """Drop the archive (tests, or after a deliberate refit)."""
+    with _pair_lock:
+        _pair_log.clear()
+
 
 #: Default host batching bypass: ≥ this many packed scores per position
 #: and the position is evaluated directly (see ``batch_score_threshold``).
@@ -101,25 +152,40 @@ class ScanCostModel:
     def calibrated(self, metrics_snapshot: dict) -> "ScanCostModel":
         """Refit ``seconds_per_unit`` from a metrics snapshot.
 
-        Reads the ``scheduler.block_est_cost`` and
-        ``scheduler.block_seconds`` histograms (the per-block estimate and
-        the per-block measured wall time of the dynamic scheduler), folds
-        them into the running ``est_cost_sum`` / ``seconds_sum`` totals
-        and refits ``seconds_per_unit = Σ seconds / Σ est_cost`` over
-        *all* calibration evidence so far — every block ever observed
-        carries equal weight, so a short scan nudges the fit rather than
+        Reads the ``scheduler.block_est_cost`` / ``scheduler.block_seconds``
+        histogram pair (the per-block estimate and measured wall time of
+        the dynamic scheduler) and, when present, the
+        ``backend.block_est_cost`` / ``backend.block_seconds`` pair (the
+        per-launch cost estimate and *realized* execution time of the
+        executable kernel backends), folds them into the running
+        ``est_cost_sum`` / ``seconds_sum`` totals and refits
+        ``seconds_per_unit = Σ seconds / Σ est_cost`` over *all*
+        calibration evidence so far — every block ever observed carries
+        equal weight, so a short scan nudges the fit rather than
         replacing it. Returns ``self`` unchanged when the snapshot has no
-        usable block timings, so a metrics-free scan never discards an
-        earlier calibration.
+        usable timings, so a metrics-free scan never discards an earlier
+        calibration.
         """
         hists = (metrics_snapshot or {}).get("histograms", {})
-        est = hists.get("scheduler.block_est_cost")
-        sec = hists.get("scheduler.block_seconds")
-        if not est or not sec:
-            return self
-        est_sum = float(est.get("sum", 0.0))
-        sec_sum = float(sec.get("sum", 0.0))
-        blocks = int(sec.get("count", 0))
+        est_sum = 0.0
+        sec_sum = 0.0
+        blocks = 0
+        for est_name, sec_name in (
+            ("scheduler.block_est_cost", "scheduler.block_seconds"),
+            ("backend.block_est_cost", "backend.block_seconds"),
+        ):
+            est = hists.get(est_name)
+            sec = hists.get(sec_name)
+            if not est or not sec:
+                continue
+            e = float(est.get("sum", 0.0))
+            s = float(sec.get("sum", 0.0))
+            n = int(sec.get("count", 0))
+            if e <= 0.0 or s <= 0.0 or n == 0:
+                continue
+            est_sum += e
+            sec_sum += s
+            blocks += n
         if est_sum <= 0.0 or sec_sum <= 0.0 or blocks == 0:
             return self
         est_total = self.est_cost_sum + est_sum
@@ -130,6 +196,63 @@ class ScanCostModel:
             calibration_blocks=self.calibration_blocks + blocks,
             est_cost_sum=est_total,
             seconds_sum=sec_total,
+        )
+
+    def fit_weights(
+        self, pairs: Optional[Sequence["CalibrationPair"]] = None
+    ) -> "ScanCostModel":
+        """Least-squares refit of the *relative* ``eval_weight`` vs
+        ``area_weight`` from archived (estimated, realized) pairs.
+
+        Solves ``realized_seconds ≈ a·n_evaluations + b·region_area``
+        over the given pairs (the process-wide archive by default) and
+        returns a model with ``eval_weight = 1`` and
+        ``area_weight = b / a`` — the ratio is what ordering and Eq. 4
+        dispatch decisions actually consume, so the fit is normalized to
+        the evaluation term. ``seconds_per_unit`` and the running
+        calibration sums are restated under the new weights (ratio of
+        total realized seconds to total refitted cost), keeping
+        :meth:`estimate_seconds` consistent with the fit.
+
+        Returns ``self`` unchanged when the evidence cannot support a
+        fit: fewer than two usable pairs, a non-finite solution, or a
+        non-positive evaluation coefficient.
+        """
+        if pairs is None:
+            pairs = calibration_pairs()
+        usable = [
+            p
+            for p in pairs
+            if np.isfinite(p.realized_seconds)
+            and p.realized_seconds > 0.0
+            and (p.n_evaluations > 0.0 or p.region_area > 0.0)
+        ]
+        if len(usable) < 2:
+            return self
+        design = np.array(
+            [[p.n_evaluations, p.region_area] for p in usable],
+            dtype=np.float64,
+        )
+        seconds = np.array(
+            [p.realized_seconds for p in usable], dtype=np.float64
+        )
+        coef, *_ = np.linalg.lstsq(design, seconds, rcond=None)
+        a, b = float(coef[0]), float(coef[1])
+        if not (np.isfinite(a) and np.isfinite(b)) or a <= 0.0:
+            return self
+        area_w = max(b / a, 0.0)
+        units = design[:, 0] + area_w * design[:, 1]
+        units_sum = float(units.sum())
+        if units_sum <= 0.0:
+            return self
+        return replace(
+            self,
+            eval_weight=1.0,
+            area_weight=area_w,
+            seconds_per_unit=float(seconds.sum()) / units_sum,
+            calibration_blocks=len(usable),
+            est_cost_sum=units_sum,
+            seconds_sum=float(seconds.sum()),
         )
 
 
@@ -167,7 +290,9 @@ def calibrate_from(metrics_snapshot: dict) -> ScanCostModel:
 
 
 def reset_cost_model() -> None:
-    """Restore the uncalibrated default (tests)."""
+    """Restore the uncalibrated default and drop the pair archive
+    (tests)."""
     global _cached
     with _calibrate_lock:
         _cached = _DEFAULT
+    clear_calibration_pairs()

@@ -41,6 +41,7 @@ The previous pickled static-chunk implementation is kept behind
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import multiprocessing as mp
 import time
@@ -50,7 +51,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 import repro.obs as obs
-from repro.core.costmodel import calibrate_from, get_cost_model
+from repro.core.costmodel import (
+    CalibrationPair,
+    calibrate_from,
+    get_cost_model,
+    record_calibration_pair,
+)
 from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
 from repro.core.results import ScanResult
 from repro.core.reuse import ReuseStats
@@ -197,15 +203,11 @@ class _FixedGridScanner(OmegaPlusScanner):
             )
 
         # Reuse the sequential implementation verbatim with a
-        # fixed-position grid (see :func:`fixed_position_spec`).
+        # fixed-position grid (see :func:`fixed_position_spec`); every
+        # other config field (eps, backends, reuse, batching) is
+        # forwarded unchanged.
         patched = fixed_position_spec(spec, fixed)
-        cfg = OmegaConfig(
-            grid=patched,
-            eps=self.config.eps,
-            ld_backend=self.config.ld_backend,
-            reuse=self.config.reuse,
-            dp_reuse=self.config.dp_reuse,
-        )
+        cfg = dataclasses.replace(self.config, grid=patched)
         return OmegaPlusScanner(
             cfg, block_fn=self._block_fn, valid_mask=self._valid_mask
         ).scan(alignment)
@@ -448,6 +450,8 @@ class ParallelScanSession:
         self._pool = None
         self._grid_positions: Optional[np.ndarray] = None
         self._position_costs: Optional[np.ndarray] = None
+        self._position_evals: Optional[np.ndarray] = None
+        self._position_areas: Optional[np.ndarray] = None
         self._cost_model = get_cost_model()
 
     # -------------------------------------------------------------- #
@@ -465,6 +469,15 @@ class ParallelScanSession:
         # earlier scans in this process.
         self._cost_model = get_cost_model()
         self._position_costs = self._cost_model.position_costs(plans)
+        # Raw per-position workload terms, kept so finished blocks can be
+        # archived as (evals, area, realized seconds) calibration pairs
+        # for ScanCostModel.fit_weights.
+        self._position_evals = np.array(
+            [float(p.n_evaluations) for p in plans], dtype=np.float64
+        )
+        self._position_areas = np.array(
+            [float(p.region_width) ** 2 for p in plans], dtype=np.float64
+        )
         max_span = max(
             (p.region_width for p in plans if p.valid), default=0
         )
@@ -540,6 +553,26 @@ class ParallelScanSession:
                     pending -= 1
                     depth_g.set(pending)
                     secs_h.observe(part.breakdown.wall_seconds)
+                    # Archive the block as a least-squares row for
+                    # ScanCostModel.fit_weights (evals vs area split).
+                    lo, hi = blocks[idx]
+                    record_calibration_pair(
+                        CalibrationPair(
+                            n_evaluations=float(
+                                self._position_evals[lo:hi].sum()
+                            ),
+                            region_area=float(
+                                self._position_areas[lo:hi].sum()
+                            ),
+                            realized_seconds=float(
+                                part.breakdown.wall_seconds
+                            ),
+                            est_seconds=self._cost_model.estimate_seconds(
+                                float(costs[lo:hi].sum())
+                            ),
+                            kind="block",
+                        )
+                    )
             # Fold this scan's estimate-vs-measured block timings into
             # the process-wide model (running-sum refit, atomic under the
             # calibration lock), so the next scan (and the GPU

@@ -37,7 +37,7 @@ from repro.core.batch import (
     BatchedOmegaPlan,
     omega_max_batch,
 )
-from repro.core.costmodel import get_cost_model
+from repro.core.costmodel import calibrate_from, get_cost_model
 from repro.core.grid import (
     GridSpec,
     PositionPlan,
@@ -95,6 +95,16 @@ class OmegaConfig:
         two paths are bitwise-equal. Positions whose score grid is at or
         above the cost model's ``batch_score_threshold`` always bypass
         packing — they amortize dispatch overhead on their own.
+    backend:
+        Optional *array backend* name (``"numpy"``, ``"cupy"``,
+        ``"numba"``) routing the ω evaluation through the executable
+        Kernel I/II paths of :mod:`repro.accel.gpu.kernels` via the
+        dynamic dispatcher. ``None`` (the default) defers to the
+        ``REPRO_BACKEND`` environment variable, and when that is unset
+        too the scanner keeps its host scalar/batched path. The NumPy
+        backend is bitwise-equal to the default path; an unavailable
+        backend falls back to NumPy with a warning (see
+        :mod:`repro.accel.backend`).
     """
 
     grid: GridSpec
@@ -103,6 +113,7 @@ class OmegaConfig:
     reuse: bool = True
     dp_reuse: bool = True
     omega_batch: int = DEFAULT_BATCH_POSITIONS
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.eps < 0:
@@ -114,6 +125,11 @@ class OmegaConfig:
         if self.omega_batch < 1:
             raise ScanConfigError(
                 f"omega_batch must be >= 1, got {self.omega_batch}"
+            )
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ScanConfigError(
+                f"backend must be a backend name or None, "
+                f"got {self.backend!r}"
             )
 
 
@@ -129,6 +145,15 @@ class _OmegaBatchSink:
     ``omega_batch=1`` configuration take the direct per-position path —
     bitwise-equal either way, so batch boundaries (chunk ends, worker
     block ends) can never change a reported score.
+
+    When the config resolves to an executable array backend
+    (``config.backend`` or ``REPRO_BACKEND``), every evaluation —
+    batched flushes *and* direct large positions — is served by
+    :meth:`~repro.accel.gpu.dispatch.DynamicDispatcher.run_plan`
+    instead: the packed arenas are scored by the Kernel I/II executable
+    paths with Eq. 4 per-position kernel choice, recording realized
+    launch timings. On the NumPy backend this is bitwise-equal to the
+    host path, so the routing can never change a reported score either.
 
     ``add`` and ``flush`` must be called inside the ``omega`` phase timer
     so span sums keep matching the breakdown.
@@ -153,6 +178,28 @@ class _OmegaBatchSink:
         self._batched_positions = registry.counter("omega.batched_positions")
         self._direct_positions = registry.counter("omega.direct_positions")
         self._batch_fill = registry.histogram("omega.batch_positions")
+        # Lazy accel imports: repro.accel.gpu.omega_gpu imports this
+        # module, so pulling the dispatcher in at module scope would be
+        # a cycle. Resolution happens per sink so worker processes
+        # honour REPRO_BACKEND on their own.
+        self._executor = None
+        from repro.accel.backend import resolve_backend
+
+        backend = resolve_backend(config.backend)
+        if backend is not None:
+            from repro.accel.gpu.dispatch import (
+                DEFAULT_EXEC_DEVICE,
+                DynamicDispatcher,
+            )
+
+            self._executor = DynamicDispatcher(
+                DEFAULT_EXEC_DEVICE, backend=backend
+            )
+
+    @property
+    def executor(self):
+        """The backend dispatcher serving evaluations (None = host path)."""
+        return self._executor
 
     @property
     def pending(self) -> int:
@@ -165,8 +212,20 @@ class _OmegaBatchSink:
         rj = plan.right_borders - off
         c = plan.split_index - off
         if self._plan is None or plan.n_evaluations >= self._threshold:
-            res = omega_max_at_split(sums, li, c, rj, eps=self._eps)
             self._direct_positions.inc()
+            if self._executor is not None:
+                # One-position launch through the executable kernels
+                # (large positions are exactly the Kernel II regime).
+                single = BatchedOmegaPlan(max_positions=1)
+                single.add(sums, li, c, rj)
+                res = self._executor.run_plan(single, eps=self._eps)
+                self._store(
+                    out_idx, off, float(res.omegas[0]),
+                    int(res.left_borders[0]), int(res.right_borders[0]),
+                    int(res.n_evaluations[0]),
+                )
+                return
+            res = omega_max_at_split(sums, li, c, rj, eps=self._eps)
             self._store(
                 out_idx, off, res.omega, res.left_border,
                 res.right_border, res.n_evaluations,
@@ -181,7 +240,10 @@ class _OmegaBatchSink:
         """Score every packed position and write the results out."""
         if not self._pending:
             return
-        res = omega_max_batch(self._plan, eps=self._eps)
+        if self._executor is not None:
+            res = self._executor.run_plan(self._plan, eps=self._eps)
+        else:
+            res = omega_max_batch(self._plan, eps=self._eps)
         self._batches.inc()
         self._batched_positions.inc(len(self._pending))
         self._batch_fill.observe(len(self._pending))
@@ -305,6 +367,17 @@ class OmegaPlusScanner:
             positions = np.array([p.grid_position for p in plans])
             breakdown.wall_seconds = time.perf_counter() - t_wall
             _mirror_reuse_metrics(registry, cache.stats)
+            if sink.executor is not None:
+                # Fold the realized kernel timings this scan produced
+                # (backend.block_est_cost / backend.block_seconds) into
+                # the process-wide model, mirroring the parallel
+                # scheduler's fold — sequential backend scans calibrate
+                # seconds_per_unit from real launches too.
+                model = calibrate_from(registry.snapshot())
+                if model.seconds_per_unit is not None:
+                    registry.gauge("scheduler.cost_seconds_per_unit").set(
+                        model.seconds_per_unit
+                    )
             metrics = registry.snapshot()
         return ScanResult(
             positions=positions,
@@ -330,6 +403,7 @@ def scan(
     ld_backend: str = "gemm",
     reuse: bool = True,
     dp_reuse: bool = True,
+    backend: Optional[str] = None,
 ) -> ScanResult:
     """One-call convenience wrapper around :class:`OmegaPlusScanner`.
 
@@ -352,6 +426,7 @@ def scan(
         ld_backend=ld_backend,
         reuse=reuse,
         dp_reuse=dp_reuse,
+        backend=backend,
     )
     return OmegaPlusScanner(config).scan(alignment)
 

@@ -20,6 +20,8 @@ whole-chromosome all-pairs use :mod:`repro.ld.tiled` instead.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
 from repro.datasets.alignment import SNPAlignment
@@ -29,18 +31,52 @@ from repro.ld.correlation import r_squared_from_counts
 __all__ = ["cooccurrence_gemm", "r_squared_matrix", "r_squared_block"]
 
 
-def cooccurrence_gemm(alignment: SNPAlignment) -> np.ndarray:
+def _device_gemm(a: np.ndarray, b: np.ndarray, backend) -> np.ndarray:
+    """``a @ b`` on the given array backend, result back on the host.
+
+    Host backends (numpy, numba) take the BLAS path directly — it is
+    already the reference — so only genuine device backends pay the
+    transfer round trip.
+    """
+    if backend is None or backend.is_host:
+        return a @ b
+    da = backend.asarray(a)
+    db = backend.asarray(b)
+    out = backend.to_host(da @ db)
+    backend.synchronize()
+    return out
+
+
+def _resolve(backend: Union[str, None, object]):
+    if backend is None or not isinstance(backend, str):
+        return backend
+    from repro.accel.backend import resolve_backend
+
+    return resolve_backend(backend)
+
+
+def cooccurrence_gemm(
+    alignment: SNPAlignment,
+    *,
+    backend: Union[str, None, object] = None,
+) -> np.ndarray:
     """Return the (sites x sites) co-occurrence count matrix AᵀA.
 
-    Uses a float64 GEMM (BLAS) and rounds back to integers: counts are
-    bounded by n_samples, far below 2⁵³, so the round-trip is exact.
+    Uses a float64 GEMM (BLAS, or the array ``backend``'s device GEMM —
+    see :mod:`repro.accel.backend`) and rounds back to integers: counts
+    are bounded by n_samples, far below 2⁵³, so the round-trip is exact
+    either way.
     """
+    backend = _resolve(backend)
     a = alignment.matrix.astype(np.float64)
-    return np.rint(a.T @ a).astype(np.int64)
+    return np.rint(_device_gemm(a.T, a, backend)).astype(np.int64)
 
 
 def r_squared_matrix(
-    alignment: SNPAlignment, *, strict: bool = False
+    alignment: SNPAlignment,
+    *,
+    strict: bool = False,
+    backend: Union[str, None, object] = None,
 ) -> np.ndarray:
     """Full symmetric r² matrix for all site pairs.
 
@@ -48,7 +84,7 @@ def r_squared_matrix(
     with itself) and 0 for monomorphic ones, consistent with the
     monomorphic-pair convention in :mod:`repro.ld.correlation`.
     """
-    n11 = cooccurrence_gemm(alignment)
+    n11 = cooccurrence_gemm(alignment, backend=backend)
     counts = alignment.derived_counts()
     c_i = np.broadcast_to(counts[:, None], n11.shape)
     c_j = np.broadcast_to(counts[None, :], n11.shape)
@@ -63,6 +99,7 @@ def r_squared_block(
     cols: slice,
     *,
     strict: bool = False,
+    backend: Union[str, None, object] = None,
 ) -> np.ndarray:
     """r² for the rectangular block ``rows x cols`` of the pair matrix.
 
@@ -76,8 +113,9 @@ def r_squared_block(
     c0, c1, cstep = cols.indices(n_sites)
     if rstep != 1 or cstep != 1:
         raise LDError("r_squared_block requires contiguous (step-1) slices")
+    backend = _resolve(backend)
     a = alignment.matrix.astype(np.float64)
-    n11 = a[:, r0:r1].T @ a[:, c0:c1]
+    n11 = _device_gemm(a[:, r0:r1].T, a[:, c0:c1], backend)
     counts = alignment.derived_counts()
     c_i = np.broadcast_to(counts[r0:r1, None], n11.shape)
     c_j = np.broadcast_to(counts[None, c0:c1], n11.shape)
