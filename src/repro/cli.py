@@ -11,6 +11,10 @@ Subcommands mirror the OmegaPlus workflow plus this reproduction's extras:
 * ``omegascan serve`` — long-lived multi-tenant scan daemon: one shared
   worker pool serving concurrent JSON scan requests over a Unix socket,
   with deadline-priced admission control (:mod:`repro.service`).
+* ``omegascan shard-scan`` — manifest-driven sharded scan of
+  multi-chromosome workloads with crash-resume and lossless merge
+  (:mod:`repro.shard`); re-running with an existing ``--manifest``
+  resumes it.
 * ``omegascan tables`` — print the reproduced Tables I-IV next to the
   paper's published values.
 
@@ -194,6 +198,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--trace", default=None, metavar="FILE",
                          help="write a Chrome-trace/Perfetto JSONL span "
                          "trace covering the daemon and its workers")
+
+    shard_p = sub.add_parser(
+        "shard-scan",
+        help="manifest-driven sharded scan over every chromosome/"
+        "replicate of the inputs, with crash-resume",
+    )
+    shard_p.add_argument(
+        "inputs", nargs="+",
+        help="input file(s); every VCF chromosome and every ms "
+        "replicate becomes one independently scanned unit")
+    shard_p.add_argument("--format", choices=("ms", "vcf"),
+                         default="ms", help="input format")
+    shard_p.add_argument(
+        "--manifest", required=True, metavar="FILE",
+        help="work-manifest ledger path; if the file exists the run "
+        "RESUMES it (only non-done shards re-run; planning flags are "
+        "ignored in favour of the recorded configuration)")
+    shard_p.add_argument("--length", type=float, default=None,
+                         help="region length (default: ms 1.0 / VCF "
+                         "inferred per chromosome)")
+    shard_p.add_argument("--grid", type=int, default=100,
+                         help="omega grid positions per unit")
+    shard_p.add_argument("--maxwin", type=float, default=None,
+                         help="maximum window (bp); required when "
+                         "creating a new manifest")
+    shard_p.add_argument("--minwin", type=float, default=0.0,
+                         help="minimum window (bp)")
+    shard_p.add_argument("--snp-budget", type=int, default=8192,
+                         help="max SNPs resident per shard chunk")
+    shard_p.add_argument("--shards", type=int, default=4,
+                         help="shards per unit")
+    shard_p.add_argument(
+        "--target-shard-cost", type=float, default=None,
+        help="derive each unit's shard count from the calibrated cost "
+        "model instead of --shards")
+    shard_p.add_argument("--jobs", type=int, default=2,
+                         help="concurrent shard processes")
+    shard_p.add_argument("--workers-per-shard", type=int, default=1,
+                         help="scan workers inside each shard process "
+                         "(1 keeps shards bitwise-reproducible)")
+    shard_p.add_argument("--scheduler", choices=("shared", "pickled"),
+                         default="shared",
+                         help="within-shard scheduler when "
+                         "--workers-per-shard > 1")
+    shard_p.add_argument("--plan-only", action="store_true",
+                         help="write the manifest and print the plan "
+                         "without executing shards")
+    shard_p.add_argument("-o", "--out", default=None,
+                         help="write the merged unit-tagged TSV report "
+                         "here (default: stdout)")
 
     sub.add_parser("tables", help="print reproduced Tables I-IV")
 
@@ -441,6 +495,78 @@ def _cmd_scan(args) -> int:
     return 0
 
 
+def _cmd_shard_scan(args) -> int:
+    import os
+
+    from repro.shard import (
+        Manifest,
+        build_manifest,
+        merge_manifest,
+        run_manifest,
+    )
+
+    if os.path.exists(args.manifest):
+        manifest = Manifest.load(args.manifest)
+        print(f"resuming manifest {args.manifest}", file=sys.stderr)
+    else:
+        if args.maxwin is None:
+            raise ReproError(
+                "--maxwin is required when creating a new manifest"
+            )
+        config = _config(args)
+        length = (
+            args.length if args.format == "vcf" else _ms_length(args)
+        )
+        manifest = build_manifest(
+            list(args.inputs),
+            config,
+            manifest_path=args.manifest,
+            snp_budget=args.snp_budget,
+            shards_per_unit=args.shards,
+            target_shard_cost=args.target_shard_cost,
+            workers_per_shard=args.workers_per_shard,
+            scheduler=args.scheduler,
+            format=args.format,
+            length=length,
+        )
+    print(manifest.describe(), file=sys.stderr)
+    if args.plan_only:
+        return 0
+    report = run_manifest(manifest, max_workers=args.jobs)
+    done = len(report.executed) + len(report.already_done)
+    print(
+        f"{len(report.executed)} shard(s) executed, "
+        f"{len(report.already_done)} already done, "
+        f"{len(report.failed)} failed "
+        f"({report.wall_seconds:.1f}s)",
+        file=sys.stderr,
+    )
+    if report.swept:
+        print(
+            f"swept {len(report.swept)} stale shared-memory "
+            f"segment(s) from dead workers",
+            file=sys.stderr,
+        )
+    if report.failed:
+        for sid, err in sorted(report.failed.items()):
+            print(f"shard {sid} failed: {err}", file=sys.stderr)
+        print(
+            f"{done}/{len(manifest.shards)} shards done; re-run the "
+            f"same command to retry the failed shards",
+            file=sys.stderr,
+        )
+        return 3
+    result = merge_manifest(manifest)
+    tsv = result.to_tsv()
+    if args.out:
+        with open(args.out, "w", encoding="ascii") as fh:
+            fh.write(tsv + "\n")
+    else:
+        print(tsv)
+    print(result.summary(), file=sys.stderr)
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     replicates = []
     for k in range(args.replicates):
@@ -644,6 +770,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "scan": _cmd_scan,
+        "shard-scan": _cmd_shard_scan,
         "simulate": _cmd_simulate,
         "accel": _cmd_accel,
         "serve": _cmd_serve,

@@ -18,8 +18,8 @@ dimensioned against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
@@ -29,6 +29,8 @@ from repro.utils.validation import as_int, check_positive
 
 __all__ = [
     "GridSpec",
+    "FixedGridSpec",
+    "fixed_position_spec",
     "PositionPlan",
     "build_plans",
     "build_plans_from_positions",
@@ -105,6 +107,63 @@ class GridSpec:
         if self.n_positions == 1:
             return np.array([(lo + hi) / 2.0])
         return np.linspace(lo, hi, self.n_positions)
+
+
+@dataclass(frozen=True)
+class FixedGridSpec(GridSpec):
+    """A :class:`GridSpec` whose grid positions are an explicit array
+    instead of the equidistant derivation, keeping the window geometry of
+    the base spec.
+
+    ``positions_from`` is the single source both ``positions()`` and
+    :func:`build_plans_from_positions` draw from, so overriding it is
+    enough to rerun the sequential machinery verbatim on an arbitrary
+    position set (a scheduling block, a service request's region grid, a
+    manifest shard). Unlike an ad-hoc subclass, this is a module-level
+    dataclass, so configs carrying it survive pickling into worker
+    processes.
+    """
+
+    #: The explicit grid positions. Excluded from equality/hash (arrays
+    #: do not compare elementwise to a bool) — two fixed specs compare by
+    #: geometry only.
+    fixed_positions: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fixed_positions is None:
+            raise ScanConfigError("FixedGridSpec requires fixed_positions")
+        arr = np.asarray(self.fixed_positions, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ScanConfigError(
+                "fixed_positions must be a non-empty 1-D array"
+            )
+        if arr.size != self.n_positions:
+            raise ScanConfigError(
+                f"fixed_positions has {arr.size} entries but n_positions "
+                f"is {self.n_positions}"
+            )
+        object.__setattr__(self, "fixed_positions", arr)
+
+    def positions_from(self, site_positions: np.ndarray) -> np.ndarray:
+        return self.fixed_positions
+
+
+def fixed_position_spec(spec: GridSpec, fixed: np.ndarray) -> FixedGridSpec:
+    """Wrap ``spec``'s window geometry around the explicit grid-position
+    array ``fixed`` (see :class:`FixedGridSpec`)."""
+    fixed = np.asarray(fixed, dtype=np.float64)
+    if fixed.size == 0:
+        raise ScanConfigError("fixed grid needs at least one position")
+    return FixedGridSpec(
+        n_positions=fixed.size,
+        max_window=spec.max_window,
+        min_window=spec.min_window,
+        min_flank_snps=spec.min_flank_snps,
+        fixed_positions=fixed,
+    )
 
 
 @dataclass(frozen=True)

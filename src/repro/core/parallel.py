@@ -57,9 +57,13 @@ from repro.core.costmodel import (
     get_cost_model,
     record_calibration_pair,
 )
-from repro.core.grid import GridSpec, build_plans, build_plans_from_positions
-from repro.core.results import ScanResult
-from repro.core.reuse import ReuseStats
+from repro.core.grid import (
+    GridSpec,
+    build_plans,
+    build_plans_from_positions,
+    fixed_position_spec,
+)
+from repro.core.results import ScanResult, merge_scan_results
 from repro.core.scan import OmegaConfig, OmegaPlusScanner
 from repro.core.tilestore import SharedR2TileStore
 from repro.datasets.alignment import SharedAlignmentSegments, SNPAlignment
@@ -134,31 +138,6 @@ def make_blocks(
         (lo, min(lo + block_size, n_positions))
         for lo in range(0, n_positions, block_size)
     ]
-
-
-def fixed_position_spec(spec: GridSpec, fixed: np.ndarray) -> GridSpec:
-    """A :class:`GridSpec` whose grid positions are the explicit
-    ``fixed`` array instead of the equidistant derivation, keeping the
-    window geometry of ``spec``.
-
-    ``positions_from`` is the single source both ``positions()`` and
-    ``build_plans_from_positions`` draw from, so patching it is enough to
-    rerun the sequential machinery verbatim on an arbitrary position set
-    (a scheduling block, a service request's region grid).
-    """
-    if fixed.size == 0:
-        raise ScanConfigError("fixed grid needs at least one position")
-
-    class _Spec(GridSpec):
-        def positions_from(self, _pos: np.ndarray) -> np.ndarray:  # type: ignore[override]
-            return fixed
-
-    return _Spec(
-        n_positions=fixed.size,
-        max_window=spec.max_window,
-        min_window=spec.min_window,
-        min_flank_snps=spec.min_flank_snps,
-    )
 
 
 def plans_for_positions(
@@ -285,27 +264,9 @@ def _scan_pickled_static(
 
 def _merge_parts(parts: List[ScanResult]) -> ScanResult:
     """Concatenate per-block records (in grid order) and merge the
-    observability sidecars."""
-    breakdown = TimeBreakdown()
-    subphases = TimeBreakdown()
-    reuse = ReuseStats()
-    for part in parts:
-        breakdown = breakdown.merged(part.breakdown)
-        subphases = subphases.merged(part.omega_subphases)
-        reuse.merge_from(part.reuse)
-    snaps = [p.metrics for p in parts if p.metrics]
-    metrics = obs.merge_snapshots(*snaps) if snaps else None
-    return ScanResult(
-        positions=np.concatenate([p.positions for p in parts]),
-        omegas=np.concatenate([p.omegas for p in parts]),
-        left_borders_bp=np.concatenate([p.left_borders_bp for p in parts]),
-        right_borders_bp=np.concatenate([p.right_borders_bp for p in parts]),
-        n_evaluations=np.concatenate([p.n_evaluations for p in parts]),
-        breakdown=breakdown,
-        reuse=reuse,
-        omega_subphases=subphases,
-        metrics=metrics,
-    )
+    observability sidecars (now public as
+    :func:`repro.core.results.merge_scan_results`)."""
+    return merge_scan_results(parts)
 
 
 # ---------------------------------------------------------------------- #

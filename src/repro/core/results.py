@@ -10,14 +10,14 @@ quantity profiled in Section I and Fig. 14) and the data-reuse counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.reuse import ReuseStats
 from repro.utils.timing import TimeBreakdown
 
-__all__ = ["PositionResult", "ScanResult"]
+__all__ = ["PositionResult", "ScanResult", "merge_scan_results"]
 
 
 @dataclass(frozen=True)
@@ -179,3 +179,48 @@ class ScanResult:
                 f"{hist['max'] * 1e3:.1f} ms"
             )
         return line
+
+
+def merge_scan_results(parts: Sequence[ScanResult]) -> ScanResult:
+    """Concatenate per-part records (in the order given — callers supply
+    grid order) and merge the observability sidecars losslessly.
+
+    The scientific arrays (positions, ω, borders, evaluation counts) are
+    a plain concatenation, so merging parts of a partitioned scan in grid
+    order is bitwise-identical to the unpartitioned arrays. The sidecars
+    merge associatively: phase seconds and :class:`ReuseStats` counters
+    add, ``wall_seconds`` keeps the maximum (parts may have run
+    concurrently), and metrics snapshots merge through
+    :func:`repro.obs.metrics.merge_snapshots` (counters add, gauges
+    min/max-combine, histograms add buckets — no information is lost, so
+    merge order never matters).
+
+    Used by the parallel block scheduler, `scan_stream`'s chunk drain,
+    and the shard orchestrator's manifest merge.
+    """
+    if not parts:
+        raise ValueError("merge_scan_results needs at least one part")
+    # Lazy import: repro.obs imports are heavier than this module and the
+    # obs exporters type against ScanResult.
+    from repro.obs import merge_snapshots
+
+    breakdown = TimeBreakdown()
+    subphases = TimeBreakdown()
+    reuse = ReuseStats()
+    for part in parts:
+        breakdown = breakdown.merged(part.breakdown)
+        subphases = subphases.merged(part.omega_subphases)
+        reuse.merge_from(part.reuse)
+    snaps = [p.metrics for p in parts if p.metrics]
+    metrics = merge_snapshots(*snaps) if snaps else None
+    return ScanResult(
+        positions=np.concatenate([p.positions for p in parts]),
+        omegas=np.concatenate([p.omegas for p in parts]),
+        left_borders_bp=np.concatenate([p.left_borders_bp for p in parts]),
+        right_borders_bp=np.concatenate([p.right_borders_bp for p in parts]),
+        n_evaluations=np.concatenate([p.n_evaluations for p in parts]),
+        breakdown=breakdown,
+        reuse=reuse,
+        omega_subphases=subphases,
+        metrics=metrics,
+    )

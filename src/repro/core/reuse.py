@@ -40,9 +40,12 @@ from repro.ld.gemm import r_squared_block
 from repro.ld.packed_kernels import r_squared_block_packed
 
 __all__ = [
+    "DpSeed",
     "R2RegionCache",
     "ReuseStats",
     "SumMatrixCache",
+    "dp_replay_seed",
+    "simulate_dp_actions",
     "simulate_fresh_entries",
 ]
 
@@ -289,6 +292,178 @@ class R2RegionCache:
         self._prev_matrix = None
 
 
+def _dp_choose_capacity(width: int, strides, growth: Optional[float]) -> int:
+    """Anchor capacity for a fresh build of ``width`` SNPs (shared by
+    :class:`SumMatrixCache` and its pure mirror
+    :func:`simulate_dp_actions`, so the two cannot drift)."""
+    if growth is not None:
+        return max(width, int(math.ceil(growth * width)))
+    if not strides:
+        return int(math.ceil(SumMatrixCache.DEFAULT_GROWTH * width))
+    stride = sorted(strides)[len(strides) // 2]
+    # Append-vs-rebuild balance: √2·W/s appends equalize total append
+    # work with the amortized O(W²) rebuild; W(W−s)/s² caps planning
+    # where one stride-s append on a ≥W-wide anchor already exceeds a
+    # rebuild. Small strides ⇒ many planned appends ⇒ larger anchors.
+    n_appends = min(
+        int(math.sqrt(2.0) * width / stride),
+        int(width * max(0, width - stride) / (stride * stride)),
+        int((SumMatrixCache.MAX_ADAPTIVE_GROWTH - 1.0) * width / stride),
+    )
+    return width + max(0, n_appends) * stride
+
+
+def _dp_can_serve(
+    start: int,
+    stop: int,
+    *,
+    anchor: Optional[int],
+    hi: Optional[int],
+    capacity: int,
+    growth_eff: float,
+    fill_starts: Optional[np.ndarray],
+) -> bool:
+    """Serve decision for ``[start, stop]`` against an anchored block
+    (shared by :class:`SumMatrixCache` and :func:`simulate_dp_actions`)."""
+    if anchor is None or hi is None or fill_starts is None:
+        return False
+    if start < anchor or start > hi:
+        return False  # reaches back before the anchor, or disjoint
+    if stop - anchor + 1 > capacity:
+        return False  # would outgrow the allocated block
+    width = stop - start + 1
+    if stop - anchor + 1 > growth_eff * width:
+        return False  # re-anchor: keep magnitudes and memory bounded
+    lo = start - anchor
+    hi_col = min(stop, hi) - anchor
+    # Every column the query touches must be truthfully filled from
+    # the query's own start row downwards.
+    return int(fill_starts[lo : hi_col + 1].max()) <= start
+
+
+@dataclass(frozen=True)
+class DpSeed:
+    """Stride-history state that makes a mid-sequence DP-cache replay
+    exact.
+
+    The adaptive anchor policy of :class:`SumMatrixCache` sizes each
+    fresh build from the recently observed grid strides, so the served
+    prefix anchors — and therefore the float rounding of every window
+    sum — depend on scan *history*, not only on the queried region. A
+    scan that starts mid-grid (a manifest shard) replays the unsharded
+    run bit-for-bit only if it (a) starts at a region the full run
+    rebuilt its anchor on, and (b) restores the stride window the full
+    run had accumulated at that point. :func:`dp_replay_seed` computes
+    both; :meth:`SumMatrixCache.seed` applies this state.
+    """
+
+    strides: tuple = ()
+    last_start: Optional[int] = None
+
+
+def simulate_dp_actions(
+    regions, *, reuse: bool = True, growth_factor: Optional[float] = None
+) -> list:
+    """Per-region serve action (``"build"`` / ``"extend"`` / ``"view"``)
+    that :class:`SumMatrixCache` would take for the given sequence of
+    inclusive ``(start, stop)`` regions.
+
+    Pure integer mirror of the cache's decision logic — no prefix
+    arrays are materialized, so a whole-chromosome schedule simulates in
+    microseconds. The capacity and serve predicates are shared with the
+    cache itself (``tests/test_dp_reuse.py`` cross-checks the actions
+    against a real cache's ``last_action`` trace).
+    """
+    return [action for action, _seed in _iter_dp_decisions(
+        regions, reuse=reuse, growth_factor=growth_factor
+    )]
+
+
+def dp_replay_seed(
+    regions,
+    call_index: int,
+    *,
+    reuse: bool = True,
+    growth_factor: Optional[float] = None,
+):
+    """Where a bitwise-exact mid-sequence replay must start.
+
+    For a scan that wants to begin at ``regions[call_index]``, returns
+    ``(start_call, seed)``: the index of the latest ``"build"`` action
+    at or before ``call_index`` in the full decision sequence, and the
+    :class:`DpSeed` to apply before replaying from there. A fresh cache
+    seeded with ``seed`` and fed ``regions[start_call:]`` makes exactly
+    the decisions — and therefore computes exactly the bits — that a
+    cache fed all of ``regions`` makes from ``start_call`` onwards.
+    """
+    if call_index < 0:
+        raise ScanConfigError(
+            f"call_index must be >= 0, got {call_index}"
+        )
+    start_call, start_seed = 0, DpSeed()
+    for k, (action, seed) in enumerate(
+        _iter_dp_decisions(regions, reuse=reuse, growth_factor=growth_factor)
+    ):
+        if k > call_index:
+            break
+        if action == "build":
+            start_call, start_seed = k, seed
+    return start_call, start_seed
+
+
+def _iter_dp_decisions(regions, *, reuse, growth_factor):
+    """Yield ``(action, DpSeed-just-before-the-call)`` per region —
+    the decision loop behind :func:`simulate_dp_actions` and
+    :func:`dp_replay_seed`."""
+    growth = growth_factor
+    if growth is not None and growth < 1.0:
+        raise ScanConfigError(f"growth_factor must be >= 1, got {growth}")
+    growth_eff = (
+        growth if growth is not None else SumMatrixCache.DEFAULT_GROWTH
+    )
+    strides: deque = deque(maxlen=SumMatrixCache.STRIDE_WINDOW)
+    last_start: Optional[int] = None
+    anchor: Optional[int] = None
+    hi: Optional[int] = None
+    capacity = 0
+    fill_starts: Optional[np.ndarray] = None
+    for start, stop in regions:
+        if stop < start:
+            raise ScanConfigError(f"bad region ({start}, {stop})")
+        width = stop - start + 1
+        seed = DpSeed(strides=tuple(strides), last_start=last_start)
+        if last_start is not None and start > last_start:
+            strides.append(start - last_start)
+        last_start = start
+        if not reuse or not _dp_can_serve(
+            start,
+            stop,
+            anchor=anchor,
+            hi=hi,
+            capacity=capacity,
+            growth_eff=growth_eff,
+            fill_starts=fill_starts,
+        ):
+            capacity = _dp_choose_capacity(width, strides, growth)
+            growth_eff = (
+                growth
+                if growth is not None
+                else max(1.0, capacity / width)
+            )
+            anchor, hi = start, stop
+            fill_starts = np.full(width, start, dtype=np.intp)
+            yield "build", seed
+        elif stop > hi:  # type: ignore[operator]
+            fringe = stop - hi
+            fill_starts = np.concatenate(
+                [fill_starts, np.full(fringe, start, dtype=np.intp)]
+            )
+            hi = stop
+            yield "extend", seed
+        else:
+            yield "view", seed
+
+
 class SumMatrixCache:
     """Serve per-region :class:`~repro.core.dp.SumMatrix` structures,
     relocating the previous prefix-sum block across overlapping regions.
@@ -384,21 +559,7 @@ class SumMatrixCache:
 
     def _choose_capacity(self, width: int) -> int:
         """Anchor capacity for a fresh build of ``width`` SNPs."""
-        if self._growth is not None:
-            return max(width, int(math.ceil(self._growth * width)))
-        if not self._strides:
-            return int(math.ceil(self.DEFAULT_GROWTH * width))
-        stride = sorted(self._strides)[len(self._strides) // 2]
-        # Append-vs-rebuild balance: √2·W/s appends equalize total append
-        # work with the amortized O(W²) rebuild; W(W−s)/s² caps planning
-        # where one stride-s append on a ≥W-wide anchor already exceeds a
-        # rebuild. Small strides ⇒ many planned appends ⇒ larger anchors.
-        n_appends = min(
-            int(math.sqrt(2.0) * width / stride),
-            int(width * max(0, width - stride) / (stride * stride)),
-            int((self.MAX_ADAPTIVE_GROWTH - 1.0) * width / stride),
-        )
-        return width + max(0, n_appends) * stride
+        return _dp_choose_capacity(width, self._strides, self._growth)
 
     def _rebuild(self, start: int, stop: int, r2: np.ndarray) -> None:
         """Fresh anchored build — the exact arithmetic of
@@ -471,21 +632,17 @@ class SumMatrixCache:
     def _can_serve(self, start: int, stop: int) -> bool:
         """True when ``[start, stop]`` can be served from the standing
         anchored block (possibly after appending its right fringe)."""
-        if self._prefix is None or self._anchor is None or self._hi is None:
+        if self._prefix is None:
             return False
-        if start < self._anchor or start > self._hi:
-            return False  # reaches back before the anchor, or disjoint
-        if stop - self._anchor + 1 > self._capacity:
-            return False  # would outgrow the allocated block
-        width = stop - start + 1
-        if stop - self._anchor + 1 > self._growth_eff * width:
-            return False  # re-anchor: keep magnitudes and memory bounded
-        assert self._fill_starts is not None
-        lo = start - self._anchor
-        hi = min(stop, self._hi) - self._anchor
-        # Every column the query touches must be truthfully filled from
-        # the query's own start row downwards.
-        return int(self._fill_starts[lo : hi + 1].max()) <= start
+        return _dp_can_serve(
+            start,
+            stop,
+            anchor=self._anchor,
+            hi=self._hi,
+            capacity=self._capacity,
+            growth_eff=self._growth_eff,
+            fill_starts=self._fill_starts,
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -526,6 +683,19 @@ class SumMatrixCache:
             delta : delta + width + 1, delta : delta + width + 1
         ]
         return SumMatrix.from_prefix(view, width)
+
+    def seed(self, seed: DpSeed) -> None:
+        """Restore the stride history of a longer run (see
+        :func:`dp_replay_seed`), so a scan starting mid-grid sizes its
+        anchors — and rounds its window sums — exactly as the full run
+        did. Must be applied before the first :meth:`region_sums` call."""
+        if self._prefix is not None:
+            raise ScanConfigError(
+                "seed() must be applied before the first region_sums call"
+            )
+        self._strides.clear()
+        self._strides.extend(seed.strides)
+        self._last_start = seed.last_start
 
     def reset(self) -> None:
         """Drop the anchored block and stride history (e.g. when jumping

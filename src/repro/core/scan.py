@@ -45,8 +45,13 @@ from repro.core.grid import (
     build_plans_from_positions,
 )
 from repro.core.omega import DENOMINATOR_OFFSET, omega_max_at_split
-from repro.core.results import ScanResult
-from repro.core.reuse import R2RegionCache, ReuseStats, SumMatrixCache
+from repro.core.results import ScanResult, merge_scan_results
+from repro.core.reuse import (
+    DpSeed,
+    R2RegionCache,
+    ReuseStats,
+    SumMatrixCache,
+)
 from repro.datasets.alignment import SNPAlignment
 from repro.datasets.packed import PackedAlignment
 from repro.datasets.streaming import AlignmentStreamSource, InMemoryStreamSource
@@ -528,7 +533,10 @@ def _plan_stream_chunks(
 
 
 def _iter_stream_sequential(
-    source: AlignmentStreamSource, config: OmegaConfig, snp_budget: int
+    source: AlignmentStreamSource,
+    config: OmegaConfig,
+    snp_budget: int,
+    dp_seed: Optional["DpSeed"] = None,
 ) -> Iterator[ScanResult]:
     """Sequential streamed scan, yielding one :class:`ScanResult` part per
     chunk.
@@ -568,6 +576,8 @@ def _iter_stream_sequential(
             None, block_fn=block_fn, n_sites=positions.size
         )
         dp_cache = SumMatrixCache(reuse=cfg.dp_reuse, stats=cache.stats)
+        if dp_seed is not None:
+            dp_cache.seed(dp_seed)
         window_iter = source.windows(
             [(lo, hi) for lo, hi, _a, _b in groups if hi > lo]
         )
@@ -674,6 +684,8 @@ def iter_scan_stream(
     mp_context: Optional[str] = None,
     shared_tiles: bool = True,
     cost_ordering: bool = True,
+    grid_positions: Optional[np.ndarray] = None,
+    dp_seed: Optional[DpSeed] = None,
 ) -> Iterator[ScanResult]:
     """Streamed scan, yielding one :class:`ScanResult` part per chunk.
 
@@ -695,6 +707,20 @@ def iter_scan_stream(
         ``n_workers > 1`` the chunks are scanned by a persistent worker
         pool (each chunk published once to shared memory under the
         ``"shared"`` scheduler).
+    grid_positions:
+        Explicit ω evaluation positions overriding the equidistant
+        derivation from ``config.grid`` (window geometry is kept). Plans
+        are still built against the source's *full* site index, so
+        scanning a contiguous slice of a grid yields records bitwise
+        equal to the same slice of the full scan — this is what lets a
+        manifest shard reproduce exactly its portion of an unsharded
+        scan (see :mod:`repro.shard`).
+    dp_seed:
+        Stride-history seed for the DP anchor cache (see
+        :func:`~repro.core.reuse.dp_replay_seed`). Combined with a
+        ``grid_positions`` slice that starts at a full-run anchor
+        rebuild, it makes a mid-grid scan replay the full sequential
+        run's float rounding exactly. Sequential only (``n_workers=1``).
 
     Closing the returned generator mid-iteration releases the input file
     handle and, for parallel runs, the worker pool and every shared
@@ -717,7 +743,19 @@ def iter_scan_stream(
         )
     if source.n_sites < 2:
         raise ScanConfigError("scanning requires at least 2 SNPs")
+    if grid_positions is not None:
+        from repro.core.grid import fixed_position_spec
+
+        config = dataclasses.replace(
+            config, grid=fixed_position_spec(config.grid, grid_positions)
+        )
     if n_workers > 1:
+        if dp_seed is not None:
+            raise ScanConfigError(
+                "dp_seed requires the sequential path (n_workers=1): "
+                "parallel block scans do not carry DP anchor state "
+                "across blocks"
+            )
         from repro.core.parallel import _iter_scan_stream_parallel
 
         return _iter_scan_stream_parallel(
@@ -731,7 +769,7 @@ def iter_scan_stream(
             shared_tiles=shared_tiles,
             cost_ordering=cost_ordering,
         )
-    return _iter_stream_sequential(source, config, snp_budget)
+    return _iter_stream_sequential(source, config, snp_budget, dp_seed)
 
 
 def scan_stream(
@@ -745,6 +783,8 @@ def scan_stream(
     mp_context: Optional[str] = None,
     shared_tiles: bool = True,
     cost_ordering: bool = True,
+    grid_positions: Optional[np.ndarray] = None,
+    dp_seed: Optional[DpSeed] = None,
 ) -> ScanResult:
     """Scan a streaming source chunk by chunk; the merged report is
     bitwise identical to scanning the fully loaded alignment the same way
@@ -765,10 +805,10 @@ def scan_stream(
             mp_context=mp_context,
             shared_tiles=shared_tiles,
             cost_ordering=cost_ordering,
+            grid_positions=grid_positions,
+            dp_seed=dp_seed,
         )
     )
-    from repro.core.parallel import _merge_parts
-
-    result = _merge_parts(parts)
+    result = merge_scan_results(parts)
     result.breakdown.wall_seconds = time.perf_counter() - t_wall
     return result

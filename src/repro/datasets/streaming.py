@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import io
 from collections import deque
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -42,14 +43,90 @@ from repro.datasets.msformat import (
     parse_segsites_line,
     scale_positions,
 )
-from repro.datasets.vcf import iter_vcf_records
+from repro.datasets.vcf import iter_vcf_records, vcf_chromosome_census
 from repro.errors import DataFormatError, ScanConfigError, StreamingError
 
 __all__ = [
     "AlignmentStreamSource",
+    "ChromosomeInfo",
     "InMemoryStreamSource",
     "StreamingAlignmentReader",
+    "enumerate_chromosomes",
 ]
+
+
+@dataclass(frozen=True)
+class ChromosomeInfo:
+    """One independently scannable unit of an input file.
+
+    For VCF this is a chromosome (``name`` is the CHROM value); for ms it
+    is a replicate block (``name`` is the decimal replicate index, the
+    value accepted by ``StreamingAlignmentReader(replicate=...)``).
+    ``n_records`` counts the records the streaming index pass would
+    consider — usable biallelic SNPs for VCF (before imputation and the
+    polymorphism filter), segregating sites for ms — so manifest planners
+    can skip empty units without a full index pass.
+    """
+
+    name: str
+    n_records: int
+
+
+def _ms_replicate_census(fh: Iterable[str]) -> List[ChromosomeInfo]:
+    """Enumerate the replicate blocks of an ms stream in file order."""
+    out: List[ChromosomeInfo] = []
+    lines = (ln.rstrip("\n") for ln in fh)
+    for line in lines:
+        if line.strip() == "//":
+            seg_line = next((ln for ln in lines if ln.strip()), None)
+            if seg_line is None or not seg_line.startswith("segsites:"):
+                raise DataFormatError(
+                    f"replicate {len(out)}: expected 'segsites:' after "
+                    f"'//', got {seg_line!r}" if seg_line is not None else
+                    f"replicate {len(out)}: file ends after '//'"
+                )
+            segsites = parse_segsites_line(seg_line, len(out))
+            out.append(
+                ChromosomeInfo(name=str(len(out)), n_records=segsites)
+            )
+    if not out:
+        raise DataFormatError("no '//' replicate blocks found in ms input")
+    return out
+
+
+def enumerate_chromosomes(
+    path: Optional[str] = None,
+    *,
+    text: Optional[str] = None,
+    format: str = "ms",
+) -> List[ChromosomeInfo]:
+    """Enumerate the scannable units of an input file without indexing it.
+
+    One cheap structural pass: VCF returns its chromosomes in file order
+    (raising :class:`~repro.errors.DataFormatError` on non-contiguous
+    chromosome blocks, see
+    :func:`~repro.datasets.vcf.vcf_chromosome_census`); ms returns its
+    replicate blocks. This is how the shard planner builds a manifest
+    from bare file paths with no user-supplied region list.
+    """
+    if (path is None) == (text is None):
+        raise StreamingError("pass exactly one of path= or text=")
+    if format not in ("ms", "vcf"):
+        raise ScanConfigError(
+            f"streaming supports 'ms' and 'vcf', got {format!r}"
+        )
+    fh: io.TextIOBase = (
+        open(path, "r", encoding="ascii")
+        if path is not None
+        else io.StringIO(text)
+    )
+    with fh:
+        if format == "ms":
+            return _ms_replicate_census(fh)
+        return [
+            ChromosomeInfo(name=chrom, n_records=count)
+            for chrom, count in vcf_chromosome_census(fh)
+        ]
 
 
 def _check_ranges(
@@ -242,6 +319,18 @@ class StreamingAlignmentReader(AlignmentStreamSource):
         if self._path is not None:
             return open(self._path, "r", encoding="ascii")
         return io.StringIO(self._text)
+
+    def chromosomes(self) -> List[ChromosomeInfo]:
+        """Enumerate every scannable unit of the underlying input (all
+        VCF chromosomes / all ms replicates, not just the one this reader
+        was constructed for). See :func:`enumerate_chromosomes`."""
+        with self._open() as fh:
+            if self._format == "ms":
+                return _ms_replicate_census(fh)
+            return [
+                ChromosomeInfo(name=chrom, n_records=count)
+                for chrom, count in vcf_chromosome_census(fh)
+            ]
 
     @property
     def positions(self) -> np.ndarray:

@@ -37,10 +37,105 @@ __all__ = [
     "iter_vcf_records",
     "parse_vcf",
     "parse_vcf_text",
+    "vcf_chromosome_census",
     "vcf_text",
 ]
 
 _SNP_ALLELES = {"A", "C", "G", "T"}
+
+
+def _is_snp_record(ref: str, alt: str) -> bool:
+    """The biallelic-SNP record filter (multi-allelic sites and indels
+    are skipped, as OmegaPlus does)."""
+    return (
+        ref.upper() in _SNP_ALLELES
+        and alt.upper() in _SNP_ALLELES
+        and "," not in alt
+    )
+
+
+def _iter_data_fields(source: io.TextIOBase) -> Iterator[List[str]]:
+    """Yield the tab-split fields of every VCF data line.
+
+    This is the single traversal both :func:`iter_vcf_records` and
+    :func:`vcf_chromosome_census` are built on, so record counting and
+    record parsing see the exact same structure: header validation, field
+    count enforcement, and chromosome *block-contiguity* checking.
+
+    A VCF used for per-chromosome analysis must be grouped by chromosome
+    (the norm for sorted VCFs). A chromosome whose records resume after a
+    different chromosome's block would previously be silently skipped by
+    the ``chromosome=`` selector — dropping data without a trace — so any
+    non-contiguous block layout is reported as a
+    :class:`~repro.errors.DataFormatError` instead, whichever chromosome
+    is selected.
+    """
+    sample_names: Optional[List[str]] = None
+    prev_chrom: Optional[str] = None
+    seen_blocks: set = set()
+
+    for raw in source:
+        line = raw.rstrip("\n")
+        if not line or line.startswith("##"):
+            continue
+        if line.startswith("#CHROM"):
+            fields = line.split("\t")
+            if len(fields) < 10:
+                raise DataFormatError(
+                    "VCF header has no sample columns"
+                )
+            sample_names = fields[9:]
+            continue
+        if sample_names is None:
+            raise DataFormatError("data line before #CHROM header")
+        fields = line.split("\t")
+        if len(fields) != 9 + len(sample_names):
+            raise DataFormatError(
+                f"record has {len(fields)} fields, expected "
+                f"{9 + len(sample_names)}"
+            )
+        chrom = fields[0]
+        if chrom != prev_chrom:
+            if chrom in seen_blocks:
+                raise DataFormatError(
+                    f"chromosome blocks out of order: records for "
+                    f"{chrom!r} resume after a {prev_chrom!r} block; "
+                    f"VCF input must be grouped by chromosome"
+                )
+            seen_blocks.add(chrom)
+            prev_chrom = chrom
+        yield fields
+
+
+def vcf_chromosome_census(
+    source: Union[str, io.TextIOBase],
+) -> List[tuple]:
+    """Enumerate the chromosomes of a VCF in file order.
+
+    Returns ``[(chromosome, n_usable_records), ...]`` where the count
+    covers the records :func:`iter_vcf_records` would yield for that
+    chromosome (biallelic SNPs — the same filter, so a manifest planner
+    can size per-chromosome work without a second parse). Chromosomes
+    present only through filtered-out records (indels, multi-allelic
+    sites) appear with a count of 0.
+
+    Raises :class:`~repro.errors.DataFormatError` on structural problems,
+    including non-contiguous chromosome blocks (see
+    :func:`_iter_data_fields`).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="ascii") as fh:
+            return vcf_chromosome_census(fh)
+    counts: dict = {}
+    order: List[str] = []
+    for fields in _iter_data_fields(source):
+        chrom, ref, alt = fields[0], fields[3], fields[4]
+        if chrom not in counts:
+            counts[chrom] = 0
+            order.append(chrom)
+        if _is_snp_record(ref, alt):
+            counts[chrom] += 1
+    return [(chrom, counts[chrom]) for chrom in order]
 
 
 @dataclass(frozen=True)
@@ -72,31 +167,17 @@ def iter_vcf_records(
     uniform within a record (no haploid/diploid mixing on one line) and
     across records. Position ordering is the caller's concern —
     :func:`parse_vcf` sorts, the streaming reader rejects unsorted input.
+
+    Chromosome blocks must be contiguous — records for a chromosome that
+    resume after another chromosome's block raise
+    :class:`~repro.errors.DataFormatError` even when ``chromosome=``
+    selects a different one (silently skipping them would hide that the
+    selected chromosome's own records may be split the same way).
     """
-    sample_names: Optional[List[str]] = None
     n_haplotypes: Optional[int] = None
     seen_chrom: Optional[str] = None
 
-    for raw in source:
-        line = raw.rstrip("\n")
-        if not line or line.startswith("##"):
-            continue
-        if line.startswith("#CHROM"):
-            fields = line.split("\t")
-            if len(fields) < 10:
-                raise DataFormatError(
-                    "VCF header has no sample columns"
-                )
-            sample_names = fields[9:]
-            continue
-        if sample_names is None:
-            raise DataFormatError("data line before #CHROM header")
-        fields = line.split("\t")
-        if len(fields) != 9 + len(sample_names):
-            raise DataFormatError(
-                f"record has {len(fields)} fields, expected "
-                f"{9 + len(sample_names)}"
-            )
+    for fields in _iter_data_fields(source):
         chrom, pos_s, _id, ref, alt, _qual, _filter, _info, fmt = fields[:9]
         if chromosome is not None:
             if chrom != chromosome:
@@ -107,12 +188,12 @@ def iter_vcf_records(
             elif chrom != seen_chrom:
                 raise DataFormatError(
                     f"multiple chromosomes ({seen_chrom}, {chrom}); pass "
-                    f"chromosome= to select one"
+                    f"chromosome= to select one, or enumerate them with "
+                    f"vcf_chromosome_census / scan them all with "
+                    f"'omegascan shard-scan'"
                 )
         # biallelic SNPs only
-        if ref.upper() not in _SNP_ALLELES or alt.upper() not in _SNP_ALLELES:
-            continue
-        if "," in alt:
+        if not _is_snp_record(ref, alt):
             continue
         if not fmt.split(":")[0] == "GT":
             raise DataFormatError(

@@ -19,6 +19,8 @@ __all__ = [
     "ModelCalibrationError",
     "SimulationError",
     "StreamingError",
+    "ShardError",
+    "ManifestError",
 ]
 
 
@@ -68,3 +70,15 @@ class StreamingError(ReproError, RuntimeError):
     """A streaming source was driven outside its protocol: non-monotonic
     window ranges, a window outside the indexed site range, or an input
     that changed between the index pass and the chunk pass."""
+
+
+class ShardError(ReproError, RuntimeError):
+    """A sharded-scan orchestration failure: an incomplete manifest asked
+    to merge, a shard sidecar that does not match its ledger entry, or a
+    second orchestrator racing a live one."""
+
+
+class ManifestError(ShardError):
+    """A work manifest that cannot be used: malformed ledger lines, a
+    version this build does not understand, or entries pointing at inputs
+    that no longer match their recorded index."""

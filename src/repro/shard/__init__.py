@@ -1,0 +1,51 @@
+"""Manifest-driven sharded scans: the orchestration tier above
+``scan_stream``.
+
+A *manifest* is an atomically-updated JSONL ledger describing a
+multi-chromosome workload partitioned into region shards:
+
+* the **planner** (:mod:`repro.shard.planner`) enumerates the scannable
+  units of each input (VCF chromosomes / ms replicates), indexes them,
+  prices every grid position with the calibrated
+  :class:`~repro.core.costmodel.ScanCostModel`, and cuts each unit's
+  grid into contiguous cost-balanced shards;
+* the **runner** (:mod:`repro.shard.runner`) executes non-``done``
+  shards in per-shard processes (each running ``scan_stream`` with
+  double-buffered ingest/compute overlap), records progress in the
+  ledger, sweeps shared-memory segments of crashed workers, and merges
+  completed shards losslessly into per-unit and combined
+  :class:`~repro.core.results.ScanResult`\\ s;
+* the **sidecars** (:mod:`repro.shard.sidecar`) hold each shard's
+  arrays (``.npz``, float64-exact) and observability payload (JSON)
+  next to the manifest.
+
+The contract: a shard's records are bitwise-equal to the same slice of
+an unsharded ``scan_stream`` over its unit, so merging a complete
+manifest reproduces the single-process scan exactly — and re-invoking
+the runner on a manifest whose worker was killed re-runs only the
+non-``done`` shards and converges to the same bytes.
+"""
+
+from repro.shard.manifest import Manifest, ShardRecord, UnitSpec
+from repro.shard.planner import WorkItem, build_manifest, expand_inputs
+from repro.shard.runner import (
+    ShardRunReport,
+    ShardScanResult,
+    merge_manifest,
+    run_manifest,
+    shard_scan,
+)
+
+__all__ = [
+    "Manifest",
+    "ShardRecord",
+    "ShardRunReport",
+    "ShardScanResult",
+    "UnitSpec",
+    "WorkItem",
+    "build_manifest",
+    "expand_inputs",
+    "merge_manifest",
+    "run_manifest",
+    "shard_scan",
+]

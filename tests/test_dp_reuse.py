@@ -14,7 +14,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dp import SumMatrix
-from repro.core.reuse import ReuseStats, SumMatrixCache, simulate_fresh_entries
+from repro.core.reuse import (
+    ReuseStats,
+    SumMatrixCache,
+    simulate_dp_actions,
+    simulate_fresh_entries,
+)
 from repro.datasets.generators import random_alignment
 from repro.errors import ScanConfigError
 from repro.ld.gemm import r_squared_block
@@ -351,3 +356,42 @@ class TestValidation:
     def test_from_prefix_shape_guard(self):
         with pytest.raises(ScanConfigError):
             SumMatrix.from_prefix(np.zeros((5, 5)), 5)
+
+
+class TestDecisionMirror:
+    """The pure-integer decision mirror (`simulate_dp_actions`) against
+    a real cache's ``last_action`` trace — the cross-check the shard
+    planner's cut-snapping and the replay seed rest on."""
+
+    def _trace(self, full_r2, regions, **kw):
+        cache = SumMatrixCache(**kw)
+        actions = []
+        for start, stop in regions:
+            r2 = full_r2[start : stop + 1, start : stop + 1]
+            cache.region_sums(start, stop, r2)
+            actions.append(cache.last_action)
+        return actions
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_adaptive_policy(self, full_r2, data):
+        regions = _region_sequence(data.draw)
+        assert simulate_dp_actions(regions) == self._trace(
+            full_r2, regions
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_growth_policy(self, full_r2, data):
+        regions = _region_sequence(data.draw)
+        assert simulate_dp_actions(
+            regions, growth_factor=2.5
+        ) == self._trace(full_r2, regions, growth_factor=2.5)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_reuse_off(self, full_r2, data):
+        regions = _region_sequence(data.draw)
+        assert simulate_dp_actions(regions, reuse=False) == self._trace(
+            full_r2, regions, reuse=False
+        )

@@ -1,13 +1,15 @@
 """Fuzz tests: the parsers must never crash with anything other than
 DataFormatError on arbitrary text input."""
 
+import io
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets.fasta import parse_fasta_text
 from repro.datasets.msformat import parse_ms_text
-from repro.datasets.vcf import parse_vcf_text
+from repro.datasets.vcf import parse_vcf_text, vcf_chromosome_census
 from repro.errors import DataFormatError
 
 # Token soup containing the structural markers the parsers key on, so
@@ -96,3 +98,79 @@ class TestVcfFuzz:
         )
         masked = parse_vcf_text(header + body)
         assert masked.n_sites == len(records)
+
+
+class TestMultiChromosomeVcfFuzz:
+    """Multi-chromosome corpora: the census pass must count exactly what
+    the per-chromosome parser will accept, raise on interleaved blocks,
+    and never crash with anything but DataFormatError."""
+
+    HEADER = (
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n"
+    )
+
+    chrom_blocks = st.lists(
+        st.tuples(
+            st.sampled_from(["1", "2", "X", "chr7"]),
+            st.sets(st.integers(1, 10**6), min_size=1, max_size=6),
+            st.booleans(),  # SNP records (True) or indel-only (False)
+        ),
+        min_size=1,
+        max_size=4,
+        unique_by=lambda blk: blk[0],
+    )
+
+    def _block_text(self, chrom, positions, is_snp):
+        alt = "G" if is_snp else "GT"
+        return "".join(
+            f"{chrom}\t{pos}\t.\tA\t{alt}\t.\tPASS\t.\tGT\t1\n"
+            for pos in sorted(positions)
+        )
+
+    @given(chrom_blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_grouped_blocks_always_census(self, blocks):
+        text = self.HEADER + "".join(
+            self._block_text(*blk) for blk in blocks
+        )
+        census = vcf_chromosome_census(io.StringIO(text))
+        assert [c for c, _ in census] == [blk[0] for blk in blocks]
+        for (chrom, positions, is_snp), (name, count) in zip(
+            blocks, census
+        ):
+            assert name == chrom
+            # Indel-only chromosomes are enumerable with count 0 (the
+            # shard planner skips them); SNP blocks count every record.
+            assert count == (len(positions) if is_snp else 0)
+            if count:
+                masked = parse_vcf_text(text, chromosome=chrom)
+                assert masked.n_sites == count
+            else:
+                with pytest.raises(DataFormatError, match="no usable"):
+                    parse_vcf_text(text, chromosome=chrom)
+
+    @given(chrom_blocks, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_interleaved_blocks_always_rejected(self, blocks, data):
+        if len(blocks) < 2:
+            blocks = blocks + [("interleaved", {1, 2}, True)]
+        # Split one chromosome's block so it resumes after another's.
+        texts = [self._block_text(*blk) for blk in blocks]
+        victim = data.draw(
+            st.integers(0, len(texts) - 2), label="victim"
+        )
+        resumed = self._block_text(
+            blocks[victim][0], {10**6 + 1}, True
+        )
+        body = "".join(texts) + resumed
+        with pytest.raises(DataFormatError, match="out of order"):
+            vcf_chromosome_census(io.StringIO(self.HEADER + body))
+
+    @given(structured_text)
+    @settings(max_examples=100, deadline=None)
+    def test_census_only_dataformat_errors(self, text):
+        try:
+            census = vcf_chromosome_census(io.StringIO(text))
+        except DataFormatError:
+            return
+        assert all(count >= 0 for _, count in census)

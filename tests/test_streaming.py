@@ -37,6 +37,7 @@ from repro.datasets.msformat import ms_text, parse_ms_text
 from repro.datasets.streaming import (
     InMemoryStreamSource,
     StreamingAlignmentReader,
+    enumerate_chromosomes,
 )
 from repro.datasets.vcf import parse_vcf_text, vcf_text
 from repro.errors import DataFormatError, ScanConfigError, StreamingError
@@ -671,3 +672,87 @@ class TestStreamLeaks:
         # The reader remains usable for a fresh pass.
         again = scan_stream(reader, config, snp_budget=budget)
         assert len(again) == 8
+
+
+class TestChromosomeEnumeration:
+    """Unit enumeration: the structural pass the shard planner expands
+    bare input paths with."""
+
+    VCF_HEADER = (
+        "##fileformat=VCFv4.2\n"
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\n"
+    )
+    VCF_TWO_CHROM = VCF_HEADER + (
+        "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+        "1\t250\t.\tC\tT\t.\tPASS\t.\tGT\t1\t0\n"
+        "2\t400\t.\tA\tC\t.\tPASS\t.\tGT\t0\t1\n"
+    )
+
+    def test_enumerate_ms_text(self):
+        a = haplotype_block_alignment(8, 20, seed=1)
+        b = haplotype_block_alignment(8, 12, seed=2)
+        infos = enumerate_chromosomes(text=ms_text([a, b]), format="ms")
+        assert [(i.name, i.n_records) for i in infos] == [
+            ("0", 20),
+            ("1", 12),
+        ]
+
+    def test_enumerate_vcf_text(self):
+        infos = enumerate_chromosomes(
+            text=self.VCF_TWO_CHROM, format="vcf"
+        )
+        assert [(i.name, i.n_records) for i in infos] == [
+            ("1", 2),
+            ("2", 1),
+        ]
+
+    def test_enumerate_requires_one_input(self, tmp_path):
+        with pytest.raises(StreamingError, match="exactly one"):
+            enumerate_chromosomes()
+        with pytest.raises(StreamingError, match="exactly one"):
+            enumerate_chromosomes(str(tmp_path / "x.ms"), text="//")
+
+    def test_enumerate_rejects_unknown_format(self):
+        with pytest.raises(ScanConfigError, match="'ms' and 'vcf'"):
+            enumerate_chromosomes(text="//", format="fastq")
+
+    def test_reader_lists_all_ms_replicates(self, tmp_path):
+        a = haplotype_block_alignment(8, 20, seed=1)
+        b = haplotype_block_alignment(8, 12, seed=2)
+        path = tmp_path / "two.ms"
+        path.write_text(ms_text([a, b]))
+        reader = StreamingAlignmentReader(
+            str(path), format="ms", replicate=1
+        )
+        # chromosomes() reports every unit of the file, not just the
+        # replicate this reader was constructed for.
+        assert [(i.name, i.n_records) for i in reader.chromosomes()] == [
+            ("0", 20),
+            ("1", 12),
+        ]
+
+    def test_reader_lists_all_vcf_chromosomes(self, tmp_path):
+        path = tmp_path / "two.vcf"
+        path.write_text(self.VCF_TWO_CHROM)
+        reader = StreamingAlignmentReader(
+            str(path), format="vcf", chromosome="2"
+        )
+        assert [(i.name, i.n_records) for i in reader.chromosomes()] == [
+            ("1", 2),
+            ("2", 1),
+        ]
+
+    def test_vcf_per_chromosome_length_inference(self, tmp_path):
+        # With no explicit length, each chromosome's reader infers its
+        # own span (last POS + 1) — the per-unit geometry the manifest
+        # planner records.
+        path = tmp_path / "two.vcf"
+        path.write_text(self.VCF_TWO_CHROM)
+        first = StreamingAlignmentReader(
+            str(path), format="vcf", chromosome="1"
+        )
+        second = StreamingAlignmentReader(
+            str(path), format="vcf", chromosome="2"
+        )
+        assert first.length == 251.0
+        assert second.length == 401.0

@@ -6,7 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets.missing import MISSING, MaskedAlignment
-from repro.datasets.vcf import parse_vcf, parse_vcf_text, vcf_text
+import io
+
+from repro.datasets.vcf import (
+    parse_vcf,
+    parse_vcf_text,
+    vcf_chromosome_census,
+    vcf_text,
+)
 from repro.errors import DataFormatError
 
 HEADER = (
@@ -216,3 +223,40 @@ class TestRoundTripFuzz:
         np.testing.assert_array_equal(back.matrix, masked.matrix)
         np.testing.assert_array_equal(back.positions, masked.positions)
         assert back.length == masked.length
+
+
+class TestChromosomeCensus:
+    def test_counts_in_file_order(self):
+        text = HEADER + (
+            "2\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "2\t200\t.\tC\tT\t.\tPASS\t.\tGT\t1\t1\n"
+            "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+        )
+        census = vcf_chromosome_census(io.StringIO(text))
+        assert census == [("2", 2), ("1", 1)]
+
+    def test_filtered_only_chromosome_counts_zero(self):
+        # Chromosome 3 appears only through an indel and a multi-allelic
+        # site: enumerable (the planner must see it to skip it), zero
+        # usable records.
+        text = HEADER + (
+            "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "3\t100\t.\tAT\tA\t.\tPASS\t.\tGT\t0\t1\n"
+            "3\t200\t.\tC\tT,G\t.\tPASS\t.\tGT\t0\t1\n"
+        )
+        census = vcf_chromosome_census(io.StringIO(text))
+        assert census == [("1", 1), ("3", 0)]
+
+    def test_census_from_path(self, tmp_path):
+        path = tmp_path / "two.vcf"
+        path.write_text(TestChromosomeHandling.TWO_CHROM)
+        assert vcf_chromosome_census(str(path)) == [("1", 1), ("2", 1)]
+
+    def test_interleaved_blocks_rejected(self):
+        text = HEADER + (
+            "1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0\t1\n"
+            "2\t200\t.\tC\tT\t.\tPASS\t.\tGT\t1\t0\n"
+            "1\t300\t.\tA\tC\t.\tPASS\t.\tGT\t0\t1\n"
+        )
+        with pytest.raises(DataFormatError, match="out of order"):
+            vcf_chromosome_census(io.StringIO(text))
