@@ -18,6 +18,14 @@ the number of events the *same scan actually emits* when tracing is on
 Both numbers land in ``BENCH_obs_overhead.json`` for the nightly
 regression gate.
 
+The progress ledger (``repro.obs.ledger``) rides the same fast path —
+``live_slot()`` is ``None`` unless a slot was bound — so the same two
+guards cover it: an analytic bound (per-call cost of the unbound
+``live_slot()`` check times the scan's batch-sink call count) and an A/B
+scan with a bound, publishing slot, whose result must stay **bitwise
+identical** to the unpublished scan. Both must stay inside the same
+< 2 % budget.
+
 Run as::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py \\
@@ -110,7 +118,72 @@ def main(argv=None) -> int:
     analytic_pct = 100.0 * call_sites * per_call / disabled_a
 
     traced_pct = 100.0 * (traced - disabled_a) / disabled_a
-    ok = analytic_pct < args.budget_pct
+
+    # --- progress-ledger publish path ------------------------------- #
+    # (a) analytic bound on the *unbound* path every default scan pays:
+    # one live_slot() call per batch-sink add (= one per grid position).
+    from repro.obs.ledger import ProgressLedger, bind_live_slot, live_slot
+
+    def unbound_check():
+        live_slot()
+
+    per_check = timeit.timeit(unbound_check, number=n_calls) / n_calls
+    ledger_analytic_pct = (
+        100.0 * 2 * args.grid * per_check / disabled_a
+    )
+
+    # (b) A/B: the same scan with a bound slot publishing progress.
+    # The ledger must never perturb the numbers — bitwise equality is
+    # part of the guard, not a separate test.
+    baseline = scanner.scan(alignment)
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = str(pathlib.Path(tmp) / "bench.ledger")
+        ledger = ProgressLedger.create(ledger_path, 1)
+        try:
+
+            def ledgered_scan():
+                writer = ledger.slot_writer(0)
+                writer.bind(
+                    key="bench", phase="scan",
+                    positions_total=args.grid,
+                )
+                bind_live_slot(writer)
+                try:
+                    return scanner.scan(alignment)
+                finally:
+                    obs.clear_live_slot()
+
+            ledgered_result = ledgered_scan()  # warm + capture output
+            ledgered = best_of(ledgered_scan, args.repeats)
+        finally:
+            ledger.close()
+    import numpy as np
+
+    def same_bytes(x, y):
+        # NaN borders (positions with no valid window) must match as
+        # bytes too — array_equal alone calls NaN != NaN.
+        return np.asarray(x).tobytes() == np.asarray(y).tobytes()
+
+    bitwise_equal = bool(
+        same_bytes(baseline.omegas, ledgered_result.omegas)
+        and same_bytes(baseline.positions, ledgered_result.positions)
+        and same_bytes(
+            baseline.left_borders_bp, ledgered_result.left_borders_bp
+        )
+        and same_bytes(
+            baseline.right_borders_bp, ledgered_result.right_borders_bp
+        )
+        and same_bytes(
+            baseline.n_evaluations, ledgered_result.n_evaluations
+        )
+    )
+    ledger_pct = 100.0 * (ledgered - disabled_a) / disabled_a
+
+    ok = (
+        analytic_pct < args.budget_pct
+        and ledger_analytic_pct < args.budget_pct
+        and bitwise_equal
+    )
 
     print(f"scan wall (disabled obs, best of {args.repeats}): "
           f"{disabled_a * 1e3:.1f} ms  (run-to-run {run_to_run:.1%})")
@@ -119,12 +192,19 @@ def main(argv=None) -> int:
     print(f"disabled span call: {per_call * 1e9:.0f} ns; analytic bound "
           f"for {call_sites} call sites ({n_events} traced events x2): "
           f"{analytic_pct:.3f}% (budget {args.budget_pct}%)")
+    print(f"scan wall (ledger publishing):               "
+          f"{ledgered * 1e3:.1f} ms  ({ledger_pct:+.1f}%)")
+    print(f"unbound live_slot(): {per_check * 1e9:.0f} ns; analytic "
+          f"bound for {2 * args.grid} checks: {ledger_analytic_pct:.3f}% "
+          f"(budget {args.budget_pct}%); "
+          f"bitwise {'equal' if bitwise_equal else 'MISMATCH'}")
 
     emit_bench_metrics(
         "obs_overhead",
         timings={
             "scan_seconds_disabled": disabled_a,
             "scan_seconds_traced": traced,
+            "scan_seconds_ledger": ledgered,
         },
         values={
             "disabled_span_ns": per_call * 1e9,
@@ -132,6 +212,10 @@ def main(argv=None) -> int:
             "traced_overhead_pct": traced_pct,
             "run_to_run_pct": 100.0 * run_to_run,
             "traced_events": n_events,
+            "unbound_live_slot_ns": per_check * 1e9,
+            "ledger_analytic_overhead_pct": ledger_analytic_pct,
+            "ledger_overhead_pct": ledger_pct,
+            "ledger_bitwise_equal": 1.0 if bitwise_equal else 0.0,
         },
         meta={
             "samples": args.samples,
@@ -142,13 +226,23 @@ def main(argv=None) -> int:
     )
 
     if not ok:
-        print(
-            f"FAIL: disabled-instrumentation bound {analytic_pct:.2f}% "
-            f"exceeds the {args.budget_pct}% budget",
-            file=sys.stderr,
-        )
+        if not bitwise_equal:
+            print(
+                "FAIL: ledger-publishing scan is not bitwise identical "
+                "to the unpublished scan",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"FAIL: disabled-instrumentation bound "
+                f"(span {analytic_pct:.2f}%, "
+                f"ledger {ledger_analytic_pct:.2f}%) exceeds the "
+                f"{args.budget_pct}% budget",
+                file=sys.stderr,
+            )
         return 1
-    print("OK: disabled instrumentation within budget", file=sys.stderr)
+    print("OK: disabled instrumentation + ledger within budget",
+          file=sys.stderr)
     return 0
 
 

@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Live-introspection smoke test: daemon + ledger + ``omegascan top``.
+
+Boots the scan daemon as a real subprocess (which creates its progress
+ledger next to the socket), runs a scan request through it, and then
+checks the whole introspection surface end to end:
+
+* ``omegascan top <socket> --once --json`` parses, carries the
+  ``repro.live-top/1`` schema, and reports *nonzero* progress for the
+  slot that served the request;
+* ``omegascan top <socket.ledger> --once --json`` reads the same state
+  straight from the mmap'd file, bypassing the daemon;
+* the daemon's ``{"op": "metrics"}`` response is OpenMetrics text that
+  the strict validator accepts and that contains the service counters;
+* the ``status`` op exposes the ledger section used by ``top``.
+
+Emits ``BENCH_top_smoke.json`` (wall seconds for the round trip) for the
+nightly regression gate. Run as::
+
+    PYTHONPATH=src python benchmarks/bench_top_smoke.py \\
+        --out-dir benchmarks/results
+
+Exits non-zero on any violated property, so CI fails loudly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from metrics_io import emit_bench_metrics  # noqa: E402
+
+REGION_LENGTH = 400_000.0
+
+
+def wait_for_socket(path: str, proc, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited early with rc={proc.returncode}"
+            )
+        if pathlib.Path(path).exists():
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon socket {path} never appeared")
+
+
+def run_top(target: str, env: dict) -> dict:
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "top", target,
+            "--once", "--json",
+        ],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"omegascan top {target} rc={proc.returncode}: {proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--samples", type=int, default=30)
+    parser.add_argument("--theta", type=float, default=120.0)
+    parser.add_argument("--grid", type=int, default=20)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out-dir", default=None)
+    args = parser.parse_args()
+
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    sys.path.insert(0, src)
+    from repro.cli import main as cli_main
+    from repro.obs.openmetrics import validate_openmetrics
+    from repro.service.client import request_scan, send_request
+
+    env = {**os.environ, "PYTHONPATH": src}
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="top-smoke-") as tmp:
+        ms_path = str(pathlib.Path(tmp) / "sweep.ms")
+        socket_path = str(pathlib.Path(tmp) / "scan.sock")
+        rc = cli_main([
+            "simulate", "sweep", "--samples", str(args.samples),
+            "--theta", str(args.theta), "--length", str(REGION_LENGTH),
+            "--seed", "41", "-o", ms_path,
+        ])
+        if rc != 0:
+            print("FAIL: simulate returned", rc, file=sys.stderr)
+            return 1
+
+        daemon = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", ms_path,
+                "--length", str(REGION_LENGTH),
+                "--maxwin", str(REGION_LENGTH / 4),
+                "--grid", str(args.grid),
+                "--workers", str(args.workers),
+                "--socket", socket_path,
+            ],
+            env=env,
+        )
+        try:
+            wait_for_socket(socket_path, daemon)
+            t0 = time.perf_counter()
+
+            response = request_scan(
+                socket_path, n_positions=args.grid, timeout=600.0
+            )
+            if len(response["omegas"]) != args.grid:
+                failures.append(
+                    f"scan returned {len(response['omegas'])} scores, "
+                    f"expected {args.grid}"
+                )
+
+            # -- `omegascan top` against the live daemon -------------- #
+            doc = run_top(socket_path, env)
+            if doc.get("schema") != "repro.live-top/1":
+                failures.append(f"top schema wrong: {doc.get('schema')}")
+            if doc.get("source") != "daemon":
+                failures.append(f"top source wrong: {doc.get('source')}")
+            done = [
+                s for s in doc.get("slots", [])
+                if s["positions_done"] > 0 and s["fraction"]
+            ]
+            if not done:
+                failures.append(
+                    f"top reported no progress: {doc.get('slots')}"
+                )
+            if doc.get("service", {}).get("served") != 1:
+                failures.append(
+                    f"top service section wrong: {doc.get('service')}"
+                )
+
+            # -- same state read straight from the mmap'd ledger ------ #
+            ledger_doc = run_top(socket_path + ".ledger", env)
+            if ledger_doc.get("source") != "ledger":
+                failures.append(
+                    f"ledger top source wrong: {ledger_doc.get('source')}"
+                )
+            if not any(
+                s["positions_done"] > 0
+                for s in ledger_doc.get("slots", [])
+            ):
+                failures.append("ledger file shows no progress")
+
+            # -- status op carries the ledger section ----------------- #
+            status = send_request(socket_path, {"op": "status"})
+            if "ledger" not in status or "requests" not in status:
+                failures.append(
+                    f"status missing introspection fields: "
+                    f"{sorted(status)}"
+                )
+
+            # -- OpenMetrics exposition ------------------------------- #
+            metrics = send_request(socket_path, {"op": "metrics"})
+            if not metrics.get("ok"):
+                failures.append(f"metrics op failed: {metrics}")
+            else:
+                try:
+                    families = validate_openmetrics(
+                        metrics["exposition"]
+                    )
+                except ValueError as exc:
+                    failures.append(f"invalid OpenMetrics text: {exc}")
+                else:
+                    if "repro_service_requests_completed" not in families:
+                        failures.append(
+                            "exposition missing service counters: "
+                            f"{sorted(families)[:10]}..."
+                        )
+
+            round_trip = time.perf_counter() - t0
+            send_request(socket_path, {"op": "shutdown"})
+            daemon.wait(timeout=60.0)
+        finally:
+            if daemon.poll() is None:
+                daemon.terminate()
+                try:
+                    daemon.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:
+                    daemon.kill()
+                    daemon.wait()
+
+    if daemon.returncode != 0:
+        failures.append(f"daemon exit code {daemon.returncode}")
+
+    print(
+        f"scan + top(socket) + top(ledger) + metrics round trip: "
+        f"{round_trip:.2f}s"
+    )
+    emit_bench_metrics(
+        "top_smoke",
+        timings={"round_trip_seconds": round_trip},
+        values={
+            "slots_with_progress": float(len(done)),
+            "openmetrics_families": float(len(families)),
+        },
+        meta={"grid": args.grid, "samples": args.samples},
+        out_dir=args.out_dir,
+    )
+
+    if failures:
+        for failure in failures:
+            print("FAIL:", failure, file=sys.stderr)
+        return 1
+    print("OK: live introspection surface verified end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

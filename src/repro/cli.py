@@ -15,6 +15,10 @@ Subcommands mirror the OmegaPlus workflow plus this reproduction's extras:
   multi-chromosome workloads with crash-resume and lossless merge
   (:mod:`repro.shard`); re-running with an existing ``--manifest``
   resumes it.
+* ``omegascan top`` — live progress view of a running shard-scan (point
+  it at the manifest) or scan daemon (point it at the socket): per-slot
+  progress bars, throughput, ETA and stale-heartbeat warnings from the
+  shared-memory progress ledger (:mod:`repro.obs.ledger`).
 * ``omegascan tables`` — print the reproduced Tables I-IV next to the
   paper's published values.
 
@@ -248,6 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
     shard_p.add_argument("-o", "--out", default=None,
                          help="write the merged unit-tagged TSV report "
                          "here (default: stdout)")
+
+    top_p = sub.add_parser(
+        "top",
+        help="live progress view of a running shard-scan or scan daemon",
+    )
+    top_p.add_argument(
+        "target",
+        help="what to watch: a manifest path (or its .ledger file, or "
+        "the directory holding it), or a scan daemon's Unix socket",
+    )
+    top_p.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit instead of "
+                       "refreshing")
+    top_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the snapshot as JSON (implies --once "
+                       "unless --interval is given explicitly)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh interval for the live view")
+    top_p.add_argument("--stale-after", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="flag a slot stale when its heartbeat is "
+                       "older than this")
 
     sub.add_parser("tables", help="print reproduced Tables I-IV")
 
@@ -503,6 +530,7 @@ def _cmd_shard_scan(args) -> int:
         build_manifest,
         merge_manifest,
         run_manifest,
+        shard_postmortem,
     )
 
     if os.path.exists(args.manifest):
@@ -550,6 +578,19 @@ def _cmd_shard_scan(args) -> int:
     if report.failed:
         for sid, err in sorted(report.failed.items()):
             print(f"shard {sid} failed: {err}", file=sys.stderr)
+            post = shard_postmortem(manifest, sid)
+            if post["flight_path"]:
+                print(
+                    f"  flight recorder: {post['flight_path']}",
+                    file=sys.stderr,
+                )
+            if post["stderr_tail"]:
+                print(
+                    f"  stderr tail ({post['stderr_path']}):",
+                    file=sys.stderr,
+                )
+                for line in post["stderr_tail"]:
+                    print(f"    {line}", file=sys.stderr)
         print(
             f"{done}/{len(manifest.shards)} shards done; re-run the "
             f"same command to retry the failed shards",
@@ -565,6 +606,180 @@ def _cmd_shard_scan(args) -> int:
         print(tsv)
     print(result.summary(), file=sys.stderr)
     return 0
+
+
+TOP_SCHEMA = "repro.live-top/1"
+
+
+def _top_resolve(target: str):
+    """What ``omegascan top`` should watch: ``("daemon", socket_path)``
+    or ``("ledger", ledger_path)``."""
+    import glob
+    import os
+    import stat
+
+    if os.path.exists(target):
+        mode = os.stat(target).st_mode
+        if stat.S_ISSOCK(mode):
+            return "daemon", target
+        if stat.S_ISDIR(mode):
+            hits = sorted(glob.glob(os.path.join(target, "*.ledger")))
+            if not hits:
+                raise ReproError(
+                    f"no *.ledger file in {target!r} — pass the manifest "
+                    "path or the daemon socket instead"
+                )
+            return "ledger", hits[0]
+        if target.endswith(".ledger"):
+            return "ledger", target
+    candidate = target + ".ledger"
+    if os.path.exists(candidate):
+        return "ledger", candidate
+    raise ReproError(
+        f"nothing to watch at {target!r}: expected a manifest (with a "
+        f"{candidate!r} progress ledger next to it), a .ledger file, or "
+        "a running daemon's Unix socket"
+    )
+
+
+def _top_slot_entry(slot, stale_after: float) -> dict:
+    """One JSON-able per-slot row (progress + ETA + liveness)."""
+    from repro.obs.eta import estimate_eta
+
+    eta = estimate_eta(slot, stale_after=stale_after)
+    entry = slot.to_payload()
+    entry["fraction"] = slot.fraction
+    entry["heartbeat_age_seconds"] = (
+        slot.heartbeat_age_seconds() if slot.bound else None
+    )
+    entry["stale"] = slot.stale(stale_after)
+    entry["eta"] = eta.to_payload()
+    return entry
+
+
+def _top_snapshot(kind: str, path: str, stale_after: float) -> dict:
+    """One self-contained progress snapshot of the watched target."""
+    from repro.obs.ledger import ProgressLedger, SlotView
+
+    if kind == "daemon":
+        from repro.service.client import request_status
+
+        status = request_status(path)
+        slots = []
+        for payload in status.get("ledger", {}).get("slots", []):
+            slots.append(
+                SlotView(
+                    index=payload["index"],
+                    gen=0,
+                    pid=payload["pid"],
+                    started_ns=payload["started_ns"],
+                    heartbeat_ns=payload["heartbeat_ns"],
+                    positions_done=payload["positions_done"],
+                    positions_total=payload["positions_total"],
+                    est_cost_done=payload["est_cost_done"],
+                    est_cost_total=payload["est_cost_total"],
+                    rss_bytes=payload["rss_bytes"],
+                    phase=payload["phase"],
+                    key=payload["key"],
+                    torn=payload["torn"],
+                )
+            )
+        return {
+            "schema": TOP_SCHEMA,
+            "source": "daemon",
+            "target": path,
+            "slots": [_top_slot_entry(s, stale_after) for s in slots],
+            "service": {
+                k: status.get(k)
+                for k in (
+                    "queue_depth",
+                    "in_flight",
+                    "served",
+                    "failed",
+                    "rejected",
+                    "backlog_cost_units",
+                    "requests",
+                )
+            },
+        }
+    with ProgressLedger.open(path) as ledger:
+        slots = ledger.read_slots()
+    return {
+        "schema": TOP_SCHEMA,
+        "source": "ledger",
+        "target": path,
+        "slots": [_top_slot_entry(s, stale_after) for s in slots],
+    }
+
+
+def _top_render(doc: dict) -> str:
+    """The human refresh-loop view: one bar per slot plus totals."""
+    lines = [f"omegascan top — {doc['source']} {doc['target']}"]
+    svc = doc.get("service")
+    if svc:
+        lines.append(
+            f"  queue {svc['queue_depth']}  in-flight {svc['in_flight']}  "
+            f"served {svc['served']}  failed {svc['failed']}  "
+            f"rejected {svc['rejected']}"
+        )
+    total_done = total_all = 0
+    for s in doc["slots"]:
+        frac = s["fraction"]
+        bar_w = 20
+        filled = 0 if frac is None else int(round(frac * bar_w))
+        bar = "#" * filled + "-" * (bar_w - filled)
+        pct = "   ?" if frac is None else f"{frac * 100.0:4.0f}"
+        eta = s["eta"]["eta_seconds"]
+        eta_txt = "     --" if eta is None else f"{eta:6.1f}s"
+        flags = []
+        if s["stale"]:
+            age = s["heartbeat_age_seconds"]
+            flags.append(f"STALE {age:.0f}s")
+        if s["torn"]:
+            flags.append("torn")
+        lines.append(
+            f"  {s['key'] or '(slot ' + str(s['index']) + ')':<16s} "
+            f"[{bar}] {pct}%  "
+            f"{s['positions_done']}/{s['positions_total'] or '?'} pos  "
+            f"eta {eta_txt}  {s['phase']:<8s}"
+            + ("  [" + ", ".join(flags) + "]" if flags else "")
+        )
+        total_done += s["positions_done"]
+        total_all += s["positions_total"]
+    if total_all:
+        lines.append(
+            f"  total: {total_done}/{total_all} positions "
+            f"({100.0 * total_done / total_all:.0f}%)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import json
+    import time
+
+    kind, path = _top_resolve(args.target)
+    once = args.once or (args.as_json and args.interval == 1.0)
+    while True:
+        doc = _top_snapshot(kind, path, args.stale_after)
+        if args.as_json:
+            print(json.dumps(doc, indent=None if once else 2))
+        else:
+            if not once:
+                print("\x1b[2J\x1b[H", end="")
+            print(_top_render(doc))
+        if once:
+            return 0
+        if kind == "ledger":
+            bound = [s for s in doc["slots"] if s["bound"]]
+            if bound and all(
+                s["phase"] in ("done", "failed") for s in doc["slots"]
+            ):
+                return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            return 0
 
 
 def _cmd_simulate(args) -> int:
@@ -664,6 +879,9 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         max_concurrent=args.max_concurrent,
         block_lru_bytes=int(args.lru_mb * 1024 * 1024),
+        # `omegascan top <socket>` reads live per-request progress from
+        # this ledger via the daemon's status op.
+        ledger_path=args.socket + ".ledger",
     )
     with contextlib.suppress(FileNotFoundError):
         os.unlink(args.socket)
@@ -771,6 +989,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "scan": _cmd_scan,
         "shard-scan": _cmd_shard_scan,
+        "top": _cmd_top,
         "simulate": _cmd_simulate,
         "accel": _cmd_accel,
         "serve": _cmd_serve,

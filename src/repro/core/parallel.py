@@ -507,6 +507,7 @@ class ParallelScanSession:
                 pending = len(tasks)
                 depth_g.set(pending)
                 parts = {}
+                live = obs.live_slot()
                 for idx, part in self._pool.imap_unordered(
                     _scan_block, tasks, chunksize=1
                 ):
@@ -517,6 +518,8 @@ class ParallelScanSession:
                     # Archive the block as a least-squares row for
                     # ScanCostModel.fit_weights (evals vs area split).
                     lo, hi = blocks[idx]
+                    if live is not None:
+                        live.add_progress(hi - lo, float(costs[lo:hi].sum()))
                     record_calibration_pair(
                         CalibrationPair(
                             n_evaluations=float(
@@ -580,6 +583,7 @@ class ParallelScanSession:
         block_size: Optional[int] = None,
         registry: Optional[obs.MetricsRegistry] = None,
         request_id: str = "",
+        progress: Optional[obs.SlotWriter] = None,
     ) -> ScanResult:
         """Scan an explicit grid-position array over the shared pool.
 
@@ -638,6 +642,11 @@ class ParallelScanSession:
             pending = len(tasks)
             depth_g.set(pending)
             parts = {}
+            # Per-request progress goes to an explicitly passed slot (the
+            # service dispatchers each own one); fall back to the ambient
+            # process slot for standalone callers.
+            if progress is None:
+                progress = obs.live_slot()
             for idx, part in self._pool.imap_unordered(
                 _scan_request_block, tasks, chunksize=1
             ):
@@ -645,6 +654,11 @@ class ParallelScanSession:
                 pending -= 1
                 depth_g.set(pending)
                 secs_h.observe(part.breakdown.wall_seconds)
+                if progress is not None:
+                    lo, hi = blocks[idx]
+                    progress.add_progress(
+                        hi - lo, float(position_costs[lo:hi].sum())
+                    )
         self._cost_model = calibrate_from(registry.snapshot())
         if self._cost_model.seconds_per_unit is not None:
             registry.gauge("scheduler.cost_seconds_per_unit").set(
@@ -874,6 +888,7 @@ class StreamingScanSession:
         *,
         max_pair_span: int,
         prefetch=None,
+        block_costs=None,
     ):
         """Scan one chunk's grid blocks; returns ``(parts, prefetched)``.
 
@@ -882,7 +897,8 @@ class StreamingScanSession:
         ``prefetch`` (optional, zero-argument) runs in the parent *after*
         dispatch and *before* result collection, overlapping the next
         chunk's ingestion with this chunk's compute; its return value is
-        passed through.
+        passed through. ``block_costs`` (optional ``{block index: Eq. 4
+        cost}``) feeds the live progress ledger's cost accounting.
         """
         self.start()
         tr = obs.get_tracer()
@@ -913,11 +929,21 @@ class StreamingScanSession:
             parts = {}
             pending = len(tasks)
             depth_g.set(pending)
+            live = obs.live_slot()
             for idx, part in it:
                 parts[idx] = part
                 pending -= 1
                 depth_g.set(pending)
                 secs_h.observe(part.breakdown.wall_seconds)
+                if live is not None:
+                    live.add_progress(
+                        len(part.positions),
+                        block_costs.get(idx, 0.0) if block_costs else 0.0,
+                    )
+            obs.get_flight().record(
+                "chunk", "stream.parallel_chunk",
+                sites=int(chunk.n_sites), blocks=len(tasks),
+            )
             return parts, prefetched
         finally:
             with tr.span("shm_unpublish", "shm"):
@@ -1119,12 +1145,21 @@ def _iter_scan_stream_parallel(
                     def prefetch():
                         return ingest_next(window_iter)
 
+                block_costs = None
+                if obs.live_slot() is not None:
+                    block_costs = {
+                        b: float(
+                            costs[blocks[b][0] : blocks[b][1]].sum()
+                        )
+                        for b in data_blocks
+                    }
                 with obs.scoped_metrics() as registry:
                     parts, prefetched = session.scan_chunk(
                         chunk,
                         tasks,
                         max_pair_span=chunk_max_span(data_blocks),
                         prefetch=prefetch,
+                        block_costs=block_costs,
                     )
                     registry.counter("stream.chunks").inc()
                     registry.gauge("stream.chunk_rss_bytes").set(

@@ -183,6 +183,10 @@ class _OmegaBatchSink:
         self._batched_positions = registry.counter("omega.batched_positions")
         self._direct_positions = registry.counter("omega.direct_positions")
         self._batch_fill = registry.histogram("omega.batch_positions")
+        # Live progress ledger: resolved once per sink; None (a single
+        # attribute check per position) unless this process bound a slot.
+        self._live = obs.live_slot()
+        self._live_model = get_cost_model() if self._live is not None else None
         # Lazy accel imports: repro.accel.gpu.omega_gpu imports this
         # module, so pulling the dispatcher in at module scope would be
         # a cycle. Resolution happens per sink so worker processes
@@ -212,6 +216,13 @@ class _OmegaBatchSink:
 
     def add(self, out_idx: int, plan: PositionPlan, sums) -> None:
         """Evaluate (or pack) one valid position's ω maximization."""
+        if self._live is not None:
+            self._live.add_progress(
+                1,
+                self._live_model.position_cost(
+                    plan.n_evaluations, plan.region_width
+                ),
+            )
         off = plan.region_start
         li = plan.left_borders - off
         rj = plan.right_borders - off
@@ -588,12 +599,22 @@ def _iter_stream_sequential(
                 subphases = TimeBreakdown()
                 if first:
                     breakdown.add("plan", plan_seconds)
+                live = obs.live_slot()
                 with obs.scoped_metrics() as registry:
                     if site_hi > site_lo:
+                        if live is not None:
+                            live.set_phase("ingest")
                         with tr.phase(
                             breakdown, "ingest", "ingest", thread="ingest"
                         ):
                             chunk = next(window_iter)
+                        if live is not None:
+                            live.set_phase("scan")
+                        obs.get_flight().record(
+                            "chunk", "stream.ingest",
+                            site_lo=site_lo, site_hi=site_hi,
+                            plan_lo=plan_lo, plan_hi=plan_hi,
+                        )
                         holder["lo"] = site_lo
                         if cfg.ld_backend == "packed":
                             holder["packed"] = (

@@ -152,6 +152,36 @@ def _check_ranges(
     return checked
 
 
+def _live_windows(
+    inner: Iterator[SNPAlignment],
+) -> Iterator[SNPAlignment]:
+    """Wrap a window generator with live-introspection hooks.
+
+    Each file-backed window read heartbeats the process's progress-ledger
+    slot (if one is bound — a plain ``None`` check otherwise) and leaves
+    a flight-recorder breadcrumb, so a worker stuck inside a slow ingest
+    still looks alive to ``omegascan top`` and a postmortem shows how far
+    the reader got.
+    """
+    from repro.obs.flight import get_flight
+    from repro.obs.ledger import live_slot
+
+    def gen() -> Iterator[SNPAlignment]:
+        try:
+            for chunk in inner:
+                w = live_slot()
+                if w is not None:
+                    w.touch()
+                get_flight().record(
+                    "window", "reader.window", sites=int(chunk.n_sites)
+                )
+                yield chunk
+        finally:
+            inner.close()
+
+    return gen()
+
+
 class AlignmentStreamSource:
     """Interface of a chunk-serving alignment source.
 
@@ -349,8 +379,8 @@ class StreamingAlignmentReader(AlignmentStreamSource):
     ) -> Iterator[SNPAlignment]:
         checked = _check_ranges(ranges, self.n_sites)
         if self._format == "ms":
-            return self._ms_windows(checked)
-        return self._vcf_windows(checked)
+            return _live_windows(self._ms_windows(checked))
+        return _live_windows(self._vcf_windows(checked))
 
     # -------------------------------------------------------------- #
     # ms route (row-major: per-window re-read, one row resident)

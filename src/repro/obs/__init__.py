@@ -62,6 +62,15 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.obs.export import scan_metrics_document, write_scan_metrics
+from repro.obs.flight import FlightRecorder, get_flight, reset_flight
+from repro.obs.ledger import (
+    ProgressLedger,
+    SlotView,
+    SlotWriter,
+    bind_live_slot,
+    clear_live_slot,
+    live_slot,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
@@ -69,16 +78,25 @@ from repro.obs.metrics import (
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "FlightRecorder",
     "MetricsRegistry",
     "ObsSpec",
+    "ProgressLedger",
+    "SlotView",
+    "SlotWriter",
     "Tracer",
+    "bind_live_slot",
+    "clear_live_slot",
     "configure_worker",
     "current_rss_bytes",
     "current_spec",
+    "get_flight",
     "get_metrics",
     "get_tracer",
+    "live_slot",
     "merge_snapshots",
     "reset",
+    "reset_flight",
     "scan_metrics_document",
     "scoped_metrics",
     "start_tracing",
@@ -215,6 +233,8 @@ def reset() -> None:
     _STATE.tracer.close()
     _STATE.tracer = Tracer()
     _STATE.registry = MetricsRegistry()
+    clear_live_slot()
+    reset_flight()
 
 
 _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096

@@ -1,0 +1,143 @@
+"""ETA engine: realized ledger rates blended with the calibrated cost model.
+
+The admission controller already prices requests with the Eq. 4
+:class:`~repro.core.costmodel.ScanCostModel`; the progress ledger now
+reports how much of that priced cost each worker has *realized*. This
+module closes the loop: a completion estimate that starts from the
+model's ``seconds_per_unit`` (the prior the scheduler trusts) and shifts
+toward the worker's own measured cost-units/second as evidence
+accumulates.
+
+Blending weight: with ``avg_block_cost`` = the model's mean calibrated
+block cost (``est_cost_sum / calibration_blocks`` — the PR 7 calibration
+archive's evidence scale), the realized rate gets weight
+``cost_done / (cost_done + avg_block_cost)``. A worker one average block
+into its shard is trusted half-way; ten blocks in, ~91 %. With no
+calibrated model the realized rate stands alone; with no realized
+progress the model stands alone; with neither, no ETA is claimed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.costmodel import (
+    ScanCostModel,
+    calibration_pairs,
+    get_cost_model,
+)
+from repro.obs.ledger import SlotView
+
+__all__ = [
+    "EtaEstimate",
+    "estimate_eta",
+    "resolve_model",
+]
+
+#: Realized rates measured over less than this much run time are noise.
+_MIN_ELAPSED_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class EtaEstimate:
+    """Completion estimate for one ledger slot."""
+
+    fraction: Optional[float]  #: completed fraction in [0, 1], if known
+    eta_seconds: Optional[float]  #: remaining wall seconds, if estimable
+    rate_units_per_second: Optional[float]  #: blended cost-unit throughput
+    source: str  #: "realized" | "model" | "blended" | "none"
+    stale: bool  #: heartbeat older than the staleness threshold
+
+    def to_payload(self) -> dict:
+        return {
+            "fraction": self.fraction,
+            "eta_seconds": self.eta_seconds,
+            "rate_units_per_second": self.rate_units_per_second,
+            "source": self.source,
+            "stale": self.stale,
+        }
+
+
+def resolve_model(model: Optional[ScanCostModel] = None) -> ScanCostModel:
+    """The model to price ETAs with: the given one, else the shared
+    model, refit from the calibration-pair archive if it has never been
+    calibrated but archived evidence exists."""
+    if model is not None:
+        return model
+    model = get_cost_model()
+    if model.seconds_per_unit is None:
+        pairs = calibration_pairs()
+        if len(pairs) >= 8:
+            try:
+                return model.fit_weights(pairs)
+            except Exception:
+                return model
+    return model
+
+
+def estimate_eta(
+    slot: SlotView,
+    *,
+    model: Optional[ScanCostModel] = None,
+    stale_after: float = 5.0,
+    now_ns: Optional[int] = None,
+) -> EtaEstimate:
+    """Per-slot completion estimate from ledger progress + cost model."""
+    if now_ns is None:
+        now_ns = time.perf_counter_ns()
+    stale = slot.stale(stale_after, now_ns)
+    fraction = slot.fraction
+    if not slot.bound:
+        return EtaEstimate(None, None, None, "none", False)
+    if slot.phase == "done" or (fraction is not None and fraction >= 1.0):
+        return EtaEstimate(1.0 if fraction is None else fraction,
+                           0.0, None, "none", False)
+
+    # Realized cost-units/second over the worker's own active window
+    # (started → last heartbeat, so a stalled worker's silence does not
+    # dilute the rate it demonstrated while alive).
+    elapsed = (slot.heartbeat_ns - slot.started_ns) / 1e9
+    realized: Optional[float] = None
+    if slot.est_cost_done > 0 and elapsed >= _MIN_ELAPSED_SECONDS:
+        realized = slot.est_cost_done / elapsed
+
+    model = resolve_model(model)
+    model_rate: Optional[float] = None
+    if model.seconds_per_unit:
+        model_rate = 1.0 / model.seconds_per_unit
+
+    if realized is not None and model_rate is not None:
+        avg_block = (
+            model.est_cost_sum / model.calibration_blocks
+            if model.calibration_blocks
+            else slot.est_cost_done
+        )
+        w = slot.est_cost_done / (slot.est_cost_done + max(avg_block, 1e-12))
+        rate = w * realized + (1.0 - w) * model_rate
+        source = "blended"
+    elif realized is not None:
+        rate, source = realized, "realized"
+    elif model_rate is not None:
+        rate, source = model_rate, "model"
+    else:
+        # Fall back to position throughput when cost accounting is absent.
+        if (
+            slot.positions_done > 0
+            and slot.positions_total > 0
+            and elapsed >= _MIN_ELAPSED_SECONDS
+        ):
+            pos_rate = slot.positions_done / elapsed
+            remaining = max(0, slot.positions_total - slot.positions_done)
+            return EtaEstimate(
+                fraction, remaining / pos_rate, None, "realized", stale
+            )
+        return EtaEstimate(fraction, None, None, "none", stale)
+
+    if slot.est_cost_total > 0:
+        remaining_cost = max(0.0, slot.est_cost_total - slot.est_cost_done)
+        return EtaEstimate(
+            fraction, remaining_cost / rate, rate, source, stale
+        )
+    return EtaEstimate(fraction, None, rate, source, stale)

@@ -1,0 +1,142 @@
+"""Crash flight recorder: a bounded ring of recent coarse events.
+
+Every process keeps the last ~256 milestone records (chunk ingested,
+block completed, phase change, shard lifecycle) in a plain in-memory
+deque — never written anywhere during a healthy run, so the hot path
+pays one function call and one ``deque.append`` per *chunk*, not per
+position. When a shard fails or a worker dies, the ring (plus a final
+metrics snapshot and the exception) is dumped as a single JSON document
+into the manifest's sidecar directory, turning "exit 3, go find stderr"
+into a self-contained postmortem.
+
+Two dump producers share one file per shard:
+
+* the worker itself, from its ``except BaseException`` handler (richest:
+  in-memory ring + traceback + metrics), and
+* the orchestrator's reap path, when the worker died without writing one
+  (SIGKILL/OOM): exit status, the victim's last ledger slot, and the
+  captured stderr tail — everything the parent still knows.
+
+Like the rest of ``repro.obs``, state is keyed by PID so forked workers
+start with an empty ring instead of re-dumping inherited parent events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "FlightRecorder",
+    "get_flight",
+    "reset_flight",
+    "write_dump",
+]
+
+FLIGHT_SCHEMA = "repro.flight-recorder/1"
+
+_DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Bounded ring of ``(t_ns, kind, name, detail)`` records."""
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        self._ring: Deque[Tuple[int, str, str, dict]] = deque(
+            maxlen=capacity
+        )
+
+    def record(self, kind: str, name: str, **detail) -> None:
+        """Append one event (cheap; called at chunk/block granularity)."""
+        self._ring.append((time.perf_counter_ns(), kind, name, detail))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def snapshot(self) -> List[dict]:
+        return [
+            {"t_ns": t, "kind": kind, "name": name, "detail": detail}
+            for t, kind, name, detail in self._ring
+        ]
+
+    def dump(
+        self,
+        path: str,
+        *,
+        error: Optional[BaseException] = None,
+        metrics: Optional[dict] = None,
+        extra: Optional[dict] = None,
+    ) -> str:
+        """Write the postmortem document atomically; returns ``path``."""
+        doc = {
+            "schema": FLIGHT_SCHEMA,
+            "pid": os.getpid(),
+            "dumped_unix": time.time(),
+            "events": self.snapshot(),
+            "error": None,
+            "metrics": metrics,
+        }
+        if error is not None:
+            doc["error"] = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "traceback": "".join(
+                    traceback.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                ),
+            }
+        if extra:
+            doc.update(extra)
+        write_dump(path, doc)
+        return path
+
+
+def write_dump(path: str, doc: dict) -> None:
+    """Atomic JSON write (temp + ``os.replace``), crash-safe like the
+    sidecars: readers either see a complete document or none."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# --------------------------------------------------------------------- #
+# per-process recorder (fork-aware, like obs._ObsState)
+# --------------------------------------------------------------------- #
+
+_STATE: Optional[Tuple[int, FlightRecorder]] = None
+
+
+def get_flight() -> FlightRecorder:
+    """This process's flight recorder (always on; recording is cheap)."""
+    global _STATE
+    pid = os.getpid()
+    if _STATE is None or _STATE[0] != pid:
+        _STATE = (pid, FlightRecorder())
+    return _STATE[1]
+
+
+def reset_flight() -> None:
+    """Drop the ring (tests only)."""
+    global _STATE
+    _STATE = None

@@ -1,0 +1,236 @@
+"""OpenMetrics/Prometheus text exposition for MetricsRegistry snapshots.
+
+Maps the native metric schema (dotted names, power-of-two histogram
+buckets keyed by exact ``repr`` strings — see
+:meth:`~repro.obs.metrics.Histogram.bucket_le`) onto the OpenMetrics
+text format, so a daemon's ``{"op": "metrics"}`` reply can be scraped by
+any Prometheus-compatible collector:
+
+* counters — ``repro_scan_positions_evaluated_total 1234``
+* gauges — one sample per statistic, labelled
+  ``repro_scheduler_queue_depth{stat="last"} 3`` (``last``/``min``/
+  ``max``/``count``)
+* histograms — per-bucket counts become *cumulative* ``_bucket`` samples
+  in ascending ``le`` order, closed by the mandatory ``le="+Inf"``
+  bucket, plus ``_sum`` and ``_count``
+
+Dots and any other non-identifier characters in native names map to
+``_``; everything is prefixed (default ``repro_``) to keep a shared
+scrape namespace clean. :func:`validate_openmetrics` is the strict
+parser the tests and the nightly smoke run against the rendered text —
+no third-party client library is needed (or installed).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CONTENT_TYPE",
+    "metric_name",
+    "render_openmetrics",
+    "validate_openmetrics",
+]
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(native: str, *, prefix: str = "repro") -> str:
+    """``scan.positions_evaluated`` → ``repro_scan_positions_evaluated``."""
+    base = _NAME_OK.sub("_", native)
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _le_sort_key(label: str) -> float:
+    # native labels are "0", repr(2.0**k), or repr(math.inf) == "inf"
+    return float(label)
+
+
+def render_openmetrics(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as OpenMetrics text."""
+    lines: List[str] = []
+
+    for native in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][native]
+        name = metric_name(native, prefix=prefix)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_fmt(float(value))}")
+
+    for native in sorted(snapshot.get("gauges", {})):
+        g = snapshot["gauges"][native]
+        name = metric_name(native, prefix=prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f'{name}{{stat="last"}} {_fmt(float(g["last"]))}')
+        lines.append(f'{name}{{stat="min"}} {_fmt(float(g["min"]))}')
+        lines.append(f'{name}{{stat="max"}} {_fmt(float(g["max"]))}')
+        lines.append(f'{name}{{stat="count"}} {_fmt(float(g["n"]))}')
+
+    for native in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][native]
+        name = metric_name(native, prefix=prefix)
+        lines.append(f"# TYPE {name} histogram")
+        cum = 0
+        buckets = sorted(h.get("buckets", {}).items(), key=lambda kv: _le_sort_key(kv[0]))
+        for le, count in buckets:
+            bound = float(le)
+            if math.isinf(bound):
+                continue  # folded into the mandatory +Inf bucket below
+            cum += count
+            lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {int(h["count"])}')
+        lines.append(f'{name}_sum {_fmt(float(h["sum"]))}')
+        lines.append(f"{name}_count {int(h['count'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(raw: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(raw):
+        m = _LABEL_RE.match(raw, pos)
+        if m is None:
+            raise ValueError(f"malformed label set: {raw!r}")
+        labels[m.group(1)] = m.group(2).replace('\\"', '"').replace(
+            "\\\\", "\\"
+        )
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ValueError(f"malformed label set: {raw!r}")
+            pos += 1
+    return labels
+
+
+def _sample_family(name: str, families: Dict[str, dict]) -> str:
+    """Resolve a sample name to its declared family, honouring the
+    per-type suffix rules (counter ``_total``; histogram ``_bucket``,
+    ``_sum``, ``_count``)."""
+    if name in families and families[name]["type"] == "gauge":
+        return name
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            family = name[: -len(suffix)]
+            if family in families:
+                ftype = families[family]["type"]
+                if ftype == "counter" and suffix == "_total":
+                    return family
+                if ftype == "histogram" and suffix != "_total":
+                    return family
+    raise ValueError(f"sample {name!r} matches no declared metric family")
+
+
+def validate_openmetrics(text: str) -> Dict[str, dict]:
+    """Strict structural validation of OpenMetrics exposition text.
+
+    Enforces: final ``# EOF`` line; every sample preceded by a ``# TYPE``
+    declaration for its family; families not interleaved or redeclared;
+    parseable float values; histogram buckets cumulative and
+    non-decreasing in ascending ``le`` order, with the ``le="+Inf"``
+    bucket present and equal to ``_count``. Returns
+    ``{family: {"type": ..., "samples": [(name, labels, value), ...]}}``;
+    raises :class:`ValueError` on any violation.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: Dict[str, dict] = {}
+    current: str = ""
+    for lineno, line in enumerate(lines[:-1], 1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank line in exposition")
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            kind = parts[1]
+            if kind not in ("TYPE", "HELP", "UNIT"):
+                raise ValueError(
+                    f"line {lineno}: unknown metadata {kind!r}"
+                )
+            fname = parts[2]
+            if kind == "TYPE":
+                mtype = parts[3] if len(parts) > 3 else ""
+                if mtype not in ("counter", "gauge", "histogram",
+                                 "summary", "info", "unknown"):
+                    raise ValueError(
+                        f"line {lineno}: bad metric type {mtype!r}"
+                    )
+                if fname in families:
+                    raise ValueError(
+                        f"line {lineno}: family {fname!r} redeclared"
+                    )
+                families[fname] = {"type": mtype, "samples": []}
+                current = fname
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "")
+        try:
+            value = float(m.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparseable value {m.group('value')!r}"
+            )
+        family = _sample_family(name, families)
+        if family != current:
+            raise ValueError(
+                f"line {lineno}: sample for {family!r} outside its "
+                f"family block (current: {current!r})"
+            )
+        families[family]["samples"].append((name, labels, value))
+
+    for fname, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        buckets: List[Tuple[float, float]] = []
+        count_value = None
+        for name, labels, value in fam["samples"]:
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    raise ValueError(f"{fname}: bucket sample without le")
+                buckets.append(
+                    (math.inf if le == "+Inf" else float(le), value)
+                )
+            elif name.endswith("_count"):
+                count_value = value
+        if not buckets or not math.isinf(buckets[-1][0]):
+            raise ValueError(f"{fname}: missing le=\"+Inf\" bucket")
+        bounds = [b for b, _ in buckets]
+        counts = [c for _, c in buckets]
+        if bounds != sorted(bounds):
+            raise ValueError(f"{fname}: bucket bounds out of order")
+        if counts != sorted(counts):
+            raise ValueError(f"{fname}: bucket counts not cumulative")
+        if count_value is not None and counts[-1] != count_value:
+            raise ValueError(
+                f"{fname}: +Inf bucket ({counts[-1]}) != _count "
+                f"({count_value})"
+            )
+    return families

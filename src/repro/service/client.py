@@ -16,7 +16,12 @@ from typing import Optional
 
 from repro.service.model import ServiceError
 
-__all__ = ["request_scan", "send_request"]
+__all__ = [
+    "request_metrics",
+    "request_scan",
+    "request_status",
+    "send_request",
+]
 
 
 def send_request(
@@ -39,6 +44,28 @@ def send_request(
     if not raw:
         raise ServiceError("scan daemon closed the connection mid-request")
     return json.loads(raw.decode("utf-8"))
+
+
+def request_status(
+    socket_path: str, *, timeout: Optional[float] = 10.0
+) -> dict:
+    """The daemon's ``status`` document (queue, in-flight requests with
+    live progress, ledger slots)."""
+    response = send_request(socket_path, {"op": "status"}, timeout=timeout)
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "status request failed"))
+    return response
+
+
+def request_metrics(
+    socket_path: str, *, timeout: Optional[float] = 10.0
+) -> dict:
+    """The daemon's merged metrics as OpenMetrics text; returns the full
+    response (``exposition`` + ``content_type``)."""
+    response = send_request(socket_path, {"op": "metrics"}, timeout=timeout)
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "metrics request failed"))
+    return response
 
 
 def request_scan(

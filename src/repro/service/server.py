@@ -6,6 +6,7 @@ Ops::
     {"op": "scan", "start_bp": ..., "stop_bp": ..., "n_positions": ...,
      "deadline_seconds": ..., "priority": ...}
     {"op": "status"}
+    {"op": "metrics"}
     {"op": "ping"}
     {"op": "shutdown"}
 
@@ -23,6 +24,7 @@ import asyncio
 import json
 from typing import Optional
 
+from repro.obs.openmetrics import CONTENT_TYPE, render_openmetrics
 from repro.service.model import (
     AdmissionError,
     DeadlineInfeasibleError,
@@ -62,6 +64,13 @@ async def _handle_line(service: ScanService, line: str, shutdown) -> dict:
         return {"ok": True, "op": "ping"}
     if op == "status":
         return {"ok": True, "op": "status", **service.status()}
+    if op == "metrics":
+        return {
+            "ok": True,
+            "op": "metrics",
+            "content_type": CONTENT_TYPE,
+            "exposition": render_openmetrics(service.metrics_snapshot()),
+        }
     if op == "shutdown":
         shutdown.set()
         return {"ok": True, "op": "shutdown"}

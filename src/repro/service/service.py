@@ -37,6 +37,8 @@ import numpy as np
 import repro.obs as obs
 from repro.core.costmodel import get_cost_model
 from repro.core.parallel import ParallelScanSession, plans_for_positions
+from repro.obs.eta import estimate_eta
+from repro.obs.ledger import ProgressLedger
 from repro.core.results import ScanResult
 from repro.core.scan import OmegaConfig
 from repro.datasets.alignment import SNPAlignment
@@ -74,6 +76,9 @@ class ScanJob:
     #: this request's scheduler/service metrics, nothing from any other
     #: request.
     metrics: Optional[dict] = field(default=None, repr=False)
+    #: Progress-ledger slot this request publishes into while running
+    #: (slots are per dispatcher; -1 = no ledger configured).
+    slot_index: int = -1
 
     async def wait(self) -> ScanResult:
         """The request's :class:`~repro.core.results.ScanResult` (or the
@@ -202,6 +207,7 @@ class ScanService:
         block_lru_bytes: int = DEFAULT_BLOCK_LRU_BYTES,
         shared_tiles: bool = True,
         cost_ordering: bool = True,
+        ledger_path: Optional[str] = None,
     ):
         if queue_limit < 1:
             raise ServiceError(
@@ -235,6 +241,10 @@ class ScanService:
         self._rejected = 0
         #: Service-lifetime metrics (per-request registries fold in here).
         self.registry = obs.MetricsRegistry()
+        #: Live progress ledger: one slot per dispatcher, keyed by the
+        #: request id it is currently running (see repro.obs.ledger).
+        self._ledger_path = ledger_path
+        self._ledger: Optional[ProgressLedger] = None
 
     # -------------------------------------------------------------- #
     # lifecycle
@@ -245,8 +255,21 @@ class ScanService:
         if self._started:
             return self
         await asyncio.to_thread(self._session.start)
+        if self._ledger_path:
+            # Introspection only: a daemon that cannot write its ledger
+            # still serves scans.
+            try:
+                self._ledger = ProgressLedger.create(
+                    self._ledger_path, self._max_concurrent
+                )
+                for i in range(self._max_concurrent):
+                    self._ledger.init_slot(i, key="idle", phase="idle")
+            except Exception:
+                self._ledger = None
         self._dispatchers = [
-            asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
+            asyncio.create_task(
+                self._dispatch_loop(i), name=f"dispatch-{i}"
+            )
             for i in range(self._max_concurrent)
         ]
         self._started = True
@@ -282,6 +305,12 @@ class ScanService:
                 pass
         self._dispatchers = []
         await asyncio.to_thread(self._session.close)
+        if self._ledger is not None:
+            try:
+                self._ledger.close()
+            except Exception:
+                pass
+            self._ledger = None
 
     async def __aenter__(self) -> "ScanService":
         return await self.start()
@@ -349,9 +378,11 @@ class ScanService:
     # -------------------------------------------------------------- #
     # dispatch
 
-    async def _dispatch_loop(self) -> None:
+    async def _dispatch_loop(self, slot_index: int = -1) -> None:
         while True:
             _priority, job = await self._queue.get()
+            if self._ledger is not None:
+                job.slot_index = slot_index
             self._in_flight[job.request_id] = job
             try:
                 result = await asyncio.to_thread(self._run_job, job)
@@ -386,22 +417,48 @@ class ScanService:
         svc.histogram("service.queue_wait_seconds").observe(
             job.started_at - job.submitted_at
         )
+        writer = None
+        if self._ledger is not None and job.slot_index >= 0:
+            try:
+                writer = self._ledger.slot_writer(job.slot_index)
+                writer.bind(
+                    key=job.request_id,
+                    phase="scan",
+                    positions_total=int(job.grid_positions.size),
+                    est_cost_total=float(job.estimate.total_cost),
+                )
+            except Exception:
+                writer = None
         tr = obs.get_tracer()
-        with tr.span(
-            "service_request",
-            "service",
-            args={
-                "request": job.request_id,
-                "positions": int(job.grid_positions.size),
-                "priority": job.request.priority,
-            },
-        ):
-            result = self._session.scan_positions(
-                job.grid_positions,
-                position_costs=job.position_costs,
-                registry=sched,
-                request_id=job.request_id,
-            )
+        try:
+            with tr.span(
+                "service_request",
+                "service",
+                args={
+                    "request": job.request_id,
+                    "positions": int(job.grid_positions.size),
+                    "priority": job.request.priority,
+                },
+            ):
+                result = self._session.scan_positions(
+                    job.grid_positions,
+                    position_costs=job.position_costs,
+                    registry=sched,
+                    request_id=job.request_id,
+                    progress=writer,
+                )
+        except BaseException:
+            if writer is not None:
+                try:
+                    writer.finish("failed")
+                except Exception:
+                    pass
+            raise
+        if writer is not None:
+            try:
+                writer.finish("done")
+            except Exception:
+                pass
         job.finished_at = time.monotonic()
         wall = job.finished_at - job.started_at
         svc.histogram("service.request_wall_seconds").observe(wall)
@@ -413,8 +470,11 @@ class ScanService:
             ).inc()
         job.metrics = obs.merge_snapshots(result.metrics, svc.snapshot())
         result.metrics = job.metrics
-        self.registry.merge_snapshot(sched.snapshot())
-        self.registry.merge_snapshot(svc.snapshot())
+        # job.metrics already contains ``sched`` (scan_positions folds it
+        # into result.metrics) plus the worker parts' scan/omega/reuse
+        # counters, so folding it makes the lifetime registry — and the
+        # OpenMetrics exposition — carry the full pipeline picture.
+        self.registry.merge_snapshot(job.metrics)
         return result
 
     # -------------------------------------------------------------- #
@@ -422,7 +482,33 @@ class ScanService:
     def status(self) -> dict:
         """JSON-able service state (the wire protocol's ``status`` op)."""
         model = get_cost_model()
-        return {
+        now = time.monotonic()
+        requests = []
+        for job in list(self._in_flight.values()):
+            entry = {
+                "request_id": job.request_id,
+                "priority": job.request.priority,
+                "est_cost": job.estimate.total_cost,
+                "n_positions": int(job.grid_positions.size),
+                "admitted_seconds_ago": now - job.submitted_at,
+                "running": job.started_at is not None,
+                "fraction": None,
+                "eta": None,
+            }
+            if self._ledger is not None and job.slot_index >= 0:
+                try:
+                    slot = self._ledger.read_slot(job.slot_index)
+                    # The slot may still hold the dispatcher's previous
+                    # request for a moment; only report it as ours when
+                    # the key matches.
+                    if slot.key == job.request_id:
+                        entry["fraction"] = slot.fraction
+                        entry["progress"] = slot.to_payload()
+                        entry["eta"] = estimate_eta(slot).to_payload()
+                except Exception:
+                    pass
+            requests.append(entry)
+        status = {
             "started": self._started,
             "closed": self._closed,
             "queue_depth": len(self._queue),
@@ -433,6 +519,7 @@ class ScanService:
             "rejected": self._rejected,
             "backlog_cost_units": self._backlog_cost,
             "n_workers": self._session.n_workers,
+            "requests": requests,
             "cost_model": {
                 "seconds_per_unit": model.seconds_per_unit,
                 "calibration_blocks": model.calibration_blocks,
@@ -440,3 +527,23 @@ class ScanService:
                 "seconds_sum": model.seconds_sum,
             },
         }
+        if self._ledger is not None:
+            try:
+                status["ledger"] = {
+                    "path": self._ledger_path,
+                    "slots": [
+                        dict(s.to_payload(), fraction=s.fraction)
+                        for s in self._ledger.read_slots()
+                    ],
+                }
+            except Exception:
+                pass
+        return status
+
+    def metrics_snapshot(self) -> dict:
+        """Merged service-lifetime metrics: every completed request's
+        fold-in plus whatever the daemon process recorded on the side
+        (the ``{"op": "metrics"}`` exposition renders this)."""
+        return obs.merge_snapshots(
+            self.registry.snapshot(), obs.get_metrics().snapshot()
+        )

@@ -33,6 +33,8 @@ from repro.shard.runner import (
     ShardScanResult,
     merge_manifest,
     run_manifest,
+    shard_aux_basenames,
+    shard_postmortem,
     shard_scan,
 )
 
@@ -47,5 +49,7 @@ __all__ = [
     "expand_inputs",
     "merge_manifest",
     "run_manifest",
+    "shard_aux_basenames",
+    "shard_postmortem",
     "shard_scan",
 ]

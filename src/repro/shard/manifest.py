@@ -150,6 +150,16 @@ class Manifest:
     def sidecar_path(self, relative: str) -> str:
         return os.path.join(self.sidecar_dir, relative)
 
+    @property
+    def progress_ledger_path(self) -> str:
+        """The live progress ledger next to the manifest: one mmap'd
+        seqlock slot per shard (see :mod:`repro.obs.ledger`), written by
+        the shard workers and read by ``omegascan top``. Distinct from
+        the manifest itself (the durable JSONL state ledger) — this file
+        is advisory, rewritten every run, and never consulted for
+        crash-resume decisions."""
+        return os.path.abspath(self.path) + ".ledger"
+
     # ------------------------------------------------------------- #
     # persistence
     # ------------------------------------------------------------- #

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.grid import build_plans_from_positions
 from repro.core.results import ScanResult, merge_scan_results
 from repro.core.reuse import DpSeed, dp_replay_seed
@@ -51,6 +52,8 @@ from repro.datasets.streaming import (
     StreamingAlignmentReader,
 )
 from repro.errors import ShardError
+from repro.obs.flight import get_flight, write_dump
+from repro.obs.ledger import ProgressLedger, bind_live_slot
 from repro.shard import sidecar
 from repro.shard.manifest import Manifest, ShardRecord, UnitSpec
 
@@ -60,6 +63,8 @@ __all__ = [
     "UnitResult",
     "merge_manifest",
     "run_manifest",
+    "shard_aux_basenames",
+    "shard_postmortem",
     "shard_scan",
 ]
 
@@ -132,6 +137,42 @@ class _ShardJob:
     npz_path: str
     json_path: str
     fingerprint: dict
+    # Live introspection (all optional: a worker scans fine without it)
+    ledger_path: Optional[str] = None
+    slot_index: int = -1
+    stderr_path: Optional[str] = None
+    flight_path: Optional[str] = None
+
+
+def shard_aux_basenames(shard_id: int) -> Tuple[str, str]:
+    """(stderr capture, flight-recorder dump) file names for a shard."""
+    return f"shard-{shard_id}.stderr", f"flight-{shard_id}.json"
+
+
+def _tail_lines(path: str, n: int = 20) -> List[str]:
+    """Last ``n`` lines of a text file ('' -> []); never raises."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            return fh.read().splitlines()[-n:]
+    except OSError:
+        return []
+
+
+def shard_postmortem(
+    manifest: Manifest, shard_id: int, *, tail: int = 20
+) -> dict:
+    """What the sidecar directory knows about a (failed) shard: the
+    captured stderr tail and the flight-recorder dump path, if present.
+    Used by ``omegascan shard-scan`` to print self-contained failures."""
+    stderr_name, flight_name = shard_aux_basenames(shard_id)
+    stderr_path = manifest.sidecar_path(stderr_name)
+    flight_path = manifest.sidecar_path(flight_name)
+    return {
+        "shard": shard_id,
+        "stderr_path": stderr_path if os.path.exists(stderr_path) else None,
+        "stderr_tail": _tail_lines(stderr_path, tail),
+        "flight_path": flight_path if os.path.exists(flight_path) else None,
+    }
 
 
 def _shard_fingerprint(unit: UnitSpec, shard: ShardRecord) -> dict:
@@ -192,53 +233,122 @@ def _strip_warmup(result: ScanResult, n: int) -> ScanResult:
     )
 
 
+def _attach_introspection(job: _ShardJob):
+    """Worker-side setup of the live-introspection plumbing: stderr
+    capture, ledger slot binding, flight-recorder breadcrumb. All
+    best-effort — introspection must never take down a scan."""
+    if job.stderr_path:
+        # Redirect fd 2 so crashes (including ones the Python layer never
+        # sees) land in a per-shard capture the orchestrator can print.
+        try:
+            os.makedirs(
+                os.path.dirname(job.stderr_path) or ".", exist_ok=True
+            )
+            fd = os.open(
+                job.stderr_path,
+                os.O_WRONLY | os.O_CREAT | os.O_TRUNC,
+                0o644,
+            )
+            os.dup2(fd, 2)
+            os.close(fd)
+        except OSError:
+            pass
+    writer = None
+    if job.ledger_path and job.slot_index >= 0:
+        try:
+            ledger = ProgressLedger.open(job.ledger_path, writable=True)
+            writer = ledger.slot_writer(job.slot_index)
+            writer.bind(phase="index")
+            bind_live_slot(writer)
+        except Exception:
+            writer = None
+    get_flight().record(
+        "shard", "worker.start", shard=job.shard_id, pid=os.getpid(),
+        grid_lo=job.grid_lo, grid_hi=job.grid_hi,
+    )
+    return writer
+
+
 def _shard_worker(job: _ShardJob) -> None:
     """Shard process entry point: index the unit, scan the grid slice,
     persist the sidecars. Exits non-zero on any failure; never touches
     the manifest ledger (the parent is the single writer)."""
-    source: AlignmentStreamSource = StreamingAlignmentReader(
-        job.path,
-        format=job.format,
-        length=job.length,
-        replicate=job.replicate,
-        chromosome=job.chromosome,
-    )
-    hold_dir = os.environ.get(HOLD_DIR_ENV)
-    if hold_dir:
-        source = _TestHoldSource(source, hold_dir, job.shard_id)
-    # The full grid is re-derived from the unit's complete site index and
-    # then sliced, so shard records are bitwise-equal to the same slice
-    # of an unsharded scan — the manifest stores only [grid_lo, grid_hi).
-    full_grid = job.config.grid.positions_from(source.positions)
-    scan_lo, seed = job.grid_lo, None
-    if job.workers_per_shard == 1:
-        # Sequential shards replay the full run's DP anchor schedule
-        # exactly (warm-up + stride seed); parallel ones match it to the
-        # block scheduler's documented tolerance instead.
-        plans = build_plans_from_positions(
-            source.positions, job.config.grid
+    writer = _attach_introspection(job)
+    try:
+        source: AlignmentStreamSource = StreamingAlignmentReader(
+            job.path,
+            format=job.format,
+            length=job.length,
+            replicate=job.replicate,
+            chromosome=job.chromosome,
         )
-        scan_lo, seed = _shard_replay_plan(
-            plans, job.grid_lo, dp_reuse=job.config.dp_reuse
+        hold_dir = os.environ.get(HOLD_DIR_ENV)
+        if hold_dir:
+            source = _TestHoldSource(source, hold_dir, job.shard_id)
+        # The full grid is re-derived from the unit's complete site index
+        # and then sliced, so shard records are bitwise-equal to the same
+        # slice of an unsharded scan — the manifest stores only
+        # [grid_lo, grid_hi).
+        full_grid = job.config.grid.positions_from(source.positions)
+        scan_lo, seed = job.grid_lo, None
+        if job.workers_per_shard == 1:
+            # Sequential shards replay the full run's DP anchor schedule
+            # exactly (warm-up + stride seed); parallel ones match it to
+            # the block scheduler's documented tolerance instead.
+            plans = build_plans_from_positions(
+                source.positions, job.config.grid
+            )
+            scan_lo, seed = _shard_replay_plan(
+                plans, job.grid_lo, dp_reuse=job.config.dp_reuse
+            )
+        grid = np.asarray(full_grid[scan_lo : job.grid_hi])
+        if writer is not None:
+            # The replay contract may prepend warm-up positions, so the
+            # slot's own total is the honest denominator for this run.
+            writer.bind(
+                phase="scan",
+                positions_total=int(grid.size),
+            )
+        result = scan_stream(
+            source,
+            job.config,
+            snp_budget=job.snp_budget,
+            n_workers=job.workers_per_shard,
+            scheduler=job.scheduler,
+            grid_positions=grid,
+            dp_seed=seed,
         )
-    grid = np.asarray(full_grid[scan_lo : job.grid_hi])
-    result = scan_stream(
-        source,
-        job.config,
-        snp_budget=job.snp_budget,
-        n_workers=job.workers_per_shard,
-        scheduler=job.scheduler,
-        grid_positions=grid,
-        dp_seed=seed,
-    )
-    result = _strip_warmup(result, job.grid_lo - scan_lo)
-    sidecar.write_payload(
-        job.npz_path,
-        job.json_path,
-        result,
-        job.fingerprint,
-        extra={"warmup_positions": job.grid_lo - scan_lo},
-    )
+        result = _strip_warmup(result, job.grid_lo - scan_lo)
+        get_flight().record(
+            "shard", "worker.scan_done", shard=job.shard_id,
+            positions=int(len(result.positions)),
+        )
+        sidecar.write_payload(
+            job.npz_path,
+            job.json_path,
+            result,
+            job.fingerprint,
+            extra={"warmup_positions": job.grid_lo - scan_lo},
+        )
+        if writer is not None:
+            writer.finish("done")
+    except BaseException as exc:
+        if writer is not None:
+            try:
+                writer.finish("failed")
+            except Exception:
+                pass
+        if job.flight_path:
+            try:
+                get_flight().dump(
+                    job.flight_path,
+                    error=exc,
+                    metrics=obs.get_metrics().snapshot(),
+                    extra={"shard": job.shard_id, "origin": "worker"},
+                )
+            except Exception:
+                pass
+        raise
 
 
 def _pid_alive(pid: int) -> bool:
@@ -340,6 +450,33 @@ def run_manifest(
     ]
     manifest.save()
 
+    # Live progress ledger: one slot per shard, next to the manifest.
+    # Recreated fresh each invocation (it is advisory, never consulted
+    # for resume); already-done shards show as complete immediately.
+    # Failure to create it never blocks the scan.
+    ledger: Optional[ProgressLedger] = None
+    slot_of: Dict[int, int] = {}
+    try:
+        ledger = ProgressLedger.create(
+            manifest.progress_ledger_path, max(1, len(manifest.shards))
+        )
+        for i, s in enumerate(manifest.shards):
+            slot_of[s.id] = i
+            done = s.status == "done"
+            span = max(0, s.grid_hi - s.grid_lo)
+            ledger.init_slot(
+                i,
+                key=f"shard-{s.id}",
+                positions_total=span,
+                est_cost_total=float(s.est_cost),
+                phase="done" if done else "pending",
+                positions_done=span if done else 0,
+                est_cost_done=float(s.est_cost) if done else 0.0,
+            )
+    except Exception:
+        ledger = None
+        slot_of = {}
+
     queue = sorted(
         (s for s in manifest.shards if s.status == "pending"),
         key=lambda s: -s.est_cost,
@@ -350,6 +487,7 @@ def run_manifest(
     def spawn(shard: ShardRecord) -> None:
         unit = manifest.unit(shard.unit)
         npz_name, json_name = sidecar.shard_basenames(shard.id)
+        stderr_name, flight_name = shard_aux_basenames(shard.id)
         job = _ShardJob(
             shard_id=shard.id,
             path=unit.path,
@@ -366,6 +504,14 @@ def run_manifest(
             npz_path=manifest.sidecar_path(npz_name),
             json_path=manifest.sidecar_path(json_name),
             fingerprint=_shard_fingerprint(unit, shard),
+            ledger_path=(
+                manifest.progress_ledger_path
+                if ledger is not None
+                else None
+            ),
+            slot_index=slot_of.get(shard.id, -1),
+            stderr_path=manifest.sidecar_path(stderr_name),
+            flight_path=manifest.sidecar_path(flight_name),
         )
         proc = ctx.Process(
             target=_shard_worker, args=(job,), daemon=False
@@ -405,6 +551,14 @@ def run_manifest(
             shard.status = "failed"
             shard.error = error
             report.failed[shard.id] = error
+            _write_reap_postmortem(
+                manifest, shard, ledger, slot_of, error, exitcode
+            )
+            if ledger is not None and shard.id in slot_of:
+                try:
+                    ledger.mark_phase(slot_of[shard.id], "failed")
+                except Exception:
+                    pass
         shard.pid = None
         manifest.save()
 
@@ -435,8 +589,53 @@ def run_manifest(
         if running:
             running.clear()
             manifest.save()
+        if ledger is not None:
+            ledger.close()
     report.wall_seconds = time.perf_counter() - t0
     return report
+
+
+def _write_reap_postmortem(
+    manifest: Manifest,
+    shard: ShardRecord,
+    ledger: Optional[ProgressLedger],
+    slot_of: Dict[int, int],
+    error: str,
+    exitcode: Optional[int],
+) -> None:
+    """Orchestrator-side flight dump for a worker that died without
+    writing its own (SIGKILL/OOM: the in-process ring is gone, but the
+    parent still knows the exit status, the victim's last ledger slot,
+    and its captured stderr). A worker-written dump is richer and wins."""
+    _, flight_name = shard_aux_basenames(shard.id)
+    flight_path = manifest.sidecar_path(flight_name)
+    if os.path.exists(flight_path):
+        return
+    slot_payload = None
+    if ledger is not None and shard.id in slot_of:
+        try:
+            slot_payload = ledger.read_slot(slot_of[shard.id]).to_payload()
+        except Exception:
+            slot_payload = None
+    stderr_name, _ = shard_aux_basenames(shard.id)
+    doc = {
+        "schema": "repro.flight-recorder/1",
+        "origin": "orchestrator-reap",
+        "shard": shard.id,
+        "pid": shard.pid,
+        "exitcode": exitcode,
+        "error": {"type": "WorkerDeath", "message": error},
+        "events": [],
+        "metrics": None,
+        "last_ledger_slot": slot_payload,
+        "stderr_tail": _tail_lines(
+            manifest.sidecar_path(stderr_name), 20
+        ),
+    }
+    try:
+        write_dump(flight_path, doc)
+    except Exception:
+        pass
 
 
 @dataclass
