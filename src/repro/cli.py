@@ -87,14 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     scan_p.add_argument("--minwin", type=float, default=0.0,
                         help="minimum window (bp)")
     scan_p.add_argument("--backend",
-                        choices=("gemm", "packed",
+                        choices=("gemm", "packed", "auto",
                                  "numpy", "cupy", "numba"),
                         default="gemm",
                         help="gemm/packed pick the LD computation "
-                        "backend; numpy/cupy/numba additionally run the "
-                        "omega kernels on that array backend (falling "
-                        "back to numpy when the device stack is "
-                        "unavailable)")
+                        "backend and auto chooses between them per tile "
+                        "from the calibrated cost model (all bitwise "
+                        "identical); numpy/cupy/numba additionally run "
+                        "the omega kernels on that array backend "
+                        "(falling back to numpy when the device stack "
+                        "is unavailable)")
     scan_p.add_argument("--omega-batch", type=int, default=None,
                         metavar="N",
                         help="grid positions packed per batched omega "
@@ -184,8 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="maximum window (bp)")
     serve_p.add_argument("--minwin", type=float, default=0.0,
                          help="minimum window (bp)")
-    serve_p.add_argument("--backend", choices=("gemm", "packed"),
-                         default="gemm", help="LD computation backend")
+    serve_p.add_argument("--backend", choices=("gemm", "packed", "auto"),
+                         default="gemm", help="LD computation backend "
+                         "(auto picks gemm-vs-packed per tile)")
     serve_p.add_argument("--replicate", type=int, default=0,
                          help="replicate index within the ms file")
     serve_p.add_argument("--workers", type=int, default=2,
@@ -344,10 +347,11 @@ def _config(args) -> OmegaConfig:
     kwargs = {}
     if getattr(args, "omega_batch", None) is not None:
         kwargs["omega_batch"] = args.omega_batch
-    # "gemm"/"packed" name the LD stage; the array-backend names keep
-    # the default LD stage and bind the omega kernels to that backend.
+    # "gemm"/"packed"/"auto" name the LD stage; the array-backend names
+    # keep the default LD stage and bind the omega kernels to that
+    # backend.
     chosen = getattr(args, "backend", "gemm")
-    if chosen in ("gemm", "packed"):
+    if chosen in ("gemm", "packed", "auto"):
         ld_backend = chosen
     else:
         ld_backend = "gemm"

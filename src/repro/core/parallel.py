@@ -21,7 +21,12 @@ The current architecture mirrors the pthread model instead:
   process-wide into a shared tile band
   (:class:`~repro.core.tilestore.SharedR2TileStore`) and served to every
   worker, recovering the region-overlap reuse that scheduling boundaries
-  would otherwise lose.
+  would otherwise lose. For the packed/auto LD backends the store also
+  publishes the bit-packed word plane as a shared segment
+  (:class:`~repro.datasets.packed.SharedPackedWords`), so workers attach
+  it zero-copy instead of re-packing the alignment per process, and the
+  ``auto`` crossover constants are calibrated in the parent pre-fork so
+  every worker inherits them.
 * **Dynamic block scheduling** — the grid is cut into many small
   contiguous blocks (contiguity preserves the within-block r²/DP reuse),
   which workers pull from the pool's shared task queue as they free up; a

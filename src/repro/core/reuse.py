@@ -34,10 +34,8 @@ import numpy as np
 
 from repro.core.dp import SumMatrix
 from repro.datasets.alignment import SNPAlignment
-from repro.datasets.packed import PackedAlignment
 from repro.errors import ScanConfigError
-from repro.ld.gemm import r_squared_block
-from repro.ld.packed_kernels import r_squared_block_packed
+from repro.ld.operands import LDBackendFiller, operands_for
 
 __all__ = [
     "DpSeed",
@@ -148,8 +146,10 @@ class R2RegionCache:
         The full alignment being scanned.
     backend:
         ``"gemm"`` (default) computes fresh blocks with the GEMM
-        formulation; ``"packed"`` uses popcounts on a bit-packed copy —
-        functionally identical, validated against each other in tests.
+        formulation; ``"packed"`` uses blocked popcounts on the cached
+        bit-packed plane; ``"auto"`` picks between them per block from
+        the calibrated cost model. All are bitwise identical, validated
+        against each other in tests.
     block_fn:
         Optional override for the fresh-block source: a callable
         ``(rows, cols) -> ndarray`` with :func:`~repro.ld.gemm.
@@ -198,16 +198,18 @@ class R2RegionCache:
             raise ScanConfigError("max_region_bytes too small")
         if block_fn is not None:
             self._block = block_fn
-        elif backend == "gemm":
+        elif backend in ("gemm", "packed", "auto"):
+            # All backends flow through the per-alignment operand-plane
+            # cache: the float64 plane / packed words are materialized
+            # once per alignment, and "auto" picks per block from the
+            # calibrated cost-model crossover.
             self._block: Callable[[slice, slice], np.ndarray] = (
-                lambda r, c: r_squared_block(alignment, r, c)
+                LDBackendFiller(operands_for(alignment), backend)
             )
-        elif backend == "packed":
-            packed = PackedAlignment.from_alignment(alignment)
-            self._block = lambda r, c: r_squared_block_packed(packed, r, c)
         else:
             raise ScanConfigError(
-                f"unknown LD backend {backend!r}; use 'gemm' or 'packed'"
+                f"unknown LD backend {backend!r}; use 'gemm', 'packed' "
+                f"or 'auto'"
             )
         self._prev_start: Optional[int] = None
         self._prev_stop: Optional[int] = None

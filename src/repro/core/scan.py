@@ -53,11 +53,9 @@ from repro.core.reuse import (
     SumMatrixCache,
 )
 from repro.datasets.alignment import SNPAlignment
-from repro.datasets.packed import PackedAlignment
 from repro.datasets.streaming import AlignmentStreamSource, InMemoryStreamSource
 from repro.errors import ScanConfigError
-from repro.ld.gemm import r_squared_block
-from repro.ld.packed_kernels import r_squared_block_packed
+from repro.ld.operands import LDBackendFiller, operands_for
 from repro.utils.timing import TimeBreakdown
 
 __all__ = [
@@ -80,8 +78,10 @@ class OmegaConfig:
     eps:
         Denominator guard of Eq. (2); OmegaPlus's 1e-5 by default.
     ld_backend:
-        ``"gemm"`` or ``"packed"`` — which LD formulation feeds the r²
-        region cache.
+        ``"gemm"``, ``"packed"`` or ``"auto"`` — which LD formulation
+        feeds the r² region cache. ``"auto"`` picks gemm-vs-packed per
+        block from the calibrated cost-model crossover; all three are
+        bitwise identical.
     reuse:
         Enable the overlap data-reuse optimization at the r² level.
         Disabling it is only useful for the ablation benchmark that
@@ -123,9 +123,10 @@ class OmegaConfig:
     def __post_init__(self) -> None:
         if self.eps < 0:
             raise ScanConfigError(f"eps must be >= 0, got {self.eps}")
-        if self.ld_backend not in ("gemm", "packed"):
+        if self.ld_backend not in ("gemm", "packed", "auto"):
             raise ScanConfigError(
-                f"ld_backend must be 'gemm' or 'packed', got {self.ld_backend!r}"
+                f"ld_backend must be 'gemm', 'packed' or 'auto', "
+                f"got {self.ld_backend!r}"
             )
         if self.omega_batch < 1:
             raise ScanConfigError(
@@ -578,9 +579,7 @@ def _iter_stream_sequential(
         lo = holder["lo"]
         r = slice(rows.start - lo, rows.stop - lo)
         c = slice(cols.start - lo, cols.stop - lo)
-        if cfg.ld_backend == "packed":
-            return r_squared_block_packed(holder["packed"], r, c)
-        return r_squared_block(holder["chunk"], r, c)
+        return holder["filler"](r, c)
 
     def gen() -> Iterator[ScanResult]:
         cache = R2RegionCache(
@@ -616,12 +615,12 @@ def _iter_stream_sequential(
                             plan_lo=plan_lo, plan_hi=plan_hi,
                         )
                         holder["lo"] = site_lo
-                        if cfg.ld_backend == "packed":
-                            holder["packed"] = (
-                                PackedAlignment.from_alignment(chunk)
-                            )
-                        else:
-                            holder["chunk"] = chunk
+                        # One operand-plane cache (and backend filler)
+                        # per chunk; dead chunks drop their planes with
+                        # the chunk object itself.
+                        holder["filler"] = LDBackendFiller(
+                            operands_for(chunk), cfg.ld_backend
+                        )
                     count = plan_hi - plan_lo
                     omegas = np.zeros(count)
                     lefts = np.full(count, np.nan)

@@ -24,6 +24,15 @@ memory by the parent:
 The store plugs into :class:`~repro.core.reuse.R2RegionCache` as its
 ``block_fn``, so the region cache's overlap reuse still runs in front of
 it — tiles only serve the *fresh* entries each region needs.
+
+Tiles are computed through :class:`~repro.ld.operands.LDBackendFiller`
+over the per-alignment operand-plane cache: ``backend="auto"`` picks
+gemm-vs-packed per tile from the calibrated
+:class:`~repro.core.costmodel.ScanCostModel` crossover constants (the
+pick is recorded as a ``backend`` trace tag on every ``tile_fill`` span
+and as ``tilestore.backend_*_fills`` counters), and for the packed
+formulations the creator publishes the bit-packed word plane as its own
+shared segment so workers attach it zero-copy instead of re-packing.
 """
 
 from __future__ import annotations
@@ -33,16 +42,15 @@ import secrets
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Callable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 import repro.obs as obs
 from repro.datasets.alignment import SHM_NAME_PREFIX, SNPAlignment
-from repro.datasets.packed import PackedAlignment
+from repro.datasets.packed import SharedPackedSpec, SharedPackedWords
 from repro.errors import ScanConfigError
-from repro.ld.gemm import r_squared_block
-from repro.ld.packed_kernels import r_squared_block_packed
+from repro.ld.operands import LD_BACKENDS, LDBackendFiller, LDOperands, operands_for
 
 __all__ = ["SharedR2TileStore", "TileStoreSpec"]
 
@@ -57,18 +65,13 @@ DEFAULT_TILE = 64
 DEFAULT_MAX_STORE_BYTES = 1024 * 1024 * 1024
 
 
-def _block_fn(
-    alignment: SNPAlignment, backend: str
-) -> Callable[[slice, slice], np.ndarray]:
-    """The same backend dispatch R2RegionCache uses for fresh blocks."""
-    if backend == "gemm":
-        return lambda r, c: r_squared_block(alignment, r, c)
-    if backend == "packed":
-        packed = PackedAlignment.from_alignment(alignment)
-        return lambda r, c: r_squared_block_packed(packed, r, c)
-    raise ScanConfigError(
-        f"unknown LD backend {backend!r}; use 'gemm' or 'packed'"
-    )
+def _validate_backend(backend: str) -> None:
+    """Reject unknown LD backend names with the scan-config error the
+    CLI/config layer reports."""
+    if backend not in LD_BACKENDS:
+        raise ScanConfigError(
+            f"unknown LD backend {backend!r}; use 'gemm', 'packed' or 'auto'"
+        )
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,10 @@ class TileStoreSpec:
     n_sites: int
     band_tiles: int
     backend: str
+    #: Set when the creator published the bit-packed word plane to shared
+    #: memory (backend "packed"/"auto"); attaching workers map it
+    #: zero-copy instead of re-packing the alignment per process.
+    packed_spec: Optional[SharedPackedSpec] = None
 
     @property
     def n_tile_rows(self) -> int:
@@ -109,13 +116,15 @@ class SharedR2TileStore:
         self,
         spec: TileStoreSpec,
         segments,
-        alignment: Optional[SNPAlignment],
+        operands: Optional[LDOperands],
         *,
         owner: bool,
+        packed_plane: Optional[SharedPackedWords] = None,
     ):
         self.spec = spec
         self._segments = list(segments)
         self._owner = owner
+        self._packed_plane = packed_plane
         data_shm, flags_shm = segments
         self._data = np.ndarray(
             (spec.n_slots, spec.tile, spec.tile),
@@ -125,8 +134,10 @@ class SharedR2TileStore:
         self._flags = np.ndarray(
             (spec.n_slots,), dtype=np.uint8, buffer=flags_shm.buf
         )
-        self._compute = (
-            _block_fn(alignment, spec.backend) if alignment is not None else None
+        self._filler = (
+            LDBackendFiller(operands, spec.backend, metric_prefix="tilestore")
+            if operands is not None
+            else None
         )
         self.tile_entries_computed = 0
         self.tile_entries_reused = 0
@@ -204,10 +215,28 @@ class SharedR2TileStore:
         backend: str = "gemm",
         max_store_bytes: int = DEFAULT_MAX_STORE_BYTES,
     ) -> "SharedR2TileStore":
-        """Allocate the (zero-filled) band in the creating process."""
+        """Allocate the (zero-filled) band in the creating process.
+
+        For backend ``"packed"``/``"auto"`` the alignment is packed once
+        here and the word plane is published as its own shared segment
+        (:class:`~repro.datasets.packed.SharedPackedWords`), so attaching
+        workers map it zero-copy instead of re-packing per process. For
+        ``"auto"`` the LD crossover constants are also calibrated now,
+        pre-fork, so forked workers inherit them.
+        """
         if tile < 1:
             raise ScanConfigError(f"tile must be >= 1, got {tile}")
-        _block_fn(alignment, backend)  # validate the backend name early
+        _validate_backend(backend)
+        operands = operands_for(alignment)
+        packed_plane: Optional[SharedPackedWords] = None
+        packed_spec: Optional[SharedPackedSpec] = None
+        if backend in ("packed", "auto"):
+            if backend == "auto":
+                from repro.core.costmodel import ensure_ld_crossover_calibrated
+
+                ensure_ld_crossover_calibrated(alignment.n_samples)
+            packed_plane = SharedPackedWords.create(operands.packed())
+            packed_spec = packed_plane.spec
         token = f"{SHM_NAME_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         spec = TileStoreSpec(
             data_name=f"{token}-r2tiles",
@@ -216,9 +245,13 @@ class SharedR2TileStore:
             n_sites=alignment.n_sites,
             band_tiles=cls.band_tiles_for(max_pair_span, tile),
             backend=backend,
+            packed_spec=packed_spec,
         )
         data_bytes = spec.n_slots * tile * tile * 8
         if data_bytes > max_store_bytes:
+            if packed_plane is not None:
+                packed_plane.close()
+                packed_plane.unlink()
             raise ScanConfigError(
                 f"shared r2 tile store needs {data_bytes / 1e6:.0f} MB "
                 f"(cap {max_store_bytes / 1e6:.0f} MB); reduce max_window, "
@@ -240,8 +273,13 @@ class SharedR2TileStore:
             for shm in segments:
                 shm.close()
                 shm.unlink()
+            if packed_plane is not None:
+                packed_plane.close()
+                packed_plane.unlink()
             raise
-        return cls(spec, segments, alignment, owner=True)
+        return cls(
+            spec, segments, operands, owner=True, packed_plane=packed_plane
+        )
 
     @classmethod
     def attach(
@@ -249,23 +287,40 @@ class SharedR2TileStore:
     ) -> "SharedR2TileStore":
         """Attach to an existing store; ``alignment`` must be the same
         data the store was created for (workers pass the shared-backed
-        alignment, so this holds by construction)."""
+        alignment, so this holds by construction).
+
+        When the creator published a packed word plane, the attachment
+        maps it read-only and builds its operand cache around the shared
+        words — no per-worker re-pack, no duplicated plane in RSS.
+        """
         if alignment.n_sites != spec.n_sites:
             raise ScanConfigError(
                 f"alignment has {alignment.n_sites} sites but the tile "
                 f"store was built for {spec.n_sites}"
             )
         segments = []
+        packed_plane: Optional[SharedPackedWords] = None
         try:
             data_shm = shared_memory.SharedMemory(name=spec.data_name)
             segments.append(data_shm)
             flags_shm = shared_memory.SharedMemory(name=spec.flags_name)
             segments.append(flags_shm)
+            packed = None
+            if spec.packed_spec is not None:
+                packed_plane = SharedPackedWords.attach(spec.packed_spec)
+                packed = packed_plane.packed_for(
+                    alignment.positions, alignment.length
+                )
+            operands = operands_for(alignment, packed=packed)
         except BaseException:
             for shm in segments:
                 shm.close()
+            if packed_plane is not None:
+                packed_plane.close()
             raise
-        return cls(spec, segments, alignment, owner=False)
+        return cls(
+            spec, segments, operands, owner=False, packed_plane=packed_plane
+        )
 
     # -------------------------------------------------------------- #
 
@@ -286,11 +341,16 @@ class SharedR2TileStore:
             registry.counter("tilestore.hits").inc()
             registry.counter("tilestore.entries_reused").inc(h * w)
             return view
-        assert self._compute is not None
+        assert self._filler is not None
+        # Resolve the backend before opening the span so the trace tag
+        # records which formulation actually filled this tile.
+        backend = self._filler.pick(h, w)
         with obs.get_tracer().span(
-            "tile_fill", "tilestore", args={"ti": ti, "tj": tj}
+            "tile_fill", "tilestore", args={"ti": ti, "tj": tj, "backend": backend}
         ):
-            values = self._compute(slice(r0, r1), slice(c0, c1))
+            values = self._filler(
+                slice(r0, r1), slice(c0, c1), backend=backend
+            )
             view[:] = values
             # Publish only after the data is in place; a concurrent filler
             # writes the identical bytes (deterministic backends), so the
@@ -373,8 +433,8 @@ class SharedR2TileStore:
                 j0 = max(c0, tj * t)
                 j1 = min(c1, tj * t + t)
                 if abs(tj - ti) > spec.band_tiles:
-                    assert self._compute is not None
-                    out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = self._compute(
+                    assert self._filler is not None
+                    out[i0 - r0 : i1 - r0, j0 - c0 : j1 - c0] = self._filler(
                         slice(i0, i1), slice(j0, j1)
                     )
                     continue
@@ -404,6 +464,7 @@ class SharedR2TileStore:
         """Release this process's mappings."""
         self._data = None
         self._flags = None
+        self._filler = None
         if self._lru is not None:
             self._lru.clear()
             self._lru_bytes = 0
@@ -413,6 +474,8 @@ class SharedR2TileStore:
             except BufferError:  # pragma: no cover - exported views alive
                 pass
         self._segments = []
+        if self._packed_plane is not None:
+            self._packed_plane.close()
 
     def unlink(self) -> None:
         """Remove the segments from the system (owner side; idempotent)."""
@@ -423,6 +486,11 @@ class SharedR2TileStore:
                 continue
             shm.close()
             shm.unlink()
+        if self.spec.packed_spec is not None:
+            plane = self._packed_plane or SharedPackedWords(
+                self.spec.packed_spec, None, None, owner=self._owner
+            )
+            plane.unlink()
 
     def __enter__(self) -> "SharedR2TileStore":
         return self

@@ -10,7 +10,9 @@ cross-validated against each other in the test suite:
   OmegaPlus-native / FPGA formulation).
 
 plus :mod:`repro.ld.tiled`, the quickLD-style two-step driver for datasets
-too large for a monolithic pair matrix.
+too large for a monolithic pair matrix, and :mod:`repro.ld.operands`, the
+per-alignment operand-plane cache and cost-model-driven ``auto`` backend
+picker the production tile fills are built on.
 """
 
 from repro.ld.correlation import (
@@ -19,8 +21,16 @@ from repro.ld.correlation import (
     r_squared_pairs,
 )
 from repro.ld.gemm import cooccurrence_gemm, r_squared_block, r_squared_matrix
+from repro.ld.operands import (
+    LD_BACKENDS,
+    LDBackendFiller,
+    LDOperands,
+    operands_for,
+)
 from repro.ld.packed_kernels import (
+    cooccurrence_block_packed,
     r_squared_block_packed,
+    r_squared_block_packed_broadcast,
     r_squared_matrix_packed,
     r_squared_pairs_packed,
 )
@@ -41,8 +51,14 @@ __all__ = [
     "r_squared_block",
     "r_squared_pairs_packed",
     "r_squared_block_packed",
+    "r_squared_block_packed_broadcast",
+    "cooccurrence_block_packed",
     "r_squared_matrix_packed",
     "TiledLDEngine",
+    "LDOperands",
+    "LDBackendFiller",
+    "operands_for",
+    "LD_BACKENDS",
     "ld_stats_matrix",
     "d_from_counts",
     "d_prime_from_counts",

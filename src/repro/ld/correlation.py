@@ -116,9 +116,10 @@ def r_squared_pairs(
     hi = alignment.n_sites
     if i.min() < 0 or j.min() < 0 or i.max() >= hi or j.max() >= hi:
         raise LDError(f"site index out of range for {hi} sites")
-    cols = alignment.matrix.astype(np.float64)
-    a = cols[:, i]
-    b = cols[:, j]
+    # Gather the requested columns first, then convert — never a
+    # full-matrix float64 temporary for a handful of pairs.
+    a = alignment.matrix[:, i].astype(np.float64)
+    b = alignment.matrix[:, j].astype(np.float64)
     n11 = np.einsum("sk,sk->k", a, b)
     counts = alignment.derived_counts()
     return r_squared_from_counts(

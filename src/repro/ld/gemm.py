@@ -59,16 +59,22 @@ def cooccurrence_gemm(
     alignment: SNPAlignment,
     *,
     backend: Union[str, None, object] = None,
+    operands=None,
 ) -> np.ndarray:
     """Return the (sites x sites) co-occurrence count matrix AᵀA.
 
     Uses a float64 GEMM (BLAS, or the array ``backend``'s device GEMM —
     see :mod:`repro.accel.backend`) and rounds back to integers: counts
     are bounded by n_samples, far below 2⁵³, so the round-trip is exact
-    either way.
+    either way. ``operands`` accepts an
+    :class:`~repro.ld.operands.LDOperands` cache whose float64 plane is
+    reused instead of converting the matrix per call.
     """
     backend = _resolve(backend)
-    a = alignment.matrix.astype(np.float64)
+    if operands is not None:
+        a = operands.gemm_columns(0, alignment.n_sites)
+    else:
+        a = alignment.matrix.astype(np.float64)
     return np.rint(_device_gemm(a.T, a, backend)).astype(np.int64)
 
 
@@ -77,6 +83,7 @@ def r_squared_matrix(
     *,
     strict: bool = False,
     backend: Union[str, None, object] = None,
+    operands=None,
 ) -> np.ndarray:
     """Full symmetric r² matrix for all site pairs.
 
@@ -84,8 +91,12 @@ def r_squared_matrix(
     with itself) and 0 for monomorphic ones, consistent with the
     monomorphic-pair convention in :mod:`repro.ld.correlation`.
     """
-    n11 = cooccurrence_gemm(alignment, backend=backend)
-    counts = alignment.derived_counts()
+    n11 = cooccurrence_gemm(alignment, backend=backend, operands=operands)
+    counts = (
+        operands.derived_counts()
+        if operands is not None
+        else alignment.derived_counts()
+    )
     c_i = np.broadcast_to(counts[:, None], n11.shape)
     c_j = np.broadcast_to(counts[None, :], n11.shape)
     return r_squared_from_counts(
@@ -100,13 +111,17 @@ def r_squared_block(
     *,
     strict: bool = False,
     backend: Union[str, None, object] = None,
+    operands=None,
 ) -> np.ndarray:
     """r² for the rectangular block ``rows x cols`` of the pair matrix.
 
     This is the primitive the tiled large-dataset driver composes; it is
     also how the GEMM engine serves OmegaPlus, which only ever needs the
     pairs inside the current grid-position window rather than the whole
-    matrix.
+    matrix. Only the requested columns are converted to float64 (slice
+    first, then ``astype``); pass ``operands``
+    (:class:`~repro.ld.operands.LDOperands`) to serve the conversion from
+    the per-alignment cached plane instead.
     """
     n_sites = alignment.n_sites
     r0, r1, rstep = rows.indices(n_sites)
@@ -114,9 +129,15 @@ def r_squared_block(
     if rstep != 1 or cstep != 1:
         raise LDError("r_squared_block requires contiguous (step-1) slices")
     backend = _resolve(backend)
-    a = alignment.matrix.astype(np.float64)
-    n11 = _device_gemm(a[:, r0:r1].T, a[:, c0:c1], backend)
-    counts = alignment.derived_counts()
+    if operands is not None:
+        a_rows = operands.gemm_columns(r0, r1)
+        a_cols = operands.gemm_columns(c0, c1)
+        counts = operands.derived_counts()
+    else:
+        a_rows = alignment.matrix[:, r0:r1].astype(np.float64)
+        a_cols = alignment.matrix[:, c0:c1].astype(np.float64)
+        counts = alignment.derived_counts()
+    n11 = _device_gemm(a_rows.T, a_cols, backend)
     c_i = np.broadcast_to(counts[r0:r1, None], n11.shape)
     c_j = np.broadcast_to(counts[None, c0:c1], n11.shape)
     return r_squared_from_counts(

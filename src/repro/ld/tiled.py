@@ -19,14 +19,14 @@ LD as required by OmegaPlus").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, Tuple
 
 import numpy as np
 
 from repro.datasets.alignment import SNPAlignment
 from repro.errors import LDError
-from repro.ld.gemm import r_squared_block
+from repro.ld.operands import LDBackendFiller, operands_for
 
 __all__ = ["TiledLDEngine"]
 
@@ -44,14 +44,23 @@ class TiledLDEngine:
     tile:
         Edge length of a tile in sites. 512 keeps a float64 tile at 2 MB,
         comfortably inside L2/L3 for repeated passes.
+    backend:
+        LD formulation per tile: ``"gemm"`` (BLAS), ``"packed"`` (blocked
+        popcount), or ``"auto"`` (cost-model pick per tile). All three
+        produce bitwise-identical tiles; the choice is timing-only.
     """
 
     alignment: SNPAlignment
     tile: int = 512
+    backend: str = "gemm"
+    _filler: LDBackendFiller = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.tile < 1:
             raise LDError(f"tile must be >= 1, got {self.tile}")
+        self._filler = LDBackendFiller(
+            operands_for(self.alignment), self.backend
+        )
 
     def tiles(
         self,
@@ -79,7 +88,7 @@ class TiledLDEngine:
                 if upper_only and cb <= ra:
                     continue
                 rs, cs = slice(ra, rb), slice(ca, cb)
-                yield rs, cs, r_squared_block(self.alignment, rs, cs)
+                yield rs, cs, self._filler(rs, cs)
 
     def reduce_sum(
         self,

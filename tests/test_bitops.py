@@ -6,7 +6,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.utils.bitops import pack_bits, popcount64, unpack_bits
+from repro.utils.bitops import (
+    HAVE_BITWISE_COUNT,
+    pack_bits,
+    popcount64,
+    popcount64_swar,
+    unpack_bits,
+)
 
 
 class TestPopcount64:
@@ -47,6 +53,62 @@ class TestPopcount64:
     def test_property_matches_bit_count(self, words):
         expected = np.array([int(w).bit_count() for w in words], dtype=np.int64)
         np.testing.assert_array_equal(popcount64(words), expected)
+
+
+class TestSwarEquivalence:
+    """popcount64 dispatches to np.bitwise_count on NumPy >= 2.0; the
+    SWAR fallback must stay byte-for-byte equivalent so pre-2.0
+    installations compute identical LD."""
+
+    def test_dispatch_flag_matches_numpy(self):
+        assert HAVE_BITWISE_COUNT == hasattr(np, "bitwise_count")
+
+    @pytest.mark.parametrize("shape", [(0,), (1,), (257,), (5, 7), (3, 4, 9)])
+    def test_random_corpora_agree(self, shape):
+        rng = np.random.default_rng(sum(shape) + 99)
+        words = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        fast = popcount64(words)
+        swar = popcount64_swar(words)
+        assert fast.dtype == swar.dtype == np.int64
+        np.testing.assert_array_equal(fast, swar)
+
+    def test_edge_words_agree(self):
+        words = np.array(
+            [
+                0,
+                1,
+                0xFFFFFFFFFFFFFFFF,  # all ones
+                0x8000000000000000,
+                0x7FFFFFFFFFFFFFFF,
+                0xAAAAAAAAAAAAAAAA,
+                0x5555555555555555,
+                0x0123456789ABCDEF,
+            ],
+            dtype=np.uint64,
+        )
+        np.testing.assert_array_equal(
+            popcount64(words), popcount64_swar(words)
+        )
+        np.testing.assert_array_equal(
+            popcount64_swar(words),
+            np.array([int(w).bit_count() for w in words], dtype=np.int64),
+        )
+
+    @given(
+        arrays(
+            np.uint64,
+            st.integers(0, 80),
+            elements=st.integers(0, 2**64 - 1),
+        )
+    )
+    def test_property_swar_equals_dispatch(self, words):
+        np.testing.assert_array_equal(
+            popcount64(words), popcount64_swar(words)
+        )
+
+    def test_swar_rejects_wrong_dtype(self):
+        with pytest.raises(TypeError, match="uint64"):
+            popcount64_swar(np.zeros(4, dtype=np.uint32))
 
 
 class TestPackUnpackRoundTrip:

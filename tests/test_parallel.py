@@ -194,7 +194,7 @@ class TestParallelEquivalenceProperty:
     @given(
         n_positions=st.integers(2, 10),
         n_workers=st.integers(2, 6),
-        backend=st.sampled_from(["gemm", "packed"]),
+        backend=st.sampled_from(["gemm", "packed", "auto"]),
         scheduler=st.sampled_from(["shared", "pickled"]),
         block_size=st.one_of(st.none(), st.integers(1, 5)),
     )

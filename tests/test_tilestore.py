@@ -36,7 +36,7 @@ class TestBandSizing:
 
 
 class TestBitIdentity:
-    @pytest.mark.parametrize("backend", ["gemm", "packed"])
+    @pytest.mark.parametrize("backend", ["gemm", "packed", "auto"])
     def test_blocks_match_direct_compute(self, aln, backend):
         with SharedR2TileStore.create(
             aln, max_pair_span=40, tile=16, backend=backend
@@ -256,12 +256,77 @@ class TestBlockLRU:
             assert "tilestore.lru_misses" not in snap["counters"]
 
 
+class TestBackendPlumbing:
+    def test_backend_fill_counters(self, aln):
+        """Every tile fill records which formulation served it."""
+        with obs.scoped_metrics() as registry:
+            with SharedR2TileStore.create(
+                aln, max_pair_span=30, tile=8, backend="packed"
+            ) as store:
+                store.block(slice(0, 16), slice(0, 16))
+            snap = registry.snapshot()
+        assert snap["counters"]["tilestore.backend_packed_fills"] >= 1
+        assert "tilestore.backend_gemm_fills" not in snap["counters"]
+
+    def test_auto_counters_cover_all_fills(self, aln):
+        with obs.scoped_metrics() as registry:
+            with SharedR2TileStore.create(
+                aln, max_pair_span=30, tile=8, backend="auto"
+            ) as store:
+                store.block(slice(0, 24), slice(0, 24))
+            snap = registry.snapshot()
+        fills = snap["counters"]["tilestore.fills"]
+        by_backend = sum(
+            snap["counters"].get(f"tilestore.backend_{b}_fills", 0)
+            for b in ("gemm", "packed")
+        )
+        assert fills >= 1 and by_backend == fills
+
+    def test_attach_maps_shared_packed_plane_zero_copy(self, aln):
+        """An attaching process must not re-pack: its packed operand
+        plane is a view straight into the shared segment the creator
+        published."""
+        from repro.ld.operands import operands_for
+
+        # A distinct-but-equal alignment object, as a worker's
+        # shared-backed attachment would be (a fresh object gets a fresh
+        # operand-cache entry, so the shared plane actually seeds it).
+        aln2 = type(aln)(
+            aln.matrix.copy(), aln.positions.copy(), aln.length
+        )
+        with SharedR2TileStore.create(
+            aln, max_pair_span=30, tile=8, backend="packed"
+        ) as store:
+            assert store.spec.packed_spec is not None
+            other = SharedR2TileStore.attach(store.spec, aln2)
+            try:
+                words = operands_for(aln2).packed().words
+                assert not words.flags.writeable
+                assert words.base is not None  # a view, not a fresh pack
+                got = other.block(slice(0, 16), slice(0, 16))
+                np.testing.assert_array_equal(
+                    got, r_squared_block(aln, slice(0, 16), slice(0, 16))
+                )
+            finally:
+                other.close()
+
+    def test_gemm_store_publishes_no_packed_plane(self, aln):
+        with SharedR2TileStore.create(
+            aln, max_pair_span=20, backend="gemm"
+        ) as store:
+            assert store.spec.packed_spec is None
+
+
 class TestLifecycle:
-    def test_context_manager_unlinks(self, aln):
+    @pytest.mark.parametrize("backend", ["gemm", "packed", "auto"])
+    def test_context_manager_unlinks(self, aln, backend):
         before = set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))
-        with SharedR2TileStore.create(aln, max_pair_span=20) as store:
+        extra = 2 if backend == "gemm" else 3  # packed/auto add the plane
+        with SharedR2TileStore.create(
+            aln, max_pair_span=20, backend=backend
+        ) as store:
             assert len(set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*"))) >= (
-                len(before) + 2
+                len(before) + extra
             )
             spec = store.spec
         assert set(glob.glob(f"/dev/shm/{SHM_NAME_PREFIX}*")) == before
